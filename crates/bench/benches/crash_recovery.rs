@@ -1,0 +1,37 @@
+//! E16 benchmark: crash-recovery cost (group abort + completion replay) as
+//! a function of the crash point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_engine::engine::{Engine, RunConfig};
+use txproc_engine::recovery::recover;
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let w = generate(&WorkloadConfig {
+        seed: 11,
+        processes: 8,
+        conflict_density: 0.4,
+        failure_probability: 0.1,
+        ..WorkloadConfig::default()
+    });
+    let mut g = c.benchmark_group("crash_recovery");
+    g.sample_size(20);
+    for crash_at in [4usize, 12, 24] {
+        g.bench_with_input(
+            BenchmarkId::new("crash_and_recover", crash_at),
+            &crash_at,
+            |b, &crash_at| {
+                b.iter(|| {
+                    let mut engine = Engine::new(&w, RunConfig::default());
+                    engine.run_until_history(crash_at);
+                    let image = engine.crash();
+                    recover(&w, image).unwrap().history.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

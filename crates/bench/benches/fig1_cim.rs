@@ -1,0 +1,29 @@
+//! Figure 1 benchmark: executing the CIM scenario (construction +
+//! production) end to end under each scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txproc_bench::scenarios::cim_workload;
+use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::policy::PolicyKind;
+
+fn bench(c: &mut Criterion) {
+    let (_, workload) = cim_workload(0.2);
+    let mut g = c.benchmark_group("fig1_cim");
+    for kind in [PolicyKind::Pred, PolicyKind::Serial, PolicyKind::UnsafeCc] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                run(
+                    std::hint::black_box(&workload),
+                    RunConfig {
+                        policy: kind,
+                        ..RunConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 4 benchmark: conflict-serializability checking of the paper's
+//! schedules S_t2 and S'_t2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txproc_bench::scenarios::{figure4a_st2, figure4b_st2};
+use txproc_core::fixtures::paper_world;
+use txproc_core::serializability::is_serializable;
+
+fn bench(c: &mut Criterion) {
+    let fx = paper_world();
+    let a = figure4a_st2(&fx);
+    let b = figure4b_st2(&fx);
+    let mut g = c.benchmark_group("fig4_serializability");
+    g.bench_function("serializable_4a", |bencher| {
+        bencher.iter(|| is_serializable(std::hint::black_box(&fx.spec), &a).unwrap())
+    });
+    g.bench_function("non_serializable_4b", |bencher| {
+        bencher.iter(|| is_serializable(std::hint::black_box(&fx.spec), &b).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

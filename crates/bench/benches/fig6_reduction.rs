@@ -1,0 +1,25 @@
+//! Figure 6 benchmark: completion (Definition 8) and reduction
+//! (Definition 9) of the paper's S_t2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txproc_bench::scenarios::figure4a_st2;
+use txproc_core::completion::complete;
+use txproc_core::fixtures::paper_world;
+use txproc_core::reduction::reduce;
+
+fn bench(c: &mut Criterion) {
+    let fx = paper_world();
+    let s = figure4a_st2(&fx);
+    let completed = complete(&fx.spec, &s).unwrap();
+    let mut g = c.benchmark_group("fig6_reduction");
+    g.bench_function("complete_st2", |b| {
+        b.iter(|| complete(std::hint::black_box(&fx.spec), &s).unwrap())
+    });
+    g.bench_function("reduce_st2", |b| {
+        b.iter(|| reduce(std::hint::black_box(&fx.spec), &completed))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

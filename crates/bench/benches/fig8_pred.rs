@@ -1,0 +1,48 @@
+//! Figure 8 benchmark: prefix-reducibility checking (Definition 10) of the
+//! paper's schedules, and PRED-check scaling with history length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_bench::scenarios::{figure4a_st2, figure7};
+use txproc_core::fixtures::paper_world;
+use txproc_core::pred::check_pred;
+use txproc_engine::engine::{run, RunConfig};
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let fx = paper_world();
+    let st2 = figure4a_st2(&fx);
+    let s7 = figure7(&fx);
+    let mut g = c.benchmark_group("fig8_pred");
+    g.bench_function("check_pred_st2", |b| {
+        b.iter(|| check_pred(std::hint::black_box(&fx.spec), &st2).unwrap())
+    });
+    g.bench_function("check_pred_fig7", |b| {
+        b.iter(|| check_pred(std::hint::black_box(&fx.spec), &s7).unwrap())
+    });
+    // Scaling: PRED-check cost on engine-emitted histories of growing size.
+    for processes in [4usize, 8, 16] {
+        let w = generate(&WorkloadConfig {
+            seed: 1,
+            processes,
+            conflict_density: 0.4,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        });
+        let result = run(
+            &w,
+            RunConfig {
+                policy: txproc_engine::policy::PolicyKind::PredProtocol,
+                ..RunConfig::default()
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("check_pred_history", result.history.len()),
+            &result.history,
+            |b, h| b.iter(|| check_pred(&w.spec, h).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

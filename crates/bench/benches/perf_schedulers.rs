@@ -1,0 +1,46 @@
+//! E13 benchmark: end-to-end scheduler runs across conflict densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::policy::PolicyKind;
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf_schedulers");
+    g.sample_size(20);
+    for &density in &[0.1, 0.5] {
+        let w = generate(&WorkloadConfig {
+            seed: 9,
+            processes: 16,
+            conflict_density: density,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        });
+        for kind in [
+            PolicyKind::Pred,
+            PolicyKind::PredProtocol,
+            PolicyKind::Conservative,
+            PolicyKind::Serial,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("density-{density}")),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        run(
+                            w,
+                            RunConfig {
+                                policy: kind,
+                                ..RunConfig::default()
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

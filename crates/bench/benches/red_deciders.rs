@@ -1,0 +1,26 @@
+//! Ablation: the `O(n²)` graph-based RED decider vs the faithful
+//! rule-rewriting search (Definition 9 applied literally).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txproc_bench::scenarios::figure4a_st2;
+use txproc_core::completion::complete;
+use txproc_core::fixtures::paper_world;
+use txproc_core::reduction::{reduce, reduce_exhaustive};
+
+fn bench(c: &mut Criterion) {
+    let fx = paper_world();
+    let s = figure4a_st2(&fx);
+    let completed = complete(&fx.spec, &s).unwrap();
+    let mut g = c.benchmark_group("red_deciders");
+    g.sample_size(20);
+    g.bench_function("graph_decider", |b| {
+        b.iter(|| reduce(std::hint::black_box(&fx.spec), &completed).reducible)
+    });
+    g.bench_function("exhaustive_rewriter", |b| {
+        b.iter(|| reduce_exhaustive(std::hint::black_box(&fx.spec), &completed, 500_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E17 benchmark: scheduler cost vs number of concurrent processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::policy::PolicyKind;
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(15);
+    for &n in &[8usize, 16, 32, 64] {
+        let w = generate(&WorkloadConfig {
+            seed: 3,
+            processes: n,
+            conflict_density: 0.3,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        });
+        g.bench_with_input(BenchmarkId::new("pred-protocol", n), &w, |b, w| {
+            b.iter(|| {
+                run(
+                    w,
+                    RunConfig {
+                        policy: PolicyKind::PredProtocol,
+                        ..RunConfig::default()
+                    },
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("serial", n), &w, |b, w| {
+            b.iter(|| {
+                run(
+                    w,
+                    RunConfig {
+                        policy: PolicyKind::Serial,
+                        ..RunConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

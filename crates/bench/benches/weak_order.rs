@@ -1,0 +1,54 @@
+//! E15 benchmark: weak-order makespan planning (§3.6) and the subsystem's
+//! commit-order machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
+use txproc_core::weak::{makespan, OrderConstraint, OrderKind, Task};
+use txproc_subsystem::kv::{Key, Program};
+use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
+
+fn chain(n: u32, kind: OrderKind) -> (Vec<Task>, Vec<OrderConstraint>) {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| Task {
+            gid: GlobalActivityId::new(ProcessId(i), ActivityId(0)),
+            duration: 10,
+            subsystem: 0,
+        })
+        .collect();
+    let constraints = tasks
+        .windows(2)
+        .map(|w| OrderConstraint {
+            first: w[0].gid,
+            second: w[1].gid,
+            kind,
+        })
+        .collect();
+    (tasks, constraints)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weak_order");
+    for n in [16u32, 64, 256] {
+        for (label, kind) in [("strong", OrderKind::Strong), ("weak", OrderKind::Weak)] {
+            let (tasks, constraints) = chain(n, kind);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| makespan(&tasks, &constraints).unwrap().makespan)
+            });
+        }
+    }
+    g.bench_function("subsystem_commit_order", |b| {
+        b.iter(|| {
+            let mut s = Subsystem::new(SubsystemId(0), "w");
+            let (t1, _) = s.execute(&Program::add(Key(1), 1)).unwrap();
+            let (t2, _) = s.execute(&Program::add(Key(1), 1)).unwrap();
+            s.order_commits(t1, t2).unwrap();
+            s.commit(t1).unwrap();
+            s.commit(t2).unwrap();
+            s.peek(Key(1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

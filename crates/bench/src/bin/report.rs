@@ -1,0 +1,70 @@
+//! Experiment report generator.
+//!
+//! ```text
+//! report                # run all experiments
+//! report --exp e6       # run one experiment
+//! report --json out.json
+//! ```
+
+use txproc_bench::{all_ids, render_experiment, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids = all_ids();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                let id = args.get(i).expect("--exp needs an id").to_lowercase();
+                ids = vec![id];
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--help" | "-h" => {
+                println!("usage: report [--exp eN] [--json path]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    let mut failed = 0;
+    for id in &ids {
+        match run_experiment(id) {
+            Some(result) => {
+                println!("{}", render_experiment(&result));
+                if !result.pass {
+                    failed += 1;
+                }
+                results.push(result);
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "{} experiment(s), {} passed, {} failed",
+        results.len(),
+        results.len() - failed,
+        failed
+    );
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serializable");
+        std::fs::write(&path, json).expect("writable path");
+        println!("wrote {path}");
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,329 @@
+//! `txproc` — command-line front end for the transactional process
+//! management toolkit.
+//!
+//! ```text
+//! txproc simulate  [--seed N] [--processes N] [--density F] [--failures F]
+//!                  [--policy pred|pred-wait|pred-protocol|serial|conservative|unsafe-cc]
+//!                  [--arrival-gap N] [--check]
+//! txproc generate  [--seed N] [--processes N] [--density F] [--json PATH]
+//! txproc check     --scenario PATH.json        # {"spec": …, "history": …}
+//! txproc demo      fig4a|fig4b|fig7|fig9       # PRED-check a paper schedule
+//! txproc dot       p1|p2|p3|cim-construction|cim-production
+//! txproc crash     [--seed N] [--at N]         # crash/recovery demo
+//! ```
+
+use serde::Deserialize;
+use txproc_bench::scenarios;
+use txproc_core::dot::process_to_dot;
+use txproc_core::fixtures::{cim_world, paper_world};
+use txproc_core::pred::check_pred;
+use txproc_core::schedule::{render, Schedule};
+use txproc_core::spec::Spec;
+use txproc_engine::engine::{run, Engine, RunConfig};
+use txproc_engine::policy::PolicyKind;
+use txproc_engine::recovery::recover;
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+/// Simple `--key value` argument map.
+struct Args {
+    values: std::collections::BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut values = std::collections::BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "check" {
+                    values.insert(key.to_string(), "true".to_string());
+                } else {
+                    i += 1;
+                    let v = raw.get(i).ok_or_else(|| format!("--{key} needs a value"))?;
+                    values.insert(key.to_string(), v.clone());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Args { values, positional })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    PolicyKind::all()
+        .into_iter()
+        .find(|k| k.label() == name)
+        .ok_or_else(|| format!("unknown policy: {name}"))
+}
+
+fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> {
+    Ok(generate(&WorkloadConfig {
+        seed: args.get("seed", 42u64)?,
+        processes: args.get("processes", 8usize)?,
+        conflict_density: args.get("density", 0.3f64)?,
+        failure_probability: args.get("failures", 0.1f64)?,
+        ..WorkloadConfig::default()
+    }))
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let w = workload_from(args)?;
+    let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
+    let cfg = RunConfig {
+        policy,
+        seed: args.get("seed", 42u64)?,
+        arrival_gap: args.get("arrival-gap", 0u64)?,
+        check_pred: args.flag("check"),
+        ..RunConfig::default()
+    };
+    let r = run(&w, cfg);
+    println!("policy:            {}", policy.label());
+    println!("makespan:          {}", r.metrics.makespan);
+    println!("committed/aborted: {}/{}", r.metrics.committed, r.metrics.aborted);
+    println!("activities:        {}", r.metrics.activities);
+    println!("compensations:     {}", r.metrics.compensations);
+    println!("retries:           {}", r.metrics.retries);
+    println!("deferred commits:  {}", r.metrics.deferred_commits);
+    println!("waits/rejections:  {}/{}", r.metrics.waits, r.metrics.rejections);
+    println!(
+        "latency p50/p95:   {:?}/{:?}",
+        r.metrics.latency_percentile(0.5),
+        r.metrics.latency_percentile(0.95)
+    );
+    if let Some(ok) = r.pred_ok {
+        println!("history PRED:      {ok}");
+    }
+    if !r.stalled.is_empty() {
+        return Err(format!("stalled processes: {:?}", r.stalled));
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let w = workload_from(args)?;
+    println!("processes: {}", w.spec.process_count());
+    for p in w.spec.processes() {
+        let analysis = txproc_core::flex::FlexAnalysis::analyze(p, &w.spec.catalog);
+        println!(
+            "  {} ({} activities, guaranteed termination: {})",
+            p.name,
+            p.len(),
+            analysis.has_guaranteed_termination()
+        );
+    }
+    println!("services: {}", w.spec.catalog.len());
+    println!("declared conflicting pairs: {}", w.spec.conflicts.declared_pairs());
+    println!("subsystems: {}", w.deployment.subsystems().len());
+    if let Some(path) = args.values.get("json") {
+        let json = serde_json::to_string_pretty(&w.spec).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote spec to {path}");
+    }
+    Ok(())
+}
+
+/// On-disk scenario: a spec plus a history to check.
+#[derive(Deserialize)]
+struct Scenario {
+    spec: Spec,
+    history: Schedule,
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let path = args
+        .values
+        .get("scenario")
+        .ok_or("check needs --scenario PATH")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let scenario: Scenario = serde_json::from_str(&raw).map_err(|e| e.to_string())?;
+    print_pred_report(&scenario.spec, &scenario.history)
+}
+
+fn cmd_demo(args: &Args) -> Result<(), String> {
+    let which = args.positional.first().ok_or("demo needs a schedule name")?;
+    let fx = paper_world();
+    let s = match which.as_str() {
+        "fig4a" => scenarios::figure4a_st2(&fx),
+        "fig4b" => scenarios::figure4b_st2(&fx),
+        "fig7" => scenarios::figure7(&fx),
+        "fig9" => scenarios::figure9(&fx),
+        other => return Err(format!("unknown demo schedule: {other}")),
+    };
+    print_pred_report(&fx.spec, &s)
+}
+
+fn print_pred_report(spec: &Spec, s: &Schedule) -> Result<(), String> {
+    println!("history: {}", render(s));
+    let serializable =
+        txproc_core::serializability::is_serializable(spec, s).map_err(|e| e.to_string())?;
+    println!("serializable: {serializable}");
+    let report = check_pred(spec, s).map_err(|e| e.to_string())?;
+    println!("reducible (RED): {}", report.reducible());
+    println!("prefix-reducible (PRED): {}", report.pred);
+    if let Some(k) = report.first_violation {
+        println!("first violating prefix: {k} events");
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let which = args.positional.first().ok_or("dot needs a process name")?;
+    let out = match which.as_str() {
+        "p1" | "p2" | "p3" => {
+            let fx = paper_world();
+            let p = match which.as_str() {
+                "p1" => &fx.p1,
+                "p2" => &fx.p2,
+                _ => &fx.p3,
+            };
+            process_to_dot(p, &fx.spec)
+        }
+        "cim-construction" | "cim-production" => {
+            let fx = cim_world();
+            let p = if which == "cim-construction" {
+                &fx.construction
+            } else {
+                &fx.production
+            };
+            process_to_dot(p, &fx.spec)
+        }
+        other => return Err(format!("unknown process: {other}")),
+    };
+    print!("{out}");
+    Ok(())
+}
+
+fn cmd_crash(args: &Args) -> Result<(), String> {
+    let w = workload_from(args)?;
+    let at = args.get("at", 8usize)?;
+    let mut engine = Engine::new(&w, RunConfig::default());
+    engine.run_until_history(at);
+    println!("history at crash: {}", render(engine.history()));
+    let report = recover(&w, engine.crash()).map_err(|e| e.to_string())?;
+    println!(
+        "recovered: {} aborted, {} compensations, {} forward steps, {} 2PC groups resolved",
+        report.aborted.len(),
+        report.compensations,
+        report.forward,
+        report.resolved_groups
+    );
+    let red = txproc_core::reduction::is_reducible(&w.spec, &report.history)
+        .map_err(|e| e.to_string())?;
+    println!("recovered history RED: {red}");
+    Ok(())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash> [options]");
+        std::process::exit(2);
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "generate" => cmd_generate(&args),
+        "check" => cmd_check(&args),
+        "demo" => cmd_demo(&args),
+        "dot" => cmd_dot(&args),
+        "crash" => cmd_crash(&args),
+        other => Err(format!("unknown command: {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["--seed", "7", "--density", "0.4", "fig7", "--check"]);
+        assert_eq!(a.get("seed", 0u64).unwrap(), 7);
+        assert!((a.get("density", 0.0f64).unwrap() - 0.4).abs() < 1e-9);
+        assert_eq!(a.positional, vec!["fig7"]);
+        assert!(a.flag("check"));
+        assert!(!a.flag("json"));
+        assert_eq!(a.get("processes", 8usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn invalid_value_reported() {
+        let a = args(&["--seed", "x"]);
+        assert!(a.get("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let raw = vec!["--seed".to_string()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("pred").unwrap(), PolicyKind::Pred);
+        assert_eq!(parse_policy("unsafe-cc").unwrap(), PolicyKind::UnsafeCc);
+        assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn demo_schedules_check_cleanly() {
+        for which in ["fig4a", "fig4b", "fig7", "fig9"] {
+            let a = Args {
+                values: Default::default(),
+                positional: vec![which.to_string()],
+            };
+            cmd_demo(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn dot_export_runs() {
+        for which in ["p1", "p2", "p3", "cim-construction", "cim-production"] {
+            let a = Args {
+                values: Default::default(),
+                positional: vec![which.to_string()],
+            };
+            cmd_dot(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn simulate_and_crash_run() {
+        let a = args(&["--seed", "3", "--processes", "4", "--check"]);
+        cmd_simulate(&a).unwrap();
+        cmd_crash(&a).unwrap();
+        cmd_generate(&a).unwrap();
+    }
+}

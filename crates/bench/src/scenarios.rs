@@ -1,0 +1,185 @@
+//! Ready-made scenarios: the paper's schedules as histories, and the CIM
+//! world of Figure 1 deployed over simulated subsystems so the engine can
+//! execute it.
+
+use txproc_core::fixtures::{cim_world, paper_world, CimWorld, PaperWorld};
+use txproc_core::ids::ProcessId;
+use txproc_core::schedule::Schedule;
+use txproc_sim::workload::{Workload, WorkloadConfig};
+use txproc_subsystem::deploy::Deployment;
+use txproc_subsystem::kv::{Key, Program};
+use txproc_subsystem::subsystem::SubsystemId;
+
+/// Figure 4(a)'s schedule S at time t2 (Examples 4-6).
+pub fn figure4a_st2(fx: &PaperWorld) -> Schedule {
+    let mut s = Schedule::new();
+    s.execute(fx.a(1, 1))
+        .execute(fx.a(2, 1))
+        .execute(fx.a(2, 2))
+        .execute(fx.a(2, 3))
+        .execute(fx.a(1, 2))
+        .execute(fx.a(2, 4))
+        .execute(fx.a(1, 3));
+    s
+}
+
+/// Figure 4(b)'s schedule S' at time t2 (Example 3, non-serializable).
+pub fn figure4b_st2(fx: &PaperWorld) -> Schedule {
+    let mut s = Schedule::new();
+    s.execute(fx.a(1, 1))
+        .execute(fx.a(2, 1))
+        .execute(fx.a(2, 2))
+        .execute(fx.a(2, 3))
+        .execute(fx.a(2, 4))
+        .execute(fx.a(1, 2))
+        .execute(fx.a(1, 3));
+    s
+}
+
+/// Figure 7's schedule S'' (Examples 7 and 9, PRED).
+pub fn figure7(fx: &PaperWorld) -> Schedule {
+    let mut s = Schedule::new();
+    s.execute(fx.a(2, 1))
+        .execute(fx.a(2, 2))
+        .execute(fx.a(2, 3))
+        .execute(fx.a(2, 4))
+        .execute(fx.a(1, 1))
+        .execute(fx.a(2, 5))
+        .commit(ProcessId(2))
+        .execute(fx.a(1, 2))
+        .execute(fx.a(1, 3));
+    s
+}
+
+/// Figure 9's quasi-commit interleaving (Example 10).
+pub fn figure9(fx: &PaperWorld) -> Schedule {
+    let mut s = Schedule::new();
+    s.execute(fx.a(1, 1))
+        .execute(fx.a(1, 2))
+        .execute(fx.a(3, 1))
+        .execute(fx.a(1, 3));
+    s
+}
+
+/// The CIM scenario (Figure 1) as an executable workload: the construction
+/// and production processes deployed over five subsystems (CAD, PDM, test
+/// database, documentation, business application / production floor).
+pub fn cim_workload(failure_probability: f64) -> (CimWorld, Workload) {
+    let fx = cim_world();
+    let mut deployment = Deployment::new();
+    let cad = SubsystemId(0);
+    let pdm = SubsystemId(1);
+    let testdb = SubsystemId(2);
+    let doc = SubsystemId(3);
+    let floor = SubsystemId(4);
+    let svc = |name: &str, proc_: &txproc_core::process::Process| {
+        proc_.service(proc_.find(name).expect("activity"))
+    };
+    let bom = Key(100);
+    deployment.place_with_duration(svc("design", &fx.construction), cad, Program::set(Key(1), 7), 50);
+    deployment.place_with_duration(svc("pdm_entry", &fx.construction), pdm, Program::set(bom, 42), 5);
+    deployment.place_with_duration(svc("test", &fx.construction), testdb, Program::set(Key(2), 1), 20);
+    deployment.place_with_duration(svc("tech_doc", &fx.construction), doc, Program::set(Key(3), 1), 10);
+    deployment.place_with_duration(svc("doc_cad", &fx.construction), doc, Program::set(Key(4), 1), 10);
+    deployment.place_with_duration(svc("read_bom", &fx.production), pdm, Program::read(bom), 2);
+    deployment.place_with_duration(svc("schedule", &fx.production), floor, Program::set(Key(5), 1), 8);
+    deployment.place_with_duration(svc("production", &fx.production), floor, Program::set(Key(6), 1), 30);
+    deployment.place_with_duration(svc("deliver", &fx.production), floor, Program::set(Key(7), 1), 5);
+
+    let workload = Workload {
+        spec: fx.spec.clone(),
+        deployment,
+        config: WorkloadConfig {
+            failure_probability,
+            ..WorkloadConfig::default()
+        },
+    };
+    (fx, workload)
+}
+
+/// A paper-world workload (P₁, P₂, P₃ over three subsystems) executable by
+/// the engine.
+pub fn paper_workload(failure_probability: f64) -> (PaperWorld, Workload) {
+    let fx = paper_world();
+    let mut deployment = Deployment::new();
+    // Conflicting service pairs share a key; everything else is private.
+    // (a1_1, a2_1, a3_1) on key 10; (a1_2, a2_4) on key 20; (a1_5, a2_5) on
+    // key 30.
+    let s = |p: u32, k: u32| fx.spec.service_of(fx.a(p, k)).unwrap();
+    let sub = SubsystemId(0);
+    deployment.place(s(1, 1), sub, Program::set(Key(10), 1));
+    deployment.place(s(2, 1), sub, Program::set(Key(10), 2));
+    deployment.place(s(3, 1), sub, Program::set(Key(10), 3));
+    deployment.place(s(1, 2), sub, Program::set(Key(20), 1));
+    deployment.place(s(2, 4), sub, Program::set(Key(20), 2));
+    deployment.place(s(1, 5), sub, Program::set(Key(30), 1));
+    deployment.place(s(2, 5), sub, Program::set(Key(30), 2));
+    deployment.place(s(1, 3), sub, Program::set(Key(40), 1));
+    deployment.place(s(1, 4), sub, Program::set(Key(41), 1));
+    deployment.place(s(1, 6), sub, Program::set(Key(42), 1));
+    deployment.place(s(2, 2), sub, Program::set(Key(43), 1));
+    deployment.place(s(2, 3), sub, Program::set(Key(44), 1));
+    deployment.place(s(3, 2), sub, Program::set(Key(45), 1));
+    let workload = Workload {
+        spec: fx.spec.clone(),
+        deployment,
+        config: WorkloadConfig {
+            failure_probability,
+            ..WorkloadConfig::default()
+        },
+    };
+    (fx, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txproc_core::pred::is_pred;
+    use txproc_core::serializability::is_serializable;
+
+    #[test]
+    fn paper_schedules_replay() {
+        let fx = paper_world();
+        for s in [
+            figure4a_st2(&fx),
+            figure4b_st2(&fx),
+            figure7(&fx),
+            figure9(&fx),
+        ] {
+            assert!(s.replay(&fx.spec).is_ok());
+        }
+    }
+
+    #[test]
+    fn figure_properties_hold() {
+        let fx = paper_world();
+        assert!(is_serializable(&fx.spec, &figure4a_st2(&fx)).unwrap());
+        assert!(!is_serializable(&fx.spec, &figure4b_st2(&fx)).unwrap());
+        assert!(is_pred(&fx.spec, &figure7(&fx)).unwrap());
+        assert!(is_pred(&fx.spec, &figure9(&fx)).unwrap());
+        assert!(!is_pred(&fx.spec, &figure4a_st2(&fx)).unwrap());
+    }
+
+    #[test]
+    fn cim_workload_is_deployable() {
+        let (fx, w) = cim_workload(0.0);
+        for p in w.spec.processes() {
+            for (id, _) in p.iter() {
+                assert!(w.deployment.site(p.service(id)).is_some());
+            }
+        }
+        let pdm = fx.construction_activity("pdm_entry");
+        let read = fx.production_activity("read_bom");
+        assert!(w.spec.activities_conflict(pdm, read).unwrap());
+    }
+
+    #[test]
+    fn paper_workload_is_deployable() {
+        let (_, w) = paper_workload(0.0);
+        for p in w.spec.processes() {
+            for (id, _) in p.iter() {
+                assert!(w.deployment.site(p.service(id)).is_some());
+            }
+        }
+    }
+}

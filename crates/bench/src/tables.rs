@@ -1,0 +1,141 @@
+//! Minimal text-table rendering for experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment: a title, commentary, and one or more tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"E6"`.
+    pub id: String,
+    /// Paper source, e.g. `"Figure 6 / Examples 5-6"`.
+    pub source: String,
+    /// One-line description.
+    pub title: String,
+    /// What the paper claims / what we expect.
+    pub expectation: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Whether the measured outcome matches the expectation.
+    pub pass: bool,
+}
+
+/// One table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub caption: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from headers.
+    pub fn new(caption: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            caption: caption.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies every cell).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.caption));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("  | ");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{c:<w$} | "));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str("  |");
+        for w in &widths {
+            out.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a full experiment.
+pub fn render_experiment(e: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} [{}] {} ==\n   source: {}\n   expectation: {}\n",
+        e.id,
+        if e.pass { "PASS" } else { "FAIL" },
+        e.title,
+        e.source,
+        e.expectation
+    ));
+    for t in &e.tables {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Helper: stringify any Display list into cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        &[$(format!("{}", $x)),*][..]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "column"]);
+        t.row(cells!["x", 12]);
+        t.row(cells!["longer", 3]);
+        let s = t.render();
+        assert!(s.contains("| a      | column |"));
+        assert!(s.contains("| longer | 3      |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(cells!["only-one"]);
+    }
+
+    #[test]
+    fn experiment_renders_with_status() {
+        let e = ExperimentResult {
+            id: "E0".into(),
+            source: "none".into(),
+            title: "demo".into(),
+            expectation: "works".into(),
+            tables: vec![],
+            pass: true,
+        };
+        assert!(render_experiment(&e).contains("[PASS]"));
+    }
+}

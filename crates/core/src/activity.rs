@@ -1,0 +1,353 @@
+//! The global service set Â and the termination properties of activities
+//! (§3.1, Definitions 1–4).
+//!
+//! Activities are invocations of *services* offered by transactional
+//! subsystems. Each service is atomic (it either commits or aborts) and
+//! carries one of three termination guarantees:
+//!
+//! * **compensatable** — a compensating service exists whose execution right
+//!   after the activity is effect-free (Definitions 1 and 2),
+//! * **retriable** — guaranteed to commit after finitely many invocations
+//!   (Definition 3),
+//! * **pivot** — neither compensatable nor retriable; once committed it can
+//!   never be undone, and it may fail for good (Definition 4).
+//!
+//! Compensating services are themselves members of Â. Following §3.1 they
+//! are *retriable but not compensatable* — recovery must always be able to
+//! finish.
+
+use crate::error::ModelError;
+use crate::ids::ServiceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Termination guarantee of a service (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Termination {
+    /// A compensating service exists (Definition 2). Written `a^c`.
+    Compensatable,
+    /// Neither compensatable nor retriable. Written `a^p`.
+    Pivot,
+    /// Guaranteed to commit after finitely many invocations (Definition 3).
+    /// Written `a^r`.
+    Retriable,
+}
+
+impl Termination {
+    /// Whether an activity with this guarantee can be undone after commit.
+    #[inline]
+    pub fn is_compensatable(self) -> bool {
+        matches!(self, Termination::Compensatable)
+    }
+
+    /// Whether an activity with this guarantee can fail (Definition 4).
+    /// Retriable activities never fail.
+    #[inline]
+    pub fn can_fail(self) -> bool {
+        !matches!(self, Termination::Retriable)
+    }
+
+    /// The paper's superscript notation for this guarantee.
+    pub fn superscript(self) -> &'static str {
+        match self {
+            Termination::Compensatable => "c",
+            Termination::Pivot => "p",
+            Termination::Retriable => "r",
+        }
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.superscript())
+    }
+}
+
+/// Definition of one service in Â.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceDef {
+    /// Human-readable name (e.g. `"pdm_entry"`).
+    pub name: String,
+    /// Termination guarantee.
+    pub termination: Termination,
+    /// For compensatable services: the compensating service.
+    pub compensation: Option<ServiceId>,
+    /// For compensating services: the base service they undo.
+    pub compensates: Option<ServiceId>,
+    /// Whether invoking the service is effect-free (Definition 1), e.g. a
+    /// pure read whose removal never changes other activities' return values.
+    /// Used by the effect-free reduction rule (Definition 9, rule 3).
+    pub effect_free: bool,
+}
+
+impl ServiceDef {
+    /// Whether this service is a compensating service `a⁻¹`.
+    #[inline]
+    pub fn is_compensating(&self) -> bool {
+        self.compensates.is_some()
+    }
+}
+
+/// The catalog of all services Â offered by the subsystems.
+///
+/// Registering a compensatable service automatically registers its
+/// compensating service and links the two. The compensating service is
+/// retriable (recovery must terminate) and not compensatable itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    services: Vec<ServiceDef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered services, compensating services included.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the catalog has no services.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Registers a compensatable service together with its compensating
+    /// service. Returns `(service, compensating_service)`.
+    pub fn compensatable(&mut self, name: impl Into<String>) -> (ServiceId, ServiceId) {
+        let name = name.into();
+        let base = ServiceId(self.services.len() as u32);
+        let comp = ServiceId(self.services.len() as u32 + 1);
+        self.services.push(ServiceDef {
+            name: name.clone(),
+            termination: Termination::Compensatable,
+            compensation: Some(comp),
+            compensates: None,
+            effect_free: false,
+        });
+        self.services.push(ServiceDef {
+            name: format!("{name}⁻¹"),
+            // §3.1: a compensating activity is itself not compensatable but
+            // retriable, and therefore guaranteed to commit.
+            termination: Termination::Retriable,
+            compensation: None,
+            compensates: Some(base),
+            effect_free: false,
+        });
+        (base, comp)
+    }
+
+    /// Registers a pivot service.
+    pub fn pivot(&mut self, name: impl Into<String>) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(ServiceDef {
+            name: name.into(),
+            termination: Termination::Pivot,
+            compensation: None,
+            compensates: None,
+            effect_free: false,
+        });
+        id
+    }
+
+    /// Registers a retriable service.
+    pub fn retriable(&mut self, name: impl Into<String>) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(ServiceDef {
+            name: name.into(),
+            termination: Termination::Retriable,
+            compensation: None,
+            compensates: None,
+            effect_free: false,
+        });
+        id
+    }
+
+    /// Marks a service as effect-free (Definition 1). Typically used for
+    /// read-only services.
+    pub fn mark_effect_free(&mut self, id: ServiceId) -> Result<(), ModelError> {
+        let def = self
+            .services
+            .get_mut(id.index())
+            .ok_or(ModelError::UnknownService(id))?;
+        def.effect_free = true;
+        Ok(())
+    }
+
+    /// Looks up a service definition.
+    pub fn get(&self, id: ServiceId) -> Result<&ServiceDef, ModelError> {
+        self.services
+            .get(id.index())
+            .ok_or(ModelError::UnknownService(id))
+    }
+
+    /// Looks up a service definition, panicking on an unknown id.
+    ///
+    /// Intended for hot paths after ids have been validated once.
+    #[inline]
+    pub fn def(&self, id: ServiceId) -> &ServiceDef {
+        &self.services[id.index()]
+    }
+
+    /// The termination guarantee of a service.
+    #[inline]
+    pub fn termination(&self, id: ServiceId) -> Termination {
+        self.def(id).termination
+    }
+
+    /// The compensating service of a compensatable service.
+    #[inline]
+    pub fn compensation_of(&self, id: ServiceId) -> Option<ServiceId> {
+        self.def(id).compensation
+    }
+
+    /// For a compensating service, the base service it undoes.
+    #[inline]
+    pub fn base_of_compensation(&self, id: ServiceId) -> Option<ServiceId> {
+        self.def(id).compensates
+    }
+
+    /// Maps any service to its *base* service: compensating services map to
+    /// the service they undo, all others map to themselves.
+    ///
+    /// This implements the *perfect commutativity* assumption of §3.2: a
+    /// compensating activity has exactly the conflicts of its base activity.
+    #[inline]
+    pub fn base(&self, id: ServiceId) -> ServiceId {
+        self.def(id).compensates.unwrap_or(id)
+    }
+
+    /// Whether a service is effect-free.
+    #[inline]
+    pub fn is_effect_free(&self, id: ServiceId) -> bool {
+        self.def(id).effect_free
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ServiceId, &ServiceDef)> {
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ServiceId(i as u32), d))
+    }
+
+    /// Validates internal consistency; used by [`Spec`](crate::spec::Spec)
+    /// construction and by tests.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (id, def) in self.iter() {
+            match def.termination {
+                Termination::Compensatable => {
+                    let comp = def.compensation.ok_or(ModelError::UnknownService(id))?;
+                    let cdef = self.get(comp)?;
+                    if cdef.compensates != Some(id) {
+                        return Err(ModelError::UnknownService(comp));
+                    }
+                    // Compensating services must be retriable and must not be
+                    // compensatable themselves (§3.1).
+                    if cdef.termination != Termination::Retriable || cdef.compensation.is_some() {
+                        return Err(ModelError::UnknownService(comp));
+                    }
+                }
+                Termination::Pivot | Termination::Retriable => {
+                    if def.compensation.is_some() {
+                        return Err(ModelError::UnknownService(id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensatable_registration_links_both_directions() {
+        let mut cat = Catalog::new();
+        let (base, comp) = cat.compensatable("pdm_entry");
+        assert_eq!(cat.compensation_of(base), Some(comp));
+        assert_eq!(cat.base_of_compensation(comp), Some(base));
+        assert_eq!(cat.base(comp), base);
+        assert_eq!(cat.base(base), base);
+        assert_eq!(cat.def(base).name, "pdm_entry");
+        assert_eq!(cat.def(comp).name, "pdm_entry⁻¹");
+        cat.validate().unwrap();
+    }
+
+    #[test]
+    fn compensating_service_is_retriable_not_compensatable() {
+        // §3.1: "a compensating activity is (i) itself not compensatable,
+        // however, it is (ii) retriable".
+        let mut cat = Catalog::new();
+        let (_, comp) = cat.compensatable("x");
+        assert_eq!(cat.termination(comp), Termination::Retriable);
+        assert_eq!(cat.compensation_of(comp), None);
+        assert!(cat.def(comp).is_compensating());
+    }
+
+    #[test]
+    fn pivot_and_retriable_have_no_compensation() {
+        let mut cat = Catalog::new();
+        let p = cat.pivot("production");
+        let r = cat.retriable("documentation");
+        assert_eq!(cat.compensation_of(p), None);
+        assert_eq!(cat.compensation_of(r), None);
+        assert_eq!(cat.termination(p), Termination::Pivot);
+        assert_eq!(cat.termination(r), Termination::Retriable);
+        assert!(Termination::Pivot.can_fail());
+        assert!(!Termination::Retriable.can_fail());
+        assert!(Termination::Compensatable.can_fail());
+        cat.validate().unwrap();
+    }
+
+    #[test]
+    fn effect_free_marking() {
+        let mut cat = Catalog::new();
+        let r = cat.retriable("read_bom");
+        assert!(!cat.is_effect_free(r));
+        cat.mark_effect_free(r).unwrap();
+        assert!(cat.is_effect_free(r));
+        assert!(cat.mark_effect_free(ServiceId(99)).is_err());
+    }
+
+    #[test]
+    fn get_unknown_service_errors() {
+        let cat = Catalog::new();
+        assert_eq!(
+            cat.get(ServiceId(0)).unwrap_err(),
+            ModelError::UnknownService(ServiceId(0))
+        );
+    }
+
+    #[test]
+    fn superscripts_match_paper_notation() {
+        assert_eq!(Termination::Compensatable.to_string(), "c");
+        assert_eq!(Termination::Pivot.to_string(), "p");
+        assert_eq!(Termination::Retriable.to_string(), "r");
+    }
+
+    #[test]
+    fn iter_enumerates_all_services() {
+        let mut cat = Catalog::new();
+        cat.compensatable("a");
+        cat.pivot("b");
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+        let names: Vec<_> = cat.iter().map(|(_, d)| d.name.clone()).collect();
+        assert_eq!(names, vec!["a", "a⁻¹", "b"]);
+    }
+
+    #[test]
+    fn validate_rejects_tampered_catalog() {
+        let mut cat = Catalog::new();
+        let (_base, comp) = cat.compensatable("x");
+        // Corrupt: make the compensating service compensatable.
+        cat.services[comp.index()].termination = Termination::Compensatable;
+        cat.services[comp.index()].compensation = Some(ServiceId(0));
+        assert!(cat.validate().is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Process composition: embedding subprocesses (the paper's stated future
+//! work — "expand the framework … to identify transactional execution
+//! guarantees of subprocesses").
+//!
+//! A subprocess is inlined into its parent: its activities are copied (with
+//! prefixed names), its precedence and preference orders are preserved, and
+//! the subprocess root is attached after a parent activity. Guaranteed
+//! termination of the composition is *not* automatic — e.g. attaching a
+//! subprocess that starts with compensatable activities after a committed
+//! pivot is fine, but attaching one whose pivot can fail without an
+//! alternative breaks the parent's guarantee. [`compose`] therefore returns
+//! the [`crate::flex::FlexAnalysis`] of the result so callers
+//! can check the guarantee of the whole, matching the paper's observation
+//! that subprocess guarantees must be derived, not assumed.
+
+use crate::activity::Catalog;
+use crate::error::ModelError;
+use crate::flex::FlexAnalysis;
+use crate::ids::{ActivityId, ProcessId};
+use crate::process::{Process, ProcessBuilder, Successors};
+
+/// Where to attach an embedded subprocess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attach {
+    /// Sequentially after the given parent activity (which must currently be
+    /// terminal on its branch).
+    After(ActivityId),
+    /// As a lower-priority alternative of the given parent activity: the
+    /// parent's current single successor becomes the preferred branch and
+    /// the subprocess the fallback.
+    AsFallbackOf(ActivityId),
+}
+
+/// Result of a composition.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// The composed process.
+    pub process: Process,
+    /// Mapping from subprocess activity ids to their ids in the composition.
+    pub embedded: Vec<(ActivityId, ActivityId)>,
+    /// Flex analysis of the composition (termination guarantee of the
+    /// whole).
+    pub analysis: FlexAnalysis,
+}
+
+/// Embeds `child` into `parent` at the given attachment point, producing a
+/// new process under `new_id`.
+pub fn compose(
+    catalog: &Catalog,
+    parent: &Process,
+    child: &Process,
+    attach: Attach,
+    new_id: ProcessId,
+) -> Result<Composition, ModelError> {
+    let mut b = ProcessBuilder::new(new_id, format!("{}+{}", parent.name, child.name));
+    // Copy parent activities (ids preserved: same insertion order).
+    let mut parent_map = Vec::with_capacity(parent.len());
+    for (_, def) in parent.iter() {
+        parent_map.push(b.activity(def.name.clone(), def.service));
+    }
+    // Copy child activities with prefixed names.
+    let mut child_map = Vec::with_capacity(child.len());
+    for (_, def) in child.iter() {
+        child_map.push(b.activity(format!("{}::{}", child.name, def.name), def.service));
+    }
+    // Parent structure.
+    for (id, _) in parent.iter() {
+        match parent.successors(id) {
+            Successors::None => {}
+            Successors::Seq(y) => {
+                b.precede(parent_map[id.index()], parent_map[y.index()]);
+            }
+            Successors::Parallel(ys) => {
+                for y in ys {
+                    b.precede(parent_map[id.index()], parent_map[y.index()]);
+                }
+            }
+            Successors::Alternatives(branches) => {
+                let targets: Vec<ActivityId> =
+                    branches.iter().map(|y| parent_map[y.index()]).collect();
+                for t in &targets {
+                    b.precede(parent_map[id.index()], *t);
+                }
+                b.alternatives(parent_map[id.index()], &targets);
+            }
+        }
+    }
+    // Child structure.
+    for (id, _) in child.iter() {
+        match child.successors(id) {
+            Successors::None => {}
+            Successors::Seq(y) => {
+                b.precede(child_map[id.index()], child_map[y.index()]);
+            }
+            Successors::Parallel(ys) => {
+                for y in ys {
+                    b.precede(child_map[id.index()], child_map[y.index()]);
+                }
+            }
+            Successors::Alternatives(branches) => {
+                let targets: Vec<ActivityId> =
+                    branches.iter().map(|y| child_map[y.index()]).collect();
+                for t in &targets {
+                    b.precede(child_map[id.index()], *t);
+                }
+                b.alternatives(child_map[id.index()], &targets);
+            }
+        }
+    }
+    // Attachment.
+    let child_root = child
+        .root()
+        .map(|r| child_map[r.index()])
+        .ok_or(ModelError::MultipleRoots(child.id))?;
+    match attach {
+        Attach::After(at) => {
+            if at.index() >= parent.len() {
+                return Err(ModelError::UnknownActivity(crate::ids::GlobalActivityId {
+                    process: parent.id,
+                    activity: at,
+                }));
+            }
+            b.precede(parent_map[at.index()], child_root);
+        }
+        Attach::AsFallbackOf(at) => {
+            if at.index() >= parent.len() {
+                return Err(ModelError::UnknownActivity(crate::ids::GlobalActivityId {
+                    process: parent.id,
+                    activity: at,
+                }));
+            }
+            let preferred = match parent.successors(at) {
+                Successors::Seq(y) => parent_map[y.index()],
+                _ => {
+                    return Err(ModelError::PreferenceNotTotal {
+                        process: parent.id,
+                        source: at,
+                    })
+                }
+            };
+            b.precede(parent_map[at.index()], child_root);
+            b.prefer(parent_map[at.index()], preferred, child_root);
+        }
+    }
+    let process = b.build(catalog)?;
+    let analysis = FlexAnalysis::analyze(&process, catalog);
+    let embedded = child
+        .iter()
+        .map(|(id, _)| (id, child_map[id.index()]))
+        .collect();
+    Ok(Composition {
+        process,
+        embedded,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessBuilder;
+
+    fn catalog() -> (Catalog, crate::ids::ServiceId, crate::ids::ServiceId, crate::ids::ServiceId) {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let p = cat.pivot("p");
+        let r = cat.retriable("r");
+        (cat, c, p, r)
+    }
+
+    fn chain(cat: &Catalog, id: u32, name: &str, svcs: &[crate::ids::ServiceId]) -> Process {
+        let mut b = ProcessBuilder::new(ProcessId(id), name);
+        let acts: Vec<ActivityId> = svcs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.activity(format!("a{i}"), s))
+            .collect();
+        b.chain(&acts);
+        b.build(cat).unwrap()
+    }
+
+    #[test]
+    fn sequential_embedding_preserves_guarantee() {
+        // parent: c ≪ r ; child: c ≪ r — composed after the parent's tail.
+        let (cat, c, _, r) = catalog();
+        let parent = chain(&cat, 1, "parent", &[c, r]);
+        let child = chain(&cat, 2, "child", &[r, r]);
+        let comp = compose(&cat, &parent, &child, Attach::After(ActivityId(1)), ProcessId(3))
+            .unwrap();
+        assert_eq!(comp.process.len(), 4);
+        assert!(comp.analysis.has_guaranteed_termination());
+        assert!(comp.process.find("child::a0").is_some());
+        assert_eq!(comp.embedded.len(), 2);
+    }
+
+    #[test]
+    fn embedding_failable_subprocess_after_pivot_breaks_guarantee() {
+        // parent: c ≪ p ≪ r ...; attaching a subprocess whose own pivot can
+        // fail (without alternatives) after the retriable tail breaks the
+        // composition's guarantee — the paper's point that subprocess
+        // guarantees must be re-derived.
+        let (cat, c, p, r) = catalog();
+        let parent = chain(&cat, 1, "parent", &[c, p, r]);
+        let child = chain(&cat, 2, "child", &[c, p]);
+        let comp = compose(&cat, &parent, &child, Attach::After(ActivityId(2)), ProcessId(3))
+            .unwrap();
+        assert!(!comp.analysis.has_guaranteed_termination());
+    }
+
+    #[test]
+    fn fallback_embedding_creates_alternatives() {
+        // parent: c ≪ p ≪ c2-branch; child (all retriable) embedded as the
+        // fallback of the pivot — exactly the recursive well-formed shape.
+        let (cat, c, p, r) = catalog();
+        let mut b = ProcessBuilder::new(ProcessId(1), "parent");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", p);
+        let a2 = b.activity("a2", c);
+        let a3 = b.activity("a3", p);
+        b.chain(&[a0, a1, a2, a3]);
+        let parent = b.build(&cat).unwrap();
+        // Parent alone is NOT guaranteed (inner pivot without fallback).
+        assert!(!FlexAnalysis::analyze(&parent, &cat).has_guaranteed_termination());
+        let child = chain(&cat, 2, "fallback", &[r, r]);
+        let comp = compose(&cat, &parent, &child, Attach::AsFallbackOf(a1), ProcessId(3))
+            .unwrap();
+        // With the all-retriable fallback, the composition is guaranteed.
+        assert!(comp.analysis.has_guaranteed_termination(), "{:?}", comp.analysis);
+        assert!(comp.analysis.strict_well_formed);
+        match comp.process.successors(a1) {
+            Successors::Alternatives(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected alternatives, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_of_terminal_activity_rejected() {
+        let (cat, c, _, r) = catalog();
+        let parent = chain(&cat, 1, "parent", &[c, r]);
+        let child = chain(&cat, 2, "child", &[r]);
+        let err = compose(
+            &cat,
+            &parent,
+            &child,
+            Attach::AsFallbackOf(ActivityId(1)),
+            ProcessId(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::PreferenceNotTotal { .. }));
+    }
+
+    #[test]
+    fn unknown_attachment_rejected() {
+        let (cat, c, _, r) = catalog();
+        let parent = chain(&cat, 1, "parent", &[c, r]);
+        let child = chain(&cat, 2, "child", &[r]);
+        let err = compose(&cat, &parent, &child, Attach::After(ActivityId(9)), ProcessId(3))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownActivity(_)));
+    }
+
+    #[test]
+    fn nested_composition_twice() {
+        let (cat, c, _, r) = catalog();
+        let a = chain(&cat, 1, "a", &[c, r]);
+        let b_ = chain(&cat, 2, "b", &[r]);
+        let first = compose(&cat, &a, &b_, Attach::After(ActivityId(1)), ProcessId(3)).unwrap();
+        let c_ = chain(&cat, 4, "c", &[r, r]);
+        let second = compose(
+            &cat,
+            &first.process,
+            &c_,
+            Attach::After(ActivityId(2)),
+            ProcessId(5),
+        )
+        .unwrap();
+        assert_eq!(second.process.len(), 5);
+        assert!(second.analysis.has_guaranteed_termination());
+    }
+}

@@ -1,0 +1,249 @@
+//! Commutativity and conflicts between activities (§3.2, Definition 6).
+//!
+//! Two activities *commute* if executing them in either order yields the same
+//! return values in every context; otherwise they *conflict*. Following the
+//! paper (and \[VHYBS98\]) commutativity is declared over the services of Â as
+//! a symmetric relation, and is assumed to be **perfect**: a compensating
+//! activity `a⁻¹` conflicts with exactly the activities its base activity `a`
+//! conflicts with. The [`ConflictMatrix`] enforces perfection structurally by
+//! storing the relation over *base* services only and mapping every query
+//! through [`Catalog::base`](crate::activity::Catalog::base).
+
+use crate::activity::Catalog;
+use crate::error::ModelError;
+use crate::ids::ServiceId;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric conflict relation over the services of Â.
+///
+/// Stored as a bitmap over pairs of base services. An activity always
+/// conflicts with itself (invoking the same non-commuting service twice) only
+/// if declared; self-conflicts are common (two writes to the same object do
+/// not commute) but not implied.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConflictMatrix {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl ConflictMatrix {
+    /// Creates an all-commuting matrix for a catalog of `catalog.len()`
+    /// services.
+    pub fn new(catalog: &Catalog) -> Self {
+        let n = catalog.len();
+        let words = (n * n).div_ceil(64);
+        Self {
+            n,
+            bits: vec![0; words],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, a: ServiceId, b: ServiceId) -> (usize, u64) {
+        let flat = a.index() * self.n + b.index();
+        (flat / 64, 1u64 << (flat % 64))
+    }
+
+    fn set_raw(&mut self, a: ServiceId, b: ServiceId) {
+        let (w, m) = self.idx(a, b);
+        self.bits[w] |= m;
+    }
+
+    fn get_raw(&self, a: ServiceId, b: ServiceId) -> bool {
+        let (w, m) = self.idx(a, b);
+        self.bits[w] & m != 0
+    }
+
+    /// Declares a conflict between two services.
+    ///
+    /// The relation is stored symmetrically over the *base* services, so
+    /// declaring a conflict between `a` and `b` also makes `a⁻¹`/`b`,
+    /// `a`/`b⁻¹` and `a⁻¹`/`b⁻¹` conflict — the perfect-commutativity closure
+    /// of §3.2.
+    pub fn declare_conflict(
+        &mut self,
+        catalog: &Catalog,
+        a: ServiceId,
+        b: ServiceId,
+    ) -> Result<(), ModelError> {
+        catalog.get(a)?;
+        catalog.get(b)?;
+        let (ba, bb) = (catalog.base(a), catalog.base(b));
+        self.set_raw(ba, bb);
+        self.set_raw(bb, ba);
+        Ok(())
+    }
+
+    /// Declares that a service conflicts with itself (e.g. a write service:
+    /// two writes of different values do not commute).
+    pub fn declare_self_conflict(
+        &mut self,
+        catalog: &Catalog,
+        a: ServiceId,
+    ) -> Result<(), ModelError> {
+        self.declare_conflict(catalog, a, a)
+    }
+
+    /// Whether two services conflict (do not commute), honouring perfect
+    /// commutativity.
+    #[inline]
+    pub fn conflict(&self, catalog: &Catalog, a: ServiceId, b: ServiceId) -> bool {
+        self.get_raw(catalog.base(a), catalog.base(b))
+    }
+
+    /// Whether two services commute (Definition 6).
+    #[inline]
+    pub fn commute(&self, catalog: &Catalog, a: ServiceId, b: ServiceId) -> bool {
+        !self.conflict(catalog, a, b)
+    }
+
+    /// Number of declared conflicting base-service pairs (unordered).
+    pub fn declared_pairs(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in i..self.n {
+                if self.get_raw(ServiceId(i as u32), ServiceId(j as u32)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Convenience oracle bundling a catalog reference with its conflict matrix.
+///
+/// Most schedule-level algorithms need both; passing one object keeps
+/// signatures small.
+#[derive(Debug, Clone, Copy)]
+pub struct ConflictOracle<'a> {
+    /// The service catalog.
+    pub catalog: &'a Catalog,
+    /// The declared conflict relation.
+    pub matrix: &'a ConflictMatrix,
+}
+
+impl<'a> ConflictOracle<'a> {
+    /// Creates an oracle from a catalog and matrix.
+    pub fn new(catalog: &'a Catalog, matrix: &'a ConflictMatrix) -> Self {
+        Self { catalog, matrix }
+    }
+
+    /// Whether two services conflict.
+    #[inline]
+    pub fn conflict(&self, a: ServiceId, b: ServiceId) -> bool {
+        self.matrix.conflict(self.catalog, a, b)
+    }
+
+    /// Whether two services commute.
+    #[inline]
+    pub fn commute(&self, a: ServiceId, b: ServiceId) -> bool {
+        !self.conflict(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, ConflictMatrix, ServiceId, ServiceId, ServiceId, ServiceId) {
+        let mut cat = Catalog::new();
+        let (a, a_inv) = cat.compensatable("a");
+        let (b, b_inv) = cat.compensatable("b");
+        let m = ConflictMatrix::new(&cat);
+        (cat, m, a, a_inv, b, b_inv)
+    }
+
+    #[test]
+    fn fresh_matrix_commutes_everything() {
+        let (cat, m, a, _, b, _) = setup();
+        assert!(m.commute(&cat, a, b));
+        assert!(m.commute(&cat, a, a));
+        assert_eq!(m.declared_pairs(), 0);
+    }
+
+    #[test]
+    fn declared_conflicts_are_symmetric() {
+        let (cat, mut m, a, _, b, _) = setup();
+        m.declare_conflict(&cat, a, b).unwrap();
+        assert!(m.conflict(&cat, a, b));
+        assert!(m.conflict(&cat, b, a));
+        assert!(!m.conflict(&cat, a, a));
+    }
+
+    #[test]
+    fn perfect_commutativity_closure() {
+        // §3.2: if a and b conflict then a^α and b^β conflict for all
+        // α, β ∈ {-1, 1}.
+        let (cat, mut m, a, a_inv, b, b_inv) = setup();
+        m.declare_conflict(&cat, a, b).unwrap();
+        for x in [a, a_inv] {
+            for y in [b, b_inv] {
+                assert!(m.conflict(&cat, x, y), "{x} vs {y} must conflict");
+                assert!(m.conflict(&cat, y, x), "{y} vs {x} must conflict");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_commutativity_also_preserves_commuting_pairs() {
+        // And conversely: if a and b commute, so do all signed combinations.
+        let (cat, mut m, a, a_inv, b, b_inv) = setup();
+        // Declare an unrelated conflict to make sure it does not leak.
+        m.declare_self_conflict(&cat, a).unwrap();
+        for x in [a, a_inv] {
+            for y in [b, b_inv] {
+                assert!(m.commute(&cat, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn declaring_via_compensation_ids_lands_on_base() {
+        let (cat, mut m, a, a_inv, b, b_inv) = setup();
+        m.declare_conflict(&cat, a_inv, b_inv).unwrap();
+        assert!(m.conflict(&cat, a, b));
+    }
+
+    #[test]
+    fn self_conflict() {
+        let (cat, mut m, a, a_inv, b, _) = setup();
+        m.declare_self_conflict(&cat, a).unwrap();
+        assert!(m.conflict(&cat, a, a));
+        assert!(m.conflict(&cat, a, a_inv));
+        assert!(m.conflict(&cat, a_inv, a_inv));
+        assert!(!m.conflict(&cat, a, b));
+        assert_eq!(m.declared_pairs(), 1);
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let (cat, mut m, a, ..) = setup();
+        assert!(m.declare_conflict(&cat, a, ServiceId(50)).is_err());
+    }
+
+    #[test]
+    fn oracle_delegates() {
+        let (cat, mut m, a, _, b, _) = setup();
+        m.declare_conflict(&cat, a, b).unwrap();
+        let o = ConflictOracle::new(&cat, &m);
+        assert!(o.conflict(a, b));
+        assert!(o.commute(a, a));
+    }
+
+    #[test]
+    fn large_matrix_indexing() {
+        let mut cat = Catalog::new();
+        let svcs: Vec<ServiceId> = (0..40).map(|i| cat.pivot(format!("s{i}"))).collect();
+        let mut m = ConflictMatrix::new(&cat);
+        for w in svcs.chunks(2) {
+            m.declare_conflict(&cat, w[0], w[1]).unwrap();
+        }
+        for w in svcs.chunks(2) {
+            assert!(m.conflict(&cat, w[0], w[1]));
+            assert!(m.conflict(&cat, w[1], w[0]));
+        }
+        assert!(!m.conflict(&cat, svcs[0], svcs[2]));
+        assert_eq!(m.declared_pairs(), 20);
+    }
+}

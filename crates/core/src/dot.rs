@@ -1,0 +1,117 @@
+//! Graphviz (DOT) exporters for processes and schedules — handy for
+//! inspecting process structures (Figure 2-style) and conflict graphs.
+
+use crate::activity::Termination;
+use crate::process::{Process, Successors};
+use crate::schedule::Schedule;
+use crate::serializability::process_graph_linear;
+use crate::spec::Spec;
+use std::fmt::Write as _;
+
+/// Renders a process as a DOT digraph: solid edges for the precedence order
+/// `≪`, dashed ranked edges for preference-ordered alternatives (the
+/// notation of Figure 2).
+pub fn process_to_dot(process: &Process, spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", process.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, def) in process.iter() {
+        let termination = spec.catalog.termination(def.service);
+        let (shape, superscript) = match termination {
+            Termination::Compensatable => ("ellipse", "c"),
+            Termination::Pivot => ("box", "p"),
+            Termination::Retriable => ("diamond", "r"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}^{superscript}\", shape={shape}];",
+            id.0, def.name
+        );
+    }
+    for (id, _) in process.iter() {
+        match process.successors(id) {
+            Successors::None => {}
+            Successors::Seq(y) => {
+                let _ = writeln!(out, "  n{} -> n{};", id.0, y.0);
+            }
+            Successors::Parallel(ys) => {
+                for y in ys {
+                    let _ = writeln!(out, "  n{} -> n{};", id.0, y.0);
+                }
+            }
+            Successors::Alternatives(branches) => {
+                for (rank, y) in branches.iter().enumerate() {
+                    let style = if rank == 0 { "solid" } else { "dashed" };
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [style={style}, label=\"{}\"];",
+                        id.0,
+                        y.0,
+                        rank + 1
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a schedule's process-level conflict graph as a DOT digraph
+/// (the cycles of Figure 4(b) become visible immediately).
+pub fn conflict_graph_to_dot(spec: &Spec, schedule: &Schedule) -> Result<String, crate::error::ScheduleError> {
+    let ops = schedule.ops(spec)?;
+    let graph = process_graph_linear(spec, &ops);
+    let mut out = String::new();
+    out.push_str("digraph conflicts {\n");
+    for node in graph.nodes() {
+        let _ = writeln!(out, "  p{} [label=\"P{}\"];", node.0, node.0);
+    }
+    for (a, b) in graph.edges() {
+        let _ = writeln!(out, "  p{} -> p{};", a.0, b.0);
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn process_dot_contains_all_activities_and_alternatives() {
+        let fx = fixtures::paper_world();
+        let dot = process_to_dot(&fx.p1, &fx.spec);
+        assert!(dot.starts_with("digraph"));
+        for (_, def) in fx.p1.iter() {
+            assert!(dot.contains(&def.name), "missing {}", def.name);
+        }
+        // The alternative edge a1_2 -> a1_5 is dashed with rank 2.
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("shape=box"), "pivots render as boxes");
+        assert!(dot.contains("shape=diamond"), "retriables render as diamonds");
+    }
+
+    #[test]
+    fn conflict_graph_dot_shows_cycle_of_figure_4b() {
+        let fx = fixtures::paper_world();
+        let mut s = crate::schedule::Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 2));
+        let dot = conflict_graph_to_dot(&fx.spec, &s).unwrap();
+        assert!(dot.contains("p1 -> p2"));
+        assert!(dot.contains("p2 -> p1"));
+    }
+
+    #[test]
+    fn empty_schedule_conflict_graph() {
+        let fx = fixtures::paper_world();
+        let dot = conflict_graph_to_dot(&fx.spec, &crate::schedule::Schedule::new()).unwrap();
+        assert!(dot.contains("digraph conflicts"));
+    }
+}

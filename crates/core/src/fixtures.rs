@@ -1,0 +1,248 @@
+//! The paper's running examples as ready-made fixtures.
+//!
+//! * [`paper_world`] builds processes P₁ and P₂ of Figures 2 and 4, plus P₃
+//!   of Figure 9, with exactly the conflicts the paper declares.
+//! * [`cim_world`] builds the CIM scenario of Figure 1: a construction
+//!   process and a production process coupled through the PDM system.
+//!
+//! These fixtures are used throughout the test suites, the examples, and the
+//! experiment report generator.
+
+use crate::activity::Catalog;
+use crate::conflict::ConflictMatrix;
+use crate::ids::{ActivityId, GlobalActivityId, ProcessId};
+use crate::process::{Process, ProcessBuilder};
+use crate::spec::Spec;
+
+/// Fixture bundling the paper's example processes.
+#[derive(Debug, Clone)]
+pub struct PaperWorld {
+    /// Catalog, conflicts, and registered processes.
+    pub spec: Spec,
+    /// P₁ of Figure 2: `a1₁ᶜ ≪ a1₂ᵖ ≪ a1₃ᶜ ≪ a1₄ᵖ` with the alternative
+    /// `a1₂ ≪ a1₅ʳ ≪ a1₆ʳ` where `(a1₂≪a1₃) ◁ (a1₂≪a1₅)`.
+    pub p1: Process,
+    /// P₂ of Figure 4: `a2₁ᶜ ≪ a2₂ᶜ ≪ a2₃ᵖ ≪ a2₄ʳ ≪ a2₅ʳ`.
+    pub p2: Process,
+    /// P₃ of Figure 9: `a3₁ᶜ ≪ a3₂ʳ`, with `a3₁` conflicting `a1₁`.
+    pub p3: Process,
+}
+
+impl PaperWorld {
+    /// Global activity id using the paper's 1-based notation: `a(i, k)` is
+    /// `a_{i_k}`.
+    pub fn a(&self, process: u32, k: u32) -> GlobalActivityId {
+        assert!(k >= 1, "paper activity ids are 1-based");
+        GlobalActivityId::new(ProcessId(process), ActivityId(k - 1))
+    }
+}
+
+/// Builds the paper's example world (Figures 2, 4 and 9).
+pub fn paper_world() -> PaperWorld {
+    let mut cat = Catalog::new();
+    // P₁'s services.
+    let (s11, _) = cat.compensatable("s1_1");
+    let s12 = cat.pivot("s1_2");
+    let (s13, _) = cat.compensatable("s1_3");
+    let s14 = cat.pivot("s1_4");
+    let s15 = cat.retriable("s1_5");
+    let s16 = cat.retriable("s1_6");
+    // P₂'s services.
+    let (s21, _) = cat.compensatable("s2_1");
+    let (s22, _) = cat.compensatable("s2_2");
+    let s23 = cat.pivot("s2_3");
+    let s24 = cat.retriable("s2_4");
+    let s25 = cat.retriable("s2_5");
+    // P₃'s services.
+    let (s31, _) = cat.compensatable("s3_1");
+    let s32 = cat.retriable("s3_2");
+
+    let mut conflicts = ConflictMatrix::new(&cat);
+    // Figure 4: the pairs (a1_1, a2_1), (a1_2, a2_4), (a1_5, a2_5) do not
+    // commute.
+    conflicts.declare_conflict(&cat, s11, s21).unwrap();
+    conflicts.declare_conflict(&cat, s12, s24).unwrap();
+    conflicts.declare_conflict(&cat, s15, s25).unwrap();
+    // Figure 9: a1_1 and a3_1 do conflict.
+    conflicts.declare_conflict(&cat, s11, s31).unwrap();
+
+    // P₁ (Figure 2).
+    let mut b = ProcessBuilder::new(ProcessId(1), "P1");
+    let a11 = b.activity("a1_1", s11);
+    let a12 = b.activity("a1_2", s12);
+    let a13 = b.activity("a1_3", s13);
+    let a14 = b.activity("a1_4", s14);
+    let a15 = b.activity("a1_5", s15);
+    let a16 = b.activity("a1_6", s16);
+    b.chain(&[a11, a12, a13, a14]);
+    b.precede(a12, a15);
+    b.precede(a15, a16);
+    b.prefer(a12, a13, a15);
+    let p1 = b.build(&cat).unwrap();
+
+    // P₂ (Figure 4).
+    let mut b = ProcessBuilder::new(ProcessId(2), "P2");
+    let a21 = b.activity("a2_1", s21);
+    let a22 = b.activity("a2_2", s22);
+    let a23 = b.activity("a2_3", s23);
+    let a24 = b.activity("a2_4", s24);
+    let a25 = b.activity("a2_5", s25);
+    b.chain(&[a21, a22, a23, a24, a25]);
+    let p2 = b.build(&cat).unwrap();
+
+    // P₃ (Figure 9).
+    let mut b = ProcessBuilder::new(ProcessId(3), "P3");
+    let a31 = b.activity("a3_1", s31);
+    let a32 = b.activity("a3_2", s32);
+    b.precede(a31, a32);
+    let p3 = b.build(&cat).unwrap();
+
+    let mut spec = Spec::new(cat, conflicts);
+    spec.add_process(p1.clone());
+    spec.add_process(p2.clone());
+    spec.add_process(p3.clone());
+    PaperWorld { spec, p1, p2, p3 }
+}
+
+/// Fixture for the CIM scenario of Figure 1.
+#[derive(Debug, Clone)]
+pub struct CimWorld {
+    /// Catalog, conflicts, and the two registered processes.
+    pub spec: Spec,
+    /// The construction process: `design ≪ pdm_entry ≪ test ≪ tech_doc`, with
+    /// the alternative branch `design ≪ doc_cad` taken when the test fails
+    /// (after compensating the PDM entry).
+    pub construction: Process,
+    /// The production process: `read_bom ≪ schedule ≪ production ≪ deliver`.
+    /// `production` has no inverse (it is the pivot).
+    pub production: Process,
+}
+
+impl CimWorld {
+    /// Activity of the construction process by name.
+    pub fn construction_activity(&self, name: &str) -> GlobalActivityId {
+        GlobalActivityId::new(
+            self.construction.id,
+            self.construction.find(name).expect("known activity"),
+        )
+    }
+
+    /// Activity of the production process by name.
+    pub fn production_activity(&self, name: &str) -> GlobalActivityId {
+        GlobalActivityId::new(
+            self.production.id,
+            self.production.find(name).expect("known activity"),
+        )
+    }
+}
+
+/// Builds the CIM scenario of Figure 1 and §2.
+///
+/// The single declared conflict couples the two PDM activities: the
+/// construction process *writes* the bill of materials (`pdm_entry`), the
+/// production process *reads* it (`read_bom`). The production activity is a
+/// pivot — §2.2: "as no inverse for the production activity exists, it must
+/// not be executed before the test terminated successfully".
+pub fn cim_world() -> CimWorld {
+    let mut cat = Catalog::new();
+    // Construction subsystems: CAD, PDM, test database, documentation.
+    let (design, _) = cat.compensatable("design");
+    let (pdm_entry, _) = cat.compensatable("pdm_entry");
+    let test = cat.pivot("test");
+    let tech_doc = cat.retriable("tech_doc");
+    let doc_cad = cat.retriable("doc_cad");
+    // Production subsystems: PDM (read), business application, floor.
+    let (read_bom, _) = cat.compensatable("read_bom");
+    let (schedule, _) = cat.compensatable("schedule");
+    let production = cat.pivot("production");
+    let deliver = cat.retriable("deliver");
+
+    let mut conflicts = ConflictMatrix::new(&cat);
+    // §2.2: "only the two activities within the PDM system do conflict".
+    conflicts.declare_conflict(&cat, pdm_entry, read_bom).unwrap();
+
+    let mut b = ProcessBuilder::new(ProcessId(1), "construction");
+    let a_design = b.activity("design", design);
+    let a_pdm = b.activity("pdm_entry", pdm_entry);
+    let a_test = b.activity("test", test);
+    let a_doc = b.activity("tech_doc", tech_doc);
+    let a_cad_doc = b.activity("doc_cad", doc_cad);
+    b.chain(&[a_design, a_pdm, a_test, a_doc]);
+    // §2.1: if the test fails, undo the PDM entry and document the CAD
+    // drawing instead of the full technical documentation.
+    b.precede(a_design, a_cad_doc);
+    b.prefer(a_design, a_pdm, a_cad_doc);
+    let construction = b.build(&cat).unwrap();
+
+    let mut b = ProcessBuilder::new(ProcessId(2), "production");
+    let a_read = b.activity("read_bom", read_bom);
+    let a_sched = b.activity("schedule", schedule);
+    let a_prod = b.activity("production", production);
+    let a_deliver = b.activity("deliver", deliver);
+    b.chain(&[a_read, a_sched, a_prod, a_deliver]);
+    let production_p = b.build(&cat).unwrap();
+
+    let mut spec = Spec::new(cat, conflicts);
+    spec.add_process(construction.clone());
+    spec.add_process(production_p.clone());
+    CimWorld {
+        spec,
+        construction,
+        production: production_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flex::FlexAnalysis;
+
+    #[test]
+    fn paper_processes_have_guaranteed_termination() {
+        let fx = paper_world();
+        for p in [&fx.p1, &fx.p2, &fx.p3] {
+            let analysis = FlexAnalysis::analyze(p, &fx.spec.catalog);
+            assert!(
+                analysis.has_guaranteed_termination(),
+                "{} must be a process with guaranteed termination",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn p2_and_p3_are_strict_wff() {
+        let fx = paper_world();
+        assert!(FlexAnalysis::analyze(&fx.p2, &fx.spec.catalog).strict_well_formed);
+        assert!(FlexAnalysis::analyze(&fx.p3, &fx.spec.catalog).strict_well_formed);
+        assert!(FlexAnalysis::analyze(&fx.p1, &fx.spec.catalog).strict_well_formed);
+    }
+
+    #[test]
+    fn cim_processes_have_guaranteed_termination() {
+        let fx = cim_world();
+        let c = FlexAnalysis::analyze(&fx.construction, &fx.spec.catalog);
+        assert!(c.has_guaranteed_termination());
+        let p = FlexAnalysis::analyze(&fx.production, &fx.spec.catalog);
+        assert!(p.has_guaranteed_termination());
+        assert!(p.strict_well_formed);
+    }
+
+    #[test]
+    fn cim_conflict_is_the_pdm_pair_only() {
+        let fx = cim_world();
+        let pdm = fx.construction_activity("pdm_entry");
+        let read = fx.production_activity("read_bom");
+        assert!(fx.spec.activities_conflict(pdm, read).unwrap());
+        let design = fx.construction_activity("design");
+        assert!(!fx.spec.activities_conflict(design, read).unwrap());
+    }
+
+    #[test]
+    fn paper_activity_indexing_is_one_based() {
+        let fx = paper_world();
+        let gid = fx.a(1, 2);
+        assert_eq!(gid.process, ProcessId(1));
+        assert_eq!(gid.activity, ActivityId(1));
+    }
+}

@@ -1,0 +1,513 @@
+//! Well-formed flex structure and guaranteed termination (§3.1, \[ZNBB94\]).
+//!
+//! A process has *guaranteed termination* (the flex transaction model's
+//! "semi-atomicity") when at least one of its alternative executions always
+//! completes while every abandoned path leaves no effects. \[ZNBB94\] shows
+//! that *well-formed flex structures* guarantee this: a sequence of
+//! compensatable activities, followed by one pivot, followed either by
+//! retriable activities only, or recursively by a well-formed flex structure
+//! that has an all-retriable alternative.
+//!
+//! This module provides two checks:
+//!
+//! * [`FlexAnalysis::guaranteed_termination`] — a syntactic criterion on the
+//!   process tree: every activity that can fail must do so either while full
+//!   backward recovery is still possible (no non-compensatable activity has
+//!   committed, `B-REC`), or while an untried alternative is reachable by
+//!   compensating only compensatable activities. This slightly generalizes
+//!   the well-formed shape (it also admits alternatives anchored at
+//!   compensatable activities). The criterion is **sound but conservative**:
+//!   it analyzes every declared branch, including fallbacks that are
+//!   operationally dead because their preferred sibling consists only of
+//!   retriable activities and can never fail. Soundness is cross-validated
+//!   against an exhaustive operational exploration in the test suite.
+//! * [`FlexAnalysis::strict_well_formed`] — the literal \[ZNBB94\] shape used
+//!   by the paper: alternatives occur only at pivots, the lowest-priority
+//!   alternative consists of retriable activities only.
+//!
+//! It also enumerates the *valid executions* of a process (Figure 3).
+
+use crate::activity::{Catalog, Termination};
+use crate::ids::ActivityId;
+use crate::process::{Process, Successors};
+use crate::state::{ExecStep, ProcessState};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a process fails the guaranteed-termination analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlexError {
+    /// The analysis requires a unique start activity and at most one
+    /// predecessor per activity (tree shape).
+    NotATree,
+    /// AND-split (parallel) successors are not supported by the
+    /// guaranteed-termination analysis; intra-process parallelism is handled
+    /// at the schedule level via weak orders (§3.6).
+    ParallelUnsupported(ActivityId),
+    /// The activity can fail while the process is forward-recoverable and no
+    /// alternative is reachable: termination would not be guaranteed.
+    UnhandledFailure(ActivityId),
+}
+
+impl fmt::Display for FlexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexError::NotATree => {
+                write!(f, "flex analysis requires a tree-structured process")
+            }
+            FlexError::ParallelUnsupported(a) => {
+                write!(f, "parallel successors of {a} are not supported by flex analysis")
+            }
+            FlexError::UnhandledFailure(a) => write!(
+                f,
+                "activity {a} can fail in F-REC with no reachable alternative: termination not guaranteed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlexError {}
+
+/// Result of analyzing a process's flex structure.
+#[derive(Debug, Clone)]
+pub struct FlexAnalysis {
+    /// `Ok(())` when every possible failure is handled (guaranteed
+    /// termination); the offending activity otherwise.
+    pub guaranteed_termination: Result<(), FlexError>,
+    /// Whether the process has the literal \[ZNBB94\] well-formed flex shape.
+    pub strict_well_formed: bool,
+    /// The first non-compensatable activity on the most-preferred execution
+    /// path: the state-determining activity `s_{i_0}` of §3.1 (if the
+    /// process has any non-compensatable activity).
+    pub state_determining: Option<ActivityId>,
+}
+
+impl FlexAnalysis {
+    /// Analyzes a process against a catalog.
+    pub fn analyze(process: &Process, catalog: &Catalog) -> Self {
+        let guaranteed_termination = check_guaranteed_termination(process, catalog);
+        let strict_well_formed =
+            guaranteed_termination.is_ok() && check_strict_wff(process, catalog);
+        let state_determining = find_state_determining(process, catalog);
+        Self {
+            guaranteed_termination,
+            strict_well_formed,
+            state_determining,
+        }
+    }
+
+    /// Whether the process is a *process with guaranteed termination* and may
+    /// be admitted by a transactional process scheduler.
+    pub fn has_guaranteed_termination(&self) -> bool {
+        self.guaranteed_termination.is_ok()
+    }
+}
+
+fn term(process: &Process, catalog: &Catalog, a: ActivityId) -> Termination {
+    catalog.termination(process.service(a))
+}
+
+/// Syntactic guaranteed-termination check (see module docs).
+fn check_guaranteed_termination(process: &Process, catalog: &Catalog) -> Result<(), FlexError> {
+    let Some(root) = process.root() else {
+        return Err(FlexError::NotATree);
+    };
+    if !process.is_tree() {
+        return Err(FlexError::NotATree);
+    }
+    // DFS with (node, in_frec, handled) where
+    //   in_frec  = a non-compensatable activity committed on the path here,
+    //   handled  = an untried alternative is reachable by compensating only
+    //              compensatable activities.
+    let mut stack = vec![(root, false, false)];
+    while let Some((x, in_frec, handled)) = stack.pop() {
+        let t = term(process, catalog, x);
+        if t.can_fail() && in_frec && !handled {
+            return Err(FlexError::UnhandledFailure(x));
+        }
+        // After x commits:
+        let in_frec2 = in_frec || !t.is_compensatable();
+        // Committing a non-compensatable activity bars compensation back to
+        // any earlier choice point.
+        let handled2 = if t.is_compensatable() { handled } else { false };
+        match process.successors(x) {
+            Successors::None => {}
+            Successors::Seq(y) => stack.push((*y, in_frec2, handled2)),
+            Successors::Alternatives(branches) => {
+                let last = branches.len() - 1;
+                for (i, &b) in branches.iter().enumerate() {
+                    // While a lower-priority branch remains untried, failures
+                    // on this branch are handled (fall back through
+                    // compensation of this branch's compensatables).
+                    let h = if i < last { true } else { handled2 };
+                    stack.push((b, in_frec2, h));
+                }
+            }
+            Successors::Parallel(_) => return Err(FlexError::ParallelUnsupported(x)),
+        }
+    }
+    Ok(())
+}
+
+/// Literal \[ZNBB94\] well-formed flex structure:
+/// `WFF  := comp* (ε | pivot TAIL | retriable*)`
+/// `TAIL := ε | retriable* | (WFF ◁ … ◁ retriable*)` — alternatives occur
+/// only at pivots and the lowest-priority alternative is all-retriable.
+fn check_strict_wff(process: &Process, catalog: &Catalog) -> bool {
+    let Some(root) = process.root() else {
+        return false;
+    };
+    wff_segment(process, catalog, root)
+}
+
+/// Parses `comp* (ε | pivot TAIL | retriable*)` starting at `x`.
+fn wff_segment(process: &Process, catalog: &Catalog, mut x: ActivityId) -> bool {
+    // comp* prefix.
+    loop {
+        match term(process, catalog, x) {
+            Termination::Compensatable => match process.successors(x) {
+                Successors::None => return true, // all-compensatable process
+                Successors::Seq(y) => x = *y,
+                _ => return false, // alternatives/parallel at a compensatable
+            },
+            Termination::Pivot => return wff_tail(process, catalog, x),
+            Termination::Retriable => return retriable_tail(process, catalog, x),
+        }
+    }
+}
+
+/// Parses the continuation after a pivot at `x`.
+fn wff_tail(process: &Process, catalog: &Catalog, pivot: ActivityId) -> bool {
+    match process.successors(pivot) {
+        Successors::None => true,
+        Successors::Seq(y) => match term(process, catalog, *y) {
+            Termination::Retriable => retriable_tail(process, catalog, *y),
+            // A recursive WFF directly after a pivot without an all-retriable
+            // alternative is not well formed.
+            _ => false,
+        },
+        Successors::Alternatives(branches) => {
+            let (last, rest) = branches.split_last().expect("alternatives are non-empty");
+            rest.iter().all(|&b| wff_segment(process, catalog, b))
+                && retriable_tail(process, catalog, *last)
+        }
+        Successors::Parallel(_) => false,
+    }
+}
+
+/// Parses `retriable+` (a chain of retriable activities, no branching).
+fn retriable_tail(process: &Process, catalog: &Catalog, mut x: ActivityId) -> bool {
+    loop {
+        if term(process, catalog, x) != Termination::Retriable {
+            return false;
+        }
+        match process.successors(x) {
+            Successors::None => return true,
+            Successors::Seq(y) => x = *y,
+            _ => return false,
+        }
+    }
+}
+
+/// The first non-compensatable activity along the most-preferred path.
+fn find_state_determining(process: &Process, catalog: &Catalog) -> Option<ActivityId> {
+    let mut x = process.root()?;
+    loop {
+        if !term(process, catalog, x).is_compensatable() {
+            return Some(x);
+        }
+        match process.successors(x) {
+            Successors::None => return None,
+            Successors::Seq(y) => x = *y,
+            Successors::Alternatives(branches) => x = branches[0],
+            Successors::Parallel(_) => return None,
+        }
+    }
+}
+
+/// One valid execution of a process (one row of Figure 3): the sequence of
+/// effects it leaves, plus whether the process committed or aborted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidExecution {
+    /// Executed and compensating steps in order.
+    pub steps: Vec<ExecStep>,
+    /// `true` when the process committed; `false` for a backward abort.
+    pub committed: bool,
+}
+
+impl fmt::Display for ValidExecution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match s {
+                ExecStep::Executed(a) => write!(f, "a{}", a.0)?,
+                ExecStep::Compensated(a) => write!(f, "a{}⁻¹", a.0)?,
+            }
+        }
+        write!(f, "⟩ {}", if self.committed { "C" } else { "A" })
+    }
+}
+
+/// Enumerates all valid executions of a process (Figure 3) by exploring
+/// every combination of activity outcomes.
+///
+/// Executions that leave no effects at all (the very first activity fails)
+/// are omitted, matching the paper's count of four valid executions for P₁.
+/// `limit` bounds the exploration for safety.
+pub fn valid_executions(
+    process: &Process,
+    catalog: &Catalog,
+    limit: usize,
+) -> Result<Vec<ValidExecution>, FlexError> {
+    let initial = ProcessState::new(process, catalog)?;
+    let mut out = Vec::new();
+    let mut stack = vec![initial];
+    while let Some(state) = stack.pop() {
+        if out.len() >= limit {
+            break;
+        }
+        match state.next_activity() {
+            None => {
+                // Path end: the process commits.
+                out.push(ValidExecution {
+                    steps: state.steps().to_vec(),
+                    committed: true,
+                });
+            }
+            Some(a) => {
+                // Branch 1: the activity commits.
+                let mut ok = state.clone();
+                ok.apply_commit(a).expect("legal commit");
+                stack.push(ok);
+                // Branch 2: the activity fails (if it can).
+                if term(process, catalog, a).can_fail() {
+                    let mut failed = state.clone();
+                    let outcome = failed.apply_failure(a).expect("legal failure");
+                    match outcome {
+                        crate::state::FailureOutcome::Alternative { .. } => {
+                            failed.run_pending_compensations();
+                            stack.push(failed);
+                        }
+                        crate::state::FailureOutcome::ProcessAbort { .. } => {
+                            failed.run_pending_compensations();
+                            if !failed.steps().is_empty() {
+                                out.push(ValidExecution {
+                                    steps: failed.steps().to_vec(),
+                                    committed: false,
+                                });
+                            }
+                        }
+                        crate::state::FailureOutcome::Stuck => {
+                            return Err(FlexError::UnhandledFailure(a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order: shortest first, then lexicographic.
+    out.sort_by(|a, b| {
+        (a.steps.len(), &a.steps, a.committed).cmp(&(b.steps.len(), &b.steps, b.committed))
+    });
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::ProcessId;
+    use crate::process::ProcessBuilder;
+
+    #[test]
+    fn p1_is_well_formed_with_guaranteed_termination() {
+        let fx = fixtures::paper_world();
+        let p1 = &fx.p1;
+        let analysis = FlexAnalysis::analyze(p1, &fx.spec.catalog);
+        assert!(analysis.has_guaranteed_termination());
+        assert!(analysis.strict_well_formed);
+        // Example 2: the pivot a1_2 is the state-determining activity s_1_0.
+        assert_eq!(analysis.state_determining, Some(ActivityId(1)));
+    }
+
+    #[test]
+    fn p1_has_four_valid_executions() {
+        // Example 1 / Figure 3: four possible valid executions of P₁.
+        let fx = fixtures::paper_world();
+        let execs = valid_executions(&fx.p1, &fx.spec.catalog, 100).unwrap();
+        assert_eq!(execs.len(), 4, "{execs:#?}");
+        let rendered: Vec<String> = execs.iter().map(|e| e.to_string()).collect();
+        // ⟨a0 a0⁻¹⟩ backward abort (a1_2 failed; ids are 0-based here).
+        assert!(rendered.iter().any(|s| s.contains("a0⁻¹")));
+        // The full success path.
+        assert!(execs
+            .iter()
+            .any(|e| e.committed && e.steps.len() == 4 && !e
+                .steps
+                .iter()
+                .any(|s| matches!(s, ExecStep::Compensated(_)))));
+        // The a1_4-failure path with compensation of a1_3.
+        assert!(execs.iter().any(|e| e.committed
+            && e.steps.contains(&ExecStep::Compensated(ActivityId(2)))));
+    }
+
+    #[test]
+    fn pivot_followed_by_pivot_without_alternative_is_not_guaranteed() {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let p = cat.pivot("p");
+        let mut b = ProcessBuilder::new(ProcessId(1), "bad");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", p);
+        let a2 = b.activity("a2", p);
+        b.chain(&[a0, a1, a2]);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert_eq!(
+            analysis.guaranteed_termination,
+            Err(FlexError::UnhandledFailure(a2))
+        );
+        assert!(!analysis.strict_well_formed);
+    }
+
+    #[test]
+    fn pivot_pivot_with_retriable_alternative_is_guaranteed() {
+        // The recursive case: p₂ may fail because a retriable alternative
+        // exists at p₁.
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let p = cat.pivot("p");
+        let p2 = cat.pivot("p2");
+        let r = cat.retriable("r");
+        let mut b = ProcessBuilder::new(ProcessId(1), "rec");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", p);
+        let a2 = b.activity("a2", p2);
+        let a3 = b.activity("a3", r);
+        b.precede(a0, a1);
+        b.precede(a1, a2);
+        b.precede(a1, a3);
+        b.prefer(a1, a2, a3);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert!(analysis.has_guaranteed_termination());
+        assert!(analysis.strict_well_formed);
+        assert_eq!(analysis.state_determining, Some(a1));
+    }
+
+    #[test]
+    fn compensatable_after_retriable_tail_is_not_strict_wff() {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let r = cat.retriable("r");
+        let mut b = ProcessBuilder::new(ProcessId(1), "mix");
+        let a0 = b.activity("a0", r);
+        let a1 = b.activity("a1", c);
+        b.precede(a0, a1);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert!(!analysis.strict_well_formed);
+        // And not guaranteed either: a1 can fail after the retriable a0
+        // committed, with no alternative.
+        assert_eq!(
+            analysis.guaranteed_termination,
+            Err(FlexError::UnhandledFailure(a1))
+        );
+    }
+
+    #[test]
+    fn all_compensatable_process_is_guaranteed() {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let mut b = ProcessBuilder::new(ProcessId(1), "comps");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", c);
+        b.precede(a0, a1);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert!(analysis.has_guaranteed_termination());
+        assert!(analysis.strict_well_formed);
+        assert_eq!(analysis.state_determining, None);
+    }
+
+    #[test]
+    fn all_retriable_process_is_guaranteed() {
+        let mut cat = Catalog::new();
+        let r = cat.retriable("r");
+        let mut b = ProcessBuilder::new(ProcessId(1), "rets");
+        let a0 = b.activity("a0", r);
+        let a1 = b.activity("a1", r);
+        b.precede(a0, a1);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert!(analysis.has_guaranteed_termination());
+        assert!(analysis.strict_well_formed);
+        assert_eq!(analysis.state_determining, Some(a0));
+    }
+
+    #[test]
+    fn non_tree_process_rejected() {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let r = cat.retriable("r");
+        let mut b = ProcessBuilder::new(ProcessId(1), "dag");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", c);
+        let a2 = b.activity("a2", r);
+        b.precede(a0, a2);
+        b.precede(a1, a2);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert_eq!(analysis.guaranteed_termination, Err(FlexError::NotATree));
+    }
+
+    #[test]
+    fn parallel_split_rejected_by_flex_analysis() {
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let r = cat.retriable("r");
+        let mut b = ProcessBuilder::new(ProcessId(1), "and");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", r);
+        let a2 = b.activity("a2", r);
+        b.precede(a0, a1);
+        b.precede(a0, a2);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert_eq!(
+            analysis.guaranteed_termination,
+            Err(FlexError::ParallelUnsupported(a0))
+        );
+    }
+
+    #[test]
+    fn alternatives_at_compensatable_guaranteed_but_not_strict() {
+        // Our generalized criterion admits a choice point at a compensatable
+        // activity; [ZNBB94]'s literal shape does not.
+        let mut cat = Catalog::new();
+        let (c, _) = cat.compensatable("c");
+        let (c2, _) = cat.compensatable("c2");
+        let (c3, _) = cat.compensatable("c3");
+        let mut b = ProcessBuilder::new(ProcessId(1), "calt");
+        let a0 = b.activity("a0", c);
+        let a1 = b.activity("a1", c2);
+        let a2 = b.activity("a2", c3);
+        b.prefer(a0, a1, a2);
+        let proc = b.build(&cat).unwrap();
+        let analysis = FlexAnalysis::analyze(&proc, &cat);
+        assert!(analysis.has_guaranteed_termination());
+        assert!(!analysis.strict_well_formed);
+    }
+
+    #[test]
+    fn valid_execution_display() {
+        let fx = fixtures::paper_world();
+        let execs = valid_executions(&fx.p1, &fx.spec.catalog, 100).unwrap();
+        let s = execs[0].to_string();
+        assert!(s.starts_with('⟨') && (s.ends_with('C') || s.ends_with('A')));
+    }
+}

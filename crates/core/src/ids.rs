@@ -1,0 +1,149 @@
+//! Strongly-typed identifiers for the process model.
+//!
+//! The paper works with three kinds of named entities:
+//!
+//! * *services* — the members of the global service set Â provided by the
+//!   transactional subsystems (§3.1),
+//! * *processes* — transactional processes `P_i` (Definition 5),
+//! * *activities* — invocations of services inside a process, written
+//!   `a_{i_k}` where `i` is the process id and `k` the activity id local to
+//!   the process.
+//!
+//! Each gets its own newtype so the type system rules out mixing them up.
+//! All ids are small integers; human-readable names live in the
+//! [`Catalog`](crate::activity::Catalog) and [`Process`](crate::process::Process)
+//! definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a service in the global service set Â.
+///
+/// Compensating services (`a⁻¹`) are ordinary members of Â with their own
+/// `ServiceId`; the [`Catalog`](crate::activity::Catalog) records the link to
+/// their base service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub u32);
+
+/// Identifier of a transactional process `P_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+/// Identifier of an activity local to one process: the `k` in `a_{i_k}`.
+///
+/// It doubles as the index into [`Process::activities`](crate::process::Process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActivityId(pub u32);
+
+/// Globally unique activity identifier: the full `a_{i_k}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalActivityId {
+    /// The process the activity belongs to (the `i` in `a_{i_k}`).
+    pub process: ProcessId,
+    /// The activity id within that process (the `k` in `a_{i_k}`).
+    pub activity: ActivityId,
+}
+
+impl GlobalActivityId {
+    /// Convenience constructor.
+    pub const fn new(process: ProcessId, activity: ActivityId) -> Self {
+        Self { process, activity }
+    }
+}
+
+impl ServiceId {
+    /// The raw index, usable for dense tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProcessId {
+    /// The raw index, usable for dense tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ActivityId {
+    /// The raw index into the owning process's activity table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the paper's subscript convention `a_{i_k}`.
+        write!(f, "a{}_{}", self.process.0, self.activity.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn display_matches_paper_convention() {
+        let gid = GlobalActivityId::new(ProcessId(1), ActivityId(3));
+        assert_eq!(gid.to_string(), "a1_3");
+        assert_eq!(ProcessId(2).to_string(), "P2");
+        assert_eq!(ActivityId(7).to_string(), "a7");
+        assert_eq!(ServiceId(4).to_string(), "svc4");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = BTreeSet::new();
+        set.insert(GlobalActivityId::new(ProcessId(1), ActivityId(2)));
+        set.insert(GlobalActivityId::new(ProcessId(1), ActivityId(1)));
+        set.insert(GlobalActivityId::new(ProcessId(0), ActivityId(9)));
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                GlobalActivityId::new(ProcessId(0), ActivityId(9)),
+                GlobalActivityId::new(ProcessId(1), ActivityId(1)),
+                GlobalActivityId::new(ProcessId(1), ActivityId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ServiceId(5).index(), 5);
+        assert_eq!(ProcessId(6).index(), 6);
+        assert_eq!(ActivityId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_implement_serde_traits() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<ServiceId>();
+        assert_serde::<ProcessId>();
+        assert_serde::<ActivityId>();
+        assert_serde::<GlobalActivityId>();
+    }
+}

@@ -1,0 +1,263 @@
+//! A small strict-partial-order (DAG) utility used for `≪`, `≪_S` and `≪̃_S`.
+//!
+//! Orders in the paper are irreflexive, transitive and acyclic. We store the
+//! declared edges and compute reachability with a bitset-based transitive
+//! closure, which keeps the schedule-level algorithms (completion, reduction,
+//! PRED) simple and `O(n²/64)` per query batch.
+
+use std::collections::VecDeque;
+
+/// A strict partial order over nodes `0..n`, represented as a DAG.
+#[derive(Debug, Clone)]
+pub struct PartialOrder {
+    n: usize,
+    /// Adjacency lists of declared (covering or redundant) edges.
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+impl PartialOrder {
+    /// Creates an empty order over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the order has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the ordering `a < b`. Duplicate edges are tolerated (they are
+    /// kept as parallel edges, which all algorithms here handle; avoiding
+    /// the duplicate check keeps insertion O(1) on hot paths).
+    ///
+    /// # Panics
+    /// Panics if `a == b` (the order is irreflexive) or an index is out of
+    /// range.
+    pub fn add(&mut self, a: usize, b: usize) {
+        assert!(a != b, "partial order is irreflexive: {a} < {a}");
+        assert!(a < self.n && b < self.n, "node out of range");
+        self.succ[a].push(b);
+        self.pred[b].push(a);
+    }
+
+    /// Declared direct successors of `a`.
+    pub fn successors(&self, a: usize) -> &[usize] {
+        &self.succ[a]
+    }
+
+    /// Declared direct predecessors of `a`.
+    pub fn predecessors(&self, a: usize) -> &[usize] {
+        &self.pred[a]
+    }
+
+    /// Whether the declared edges form a DAG (i.e. the relation is a strict
+    /// partial order).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Kahn topological order of all nodes, or `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indeg: Vec<usize> = self.pred.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut out = Vec::with_capacity(self.n);
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            for &w in &self.succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        (out.len() == self.n).then_some(out)
+    }
+
+    /// Computes the full reachability (transitive closure) as a
+    /// [`Reachability`] bitset. `O(n·m/64)`.
+    ///
+    /// # Panics
+    /// Panics if the order is cyclic.
+    pub fn reachability(&self) -> Reachability {
+        let order = self
+            .topological_order()
+            .expect("reachability requires an acyclic order");
+        let words = self.n.div_ceil(64).max(1);
+        let mut reach = vec![0u64; self.n * words];
+        // Process in reverse topological order so successors are final.
+        for &v in order.iter().rev() {
+            for &w in &self.succ[v] {
+                // reach[v] |= reach[w] | {w}
+                let (lo_v, lo_w) = (v * words, w * words);
+                for k in 0..words {
+                    let bits = reach[lo_w + k];
+                    reach[lo_v + k] |= bits;
+                }
+                reach[lo_v + w / 64] |= 1u64 << (w % 64);
+            }
+        }
+        Reachability {
+            n: self.n,
+            words,
+            bits: reach,
+        }
+    }
+}
+
+/// Precomputed transitive closure of a [`PartialOrder`].
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Whether `a < b` in the transitive closure.
+    #[inline]
+    pub fn lt(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.n && b < self.n);
+        self.bits[a * self.words + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// Whether `a` and `b` are ordered either way.
+    #[inline]
+    pub fn comparable(&self, a: usize, b: usize) -> bool {
+        self.lt(a, b) || self.lt(b, a)
+    }
+
+    /// Whether `m` lies strictly between `a` and `b` (i.e. `a < m < b`).
+    #[inline]
+    pub fn between(&self, a: usize, m: usize, b: usize) -> bool {
+        self.lt(a, m) && self.lt(m, b)
+    }
+
+    /// All nodes strictly after `a`.
+    pub fn after(&self, a: usize) -> Vec<usize> {
+        (0..self.n).filter(|&b| self.lt(a, b)).collect()
+    }
+
+    /// All nodes strictly before `a`.
+    pub fn before(&self, a: usize) -> Vec<usize> {
+        (0..self.n).filter(|&b| self.lt(b, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_reachability() {
+        let mut po = PartialOrder::new(4);
+        po.add(0, 1);
+        po.add(1, 2);
+        po.add(2, 3);
+        let r = po.reachability();
+        assert!(r.lt(0, 3));
+        assert!(r.lt(0, 1));
+        assert!(!r.lt(3, 0));
+        assert!(!r.lt(0, 0));
+        assert!(r.between(0, 1, 2));
+        assert!(r.between(0, 2, 3));
+        assert!(!r.between(1, 0, 2));
+    }
+
+    #[test]
+    fn diamond_incomparable_middle() {
+        let mut po = PartialOrder::new(4);
+        po.add(0, 1);
+        po.add(0, 2);
+        po.add(1, 3);
+        po.add(2, 3);
+        let r = po.reachability();
+        assert!(r.lt(0, 3));
+        assert!(!r.comparable(1, 2));
+        assert!(r.comparable(0, 3));
+        assert_eq!(r.after(0), vec![1, 2, 3]);
+        assert_eq!(r.before(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut po = PartialOrder::new(3);
+        po.add(0, 1);
+        po.add(1, 2);
+        po.add(2, 0);
+        assert!(!po.is_acyclic());
+        assert!(po.topological_order().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "irreflexive")]
+    fn reflexive_edge_panics() {
+        let mut po = PartialOrder::new(2);
+        po.add(1, 1);
+    }
+
+    #[test]
+    fn duplicate_edges_tolerated() {
+        let mut po = PartialOrder::new(2);
+        po.add(0, 1);
+        po.add(0, 1);
+        assert!(po.is_acyclic());
+        assert_eq!(po.topological_order(), Some(vec![0, 1]));
+        let r = po.reachability();
+        assert!(r.lt(0, 1));
+        assert!(!r.lt(1, 0));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut po = PartialOrder::new(5);
+        po.add(3, 1);
+        po.add(1, 4);
+        po.add(3, 0);
+        po.add(0, 2);
+        let order = po.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[3] < pos[1] && pos[1] < pos[4]);
+        assert!(pos[3] < pos[0] && pos[0] < pos[2]);
+    }
+
+    #[test]
+    fn empty_order() {
+        let po = PartialOrder::new(0);
+        assert!(po.is_empty());
+        assert!(po.is_acyclic());
+        let _ = po.reachability();
+    }
+
+    #[test]
+    fn wide_order_crossing_word_boundaries() {
+        // More than 64 nodes to exercise multi-word bitsets.
+        let n = 130;
+        let mut po = PartialOrder::new(n);
+        for i in 0..n - 1 {
+            po.add(i, i + 1);
+        }
+        let r = po.reachability();
+        assert!(r.lt(0, n - 1));
+        assert!(r.lt(63, 64));
+        assert!(r.lt(64, 129));
+        assert!(!r.lt(129, 0));
+        assert_eq!(r.before(129).len(), 129);
+        assert_eq!(r.after(0).len(), 129);
+    }
+}

@@ -1,0 +1,193 @@
+//! Prefix-reducibility (Definition 10): the paper's correctness criterion
+//! for dynamic scheduling of transactional processes.
+//!
+//! RED is not prefix-closed — a schedule can be reducible while one of its
+//! prefixes is not (Example 8), so an online scheduler must guarantee that
+//! *every* prefix of the emitted history is reducible. [`check_pred`]
+//! evaluates exactly that: it completes and reduces each prefix of the
+//! history. Theorem 1 then gives serializability and process-recoverability
+//! (see [`crate::recoverability`]).
+
+use crate::completion::complete;
+use crate::error::ScheduleError;
+use crate::reduction::reduce;
+use crate::schedule::Schedule;
+use crate::spec::Spec;
+
+/// Detailed PRED evaluation of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredReport {
+    /// Whether every prefix is reducible.
+    pub pred: bool,
+    /// Reducibility per prefix length `0..=n`.
+    pub prefix_reducible: Vec<bool>,
+    /// The shortest non-reducible prefix length, if any.
+    pub first_violation: Option<usize>,
+}
+
+impl PredReport {
+    /// Whether the full schedule (largest prefix) is reducible.
+    pub fn reducible(&self) -> bool {
+        *self.prefix_reducible.last().unwrap_or(&true)
+    }
+}
+
+/// Checks prefix-reducibility (Definition 10) by completing and reducing
+/// every prefix of the history.
+pub fn check_pred(spec: &Spec, schedule: &Schedule) -> Result<PredReport, ScheduleError> {
+    let n = schedule.len();
+    let mut prefix_reducible = Vec::with_capacity(n + 1);
+    let mut first_violation = None;
+    for k in 0..=n {
+        let prefix = schedule.prefix(k);
+        let completed = complete(spec, &prefix)?;
+        let red = reduce(spec, &completed).reducible;
+        if !red && first_violation.is_none() {
+            first_violation = Some(k);
+        }
+        prefix_reducible.push(red);
+    }
+    Ok(PredReport {
+        pred: first_violation.is_none(),
+        prefix_reducible,
+        first_violation,
+    })
+}
+
+/// Whether a history is PRED.
+pub fn is_pred(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    Ok(check_pred(spec, schedule)?.pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::ProcessId;
+
+    fn st2(fx: &fixtures::PaperWorld) -> Schedule {
+        // Figure 4(a) at t2.
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    /// Figure 7's schedule S″: P₂ runs ahead of P₁ so every conflict pair is
+    /// ordered P₂ → P₁ consistently, including under completion.
+    fn figure7(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 1))
+            .execute(fx.a(2, 5))
+            .commit(ProcessId(2))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    #[test]
+    fn example_8_st2_is_red_but_not_pred() {
+        // Example 6 shows S_t2 ∈ RED; Example 8 shows its prefix S_t1 is not
+        // reducible, hence S_t2 ∉ PRED.
+        let fx = fixtures::paper_world();
+        let report = check_pred(&fx.spec, &st2(&fx)).unwrap();
+        assert!(report.reducible(), "S_t2 itself is RED (Example 6)");
+        assert!(!report.pred, "S_t2 is not PRED (Example 8)");
+        // The violating prefix is the paper's S_t1 — the 4-event prefix in
+        // which P₂'s pivot a2_3 committed (P₂ in F-REC) while P₁ is still
+        // B-REC: completing it creates the cycle a1_1 ≪ a2_1 ≪ a1_1⁻¹ that
+        // no reduction rule eliminates (Figure 8).
+        assert_eq!(report.first_violation, Some(4));
+    }
+
+    #[test]
+    fn example_9_figure7_is_pred() {
+        let fx = fixtures::paper_world();
+        let report = check_pred(&fx.spec, &figure7(&fx)).unwrap();
+        assert!(report.pred, "{report:?}");
+    }
+
+    #[test]
+    fn serial_execution_is_pred() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        for k in 1..=4 {
+            s.execute(fx.a(1, k));
+        }
+        s.commit(ProcessId(1));
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        s.commit(ProcessId(2));
+        assert!(is_pred(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn empty_schedule_is_pred() {
+        let fx = fixtures::paper_world();
+        assert!(is_pred(&fx.spec, &Schedule::new()).unwrap());
+    }
+
+    #[test]
+    fn pred_implies_red() {
+        // By definition, PRED ⊆ RED (the full schedule is one prefix).
+        let fx = fixtures::paper_world();
+        for schedule in [figure7(&fx), st2(&fx)] {
+            let report = check_pred(&fx.spec, &schedule).unwrap();
+            if report.pred {
+                assert!(report.reducible());
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_commit_example_10_is_pred() {
+        // Figure 9: a3_1 conflicts a1_1 but runs after P₁'s pivot committed
+        // (quasi-commit): compensation of a1_1 is no longer possible, so no
+        // cycle can arise.
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(1, 2)) // pivot: P₁ now F-REC
+            .execute(fx.a(3, 1)) // conflicting activity of P₃
+            .execute(fx.a(1, 3));
+        let report = check_pred(&fx.spec, &s).unwrap();
+        assert!(report.pred, "{report:?}");
+    }
+
+    #[test]
+    fn conflicting_access_before_quasi_commit_cascades_or_breaks_pred() {
+        // a3_1 runs BEFORE P₁'s pivot. As long as both processes can still
+        // cascade-abort together, the prefix is reducible (compensations
+        // cancel pairwise in reverse order)...
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1)).execute(fx.a(3, 1));
+        assert!(is_pred(&fx.spec, &s).unwrap());
+        // ...but once P₃ turns forward-recoverable (its retriable a3_2
+        // commits), a3_1 can no longer be cascaded away: if P₁ aborts,
+        // a1_1⁻¹ closes the cycle a1_1 ≪ a3_1 ≪ a1_1⁻¹ — not PRED.
+        s.execute(fx.a(3, 2)).commit(ProcessId(3));
+        let report = check_pred(&fx.spec, &s).unwrap();
+        assert!(!report.pred);
+        assert_eq!(report.first_violation, Some(3));
+    }
+
+    #[test]
+    fn report_prefix_vector_has_length_n_plus_one() {
+        let fx = fixtures::paper_world();
+        let s = st2(&fx);
+        let report = check_pred(&fx.spec, &s).unwrap();
+        assert_eq!(report.prefix_reducible.len(), s.len() + 1);
+        assert!(report.prefix_reducible[0], "empty prefix always reducible");
+    }
+}

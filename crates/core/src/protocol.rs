@@ -1,0 +1,807 @@
+//! The online scheduling protocol implied by the PRED criterion
+//! (Lemmas 1–3, §3.5): the pure decision core used by the
+//! `txproc-engine` scheduler.
+//!
+//! The protocol tracks, across all concurrent processes:
+//!
+//! * the executed operations and the conflict-dependency edges they induce,
+//! * which operations are *stable* — they can never be compensated anymore
+//!   because a later non-compensatable activity of the same process committed
+//!   (the "quasi-commit" of §3.5 / Example 10),
+//! * which non-compensatable activities executed under deferred commit
+//!   (prepared at their subsystem, to be committed atomically via 2PC once
+//!   the blocking predecessors terminate — Lemma 1.1 and §3.5).
+//!
+//! Scheduling obligations enforced:
+//!
+//! 1. **Serializability** — an activity whose conflict edges would close a
+//!    cycle is rejected.
+//! 2. **Lemma 1.2** — an activity conflicting with a *non-stable* operation
+//!    of an active process must be compensatable; a non-compensatable
+//!    activity in that situation executes with deferred commit (or waits,
+//!    depending on [`DeferPolicy`]).
+//! 3. **Lemma 1.1 / Definition 11.1** — a process may only commit after all
+//!    processes it conflict-depends on terminated; deferred activity commits
+//!    are released (atomically) at that point.
+//! 4. **Cascading aborts** — when a process aborts, every dependent process
+//!    that conflicts with a compensated operation, or with the aborting
+//!    process's forward-recovery activities, is aborted too; victims are
+//!    reported in reverse dependency order so their completions respect
+//!    Lemmas 2 and 3.
+
+use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
+use crate::spec::Spec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the scheduler handles a non-compensatable activity that conflicts
+/// with an active predecessor (Lemma 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeferPolicy {
+    /// Execute the activity but defer its subsystem commit via 2PC (§3.5).
+    PrepareAndDefer,
+    /// Do not execute the activity until the predecessors terminated.
+    DeferExecution,
+}
+
+/// Scheduling decision for a requested activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Execute and commit at the subsystem immediately.
+    Allow,
+    /// Execute, but keep the subsystem transaction prepared; the commit is
+    /// released when the listed processes terminate (Lemma 1.1).
+    AllowDeferred {
+        /// Active processes whose termination releases the commit.
+        blockers: Vec<ProcessId>,
+    },
+    /// Do not execute yet; retry after the listed processes terminate.
+    Wait {
+        /// Active processes blocking execution.
+        blockers: Vec<ProcessId>,
+    },
+    /// Executing now would close a serializability cycle; the process should
+    /// abort (or the request must be abandoned).
+    Reject {
+        /// A process on the offending cycle.
+        conflicting: ProcessId,
+    },
+}
+
+/// Lifecycle of a process as seen by the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtStatus {
+    /// Executing (possibly running its completion).
+    Active,
+    /// Terminated with commit.
+    Committed,
+    /// Terminated by abort (completion fully executed).
+    Aborted,
+}
+
+/// One executed operation as tracked by the protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ExecRecord {
+    gid: GlobalActivityId,
+    /// Base service (perfect commutativity).
+    service: ServiceId,
+    /// Whether a compensating activity has undone this operation.
+    compensated: bool,
+    /// Whether the operation can never be compensated anymore.
+    stable: bool,
+    /// Whether the subsystem commit is still deferred (prepared).
+    deferred: bool,
+    /// Whether the service is compensatable (base termination).
+    compensatable: bool,
+}
+
+/// Gate decision for a completion activity (§3.5: "the completed process
+/// schedule has always to be considered"). Compensations must run in reverse
+/// order of their conflicting originals (Lemma 2) and before conflicting
+/// forward-recovery activities (Lemma 3); conflicting live operations of
+/// other processes either block the completion step or force a cascade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionGate {
+    /// The completion activity may execute now.
+    Ready,
+    /// Wait until the listed (aborting) processes compensated their
+    /// conflicting operations.
+    WaitFor(Vec<ProcessId>),
+    /// The listed active processes hold conflicting operations that would
+    /// make the completion irreducible; they must be cascade-aborted first.
+    Cascade(Vec<ProcessId>),
+}
+
+/// The protocol state machine (single-threaded core; the engine wraps it in
+/// a lock).
+#[derive(Debug, Clone)]
+pub struct Protocol<'a> {
+    spec: &'a Spec,
+    policy: DeferPolicy,
+    ops: Vec<ExecRecord>,
+    /// Conflict-dependency edges `P_i → P_j`.
+    edges: BTreeSet<(ProcessId, ProcessId)>,
+    status: BTreeMap<ProcessId, ProtStatus>,
+    /// Per process: activities executed under deferred commit.
+    deferred: BTreeMap<ProcessId, Vec<GlobalActivityId>>,
+    /// Processes currently executing their completion (abort in progress).
+    aborting: BTreeSet<ProcessId>,
+}
+
+impl<'a> Protocol<'a> {
+    /// Creates an empty protocol state.
+    pub fn new(spec: &'a Spec, policy: DeferPolicy) -> Self {
+        Self {
+            spec,
+            policy,
+            ops: Vec::new(),
+            edges: BTreeSet::new(),
+            status: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            aborting: BTreeSet::new(),
+        }
+    }
+
+    /// Registers a newly admitted process.
+    pub fn register(&mut self, pid: ProcessId) {
+        self.status.insert(pid, ProtStatus::Active);
+    }
+
+    /// Status of a process (unknown processes are reported active).
+    pub fn status(&self, pid: ProcessId) -> ProtStatus {
+        self.status.get(&pid).copied().unwrap_or(ProtStatus::Active)
+    }
+
+    /// Current dependency edges.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Deferred (prepared) activities of a process.
+    pub fn deferred_of(&self, pid: ProcessId) -> &[GlobalActivityId] {
+        self.deferred.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn is_active(&self, pid: ProcessId) -> bool {
+        self.status(pid) == ProtStatus::Active
+    }
+
+    /// Whether `from` can reach `to` through dependency edges.
+    fn reaches(&self, from: ProcessId, to: ProcessId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            for &(a, b) in &self.edges {
+                if a == p {
+                    if b == to {
+                        return true;
+                    }
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    /// Processes (≠ `pid`) holding a live conflicting operation against
+    /// `service`, with the stability of the newest conflicting operation.
+    fn conflicting_predecessors(
+        &self,
+        pid: ProcessId,
+        service: ServiceId,
+    ) -> BTreeMap<ProcessId, bool> {
+        let oracle = self.spec.oracle();
+        let mut preds: BTreeMap<ProcessId, bool> = BTreeMap::new();
+        for rec in &self.ops {
+            if rec.gid.process == pid || rec.compensated {
+                continue;
+            }
+            if oracle.conflict(rec.service, service) {
+                let entry = preds.entry(rec.gid.process).or_insert(true);
+                *entry = *entry && rec.stable;
+            }
+        }
+        preds
+    }
+
+    /// Decides whether process `pid` may now execute the activity `gid`
+    /// invoking `service`.
+    pub fn request(&self, pid: ProcessId, service: ServiceId) -> Admission {
+        let preds = self.conflicting_predecessors(pid, service);
+        // Serializability: adding P_i → P_j must not close a cycle.
+        for &pi in preds.keys() {
+            if !self.edges.contains(&(pi, pid)) && self.reaches(pid, pi) {
+                return Admission::Reject { conflicting: pi };
+            }
+        }
+        // A conflict with a non-stable operation of an *aborting* process
+        // would land between that operation and its imminent compensation —
+        // the Example 8 cycle. Wait until the compensation ran.
+        let oracle = self.spec.oracle();
+        let due_compensation: Vec<ProcessId> = self
+            .ops
+            .iter()
+            .filter(|r| {
+                r.gid.process != pid
+                    && !r.compensated
+                    && !r.stable
+                    && self.aborting.contains(&r.gid.process)
+                    && oracle.conflict(r.service, self.spec.catalog.base(service))
+            })
+            .map(|r| r.gid.process)
+            .collect();
+        if !due_compensation.is_empty() {
+            let mut blockers = due_compensation;
+            blockers.sort();
+            blockers.dedup();
+            return Admission::Wait { blockers };
+        }
+        let compensatable = self
+            .spec
+            .catalog
+            .termination(self.spec.catalog.base(service))
+            .is_compensatable();
+        if compensatable {
+            return Admission::Allow;
+        }
+        // Lemma 1.1: *every* non-compensatable activity of P_j may only
+        // commit after the commit of each active P_i that P_j conflict-
+        // depends on — whether the dependency comes from this activity or an
+        // earlier one. Blockers include quasi-committed (stable) conflicts
+        // too: Lemma 1.1 defers on C_i, not on stability.
+        let mut blockers: BTreeSet<ProcessId> = preds
+            .keys()
+            .copied()
+            .filter(|&pi| self.is_active(pi))
+            .collect();
+        for &(pi, pj) in &self.edges {
+            if pj == pid && self.is_active(pi) {
+                blockers.insert(pi);
+            }
+        }
+        let blockers: Vec<ProcessId> = blockers.into_iter().collect();
+        if blockers.is_empty() {
+            return Admission::Allow;
+        }
+        match self.policy {
+            DeferPolicy::PrepareAndDefer => Admission::AllowDeferred { blockers },
+            DeferPolicy::DeferExecution => Admission::Wait { blockers },
+        }
+    }
+
+    /// Records an executed forward activity. `deferred` mirrors the
+    /// [`Admission::AllowDeferred`] decision.
+    pub fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
+        let pid = gid.process;
+        self.status.entry(pid).or_insert(ProtStatus::Active);
+        let service = self
+            .spec
+            .catalog
+            .base(self.spec.service_of(gid).expect("validated activity"));
+        let compensatable = self
+            .spec
+            .catalog
+            .termination(service)
+            .is_compensatable();
+        // Dependency edges from every conflicting predecessor.
+        let preds = self.conflicting_predecessors(pid, service);
+        for &pi in preds.keys() {
+            self.edges.insert((pi, pid));
+        }
+        // A committed non-compensatable activity stabilizes every earlier
+        // operation of the same process (quasi-commit, §3.5).
+        let stabilizes = !compensatable && !deferred;
+        if stabilizes {
+            for rec in &mut self.ops {
+                if rec.gid.process == pid {
+                    rec.stable = true;
+                }
+            }
+        }
+        self.ops.push(ExecRecord {
+            gid,
+            service,
+            compensated: false,
+            stable: stabilizes,
+            deferred,
+            compensatable,
+        });
+        if deferred {
+            self.deferred.entry(pid).or_default().push(gid);
+        }
+    }
+
+    /// Records the compensation of a previously executed activity.
+    pub fn record_compensated(&mut self, gid: GlobalActivityId) {
+        if let Some(rec) = self
+            .ops
+            .iter_mut()
+            .rev()
+            .find(|r| r.gid == gid && !r.compensated)
+        {
+            debug_assert!(!rec.stable, "stable operations are never compensated");
+            rec.compensated = true;
+        }
+    }
+
+    /// Whether `pid` may commit: all processes it depends on have terminated
+    /// (Definition 11.1) and it has no deferred activities left unreleased.
+    pub fn can_commit(&self, pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        let blockers: Vec<ProcessId> = self
+            .edges
+            .iter()
+            .filter(|&&(pi, pj)| pj == pid && self.is_active(pi))
+            .map(|&(pi, _)| pi)
+            .collect();
+        if blockers.is_empty() {
+            Ok(())
+        } else {
+            Err(blockers)
+        }
+    }
+
+    /// Records the commit of a process; returns, per dependent process, the
+    /// deferred activities whose subsystem commits may now be released
+    /// **atomically** (2PC) because their last active blocker terminated.
+    pub fn record_process_commit(
+        &mut self,
+        pid: ProcessId,
+    ) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.status.insert(pid, ProtStatus::Committed);
+        // Every operation of a committed process is final.
+        for rec in &mut self.ops {
+            if rec.gid.process == pid {
+                rec.stable = !rec.compensated;
+            }
+        }
+        self.collect_releasable()
+    }
+
+    /// Releasable deferred commits: processes whose active blockers are gone.
+    fn collect_releasable(&mut self) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        let mut out = Vec::new();
+        let pids: Vec<ProcessId> = self.deferred.keys().copied().collect();
+        for pj in pids {
+            if !self.is_active(pj) {
+                continue;
+            }
+            let blocked = self
+                .edges
+                .iter()
+                .any(|&(pi, p)| p == pj && self.is_active(pi));
+            if !blocked {
+                let acts = self.deferred.remove(&pj).unwrap_or_default();
+                if !acts.is_empty() {
+                    out.push((pj, acts));
+                }
+            }
+        }
+        out
+    }
+
+    /// Records that a deferred (prepared) activity was aborted before its
+    /// commit was released: it leaves no effects and stops participating in
+    /// conflicts.
+    pub fn record_prepared_aborted(&mut self, gid: GlobalActivityId) {
+        for rec in &mut self.ops {
+            if rec.gid == gid && rec.deferred {
+                rec.compensated = true;
+                rec.deferred = false;
+            }
+        }
+        if let Some(list) = self.deferred.get_mut(&gid.process) {
+            list.retain(|&g| g != gid);
+            if list.is_empty() {
+                self.deferred.remove(&gid.process);
+            }
+        }
+    }
+
+    /// Marks a deferred activity as released (subsystem commit executed).
+    /// Stabilizes the process's earlier operations like a direct commit.
+    pub fn record_deferred_released(&mut self, gid: GlobalActivityId) {
+        let pid = gid.process;
+        let mut found = false;
+        for rec in &mut self.ops {
+            if rec.gid == gid {
+                rec.deferred = false;
+                found = true;
+            }
+        }
+        if found {
+            // Stabilize everything up to and including the released op.
+            let mut hit = false;
+            for rec in self.ops.iter_mut().rev() {
+                if rec.gid == gid {
+                    hit = true;
+                }
+                if hit && rec.gid.process == pid && !rec.compensated {
+                    rec.stable = true;
+                }
+            }
+        }
+        if let Some(list) = self.deferred.get_mut(&pid) {
+            list.retain(|&g| g != gid);
+            if list.is_empty() {
+                self.deferred.remove(&pid);
+            }
+        }
+    }
+
+    /// Plans a process abort: which dependent processes must cascade.
+    ///
+    /// `compensating` are the operations the aborting process will
+    /// compensate; `forward_services` the (base) services of its forward
+    /// recovery path. A dependent `P_j` cascades when it conflicts with a
+    /// compensated operation (the Example 8 cycle) or with a forward
+    /// recovery activity while `P_i → P_j` exists (Theorem 1, cases 1/3).
+    /// Victims are returned in reverse dependency order (dependents first)
+    /// so that completions respect Lemma 2.
+    pub fn plan_abort(
+        &self,
+        pid: ProcessId,
+        compensating: &[GlobalActivityId],
+        forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        let oracle = self.spec.oracle();
+        let comp_services: Vec<ServiceId> = compensating
+            .iter()
+            .map(|g| {
+                self.spec
+                    .catalog
+                    .base(self.spec.service_of(*g).expect("validated"))
+            })
+            .collect();
+        let mut victims: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut frontier = vec![(pid, comp_services, forward_services.to_vec())];
+        while let Some((pi, comps, fwds)) = frontier.pop() {
+            for &(a, b) in &self.edges {
+                if a != pi || !self.is_active(b) || b == pid || victims.contains(&b) {
+                    continue;
+                }
+                // Does P_b conflict with anything P_a will compensate or
+                // forward-execute?
+                let pb_conflicts = self.ops.iter().any(|r| {
+                    r.gid.process == b
+                        && !r.compensated
+                        && comps
+                            .iter()
+                            .chain(fwds.iter())
+                            .any(|&s| oracle.conflict(r.service, s))
+                });
+                if pb_conflicts {
+                    victims.insert(b);
+                    // The victim's own completion cascades further; its
+                    // compensations cover its non-stable operations.
+                    let victim_comps: Vec<ServiceId> = self
+                        .ops
+                        .iter()
+                        .filter(|r| r.gid.process == b && !r.compensated && !r.stable)
+                        .map(|r| r.service)
+                        .collect();
+                    frontier.push((b, victim_comps, Vec::new()));
+                }
+            }
+        }
+        // Reverse dependency order: dependents (later in the serialization)
+        // first.
+        let mut ordered: Vec<ProcessId> = victims.into_iter().collect();
+        ordered.sort_by(|&x, &y| {
+            if self.reaches(x, y) && x != y {
+                std::cmp::Ordering::Greater
+            } else if self.reaches(y, x) && x != y {
+                std::cmp::Ordering::Less
+            } else {
+                y.cmp(&x)
+            }
+        });
+        ordered
+    }
+
+    /// Debug dump of the tracked operation records.
+    pub fn debug_ops(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ops {
+            out.push_str(&format!(
+                "{} svc={} comp'd={} stable={} deferred={}\n",
+                r.gid, r.service, r.compensated, r.stable, r.deferred
+            ));
+        }
+        out
+    }
+
+    /// Marks a process as aborting: its completion is about to execute.
+    /// Until [`record_process_abort`](Self::record_process_abort), requests
+    /// conflicting with its to-be-compensated operations wait.
+    pub fn mark_aborting(&mut self, pid: ProcessId) {
+        self.aborting.insert(pid);
+    }
+
+    /// Whether a process is currently aborting.
+    pub fn is_aborting(&self, pid: ProcessId) -> bool {
+        self.aborting.contains(&pid)
+    }
+
+    /// Gate for executing the compensation of `gid` (Lemma 2 and the
+    /// Example 8 cycle): every conflicting operation executed *after* `gid`
+    /// must be compensated first (if its owner is aborting) or its owner
+    /// must cascade (if still running).
+    pub fn compensation_gate(&self, gid: GlobalActivityId) -> CompletionGate {
+        let oracle = self.spec.oracle();
+        let Some(pos) = self
+            .ops
+            .iter()
+            .position(|r| r.gid == gid && !r.compensated)
+        else {
+            return CompletionGate::Ready;
+        };
+        let service = self.ops[pos].service;
+        let mut wait = Vec::new();
+        let mut cascade = Vec::new();
+        for r in &self.ops[pos + 1..] {
+            if r.gid.process == gid.process
+                || r.compensated
+                || r.stable
+                || !oracle.conflict(r.service, service)
+            {
+                continue;
+            }
+            match self.status(r.gid.process) {
+                ProtStatus::Active if self.aborting.contains(&r.gid.process) => {
+                    wait.push(r.gid.process)
+                }
+                ProtStatus::Active => cascade.push(r.gid.process),
+                _ => {}
+            }
+        }
+        Self::gate(wait, cascade)
+    }
+
+    /// Gate for executing a forward-recovery activity of aborting process
+    /// `pid` invoking `service` (Lemma 3 and §3.5's new-conflict hazard):
+    /// conflicting live non-stable operations of other processes must be
+    /// compensated first.
+    pub fn forward_gate(&self, pid: ProcessId, service: ServiceId) -> CompletionGate {
+        let oracle = self.spec.oracle();
+        let base = self.spec.catalog.base(service);
+        let mut wait = Vec::new();
+        let mut cascade = Vec::new();
+        for r in &self.ops {
+            if r.gid.process == pid
+                || r.compensated
+                || r.stable
+                || !oracle.conflict(r.service, base)
+            {
+                continue;
+            }
+            match self.status(r.gid.process) {
+                ProtStatus::Active if self.aborting.contains(&r.gid.process) => {
+                    wait.push(r.gid.process)
+                }
+                ProtStatus::Active => cascade.push(r.gid.process),
+                _ => {}
+            }
+        }
+        Self::gate(wait, cascade)
+    }
+
+    fn gate(mut wait: Vec<ProcessId>, mut cascade: Vec<ProcessId>) -> CompletionGate {
+        if !cascade.is_empty() {
+            cascade.sort();
+            cascade.dedup();
+            CompletionGate::Cascade(cascade)
+        } else if !wait.is_empty() {
+            wait.sort();
+            wait.dedup();
+            CompletionGate::WaitFor(wait)
+        } else {
+            CompletionGate::Ready
+        }
+    }
+
+    /// Records the completion of a process abort.
+    pub fn record_process_abort(
+        &mut self,
+        pid: ProcessId,
+    ) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.status.insert(pid, ProtStatus::Aborted);
+        self.aborting.remove(&pid);
+        // Whatever effects the completed abort left behind (pre-boundary
+        // operations and forward-recovery activities) are final.
+        for rec in &mut self.ops {
+            if rec.gid.process == pid && !rec.compensated {
+                rec.stable = true;
+            }
+        }
+        // Drop its unreleased deferred activities (they abort at prepare).
+        if let Some(acts) = self.deferred.remove(&pid) {
+            for gid in acts {
+                if let Some(rec) = self.ops.iter_mut().find(|r| r.gid == gid) {
+                    rec.compensated = true; // prepared-then-aborted: no effect
+                }
+            }
+        }
+        self.collect_releasable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn svc(fx: &fixtures::PaperWorld, p: u32, k: u32) -> ServiceId {
+        fx.spec.service_of(fx.a(p, k)).unwrap()
+    }
+
+    #[test]
+    fn independent_activities_allowed() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        assert_eq!(prot.request(ProcessId(1), svc(&fx, 1, 1)), Admission::Allow);
+        prot.record_executed(fx.a(1, 1), false);
+        // a2_2 does not conflict with anything executed.
+        assert_eq!(prot.request(ProcessId(2), svc(&fx, 2, 2)), Admission::Allow);
+    }
+
+    #[test]
+    fn conflicting_compensatable_allowed_with_dependency() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        // a2_1 conflicts a1_1 but is compensatable: allowed (Lemma 1.2).
+        assert_eq!(prot.request(ProcessId(2), svc(&fx, 2, 1)), Admission::Allow);
+        prot.record_executed(fx.a(2, 1), false);
+        assert!(prot.edges().any(|e| e == (ProcessId(1), ProcessId(2))));
+        // P₂ may not commit before P₁ (Definition 11.1).
+        assert_eq!(prot.can_commit(ProcessId(2)), Err(vec![ProcessId(1)]));
+        assert!(prot.can_commit(ProcessId(1)).is_ok());
+    }
+
+    #[test]
+    fn non_compensatable_defers_behind_active_predecessor() {
+        // The Example 8 situation: P₂'s pivot a2_3 must not commit while P₁
+        // (which P₂ conflict-depends on) is active.
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        match prot.request(ProcessId(2), svc(&fx, 2, 3)) {
+            Admission::AllowDeferred { blockers } => assert_eq!(blockers, vec![ProcessId(1)]),
+            other => panic!("expected AllowDeferred, got {other:?}"),
+        }
+        prot.record_executed(fx.a(2, 3), true);
+        assert_eq!(prot.deferred_of(ProcessId(2)), &[fx.a(2, 3)]);
+    }
+
+    #[test]
+    fn deferred_commit_released_on_predecessor_commit() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        prot.record_executed(fx.a(2, 3), true);
+        let released = prot.record_process_commit(ProcessId(1));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].0, ProcessId(2));
+        assert_eq!(released[0].1, vec![fx.a(2, 3)]);
+        prot.record_deferred_released(fx.a(2, 3));
+        assert!(prot.deferred_of(ProcessId(2)).is_empty());
+        assert!(prot.can_commit(ProcessId(2)).is_ok());
+    }
+
+    #[test]
+    fn wait_policy_blocks_execution() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::DeferExecution);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        assert!(matches!(
+            prot.request(ProcessId(2), svc(&fx, 2, 3)),
+            Admission::Wait { .. }
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        // a1_1 ≪ a2_1 gives P₁ → P₂; then a2_4 executing before a1_2 would
+        // give P₂ → P₁ — the Figure 4(b) cycle.
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        prot.record_executed(fx.a(2, 3), true);
+        prot.record_executed(fx.a(2, 4), false);
+        assert!(matches!(
+            prot.request(ProcessId(1), svc(&fx, 1, 2)),
+            Admission::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn quasi_commit_allows_compensatable_conflict_without_cascade() {
+        // Figure 9 / Example 10: after P₁'s pivot commits, a1_1 is stable;
+        // P₃'s conflicting a3_1 is admitted, and an abort of P₁ does not
+        // cascade into P₃ (a1_1 will never be compensated).
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(3));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(1, 2), false); // pivot commits: a1_1 stable
+        assert_eq!(prot.request(ProcessId(3), svc(&fx, 3, 1)), Admission::Allow);
+        prot.record_executed(fx.a(3, 1), false);
+        // P₁ aborts: completion = a1_3⁻¹-style compensations (none here
+        // touching P₃) + forward path a1_5, a1_6.
+        let victims = prot.plan_abort(
+            ProcessId(1),
+            &[],
+            &[svc(&fx, 1, 5), svc(&fx, 1, 6)],
+        );
+        assert!(victims.is_empty());
+    }
+
+    #[test]
+    fn abort_cascades_into_conflicting_dependent() {
+        // P₁ executed a1_1 (B-REC), P₃ read conflicting a3_1; P₁'s abort
+        // compensates a1_1 ⇒ P₃ must cascade (the Example 8 cycle otherwise).
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(3));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(3, 1), false);
+        let victims = prot.plan_abort(ProcessId(1), &[fx.a(1, 1)], &[]);
+        assert_eq!(victims, vec![ProcessId(3)]);
+    }
+
+    #[test]
+    fn abort_drops_prepared_activities() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        prot.record_executed(fx.a(2, 3), true);
+        prot.record_process_abort(ProcessId(2));
+        assert!(prot.deferred_of(ProcessId(2)).is_empty());
+        assert_eq!(prot.status(ProcessId(2)), ProtStatus::Aborted);
+    }
+
+    #[test]
+    fn commit_dependency_cleared_by_predecessor_abort() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.record_executed(fx.a(2, 1), false);
+        assert!(prot.can_commit(ProcessId(2)).is_err());
+        prot.record_process_abort(ProcessId(1));
+        assert!(prot.can_commit(ProcessId(2)).is_ok());
+    }
+}

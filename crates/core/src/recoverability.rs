@@ -1,0 +1,334 @@
+//! Process-recoverability (Definition 11), Theorem 1, and the SOT
+//! impossibility discussion of §3.5.
+//!
+//! A schedule is **process-recoverable** (Proc-REC) when for every
+//! conflicting pair `a_{i_k} ≪_S a_{j_l}`:
+//!
+//! 1. `C_i` precedes `C_j` (commit order follows the conflict order), and
+//! 2. the next non-compensatable activity of `P_j` following `a_{j_l}`
+//!    succeeds the next non-compensatable activity of `P_i` following
+//!    `a_{i_k}`.
+//!
+//! **Theorem 1**: PRED ⇒ serializable ∧ Proc-REC. [`theorem1_holds`] checks
+//! the implication on a concrete schedule and backs the randomized
+//! validation experiment (E10).
+//!
+//! §3.5 argues that an *SOT-like* criterion — one that only inspects the
+//! given schedule `S` and its termination events, never the completed
+//! schedule `S̃` — cannot exist for transactional processes, because the
+//! completion introduces activities (and conflicts) that are not visible in
+//! `S`. [`sot_like`] implements such a criterion faithfully; experiment E12
+//! exhibits schedules it accepts that are not PRED.
+
+use crate::error::ScheduleError;
+use crate::ids::ProcessId;
+use crate::pred::is_pred;
+use crate::schedule::{Op, OpKind, Schedule};
+use crate::serializability::is_serializable;
+use crate::spec::Spec;
+
+/// One Proc-REC violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcRecViolation {
+    /// `C_j` appears although `C_i` does not precede it (Definition 11.1).
+    CommitOrder {
+        /// Process whose commit is missing or late.
+        earlier: ProcessId,
+        /// Process that committed too early.
+        later: ProcessId,
+    },
+    /// The next non-compensatable activities are ordered the wrong way
+    /// (Definition 11.2).
+    PivotOrder {
+        /// Process whose non-compensatable activity must come first.
+        earlier: ProcessId,
+        /// Process whose non-compensatable activity must come later.
+        later: ProcessId,
+    },
+}
+
+/// Checks process-recoverability (Definition 11). Returns all violations.
+///
+/// One refinement relative to the literal definition, following §3.5's
+/// quasi-commit discussion (Example 10): a conflicting pair whose earlier
+/// activity was *quasi-committed* — a later non-compensatable activity of
+/// the same process had already committed when the second activity executed,
+/// so the earlier activity can never be compensated again — imposes no
+/// recovery-relevant ordering and is skipped. Without this refinement the
+/// correct interleaving of Figure 9 would be flagged.
+pub fn proc_rec_violations(
+    spec: &Spec,
+    schedule: &Schedule,
+) -> Result<Vec<ProcRecViolation>, ScheduleError> {
+    let replay = schedule.replay(spec)?;
+    let ops = &replay.ops;
+    let oracle = spec.oracle();
+    // Activities compensated within S impose no dependency once cancelled.
+    let compensated: std::collections::BTreeSet<crate::ids::GlobalActivityId> = ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Compensation)
+        .map(|o| o.gid)
+        .collect();
+    let mut violations = Vec::new();
+    for (u, x) in ops.iter().enumerate() {
+        for y in &ops[u + 1..] {
+            if x.gid.process == y.gid.process || !oracle.conflict(x.service, y.service) {
+                continue;
+            }
+            let (pi, pj) = (x.gid.process, y.gid.process);
+            // Cancelled pairs: a compensated activity vanishes under the
+            // compensation rule and constrains nothing.
+            if (x.kind == OpKind::Forward && compensated.contains(&x.gid))
+                || (y.kind == OpKind::Forward && compensated.contains(&y.gid))
+            {
+                continue;
+            }
+            // Quasi-commit (§3.5, Example 10): once a non-compensatable
+            // activity of P_i at or after a_{i_k} commits, a_{i_k} can never
+            // be compensated again and imposes no recovery-relevant ordering
+            // from that moment on. `stable_by(limit)` tests whether that
+            // already happened before the given event position.
+            let stable_by = |limit: usize| {
+                ops[u..]
+                    .iter()
+                    .any(|z| {
+                        z.gid.process == pi
+                            && z.kind == OpKind::Forward
+                            && z.event_index < limit
+                            && !spec.catalog.termination(z.service).is_compensatable()
+                    })
+            };
+            // 11.1: C_i must precede C_j. The definition constrains commit
+            // events of S; aborted processes commit only by conversion
+            // (Definition 8.2c) at a position the completion construction is
+            // free to choose, so only explicit commits are compared, and a
+            // pair whose earlier activity was quasi-committed before C_j is
+            // exempt.
+            if let (Some(&ti), Some(&tj)) = (
+                replay.commit_event.get(&pi),
+                replay.commit_event.get(&pj),
+            ) {
+                if ti >= tj && !stable_by(tj) {
+                    violations.push(ProcRecViolation::CommitOrder {
+                        earlier: pi,
+                        later: pj,
+                    });
+                }
+            }
+            // 11.2: next non-compensatable of P_j after a_{j_l} must follow
+            // the next non-compensatable of P_i after a_{i_k}. Completion
+            // activities (executed after the process's abort) are excluded:
+            // their mutual order is Definition 8.3's choice, not a
+            // recovery-relevant commit decision.
+            let next_nc = |start: &Op| {
+                let abort_at = replay.abort_event.get(&start.gid.process).copied();
+                ops.iter()
+                    .filter(|o| {
+                        o.gid.process == start.gid.process
+                            && o.index >= start.index
+                            && o.kind == OpKind::Forward
+                            && abort_at.is_none_or(|a| o.event_index < a)
+                            && !spec
+                                .catalog
+                                .termination(o.service)
+                                .is_compensatable()
+                    })
+                    .map(|o| o.index)
+                    .next()
+            };
+            if let (Some(ni), Some(nj)) = (next_nc(x), next_nc(y)) {
+                if nj < ni && !stable_by(ops[nj].event_index) {
+                    violations.push(ProcRecViolation::PivotOrder {
+                        earlier: pi,
+                        later: pj,
+                    });
+                }
+            }
+        }
+    }
+    violations.dedup();
+    Ok(violations)
+}
+
+/// Whether a schedule is process-recoverable (Definition 11).
+pub fn is_proc_rec(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    Ok(proc_rec_violations(spec, schedule)?.is_empty())
+}
+
+/// Checks Theorem 1 on a concrete schedule: if the schedule is PRED it must
+/// be both serializable (in its committed projection, exactly as the proof
+/// argues) and process-recoverable. Returns `true` when the implication
+/// holds (vacuously true for non-PRED schedules).
+pub fn theorem1_holds(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    if !is_pred(spec, schedule)? {
+        return Ok(true);
+    }
+    Ok(crate::serializability::is_serializable_committed(spec, schedule)?
+        && is_proc_rec(spec, schedule)?)
+}
+
+/// An SOT-like criterion (serializable with ordered termination, \[AVA⁺94\])
+/// evaluated **only on `S`**: the schedule must be conflict-serializable and
+/// the termination events of conflicting processes must follow the conflict
+/// order. §3.5 shows no such criterion can be sound for transactional
+/// processes; see experiment E12.
+pub fn sot_like(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    if !is_serializable(spec, schedule)? {
+        return Ok(false);
+    }
+    let replay = schedule.replay(spec)?;
+    let ops = &replay.ops;
+    let oracle = spec.oracle();
+    let termination_event = |p: ProcessId| {
+        replay
+            .commit_event
+            .get(&p)
+            .or_else(|| replay.abort_event.get(&p))
+            .copied()
+    };
+    for (u, x) in ops.iter().enumerate() {
+        for y in &ops[u + 1..] {
+            if x.gid.process == y.gid.process || !oracle.conflict(x.service, y.service) {
+                continue;
+            }
+            if let (Some(ti), Some(tj)) = (
+                termination_event(x.gid.process),
+                termination_event(y.gid.process),
+            ) {
+                if tj < ti {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    /// A PRED schedule: Figure 7's interleaving with commits.
+    fn pred_schedule(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 1))
+            .execute(fx.a(2, 5))
+            .commit(ProcessId(2))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3))
+            .execute(fx.a(1, 4))
+            .commit(ProcessId(1));
+        s
+    }
+
+    #[test]
+    fn theorem1_on_pred_schedule() {
+        let fx = fixtures::paper_world();
+        let s = pred_schedule(&fx);
+        assert!(is_pred(&fx.spec, &s).unwrap());
+        assert!(is_serializable(&fx.spec, &s).unwrap());
+        assert!(is_proc_rec(&fx.spec, &s).unwrap());
+        assert!(theorem1_holds(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn commit_order_violation_detected() {
+        // Conflict a1_1 ≪ a2_1 but C₂ before C₁ violates Definition 11.1.
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1));
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        s.commit(ProcessId(2));
+        for k in 2..=4 {
+            s.execute(fx.a(1, k));
+        }
+        s.commit(ProcessId(1));
+        let violations = proc_rec_violations(&fx.spec, &s).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ProcRecViolation::CommitOrder { earlier, later }
+                if *earlier == ProcessId(1) && *later == ProcessId(2))));
+    }
+
+    #[test]
+    fn pivot_order_violation_detected() {
+        // a1_1 ≪ a2_1 conflict, but P₂'s pivot a2_3 commits before P₁'s
+        // pivot a1_2 — the Example 8 situation (Definition 11.2).
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(1, 2));
+        let violations = proc_rec_violations(&fx.spec, &s).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ProcRecViolation::PivotOrder { earlier, later }
+                if *earlier == ProcessId(1) && *later == ProcessId(2))));
+    }
+
+    #[test]
+    fn theorem1_vacuous_on_non_pred() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(3, 1))
+            .execute(fx.a(3, 2))
+            .commit(ProcessId(3));
+        assert!(!is_pred(&fx.spec, &s).unwrap());
+        assert!(theorem1_holds(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn sot_like_accepts_a_non_pred_schedule() {
+        // §3.5 / E12: the prefix S_t1 of Example 8 is serializable and has no
+        // termination events at all, so an SOT-like criterion accepts it —
+        // yet it is not reducible once completed.
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4));
+        assert!(sot_like(&fx.spec, &s).unwrap());
+        assert!(!is_pred(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn sot_like_rejects_non_serializable() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 2));
+        assert!(!sot_like(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn sot_like_rejects_wrong_termination_order() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1));
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        s.commit(ProcessId(2));
+        for k in 2..=4 {
+            s.execute(fx.a(1, k));
+        }
+        s.commit(ProcessId(1));
+        assert!(!sot_like(&fx.spec, &s).unwrap());
+    }
+}

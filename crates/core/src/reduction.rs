@@ -1,0 +1,434 @@
+//! Reducibility of completed process schedules (Definition 9).
+//!
+//! A process schedule is **RED** when its completed schedule `S̃` can be
+//! transformed into a *serial* schedule by finitely many applications of
+//!
+//! 1. the **commutativity rule** — adjacent commuting activities may swap,
+//! 2. the **compensation rule** — an adjacent pair `⟨a, a⁻¹⟩` vanishes,
+//! 3. the **effect-free rule** — effect-free activities of processes that do
+//!    not commit in `S` vanish.
+//!
+//! Two deciders are provided:
+//!
+//! * [`reduce`] — an `O(n²)` graph decision procedure: a compensation pair
+//!   can be cancelled iff no *live conflicting* operation lies strictly
+//!   between the pair in `≪̃_S` (everything else can be commuted out of the
+//!   interval), cancellation runs to fixpoint, and the remaining operations
+//!   must form an acyclic process-level conflict graph — then a serial
+//!   arrangement is reachable by commutativity swaps alone.
+//! * [`reduce_exhaustive`] — a faithful state-space search applying the three
+//!   rules literally on sequences. Exponential; used to cross-validate the
+//!   graph decider on small schedules (see the property tests).
+
+use crate::completion::CompletedSchedule;
+use crate::error::ScheduleError;
+use crate::schedule::{Op, OpKind, Schedule};
+use crate::serializability::{process_graph_ordered, ProcessGraph};
+use crate::spec::Spec;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Result of reducing a completed schedule.
+#[derive(Debug, Clone)]
+pub struct ReductionOutcome {
+    /// Whether the schedule is reducible (RED).
+    pub reducible: bool,
+    /// Index pairs `(forward, compensation)` cancelled by the compensation
+    /// rule.
+    pub cancelled_pairs: Vec<(usize, usize)>,
+    /// Indices removed by the effect-free rule.
+    pub removed_effect_free: Vec<usize>,
+    /// Liveness per operation index after reduction.
+    pub live: Vec<bool>,
+    /// Process-level conflict graph over the remaining operations.
+    pub process_graph: ProcessGraph,
+}
+
+impl ReductionOutcome {
+    /// Operations remaining after reduction.
+    pub fn live_ops<'a>(&self, completed: &'a CompletedSchedule) -> Vec<&'a Op> {
+        completed
+            .ops
+            .iter()
+            .filter(|o| self.live[o.index])
+            .collect()
+    }
+}
+
+/// Graph-based RED decision (see module docs).
+pub fn reduce(spec: &Spec, completed: &CompletedSchedule) -> ReductionOutcome {
+    let n = completed.ops.len();
+    let mut live = vec![true; n];
+    let oracle = spec.oracle();
+    if n == 0 {
+        return ReductionOutcome {
+            reducible: true,
+            cancelled_pairs: Vec::new(),
+            removed_effect_free: Vec::new(),
+            live,
+            process_graph: ProcessGraph::new(),
+        };
+    }
+    let reach = completed.order.reachability();
+
+    // Rule 3: effect-free activities of processes that do not commit in S.
+    let mut removed_effect_free = Vec::new();
+    for op in &completed.ops {
+        if !completed.committed_in_s.contains(&op.gid.process)
+            && spec.catalog.is_effect_free(op.service)
+        {
+            live[op.index] = false;
+            removed_effect_free.push(op.index);
+        }
+    }
+
+    // Rule 2 (+1): cancel compensation pairs whose ≪̃-interval contains no
+    // live conflicting operation; iterate to fixpoint (cancelling an inner
+    // pair can free an enclosing one).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut fwd_of: BTreeMap<crate::ids::GlobalActivityId, usize> = BTreeMap::new();
+    for op in &completed.ops {
+        if op.kind == OpKind::Forward {
+            fwd_of.insert(op.gid, op.index);
+        }
+    }
+    for op in &completed.ops {
+        if op.kind == OpKind::Compensation {
+            if let Some(&f) = fwd_of.get(&op.gid) {
+                debug_assert!(reach.lt(f, op.index));
+                pairs.push((f, op.index));
+            }
+        }
+    }
+    let mut cancelled_pairs = Vec::new();
+    loop {
+        let mut changed = false;
+        for &(f, c) in &pairs {
+            if !live[f] || !live[c] {
+                continue;
+            }
+            let service = completed.ops[f].service;
+            let blocked = (0..n).any(|k| {
+                k != f
+                    && k != c
+                    && live[k]
+                    && oracle.conflict(completed.ops[k].service, service)
+                    && reach.between(f, k, c)
+            });
+            if !blocked {
+                live[f] = false;
+                live[c] = false;
+                cancelled_pairs.push((f, c));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Rule 1 closure: the remaining operations are serializable iff the
+    // process-level conflict graph is acyclic.
+    let process_graph = process_graph_ordered(spec, &completed.ops, &reach, &live);
+    let reducible = process_graph.is_acyclic();
+    ReductionOutcome {
+        reducible,
+        cancelled_pairs,
+        removed_effect_free,
+        live,
+        process_graph,
+    }
+}
+
+/// Whether a history is reducible: builds `S̃` and decides RED.
+pub fn is_reducible(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    let completed = crate::completion::complete(spec, schedule)?;
+    Ok(reduce(spec, &completed).reducible)
+}
+
+/// Result of the exhaustive rule-based reduction search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExhaustiveOutcome {
+    /// A serial schedule was reached; contains the operation indices of one
+    /// witnessing serial arrangement.
+    Reducible(Vec<usize>),
+    /// The full reachable state space was explored without finding a serial
+    /// arrangement.
+    NotReducible,
+    /// The state cap was hit before the search completed.
+    Inconclusive,
+}
+
+/// Faithful rule-rewriting search for a serial arrangement of `S̃`
+/// (exponential; small schedules only).
+///
+/// States are sequences of live operation indices starting from a linear
+/// extension of `≪̃_S`. Transitions: swap adjacent commuting operations of
+/// different processes, drop an adjacent `⟨a, a⁻¹⟩` pair, drop an effect-free
+/// operation of a process that does not commit in `S`. Goal: each process's
+/// operations contiguous.
+pub fn reduce_exhaustive(
+    spec: &Spec,
+    completed: &CompletedSchedule,
+    max_states: usize,
+) -> ExhaustiveOutcome {
+    let oracle = spec.oracle();
+    let ops = &completed.ops;
+    let Some(initial) = completed.order.topological_order() else {
+        return ExhaustiveOutcome::NotReducible;
+    };
+
+    let is_serial = |seq: &[usize]| -> bool {
+        let mut seen_done: HashSet<crate::ids::ProcessId> = HashSet::new();
+        let mut current: Option<crate::ids::ProcessId> = None;
+        for &i in seq {
+            let p = ops[i].gid.process;
+            if Some(p) != current {
+                if seen_done.contains(&p) {
+                    return false;
+                }
+                if let Some(c) = current {
+                    seen_done.insert(c);
+                }
+                current = Some(p);
+            }
+        }
+        true
+    };
+
+    let mut visited: HashSet<Vec<usize>> = HashSet::new();
+    let mut queue: VecDeque<Vec<usize>> = VecDeque::new();
+    visited.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(seq) = queue.pop_front() {
+        if is_serial(&seq) {
+            return ExhaustiveOutcome::Reducible(seq);
+        }
+        if visited.len() > max_states {
+            return ExhaustiveOutcome::Inconclusive;
+        }
+        // Rule 3: remove an effect-free op of a non-committing process.
+        for (pos, &i) in seq.iter().enumerate() {
+            if !completed.committed_in_s.contains(&ops[i].gid.process)
+                && spec.catalog.is_effect_free(ops[i].service)
+            {
+                let mut next = seq.clone();
+                next.remove(pos);
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        for pos in 0..seq.len().saturating_sub(1) {
+            let (i, j) = (seq[pos], seq[pos + 1]);
+            let (x, y) = (&ops[i], &ops[j]);
+            // Rule 2: adjacent compensation pair.
+            if x.gid == y.gid && x.kind == OpKind::Forward && y.kind == OpKind::Compensation {
+                let mut next = seq.clone();
+                next.remove(pos + 1);
+                next.remove(pos);
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+            // Rule 1: swap adjacent commuting ops of different processes.
+            if x.gid.process != y.gid.process && oracle.commute(x.service, y.service) {
+                let mut next = seq.clone();
+                next.swap(pos, pos + 1);
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    ExhaustiveOutcome::NotReducible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completion::complete;
+    use crate::fixtures;
+    use crate::ids::ProcessId;
+    use crate::schedule::Schedule;
+
+    fn st2(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    fn st1(fx: &fixtures::PaperWorld) -> Schedule {
+        // Prefix of Figure 4(a) at t1: a1_1 a2_1 a2_2 a2_3 a2_4.
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4));
+        s
+    }
+
+    #[test]
+    fn example_6_st2_is_reducible() {
+        // Example 6: only a1_3/a1_3⁻¹ cancel, the rest serializes P₁ → P₂.
+        let fx = fixtures::paper_world();
+        let completed = complete(&fx.spec, &st2(&fx)).unwrap();
+        let outcome = reduce(&fx.spec, &completed);
+        assert!(outcome.reducible);
+        assert_eq!(outcome.cancelled_pairs.len(), 1);
+        let (f, c) = outcome.cancelled_pairs[0];
+        assert_eq!(completed.ops[f].gid, fx.a(1, 3));
+        assert_eq!(completed.ops[c].gid, fx.a(1, 3));
+        // The reduced schedule serializes P₁ before P₂.
+        let order = outcome.process_graph.topological_order().unwrap();
+        assert_eq!(order, vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn example_8_st1_is_not_reducible() {
+        // Example 8: completing S_t1 creates the cycle
+        // a1_1 ≪ a2_1 ≪ a1_1⁻¹ which no rule can eliminate.
+        let fx = fixtures::paper_world();
+        let completed = complete(&fx.spec, &st1(&fx)).unwrap();
+        let outcome = reduce(&fx.spec, &completed);
+        assert!(!outcome.reducible);
+        // The compensation pair (a1_1, a1_1⁻¹) must NOT cancel: a2_1 blocks.
+        assert!(outcome
+            .cancelled_pairs
+            .iter()
+            .all(|&(f, _)| completed.ops[f].gid != fx.a(1, 1)));
+    }
+
+    #[test]
+    fn exhaustive_agrees_on_example_6() {
+        let fx = fixtures::paper_world();
+        let completed = complete(&fx.spec, &st2(&fx)).unwrap();
+        let outcome = reduce_exhaustive(&fx.spec, &completed, 500_000);
+        assert!(matches!(outcome, ExhaustiveOutcome::Reducible(_)));
+    }
+
+    #[test]
+    fn exhaustive_agrees_on_example_8() {
+        let fx = fixtures::paper_world();
+        let completed = complete(&fx.spec, &st1(&fx)).unwrap();
+        let outcome = reduce_exhaustive(&fx.spec, &completed, 500_000);
+        assert_eq!(outcome, ExhaustiveOutcome::NotReducible);
+    }
+
+    #[test]
+    fn committed_serial_schedule_is_reducible() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        for k in 1..=4 {
+            s.execute(fx.a(1, k));
+        }
+        s.commit(ProcessId(1));
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        s.commit(ProcessId(2));
+        assert!(is_reducible(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn non_serializable_schedule_is_not_reducible() {
+        // Figure 4(b): cyclic conflicts survive completion.
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3));
+        assert!(!is_reducible(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn empty_schedule_is_reducible() {
+        let fx = fixtures::paper_world();
+        assert!(is_reducible(&fx.spec, &Schedule::new()).unwrap());
+    }
+
+    #[test]
+    fn effect_free_rule_removes_reads_of_aborted_processes() {
+        use crate::activity::Catalog;
+        use crate::conflict::ConflictMatrix;
+        use crate::ids::{ActivityId, GlobalActivityId};
+        use crate::process::ProcessBuilder;
+        use crate::spec::Spec;
+        let mut cat = Catalog::new();
+        let read = cat.retriable("read");
+        cat.mark_effect_free(read).unwrap();
+        let (w, _) = cat.compensatable("w");
+        let mut m = ConflictMatrix::new(&cat);
+        m.declare_conflict(&cat, read, w).unwrap();
+        let mut b = ProcessBuilder::new(ProcessId(1), "R");
+        b.activity("r0", read);
+        let pr = b.build(&cat).unwrap();
+        let mut b = ProcessBuilder::new(ProcessId(2), "W");
+        b.activity("w0", w);
+        let pw = b.build(&cat).unwrap();
+        let mut spec = Spec::new(cat, m);
+        spec.add_process(pr);
+        spec.add_process(pw);
+        let mut s = Schedule::new();
+        s.execute(GlobalActivityId::new(ProcessId(1), ActivityId(0)));
+        s.execute(GlobalActivityId::new(ProcessId(2), ActivityId(0)));
+        s.commit(ProcessId(2));
+        // P1 stays active; its read is effect-free and vanishes by rule 3.
+        let completed = complete(&spec, &s).unwrap();
+        let outcome = reduce(&spec, &completed);
+        assert!(outcome.reducible);
+        assert_eq!(outcome.removed_effect_free.len(), 1);
+    }
+
+    #[test]
+    fn live_ops_exposes_survivors() {
+        let fx = fixtures::paper_world();
+        let completed = complete(&fx.spec, &st2(&fx)).unwrap();
+        let outcome = reduce(&fx.spec, &completed);
+        let live = outcome.live_ops(&completed);
+        assert_eq!(live.len(), completed.ops.len() - 2);
+    }
+
+    #[test]
+    fn nested_compensation_pairs_cancel() {
+        // One process writes w1 then w2, then aborts: completion compensates
+        // w2 then w1; both pairs must cancel (inner first).
+        use crate::activity::Catalog;
+        use crate::conflict::ConflictMatrix;
+        use crate::ids::{ActivityId, GlobalActivityId};
+        use crate::process::ProcessBuilder;
+        use crate::spec::Spec;
+        let mut cat = Catalog::new();
+        let (w1, _) = cat.compensatable("w1");
+        let (w2, _) = cat.compensatable("w2");
+        let mut m = ConflictMatrix::new(&cat);
+        m.declare_self_conflict(&cat, w1).unwrap();
+        m.declare_self_conflict(&cat, w2).unwrap();
+        m.declare_conflict(&cat, w1, w2).unwrap();
+        let mut b = ProcessBuilder::new(ProcessId(1), "N");
+        let x0 = b.activity("x0", w1);
+        let x1 = b.activity("x1", w2);
+        b.precede(x0, x1);
+        let p = b.build(&cat).unwrap();
+        let mut spec = Spec::new(cat, m);
+        spec.add_process(p);
+        let mut s = Schedule::new();
+        s.execute(GlobalActivityId::new(ProcessId(1), ActivityId(0)));
+        s.execute(GlobalActivityId::new(ProcessId(1), ActivityId(1)));
+        let completed = complete(&spec, &s).unwrap();
+        let outcome = reduce(&spec, &completed);
+        assert!(outcome.reducible);
+        assert_eq!(outcome.cancelled_pairs.len(), 2);
+        assert!(outcome.live.iter().all(|&l| !l));
+    }
+}

@@ -1,0 +1,285 @@
+//! Conflict-graph serializability of process schedules (§3.2).
+//!
+//! A process schedule is serializable when it is conflict-equivalent to a
+//! serial execution of its processes, i.e. when the process-level conflict
+//! graph — one edge `P_i → P_j` per conflicting activity pair ordered
+//! `a_{i_k} ≪_S a_{j_l}` — is acyclic \[BHG87\].
+
+use crate::error::ScheduleError;
+use crate::ids::ProcessId;
+use crate::order::Reachability;
+use crate::schedule::{Op, Schedule};
+use crate::spec::Spec;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Process-level conflict graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessGraph {
+    nodes: BTreeSet<ProcessId>,
+    edges: BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl ProcessGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node.
+    pub fn add_node(&mut self, p: ProcessId) {
+        self.nodes.insert(p);
+    }
+
+    /// Adds the dependency `from → to`.
+    pub fn add_edge(&mut self, from: ProcessId, to: ProcessId) {
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        if from != to {
+            self.edges.insert((from, to));
+        }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Whether the edge exists.
+    pub fn has_edge(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Topological order over the nodes, or `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<ProcessId>> {
+        let mut indeg: BTreeMap<ProcessId, usize> =
+            self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut succ: BTreeMap<ProcessId, Vec<ProcessId>> = BTreeMap::new();
+        for &(a, b) in &self.edges {
+            *indeg.get_mut(&b).expect("edge endpoint registered") += 1;
+            succ.entry(a).or_default().push(b);
+        }
+        let mut queue: VecDeque<ProcessId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for &m in succ.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let d = indeg.get_mut(&m).expect("registered");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(m);
+                }
+            }
+        }
+        (out.len() == self.nodes.len()).then_some(out)
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+}
+
+/// Builds the conflict graph of a *linear* operation history: conflicting
+/// cross-process operations are ordered by position.
+pub fn process_graph_linear(spec: &Spec, ops: &[Op]) -> ProcessGraph {
+    let oracle = spec.oracle();
+    let mut g = ProcessGraph::new();
+    for op in ops {
+        g.add_node(op.gid.process);
+    }
+    for (i, x) in ops.iter().enumerate() {
+        for y in &ops[i + 1..] {
+            if x.gid.process != y.gid.process && oracle.conflict(x.service, y.service) {
+                g.add_edge(x.gid.process, y.gid.process);
+            }
+        }
+    }
+    g
+}
+
+/// Builds the conflict graph of operations under an explicit partial order
+/// (used for completed schedules), restricted to `live` operations.
+pub fn process_graph_ordered(
+    spec: &Spec,
+    ops: &[Op],
+    reach: &Reachability,
+    live: &[bool],
+) -> ProcessGraph {
+    let oracle = spec.oracle();
+    let mut g = ProcessGraph::new();
+    for (i, op) in ops.iter().enumerate() {
+        if live[i] {
+            g.add_node(op.gid.process);
+        }
+    }
+    for (i, x) in ops.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        for (j, y) in ops.iter().enumerate().skip(i + 1) {
+            if !live[j] || x.gid.process == y.gid.process {
+                continue;
+            }
+            if !oracle.conflict(x.service, y.service) {
+                continue;
+            }
+            if reach.lt(i, j) {
+                g.add_edge(x.gid.process, y.gid.process);
+            } else if reach.lt(j, i) {
+                g.add_edge(y.gid.process, x.gid.process);
+            } else {
+                debug_assert!(
+                    false,
+                    "conflicting operations {x} and {y} must be ordered (Definition 8.3)"
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Whether a schedule is serializable (§3.2): its process-level conflict
+/// graph is acyclic.
+pub fn is_serializable(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    let ops = schedule.ops(spec)?;
+    Ok(process_graph_linear(spec, &ops).is_acyclic())
+}
+
+/// Whether the *committed projection* of a schedule is serializable — the
+/// notion used by Theorem 1's proof ("a conflict cycle has to exist ... in
+/// the committed projection of S"). The projection keeps the effective
+/// operations of committed processes: compensating activities and the
+/// activities they cancelled are effect-free pairs and drop out.
+pub fn is_serializable_committed(spec: &Spec, schedule: &Schedule) -> Result<bool, ScheduleError> {
+    let replay = schedule.replay(spec)?;
+    let compensated: std::collections::BTreeSet<_> = replay
+        .ops
+        .iter()
+        .filter(|o| o.kind == crate::schedule::OpKind::Compensation)
+        .map(|o| o.gid)
+        .collect();
+    let ops: Vec<Op> = replay
+        .ops
+        .iter()
+        .filter(|o| {
+            replay.commit_event.contains_key(&o.gid.process)
+                && o.kind == crate::schedule::OpKind::Forward
+                && !compensated.contains(&o.gid)
+        })
+        .copied()
+        .collect();
+    Ok(process_graph_linear(spec, &ops).is_acyclic())
+}
+
+/// A serialization order of the schedule's processes, or `None` when not
+/// serializable.
+pub fn serialization_order(
+    spec: &Spec,
+    schedule: &Schedule,
+) -> Result<Option<Vec<ProcessId>>, ScheduleError> {
+    let ops = schedule.ops(spec)?;
+    Ok(process_graph_linear(spec, &ops).topological_order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    /// Figure 4(a) / Example 4: serializable interleaving of P₁ and P₂.
+    fn figure4a(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    /// Figure 4(b) / Example 3: non-serializable interleaving — a2_4
+    /// executes before a1_2, so the conflicts point both ways.
+    fn figure4b(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    #[test]
+    fn example_4_is_serializable() {
+        let fx = fixtures::paper_world();
+        assert!(is_serializable(&fx.spec, &figure4a(&fx)).unwrap());
+        let order = serialization_order(&fx.spec, &figure4a(&fx)).unwrap().unwrap();
+        // Both conflicts point P₁ → P₂: P₁ serializes first.
+        assert_eq!(order, vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn example_3_is_not_serializable() {
+        // Example 3: S'_t2 has cyclic dependencies between P₁ and P₂
+        // (a1_1 ≪ a2_1 gives P₁→P₂, a2_4 ≪ a1_2 gives P₂→P₁).
+        let fx = fixtures::paper_world();
+        assert!(!is_serializable(&fx.spec, &figure4b(&fx)).unwrap());
+        assert!(serialization_order(&fx.spec, &figure4b(&fx)).unwrap().is_none());
+    }
+
+    #[test]
+    fn conflict_graph_edges_match_example_3() {
+        let fx = fixtures::paper_world();
+        let ops = figure4b(&fx).ops(&fx.spec).unwrap();
+        let g = process_graph_linear(&fx.spec, &ops);
+        assert!(g.has_edge(ProcessId(1), ProcessId(2)));
+        assert!(g.has_edge(ProcessId(2), ProcessId(1)));
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn single_process_schedule_trivially_serializable() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        assert!(is_serializable(&fx.spec, &s).unwrap());
+    }
+
+    #[test]
+    fn empty_schedule_serializable() {
+        let fx = fixtures::paper_world();
+        assert!(is_serializable(&fx.spec, &Schedule::new()).unwrap());
+    }
+
+    #[test]
+    fn graph_self_edges_ignored() {
+        let mut g = ProcessGraph::new();
+        g.add_edge(ProcessId(1), ProcessId(1));
+        assert!(g.is_acyclic());
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn three_node_cycle_detected() {
+        let mut g = ProcessGraph::new();
+        g.add_edge(ProcessId(1), ProcessId(2));
+        g.add_edge(ProcessId(2), ProcessId(3));
+        g.add_edge(ProcessId(3), ProcessId(1));
+        assert!(!g.is_acyclic());
+    }
+}

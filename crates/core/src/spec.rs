@@ -1,0 +1,109 @@
+//! The static world a scheduler operates in: the service catalog Â, the
+//! declared commutativity relation, and the registered process definitions.
+
+use crate::activity::Catalog;
+use crate::conflict::{ConflictMatrix, ConflictOracle};
+use crate::error::ModelError;
+use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
+use crate::process::Process;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Catalog + conflict relation + process definitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Spec {
+    /// The global service set Â.
+    pub catalog: Catalog,
+    /// The declared conflict relation over Â.
+    pub conflicts: ConflictMatrix,
+    processes: BTreeMap<ProcessId, Process>,
+}
+
+impl Spec {
+    /// Creates a spec without processes.
+    pub fn new(catalog: Catalog, conflicts: ConflictMatrix) -> Self {
+        Self {
+            catalog,
+            conflicts,
+            processes: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a process definition.
+    pub fn add_process(&mut self, process: Process) {
+        self.processes.insert(process.id, process);
+    }
+
+    /// Looks up a process.
+    pub fn process(&self, id: ProcessId) -> Result<&Process, ModelError> {
+        self.processes.get(&id).ok_or(ModelError::UnknownProcess(id))
+    }
+
+    /// Iterates over registered processes in id order.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The conflict oracle view.
+    pub fn oracle(&self) -> ConflictOracle<'_> {
+        ConflictOracle::new(&self.catalog, &self.conflicts)
+    }
+
+    /// The service invoked by a (validated) global activity id.
+    pub fn service_of(&self, gid: GlobalActivityId) -> Result<ServiceId, ModelError> {
+        let p = self.process(gid.process)?;
+        if gid.activity.index() >= p.len() {
+            return Err(ModelError::UnknownActivity(gid));
+        }
+        Ok(p.service(gid.activity))
+    }
+
+    /// Whether two global activities conflict, honouring perfect
+    /// commutativity (the query may reference either the base or the
+    /// compensating side of each activity via `comp` flags).
+    pub fn activities_conflict(
+        &self,
+        a: GlobalActivityId,
+        b: GlobalActivityId,
+    ) -> Result<bool, ModelError> {
+        let (sa, sb) = (self.service_of(a)?, self.service_of(b)?);
+        Ok(self.conflicts.conflict(&self.catalog, sa, sb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::ActivityId;
+
+    #[test]
+    fn paper_world_registers_three_processes() {
+        let fx = fixtures::paper_world();
+        assert_eq!(fx.spec.process_count(), 3);
+        assert!(fx.spec.process(ProcessId(1)).is_ok());
+        assert!(fx.spec.process(ProcessId(9)).is_err());
+    }
+
+    #[test]
+    fn declared_conflicts_visible_through_spec() {
+        // Figure 4: (a1_1, a2_1), (a1_2, a2_4), (a1_5, a2_5) do not commute.
+        let fx = fixtures::paper_world();
+        assert!(fx.spec.activities_conflict(fx.a(1, 1), fx.a(2, 1)).unwrap());
+        assert!(fx.spec.activities_conflict(fx.a(1, 2), fx.a(2, 4)).unwrap());
+        assert!(fx.spec.activities_conflict(fx.a(1, 5), fx.a(2, 5)).unwrap());
+        assert!(!fx.spec.activities_conflict(fx.a(1, 3), fx.a(2, 2)).unwrap());
+    }
+
+    #[test]
+    fn unknown_activity_rejected() {
+        let fx = fixtures::paper_world();
+        let bogus = GlobalActivityId::new(ProcessId(1), ActivityId(40));
+        assert!(fx.spec.service_of(bogus).is_err());
+    }
+}

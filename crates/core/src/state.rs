@@ -1,0 +1,814 @@
+//! Per-process execution state machine: tracks one process through commits,
+//! failures, alternative switching, and recovery (§3.1).
+//!
+//! The machine owns the paper's operational semantics:
+//!
+//! * the precedence order `≪` is temporal: an activity only starts after its
+//!   predecessor committed,
+//! * on a failure, execution falls back to the deepest reachable choice point
+//!   (compensating the committed compensatable activities after it, in
+//!   reverse order) and continues with the next preferred alternative,
+//! * a process is **backward-recoverable** (`B-REC`) until its
+//!   state-determining activity — the first non-compensatable activity to
+//!   commit — and **forward-recoverable** (`F-REC`) afterwards,
+//! * the *completion* `𝒞(P)` (§3.1) is what recovery must execute: in
+//!   `B-REC` the backward recovery path (compensations in reverse order), in
+//!   `F-REC` local backward recovery to the last state-determining element
+//!   followed by the lowest-priority (all-retriable) forward path.
+
+use crate::activity::{Catalog, Termination};
+use crate::error::ScheduleError;
+use crate::flex::FlexError;
+use crate::ids::{ActivityId, GlobalActivityId};
+use crate::process::{Process, Successors};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One effect-leaving step of a process execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExecStep {
+    /// The activity was invoked and committed.
+    Executed(ActivityId),
+    /// The activity's compensating activity was invoked and committed.
+    Compensated(ActivityId),
+}
+
+/// Lifecycle of a process inside a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessStatus {
+    /// Still executing (possibly mid-recovery).
+    Active,
+    /// Terminated with commit `C_i`.
+    Committed,
+    /// Terminated with abort `A_i` (its completion has been fully executed).
+    Aborted,
+}
+
+/// The recovery class of an active process (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryClass {
+    /// Backward-recoverable: no non-compensatable activity committed yet.
+    BRec,
+    /// Forward-recoverable: the state-determining activity committed.
+    FRec,
+}
+
+/// Result of [`ProcessState::apply_failure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// Execution falls back to an alternative: the listed compensations run
+    /// first (in order), then execution resumes at `resume`.
+    Alternative {
+        /// Compensations to execute, in (reverse) order.
+        compensations: Vec<ActivityId>,
+        /// First activity of the next alternative branch.
+        resume: ActivityId,
+    },
+    /// No alternative is reachable but the process is still `B-REC`: the
+    /// whole process aborts backward with the listed compensations.
+    ProcessAbort {
+        /// Compensations to execute, in (reverse) order.
+        compensations: Vec<ActivityId>,
+    },
+    /// No alternative is reachable and the process is `F-REC`: termination is
+    /// not guaranteed. Only possible for processes that fail the
+    /// [`FlexAnalysis`](crate::flex::FlexAnalysis) check.
+    Stuck,
+}
+
+/// The completion `𝒞(P_i)` of a process (§3.1): the activities recovery must
+/// execute to terminate it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Compensating activities, in execution order (reverse commit order of
+    /// their base activities — Lemma 2).
+    pub compensations: Vec<ActivityId>,
+    /// Forward recovery path (empty in `B-REC`).
+    pub forward: Vec<ActivityId>,
+    /// Whether every forward activity is retriable, i.e. the completion is
+    /// guaranteed to succeed. Always `true` for strictly well-formed
+    /// processes.
+    pub guaranteed: bool,
+}
+
+impl Completion {
+    /// Whether the completion has nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.compensations.is_empty() && self.forward.is_empty()
+    }
+
+    /// Total number of completion activities.
+    pub fn len(&self) -> usize {
+        self.compensations.len() + self.forward.len()
+    }
+}
+
+/// Execution state of one process.
+#[derive(Debug, Clone)]
+pub struct ProcessState<'a> {
+    process: &'a Process,
+    catalog: &'a Catalog,
+    status: ProcessStatus,
+    /// Effect-leaving steps in order.
+    steps: Vec<ExecStep>,
+    /// Commit order of committed activities (compensated ones retained).
+    exec_order: Vec<ActivityId>,
+    committed: Vec<bool>,
+    compensated: Vec<bool>,
+    /// Per choice node: index of the branch currently being tried.
+    branch_taken: Vec<Option<usize>>,
+    /// Next activity to execute (None: path end reached).
+    frontier: Option<ActivityId>,
+    /// Last committed (and not compensated) non-compensatable activity: the
+    /// current state-determining element / recovery boundary.
+    last_ncp: Option<ActivityId>,
+    /// Compensations that must execute before anything else.
+    pending_compensations: VecDeque<ActivityId>,
+    /// Where execution resumes once pending compensations are flushed.
+    resume: Option<ActivityId>,
+    /// Whether a process-level abort is in progress.
+    abort_requested: bool,
+}
+
+impl<'a> ProcessState<'a> {
+    /// Creates the initial state. Requires a tree-structured process without
+    /// parallel splits (see [`FlexError`]).
+    pub fn new(process: &'a Process, catalog: &'a Catalog) -> Result<Self, FlexError> {
+        let root = process.root().ok_or(FlexError::NotATree)?;
+        if !process.is_tree() {
+            return Err(FlexError::NotATree);
+        }
+        for (id, _) in process.iter() {
+            if matches!(process.successors(id), Successors::Parallel(_)) {
+                return Err(FlexError::ParallelUnsupported(id));
+            }
+        }
+        let n = process.len();
+        Ok(Self {
+            process,
+            catalog,
+            status: ProcessStatus::Active,
+            steps: Vec::new(),
+            exec_order: Vec::new(),
+            committed: vec![false; n],
+            compensated: vec![false; n],
+            branch_taken: vec![None; n],
+            frontier: Some(root),
+            last_ncp: None,
+            pending_compensations: VecDeque::new(),
+            resume: None,
+            abort_requested: false,
+        })
+    }
+
+    /// The process being executed.
+    pub fn process(&self) -> &'a Process {
+        self.process
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> ProcessStatus {
+        self.status
+    }
+
+    /// Whether the process is still active.
+    pub fn is_active(&self) -> bool {
+        self.status == ProcessStatus::Active
+    }
+
+    /// Whether the process executed at least one effect-leaving step.
+    pub fn has_started(&self) -> bool {
+        !self.steps.is_empty()
+    }
+
+    /// The recovery class (§3.1): `F-REC` once a non-compensatable activity
+    /// committed, `B-REC` before.
+    pub fn recovery_class(&self) -> RecoveryClass {
+        if self.last_ncp.is_some() {
+            RecoveryClass::FRec
+        } else {
+            RecoveryClass::BRec
+        }
+    }
+
+    /// The current state-determining element `s_{i_k}` — the last committed
+    /// non-compensatable activity, if any.
+    pub fn state_determining(&self) -> Option<ActivityId> {
+        self.last_ncp
+    }
+
+    /// All effect-leaving steps so far, in order.
+    pub fn steps(&self) -> &[ExecStep] {
+        &self.steps
+    }
+
+    /// Whether an activity committed and has not been compensated.
+    pub fn is_effective(&self, a: ActivityId) -> bool {
+        self.committed[a.index()] && !self.compensated[a.index()]
+    }
+
+    /// The next regular activity eligible for invocation, or `None` when the
+    /// path end is reached, compensations are pending, or the process
+    /// terminated.
+    pub fn next_activity(&self) -> Option<ActivityId> {
+        if self.status != ProcessStatus::Active || !self.pending_compensations.is_empty() {
+            return None;
+        }
+        self.frontier
+    }
+
+    /// The next pending compensation, if recovery is in progress.
+    pub fn next_compensation(&self) -> Option<ActivityId> {
+        if self.status != ProcessStatus::Active {
+            return None;
+        }
+        self.pending_compensations.front().copied()
+    }
+
+    /// Whether a process-level abort is in progress (the machine is
+    /// executing its completion).
+    pub fn abort_in_progress(&self) -> bool {
+        self.abort_requested && self.status == ProcessStatus::Active
+    }
+
+    /// Whether the process finished a valid execution path and may commit.
+    pub fn can_commit(&self) -> bool {
+        self.status == ProcessStatus::Active
+            && self.frontier.is_none()
+            && self.pending_compensations.is_empty()
+            && !self.abort_requested
+    }
+
+    fn gid(&self, a: ActivityId) -> GlobalActivityId {
+        GlobalActivityId::new(self.process.id, a)
+    }
+
+    fn termination(&self, a: ActivityId) -> Termination {
+        self.catalog.termination(self.process.service(a))
+    }
+
+    /// Records the successful commit of the frontier activity and advances.
+    pub fn apply_commit(&mut self, a: ActivityId) -> Result<(), ScheduleError> {
+        if self.status != ProcessStatus::Active {
+            return Err(ScheduleError::ProcessAlreadyTerminated(self.process.id));
+        }
+        if !self.pending_compensations.is_empty() {
+            return Err(ScheduleError::PrecedenceViolation { activity: self.gid(a) });
+        }
+        if self.committed[a.index()] {
+            return Err(ScheduleError::DuplicateInvocation(self.gid(a)));
+        }
+        if self.frontier != Some(a) {
+            return Err(ScheduleError::NotOnActiveBranch(self.gid(a)));
+        }
+        self.committed[a.index()] = true;
+        self.exec_order.push(a);
+        self.steps.push(ExecStep::Executed(a));
+        if !self.termination(a).is_compensatable() {
+            self.last_ncp = Some(a);
+        }
+        self.frontier = match self.process.successors(a) {
+            Successors::None => None,
+            Successors::Seq(y) => Some(*y),
+            Successors::Alternatives(branches) => {
+                // Respect a branch pre-selected by a process-level abort
+                // (forward recovery takes the lowest-priority alternative).
+                let idx = self.branch_taken[a.index()].unwrap_or(0);
+                self.branch_taken[a.index()] = Some(idx);
+                Some(branches[idx])
+            }
+            Successors::Parallel(_) => unreachable!("rejected at construction"),
+        };
+        if self.frontier.is_none() && self.abort_requested {
+            self.status = ProcessStatus::Aborted;
+        }
+        Ok(())
+    }
+
+    /// Records the definitive failure of the frontier activity
+    /// (Definition 4) and computes how execution continues.
+    pub fn apply_failure(&mut self, a: ActivityId) -> Result<FailureOutcome, ScheduleError> {
+        if self.status != ProcessStatus::Active {
+            return Err(ScheduleError::ProcessAlreadyTerminated(self.process.id));
+        }
+        if self.frontier != Some(a) || !self.pending_compensations.is_empty() {
+            return Err(ScheduleError::NotOnActiveBranch(self.gid(a)));
+        }
+        if !self.termination(a).can_fail() {
+            return Err(ScheduleError::RetriableCannotFail(self.gid(a)));
+        }
+        // Scan the committed, not-yet-compensated activities from newest back
+        // to the recovery boundary for a choice point with an untried branch.
+        let boundary_pos = self.boundary_position();
+        let effective: Vec<(usize, ActivityId)> = self
+            .exec_order
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| self.is_effective(x))
+            .map(|(i, &x)| (i, x))
+            .collect();
+        for &(pos, x) in effective.iter().rev() {
+            if (pos as isize) < boundary_pos {
+                break;
+            }
+            if let Successors::Alternatives(branches) = self.process.successors(x) {
+                let tried = self.branch_taken[x.index()].unwrap_or(0);
+                if tried + 1 < branches.len() {
+                    // Compensate everything committed strictly after x.
+                    let comps: Vec<ActivityId> = effective
+                        .iter()
+                        .filter(|&&(p, _)| p > pos)
+                        .map(|&(_, y)| y)
+                        .rev()
+                        .collect();
+                    debug_assert!(comps
+                        .iter()
+                        .all(|&y| self.termination(y).is_compensatable()));
+                    let next = branches[tried + 1];
+                    self.branch_taken[x.index()] = Some(tried + 1);
+                    self.pending_compensations = comps.iter().copied().collect();
+                    self.resume = Some(next);
+                    if self.pending_compensations.is_empty() {
+                        self.frontier = self.resume.take();
+                    } else {
+                        self.frontier = None;
+                    }
+                    return Ok(FailureOutcome::Alternative {
+                        compensations: comps,
+                        resume: next,
+                    });
+                }
+            }
+        }
+        if self.last_ncp.is_none() {
+            // B-REC: abort the whole process backward.
+            let comps: Vec<ActivityId> = effective.iter().map(|&(_, y)| y).rev().collect();
+            self.pending_compensations = comps.iter().copied().collect();
+            self.resume = None;
+            self.frontier = None;
+            self.abort_requested = true;
+            if self.pending_compensations.is_empty() {
+                self.status = ProcessStatus::Aborted;
+            }
+            return Ok(FailureOutcome::ProcessAbort { compensations: comps });
+        }
+        Ok(FailureOutcome::Stuck)
+    }
+
+    /// Position (in commit order) of the recovery boundary, or -1.
+    fn boundary_position(&self) -> isize {
+        match self.last_ncp {
+            None => -1,
+            Some(b) => self
+                .exec_order
+                .iter()
+                .position(|&x| x == b)
+                .map(|p| p as isize)
+                .expect("boundary is committed"),
+        }
+    }
+
+    /// Records the commit of the next pending compensating activity.
+    pub fn apply_compensation(&mut self, a: ActivityId) -> Result<(), ScheduleError> {
+        if self.status != ProcessStatus::Active {
+            return Err(ScheduleError::ProcessAlreadyTerminated(self.process.id));
+        }
+        if self.pending_compensations.front() != Some(&a) {
+            return Err(ScheduleError::InvalidCompensation(self.gid(a)));
+        }
+        self.pending_compensations.pop_front();
+        self.compensated[a.index()] = true;
+        self.steps.push(ExecStep::Compensated(a));
+        if self.pending_compensations.is_empty() {
+            self.frontier = self.resume.take();
+            if self.frontier.is_none() && self.abort_requested {
+                self.status = ProcessStatus::Aborted;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies all pending compensations (test/enumeration convenience).
+    pub fn run_pending_compensations(&mut self) {
+        while let Some(a) = self.pending_compensations.front().copied() {
+            self.apply_compensation(a).expect("pending compensation is legal");
+        }
+    }
+
+    /// Commits the process (`C_i`). Only legal after a valid execution path
+    /// completed.
+    pub fn apply_process_commit(&mut self) -> Result<(), ScheduleError> {
+        if !self.can_commit() {
+            return Err(ScheduleError::PrematureCommit(self.process.id));
+        }
+        self.status = ProcessStatus::Committed;
+        Ok(())
+    }
+
+    /// Requests a process abort (`A_i`), switching the machine into executing
+    /// its completion `𝒞(P)`. Returns the completion that must now run:
+    /// compensations first (already queued), then the forward activities
+    /// (which become the frontier path).
+    pub fn apply_process_abort(&mut self) -> Result<Completion, ScheduleError> {
+        if self.status != ProcessStatus::Active {
+            return Err(ScheduleError::ProcessAlreadyTerminated(self.process.id));
+        }
+        let completion = self.completion();
+        self.abort_requested = true;
+        self.pending_compensations = completion.compensations.iter().copied().collect();
+        match self.last_ncp {
+            None => {
+                // B-REC: pure backward recovery.
+                self.resume = None;
+                self.frontier = None;
+            }
+            Some(boundary) => {
+                // F-REC: after local backward recovery, take the
+                // lowest-priority alternative at every choice point.
+                self.preselect_fallback_branches(boundary);
+                self.resume = completion.forward.first().copied();
+                self.frontier = None;
+            }
+        }
+        if self.pending_compensations.is_empty() {
+            self.frontier = self.resume.take();
+        }
+        if self.frontier.is_none() && self.pending_compensations.is_empty() {
+            self.status = ProcessStatus::Aborted;
+        }
+        Ok(completion)
+    }
+
+    /// Marks the lowest-priority branch as taken at every choice point along
+    /// the forward recovery path from `boundary`.
+    fn preselect_fallback_branches(&mut self, boundary: ActivityId) {
+        let mut cur = boundary;
+        loop {
+            match self.process.successors(cur) {
+                Successors::None => break,
+                Successors::Seq(y) => cur = *y,
+                Successors::Alternatives(branches) => {
+                    let last = branches.len() - 1;
+                    self.branch_taken[cur.index()] = Some(last);
+                    cur = branches[last];
+                }
+                Successors::Parallel(_) => unreachable!("rejected at construction"),
+            }
+        }
+    }
+
+    /// Computes the completion `𝒞(P_i)` for the current state (§3.1) without
+    /// mutating the machine.
+    ///
+    /// * `B-REC`: all committed activities compensated in reverse order.
+    /// * `F-REC`: committed compensatables after the last state-determining
+    ///   element compensated in reverse order, then the lowest-priority
+    ///   forward path from that element.
+    ///
+    /// A terminated process has an empty completion.
+    pub fn completion(&self) -> Completion {
+        if self.status != ProcessStatus::Active {
+            return Completion {
+                compensations: Vec::new(),
+                forward: Vec::new(),
+                guaranteed: true,
+            };
+        }
+        let boundary_pos = self.boundary_position();
+        let mut compensations: Vec<ActivityId> = self
+            .exec_order
+            .iter()
+            .enumerate()
+            .filter(|(p, &x)| (*p as isize) > boundary_pos && self.is_effective(x))
+            .map(|(_, &x)| x)
+            .collect();
+        compensations.reverse();
+        // Include compensations already queued but not yet applied: they are
+        // part of what recovery still must execute. (They are exactly the
+        // effective activities after the boundary, so the filter above
+        // already covers them.)
+        let mut forward = Vec::new();
+        let mut guaranteed = true;
+        if let Some(boundary) = self.last_ncp {
+            let mut cur = boundary;
+            loop {
+                match self.process.successors(cur) {
+                    Successors::None => break,
+                    Successors::Seq(y) => {
+                        cur = *y;
+                        self.push_forward(cur, &mut forward, &mut guaranteed);
+                    }
+                    Successors::Alternatives(branches) => {
+                        cur = *branches.last().expect("non-empty alternatives");
+                        self.push_forward(cur, &mut forward, &mut guaranteed);
+                    }
+                    Successors::Parallel(_) => unreachable!("rejected at construction"),
+                }
+            }
+        }
+        Completion {
+            compensations,
+            forward,
+            guaranteed,
+        }
+    }
+
+    fn push_forward(&self, a: ActivityId, forward: &mut Vec<ActivityId>, guaranteed: &mut bool) {
+        forward.push(a);
+        if self.termination(a) != Termination::Retriable {
+            *guaranteed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn a(i: u32) -> ActivityId {
+        ActivityId(i)
+    }
+
+    #[test]
+    fn happy_path_commits() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        assert_eq!(st.recovery_class(), RecoveryClass::BRec);
+        for i in 0..4 {
+            assert_eq!(st.next_activity(), Some(a(i)));
+            st.apply_commit(a(i)).unwrap();
+        }
+        assert_eq!(st.recovery_class(), RecoveryClass::FRec);
+        assert!(st.can_commit());
+        st.apply_process_commit().unwrap();
+        assert_eq!(st.status(), ProcessStatus::Committed);
+        assert_eq!(st.steps().len(), 4);
+    }
+
+    #[test]
+    fn frec_after_pivot() {
+        // Example 2: before a1_2 commits P₁ is B-REC, after it F-REC.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        assert_eq!(st.recovery_class(), RecoveryClass::BRec);
+        st.apply_commit(a(1)).unwrap();
+        assert_eq!(st.recovery_class(), RecoveryClass::FRec);
+        assert_eq!(st.state_determining(), Some(a(1)));
+    }
+
+    #[test]
+    fn completion_in_brec_is_reverse_compensation() {
+        // Example 2: in B-REC after a1_1, 𝒞(P₁) = {a1_1⁻¹}.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        let c = st.completion();
+        assert_eq!(c.compensations, vec![a(0)]);
+        assert!(c.forward.is_empty());
+        assert!(c.guaranteed);
+    }
+
+    #[test]
+    fn completion_in_frec_matches_example_2() {
+        // Example 2: after a1_3 committed,
+        // 𝒞(P₁) = {a1_3⁻¹ ≪ a1_5 ≪ a1_6}.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        for i in 0..3 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        let c = st.completion();
+        assert_eq!(c.compensations, vec![a(2)]);
+        assert_eq!(c.forward, vec![a(4), a(5)]);
+        assert!(c.guaranteed);
+    }
+
+    #[test]
+    fn failure_of_pivot_takes_alternative() {
+        // Example 1: a1_4 fails ⇒ compensate a1_3, resume at a1_5.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        for i in 0..3 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        let outcome = st.apply_failure(a(3)).unwrap();
+        assert_eq!(
+            outcome,
+            FailureOutcome::Alternative {
+                compensations: vec![a(2)],
+                resume: a(4),
+            }
+        );
+        assert_eq!(st.next_activity(), None);
+        assert_eq!(st.next_compensation(), Some(a(2)));
+        st.apply_compensation(a(2)).unwrap();
+        assert_eq!(st.next_activity(), Some(a(4)));
+        st.apply_commit(a(4)).unwrap();
+        st.apply_commit(a(5)).unwrap();
+        assert!(st.can_commit());
+    }
+
+    #[test]
+    fn failure_of_compensatable_takes_alternative_without_compensations() {
+        // Example 1: a1_3 fails ⇒ no compensation needed, resume at a1_5.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        st.apply_commit(a(1)).unwrap();
+        let outcome = st.apply_failure(a(2)).unwrap();
+        assert_eq!(
+            outcome,
+            FailureOutcome::Alternative {
+                compensations: vec![],
+                resume: a(4),
+            }
+        );
+        assert_eq!(st.next_activity(), Some(a(4)));
+    }
+
+    #[test]
+    fn failure_before_pivot_aborts_backward() {
+        // a1_2 (the pivot) fails while B-REC ⇒ process abort, compensate a1_1.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        let outcome = st.apply_failure(a(1)).unwrap();
+        assert_eq!(
+            outcome,
+            FailureOutcome::ProcessAbort {
+                compensations: vec![a(0)],
+            }
+        );
+        st.apply_compensation(a(0)).unwrap();
+        assert_eq!(st.status(), ProcessStatus::Aborted);
+        assert_eq!(
+            st.steps(),
+            &[ExecStep::Executed(a(0)), ExecStep::Compensated(a(0))]
+        );
+    }
+
+    #[test]
+    fn failure_of_first_activity_aborts_with_no_effects() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        let outcome = st.apply_failure(a(0)).unwrap();
+        assert_eq!(
+            outcome,
+            FailureOutcome::ProcessAbort {
+                compensations: vec![],
+            }
+        );
+        assert_eq!(st.status(), ProcessStatus::Aborted);
+        assert!(!st.has_started());
+    }
+
+    #[test]
+    fn process_abort_in_frec_runs_completion() {
+        // Abort P₁ after a1_3: compensate a1_3, then run a1_5, a1_6.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        for i in 0..3 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        let c = st.apply_process_abort().unwrap();
+        assert_eq!(c.compensations, vec![a(2)]);
+        assert_eq!(c.forward, vec![a(4), a(5)]);
+        st.apply_compensation(a(2)).unwrap();
+        assert_eq!(st.next_activity(), Some(a(4)));
+        st.apply_commit(a(4)).unwrap();
+        st.apply_commit(a(5)).unwrap();
+        assert_eq!(st.status(), ProcessStatus::Aborted);
+    }
+
+    #[test]
+    fn process_abort_in_brec_is_pure_backward() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        st.apply_commit(a(1)).unwrap();
+        let c = st.apply_process_abort().unwrap();
+        assert_eq!(c.compensations, vec![a(1), a(0)]);
+        assert!(c.forward.is_empty());
+        st.apply_compensation(a(1)).unwrap();
+        st.apply_compensation(a(0)).unwrap();
+        assert_eq!(st.status(), ProcessStatus::Aborted);
+    }
+
+    #[test]
+    fn completion_mid_retriable_tail_matches_example_5() {
+        // P₂ executed through a2_4: 𝒞(P₂) = {a2_5}.
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        for i in 0..4 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        let c = st.completion();
+        assert!(c.compensations.is_empty());
+        assert_eq!(c.forward, vec![a(4)]);
+        assert!(c.guaranteed);
+    }
+
+    #[test]
+    fn retriable_failure_rejected() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        for i in 0..4 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        let err = st.apply_failure(a(4)).unwrap_err();
+        assert!(matches!(err, ScheduleError::RetriableCannotFail(_)));
+    }
+
+    #[test]
+    fn out_of_order_commit_rejected() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        let err = st.apply_commit(a(2)).unwrap_err();
+        assert!(matches!(err, ScheduleError::NotOnActiveBranch(_)));
+    }
+
+    #[test]
+    fn duplicate_commit_rejected() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        let err = st.apply_commit(a(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::DuplicateInvocation(_) | ScheduleError::NotOnActiveBranch(_)
+        ));
+    }
+
+    #[test]
+    fn premature_process_commit_rejected() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p1, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        assert!(matches!(
+            st.apply_process_commit().unwrap_err(),
+            ScheduleError::PrematureCommit(_)
+        ));
+    }
+
+    #[test]
+    fn terminated_process_rejects_everything() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        for i in 0..5 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        st.apply_process_commit().unwrap();
+        assert!(st.apply_commit(a(0)).is_err());
+        assert!(st.apply_failure(a(0)).is_err());
+        assert!(st.apply_process_abort().is_err());
+        assert!(st.completion().is_empty());
+        assert_eq!(st.next_activity(), None);
+    }
+
+    #[test]
+    fn stuck_when_termination_not_guaranteed() {
+        use crate::ids::ProcessId;
+        use crate::process::ProcessBuilder;
+        let mut cat = Catalog::new();
+        let p1 = cat.pivot("p1");
+        let p2 = cat.pivot("p2");
+        let mut b = ProcessBuilder::new(ProcessId(7), "pp");
+        let x = b.activity("x", p1);
+        let y = b.activity("y", p2);
+        b.precede(x, y);
+        let proc = b.build(&cat).unwrap();
+        let mut st = ProcessState::new(&proc, &cat).unwrap();
+        st.apply_commit(ActivityId(0)).unwrap();
+        let outcome = st.apply_failure(ActivityId(1)).unwrap();
+        assert_eq!(outcome, FailureOutcome::Stuck);
+    }
+
+    #[test]
+    fn wrong_compensation_order_rejected() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        st.apply_commit(a(0)).unwrap();
+        st.apply_commit(a(1)).unwrap();
+        st.apply_process_abort().unwrap();
+        // Must compensate a2_2 (=index 1) first, not a2_1.
+        let err = st.apply_compensation(a(0)).unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidCompensation(_)));
+    }
+
+    #[test]
+    fn abort_after_path_end_without_commit_is_frec_noop() {
+        let fx = fixtures::paper_world();
+        let mut st = ProcessState::new(&fx.p2, &fx.spec.catalog).unwrap();
+        for i in 0..5 {
+            st.apply_commit(a(i)).unwrap();
+        }
+        // Path finished but process commit not yet recorded: completion is
+        // empty forward from the last retriable.
+        let c = st.completion();
+        assert!(c.is_empty());
+        st.apply_process_abort().unwrap();
+        assert_eq!(st.status(), ProcessStatus::Aborted);
+    }
+}

@@ -1,0 +1,308 @@
+//! Strong and weak orders between conflicting activities (§3.6, after the
+//! composite-systems theory [ABFS97, AFPS99]).
+//!
+//! The process model's `≪` is a *strong* (temporal) order: an activity is
+//! invoked only after its predecessor terminated. A **weak** order is more
+//! permissive: both activities may execute in parallel as long as the overall
+//! effect equals the strong order — which a subsystem can guarantee with a
+//! protocol supporting commit-order serializability \[BBG89\]. The scheduler
+//! can therefore hand conflicting activity pairs to a subsystem as weak
+//! constraints when (and only when) both run in the *same* subsystem and that
+//! subsystem supports commit ordering; otherwise the pair stays strong.
+//!
+//! This module models the planning side: classifying constraints, computing
+//! makespans under strong vs. weak execution (the parallelism gain measured
+//! by experiment E15), and the §3.6 restart-cascade rule for retriable
+//! activities.
+
+use crate::ids::GlobalActivityId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Kind of an order constraint between two conflicting activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderKind {
+    /// Sequential: the second activity starts after the first finished.
+    Strong,
+    /// Parallel with commit ordering: both execute concurrently, the
+    /// subsystem commits them in constraint order.
+    Weak,
+}
+
+/// An order constraint between two activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderConstraint {
+    /// The activity that must (appear to) run first.
+    pub first: GlobalActivityId,
+    /// The activity that must (appear to) run second.
+    pub second: GlobalActivityId,
+    /// Strong or weak.
+    pub kind: OrderKind,
+}
+
+/// A task in the makespan model: one activity with a duration and a
+/// subsystem assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// The activity.
+    pub gid: GlobalActivityId,
+    /// Execution duration in abstract time units.
+    pub duration: u64,
+    /// The subsystem executing the activity.
+    pub subsystem: u32,
+}
+
+/// Whether a conflicting pair may be weakly ordered: both activities must run
+/// in the same subsystem and that subsystem must support commit-order
+/// serializability (§3.6). Otherwise the strong order is required.
+pub fn classify(
+    first: &Task,
+    second: &Task,
+    subsystem_supports_commit_order: impl Fn(u32) -> bool,
+) -> OrderKind {
+    if first.subsystem == second.subsystem && subsystem_supports_commit_order(first.subsystem) {
+        OrderKind::Weak
+    } else {
+        OrderKind::Strong
+    }
+}
+
+/// Commit-synchronization overhead charged to a weakly ordered successor: it
+/// may run in parallel but cannot commit before its predecessor.
+pub const COMMIT_SYNC: u64 = 1;
+
+/// Computes per-activity completion times for a set of tasks under the given
+/// order constraints, and the resulting makespan.
+///
+/// * strong edge: `start(second) ≥ finish(first)`
+/// * weak edge: `finish(second) ≥ finish(first) + COMMIT_SYNC` (parallel
+///   execution, commit-order enforced by the subsystem)
+///
+/// Constraint edges must be acyclic; returns `None` otherwise.
+pub fn makespan(tasks: &[Task], constraints: &[OrderConstraint]) -> Option<MakespanPlan> {
+    let index: BTreeMap<GlobalActivityId, usize> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.gid, i))
+        .collect();
+    let n = tasks.len();
+    let mut preds: Vec<Vec<(usize, OrderKind)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for c in constraints {
+        let (&i, &j) = (index.get(&c.first)?, index.get(&c.second)?);
+        preds[j].push((i, c.kind));
+        indeg[j] += 1;
+    }
+    // Kahn over the constraint DAG; compute finish times.
+    let mut finish = vec![0u64; n];
+    let mut order: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, ps) in preds.iter().enumerate() {
+        for &(i, _) in ps {
+            succs[i].push(j);
+        }
+    }
+    while head < order.len() {
+        let j = order[head];
+        head += 1;
+        let mut start = 0u64;
+        let mut commit_floor = 0u64;
+        for &(i, kind) in &preds[j] {
+            match kind {
+                OrderKind::Strong => start = start.max(finish[i]),
+                OrderKind::Weak => commit_floor = commit_floor.max(finish[i] + COMMIT_SYNC),
+            }
+        }
+        finish[j] = (start + tasks[j].duration).max(commit_floor);
+        for &k in &succs[j] {
+            indeg[k] -= 1;
+            if indeg[k] == 0 {
+                order.push(k);
+            }
+        }
+    }
+    if order.len() != n {
+        return None; // cyclic constraints
+    }
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    Some(MakespanPlan {
+        finish_times: tasks
+            .iter()
+            .zip(finish.iter())
+            .map(|(t, &f)| (t.gid, f))
+            .collect(),
+        makespan,
+    })
+}
+
+/// Result of [`makespan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MakespanPlan {
+    /// Completion time per activity.
+    pub finish_times: BTreeMap<GlobalActivityId, u64>,
+    /// Overall completion time.
+    pub makespan: u64,
+}
+
+/// §3.6 restart cascade: given that the weakly ordered predecessor aborted
+/// (transiently) and restarts at `restart_time`, the dependent activity must
+/// be restarted inside the subsystem too — *without* raising a process-level
+/// exception. Returns the new finish times of the pair.
+pub fn restart_cascade(
+    first: &Task,
+    second: &Task,
+    restart_time: u64,
+) -> (u64, u64) {
+    let first_finish = restart_time + first.duration;
+    // The dependent restarts alongside and finishes no earlier than its own
+    // duration from the restart, respecting the commit order.
+    let second_finish = (restart_time + second.duration).max(first_finish + COMMIT_SYNC);
+    (first_finish, second_finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ActivityId, ProcessId};
+
+    fn gid(p: u32, a: u32) -> GlobalActivityId {
+        GlobalActivityId::new(ProcessId(p), ActivityId(a))
+    }
+
+    fn task(p: u32, a: u32, duration: u64, subsystem: u32) -> Task {
+        Task {
+            gid: gid(p, a),
+            duration,
+            subsystem,
+        }
+    }
+
+    #[test]
+    fn strong_order_serializes_durations() {
+        let tasks = [task(1, 0, 10, 0), task(2, 0, 10, 0)];
+        let constraints = [OrderConstraint {
+            first: gid(1, 0),
+            second: gid(2, 0),
+            kind: OrderKind::Strong,
+        }];
+        let plan = makespan(&tasks, &constraints).unwrap();
+        assert_eq!(plan.makespan, 20);
+    }
+
+    #[test]
+    fn weak_order_overlaps_execution() {
+        let tasks = [task(1, 0, 10, 0), task(2, 0, 10, 0)];
+        let constraints = [OrderConstraint {
+            first: gid(1, 0),
+            second: gid(2, 0),
+            kind: OrderKind::Weak,
+        }];
+        let plan = makespan(&tasks, &constraints).unwrap();
+        // Parallel execution; the successor only waits for commit order.
+        assert_eq!(plan.makespan, 10 + COMMIT_SYNC);
+    }
+
+    #[test]
+    fn weak_order_never_beats_unconstrained_but_beats_strong() {
+        let tasks = [task(1, 0, 7, 0), task(2, 0, 5, 0)];
+        let weak = makespan(
+            &tasks,
+            &[OrderConstraint {
+                first: gid(1, 0),
+                second: gid(2, 0),
+                kind: OrderKind::Weak,
+            }],
+        )
+        .unwrap();
+        let strong = makespan(
+            &tasks,
+            &[OrderConstraint {
+                first: gid(1, 0),
+                second: gid(2, 0),
+                kind: OrderKind::Strong,
+            }],
+        )
+        .unwrap();
+        let free = makespan(&tasks, &[]).unwrap();
+        assert!(weak.makespan <= strong.makespan);
+        assert!(free.makespan <= weak.makespan);
+        assert_eq!(strong.makespan, 12);
+        assert_eq!(weak.makespan, 8);
+        assert_eq!(free.makespan, 7);
+    }
+
+    #[test]
+    fn classify_requires_same_subsystem_with_commit_order() {
+        let a = task(1, 0, 1, 0);
+        let b = task(2, 0, 1, 0);
+        let c = task(3, 0, 1, 1);
+        assert_eq!(classify(&a, &b, |_| true), OrderKind::Weak);
+        assert_eq!(classify(&a, &b, |_| false), OrderKind::Strong);
+        assert_eq!(classify(&a, &c, |_| true), OrderKind::Strong);
+    }
+
+    #[test]
+    fn chain_of_weak_orders_pipelines() {
+        let tasks = [
+            task(1, 0, 10, 0),
+            task(2, 0, 10, 0),
+            task(3, 0, 10, 0),
+        ];
+        let constraints = [
+            OrderConstraint {
+                first: gid(1, 0),
+                second: gid(2, 0),
+                kind: OrderKind::Weak,
+            },
+            OrderConstraint {
+                first: gid(2, 0),
+                second: gid(3, 0),
+                kind: OrderKind::Weak,
+            },
+        ];
+        let plan = makespan(&tasks, &constraints).unwrap();
+        assert_eq!(plan.makespan, 10 + 2 * COMMIT_SYNC);
+    }
+
+    #[test]
+    fn cyclic_constraints_rejected() {
+        let tasks = [task(1, 0, 1, 0), task(2, 0, 1, 0)];
+        let constraints = [
+            OrderConstraint {
+                first: gid(1, 0),
+                second: gid(2, 0),
+                kind: OrderKind::Strong,
+            },
+            OrderConstraint {
+                first: gid(2, 0),
+                second: gid(1, 0),
+                kind: OrderKind::Strong,
+            },
+        ];
+        assert!(makespan(&tasks, &constraints).is_none());
+    }
+
+    #[test]
+    fn unknown_activity_in_constraint_rejected() {
+        let tasks = [task(1, 0, 1, 0)];
+        let constraints = [OrderConstraint {
+            first: gid(1, 0),
+            second: gid(9, 9),
+            kind: OrderKind::Weak,
+        }];
+        assert!(makespan(&tasks, &constraints).is_none());
+    }
+
+    #[test]
+    fn restart_cascade_restarts_dependent() {
+        // §3.6: the dependent transaction restarts with the retriable
+        // predecessor, without a process-level exception.
+        let a = task(1, 0, 5, 0);
+        let b = task(2, 0, 3, 0);
+        let (fa, fb) = restart_cascade(&a, &b, 100);
+        assert_eq!(fa, 105);
+        assert_eq!(fb, 106);
+        assert!(fb > fa);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the partial-order utility: reachability agrees with
+//! explicit DFS, topological orders respect every edge, and serde round
+//! trips preserve schedules.
+
+use proptest::prelude::*;
+use txproc_core::order::PartialOrder;
+
+/// Random DAG edges over `n` nodes: only forward edges (i < j) so the graph
+/// is acyclic by construction.
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..80).prop_map(move |pairs| {
+            pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn dfs_reaches(n: usize, edges: &[(usize, usize)], from: usize, to: usize) -> bool {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if w == to {
+                return true;
+            }
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bitset reachability equals DFS reachability.
+    #[test]
+    fn reachability_matches_dfs((n, edges) in dag_strategy()) {
+        let mut po = PartialOrder::new(n);
+        for &(a, b) in &edges {
+            po.add(a, b);
+        }
+        let r = po.reachability();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                prop_assert_eq!(
+                    r.lt(a, b),
+                    dfs_reaches(n, &edges, a, b),
+                    "reachability mismatch for {} -> {}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// Topological order places every edge's source before its target.
+    #[test]
+    fn topological_order_respects_edges((n, edges) in dag_strategy()) {
+        let mut po = PartialOrder::new(n);
+        for &(a, b) in &edges {
+            po.add(a, b);
+        }
+        let order = po.topological_order().expect("forward-edge DAG");
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for &(a, b) in &edges {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    /// `between` is consistent with `lt`.
+    #[test]
+    fn between_is_lt_conjunction((n, edges) in dag_strategy(), a in 0usize..40, m in 0usize..40, b in 0usize..40) {
+        if a >= n || m >= n || b >= n || a == m || m == b || a == b {
+            return Ok(());
+        }
+        let mut po = PartialOrder::new(n);
+        for &(x, y) in &edges {
+            po.add(x, y);
+        }
+        let r = po.reachability();
+        prop_assert_eq!(r.between(a, m, b), r.lt(a, m) && r.lt(m, b));
+    }
+}
+
+#[test]
+fn schedule_serde_round_trip() {
+    use txproc_core::fixtures::paper_world;
+    use txproc_core::ids::ProcessId;
+    use txproc_core::schedule::Schedule;
+    let fx = paper_world();
+    let mut s = Schedule::new();
+    s.execute(fx.a(1, 1))
+        .fail(fx.a(1, 2))
+        .compensate(fx.a(1, 1))
+        .commit(ProcessId(1))
+        .abort(ProcessId(2))
+        .group_abort(vec![ProcessId(2), ProcessId(3)]);
+    let json = serde_json::to_string(&s).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn spec_serde_round_trip_preserves_conflicts() {
+    use txproc_core::fixtures::paper_world;
+    use txproc_core::spec::Spec;
+    let fx = paper_world();
+    let json = serde_json::to_string(&fx.spec).unwrap();
+    let back: Spec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.process_count(), fx.spec.process_count());
+    assert!(back.activities_conflict(fx.a(1, 1), fx.a(2, 1)).unwrap());
+    assert!(!back.activities_conflict(fx.a(1, 3), fx.a(2, 2)).unwrap());
+}

@@ -1,0 +1,147 @@
+//! Property tests for the scheduling protocol core: whatever sequence of
+//! admitted operations is recorded, the dependency structure stays acyclic
+//! and the commit/deferment bookkeeping stays consistent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txproc_core::fixtures::paper_world;
+use txproc_core::ids::{GlobalActivityId, ProcessId};
+use txproc_core::protocol::{Admission, DeferPolicy, Protocol};
+use txproc_core::state::ProcessState;
+
+/// Drives the protocol with a random but admission-respecting interleaving
+/// of the paper processes. Returns the recorded admissions plus the final
+/// dependency edges.
+#[allow(clippy::type_complexity)]
+fn drive(
+    seed: u64,
+    policy: DeferPolicy,
+    steps: usize,
+) -> (Vec<(GlobalActivityId, Admission)>, Vec<(ProcessId, ProcessId)>) {
+    let fx = paper_world();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut protocol = Protocol::new(&fx.spec, policy);
+    let processes: Vec<_> = fx.spec.processes().collect();
+    let mut states: Vec<ProcessState<'_>> = processes
+        .iter()
+        .map(|p| ProcessState::new(p, &fx.spec.catalog).unwrap())
+        .collect();
+    let mut deferred_at: Vec<Option<GlobalActivityId>> = vec![None; processes.len()];
+    let mut terminated = vec![false; processes.len()];
+    for p in &processes {
+        protocol.register(p.id);
+    }
+    let mut log = Vec::new();
+    for _ in 0..steps {
+        let live: Vec<usize> = (0..processes.len()).filter(|&i| !terminated[i]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let i = live[rng.gen_range(0..live.len())];
+        let pid = processes[i].id;
+        // Deferred activity waiting for release? Nothing to do locally.
+        if deferred_at[i].is_some() {
+            continue;
+        }
+        let st = &mut states[i];
+        if let Some(a) = st.next_activity() {
+            let gid = GlobalActivityId::new(pid, a);
+            let svc = processes[i].service(a);
+            let admission = protocol.request(pid, svc);
+            log.push((gid, admission.clone()));
+            match admission {
+                Admission::Allow => {
+                    protocol.record_executed(gid, false);
+                    st.apply_commit(a).unwrap();
+                }
+                Admission::AllowDeferred { .. } => {
+                    protocol.record_executed(gid, true);
+                    deferred_at[i] = Some(gid);
+                }
+                Admission::Wait { .. } | Admission::Reject { .. } => {}
+            }
+        } else if st.can_commit() && protocol.can_commit(pid).is_ok() {
+            let released = protocol.record_process_commit(pid);
+            terminated[i] = true;
+            for (pj, gids) in released {
+                let j = processes.iter().position(|p| p.id == pj).unwrap();
+                for gid in gids {
+                    protocol.record_deferred_released(gid);
+                    states[j].apply_commit(gid.activity).unwrap();
+                }
+                deferred_at[j] = None;
+            }
+        }
+    }
+    let edges = protocol.edges().collect();
+    (log, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Admitted executions never close a dependency cycle: the protocol's
+    /// edge relation stays acyclic throughout (checked at the end, which
+    /// suffices since edges are only added).
+    #[test]
+    fn dependency_edges_stay_acyclic(seed in 0u64..10_000) {
+        let (_, edges) = drive(seed, DeferPolicy::PrepareAndDefer, 40);
+        let mut graph = txproc_core::serializability::ProcessGraph::new();
+        for (a, b) in edges {
+            graph.add_edge(a, b);
+        }
+        prop_assert!(graph.is_acyclic());
+    }
+
+    /// Non-compensatable activities are only admitted immediately when no
+    /// active conflicting predecessor exists (Lemma 1).
+    #[test]
+    fn non_compensatables_never_bypass_deferment(seed in 0u64..10_000) {
+        let fx = paper_world();
+        let (log, _) = drive(seed, DeferPolicy::PrepareAndDefer, 40);
+        // In the paper world, a2_3 (P2's pivot) conflicts transitively with
+        // P1 through a2_1; whenever P2 executed a2_1 after P1's a1_1 and P1
+        // is still running, the pivot must not get a plain Allow afterwards.
+        let mut p1_started = false;
+        let mut p2_read_after_p1 = false;
+        for (gid, admission) in &log {
+            if *gid == fx.a(1, 1) && matches!(admission, Admission::Allow) {
+                p1_started = true;
+            }
+            if *gid == fx.a(2, 1) && p1_started && matches!(admission, Admission::Allow) {
+                p2_read_after_p1 = true;
+            }
+            if *gid == fx.a(2, 3) && p2_read_after_p1 {
+                // P1 has at most 4 forward activities; if P1 terminated the
+                // admission may be Allow. Otherwise it must defer.
+                if log.iter().filter(|(g, a)| g.process == ProcessId(1)
+                    && matches!(a, Admission::Allow | Admission::AllowDeferred { .. })).count() < 4
+                {
+                    prop_assert!(
+                        !matches!(admission, Admission::Allow),
+                        "pivot admitted plainly despite active conflicting predecessor"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Driving the protocol never panics and terminates cleanly for any
+    /// interleaving, under both deferment policies.
+    #[test]
+    fn protocol_is_total(seed in 0u64..10_000, wait in any::<bool>()) {
+        let policy = if wait {
+            DeferPolicy::DeferExecution
+        } else {
+            DeferPolicy::PrepareAndDefer
+        };
+        let (log, _) = drive(seed, policy, 60);
+        if wait {
+            prop_assert!(
+                log.iter().all(|(_, a)| !matches!(a, Admission::AllowDeferred { .. })),
+                "DeferExecution must never prepare"
+            );
+        }
+    }
+}

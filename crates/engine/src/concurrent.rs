@@ -1,0 +1,556 @@
+//! Thread-per-process driver: the same scheduling protocol exercised under
+//! real concurrency.
+//!
+//! The virtual-time [`Engine`](crate::engine::Engine) is deterministic and
+//! fast — ideal for experiments. This driver runs every process on its own
+//! OS thread against a shared scheduler state (policy + agents + history)
+//! protected by a [`parking_lot::Mutex`], with a condition variable for
+//! admission waits and deferred-commit releases. It demonstrates that the
+//! protocol is driven entirely by its decision core and needs no global
+//! event ordering: whatever interleaving the OS produces, the emitted
+//! history stays PRED (verified by the stress tests).
+
+use crate::policy::{Policy, PolicyKind};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use txproc_core::activity::Termination;
+use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
+use txproc_core::protocol::Admission;
+use txproc_core::schedule::Schedule;
+use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
+use txproc_sim::metrics::Metrics;
+use txproc_sim::workload::Workload;
+use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
+use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
+
+/// Configuration of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Seed for per-process failure injection.
+    pub seed: u64,
+    /// Whether failable activities may fail.
+    pub inject_failures: bool,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyKind::Pred,
+            seed: 99,
+            inject_failures: true,
+        }
+    }
+}
+
+/// Result of a concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentResult {
+    /// The emitted history (lock-serialized).
+    pub history: Schedule,
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+}
+
+struct Shared<'a> {
+    workload: &'a Workload,
+    certify: bool,
+    policy: Box<dyn Policy + Send + 'a>,
+    agents: BTreeMap<SubsystemId, Agent>,
+    states: BTreeMap<ProcessId, ProcessState<'a>>,
+    history: Schedule,
+    metrics: Metrics,
+    invocations: BTreeMap<GlobalActivityId, (SubsystemId, InvocationId)>,
+    /// Deferred activities released by a predecessor's termination.
+    released: BTreeMap<ProcessId, ActivityId>,
+    pending_release: BTreeMap<ProcessId, (GlobalActivityId, ActivityId, SubsystemId, InvocationId)>,
+    /// Releases granted by the policy but not yet certified/applied.
+    ready_releases: Vec<ProcessId>,
+}
+
+impl Shared<'_> {
+    /// §3.5 certification of the next effect event (see the virtual-time
+    /// engine for the rationale).
+    fn certified_ok(&self, event: txproc_core::schedule::Event) -> bool {
+        if !self.certify {
+            return true;
+        }
+        let mut candidate = self.history.clone();
+        candidate.push(event);
+        match txproc_core::completion::complete(&self.workload.spec, &candidate) {
+            Ok(completed) => {
+                txproc_core::reduction::reduce(&self.workload.spec, &completed).reducible
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Attempts every granted-but-unapplied deferred release.
+    fn drain_ready_releases(&mut self) {
+        let ready = std::mem::take(&mut self.ready_releases);
+        for pj in ready {
+            let Some(&(gid, a, sid, inv)) = self.pending_release.get(&pj) else {
+                continue;
+            };
+            if !self.certified_ok(txproc_core::schedule::Event::Execute(gid)) {
+                self.ready_releases.push(pj);
+                continue;
+            }
+            self.pending_release.remove(&pj);
+            self.agents
+                .get_mut(&sid)
+                .expect("agent")
+                .release(inv)
+                .expect("prepared");
+            self.history.execute(gid);
+            self.policy.record_deferred_released(gid);
+            self.metrics.activities += 1;
+            // The owner thread applies the state advance.
+            self.released.insert(pj, a);
+        }
+    }
+}
+
+/// Runs every process of the workload on its own thread.
+pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
+    let mut agents = BTreeMap::new();
+    for sid in workload.deployment.subsystems() {
+        agents.insert(sid, Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))));
+    }
+    let mut policy = cfg.policy.build(&workload.spec);
+    let mut states = BTreeMap::new();
+    for process in workload.spec.processes() {
+        policy.register(process.id);
+        states.insert(
+            process.id,
+            ProcessState::new(process, &workload.spec.catalog).expect("tree process"),
+        );
+    }
+    let shared = Mutex::new(Shared {
+        workload,
+        certify: cfg.policy.certified(),
+        policy,
+        agents,
+        states,
+        history: Schedule::new(),
+        metrics: Metrics::new(),
+        invocations: BTreeMap::new(),
+        released: BTreeMap::new(),
+        pending_release: BTreeMap::new(),
+        ready_releases: Vec::new(),
+    });
+    let cond = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for process in workload.spec.processes() {
+            let pid = process.id;
+            let shared = &shared;
+            let cond = &cond;
+            let cfg = cfg.clone();
+            scope.spawn(move || worker(workload, &cfg, pid, shared, cond));
+        }
+    });
+
+    let shared = shared.into_inner();
+    ConcurrentResult {
+        history: shared.history,
+        metrics: shared.metrics,
+    }
+}
+
+fn worker<'a>(
+    workload: &'a Workload,
+    cfg: &ConcurrentConfig,
+    pid: ProcessId,
+    shared: &Mutex<Shared<'a>>,
+    cond: &Condvar,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(pid.0) << 32));
+    // Consecutive iterations without visible progress; escalates to a
+    // self-abort (always legal for an uncommitted process) so that blocked
+    // situations that only an abort can resolve cannot livelock the run.
+    let mut no_progress = 0u32;
+    let mut last_fingerprint = None;
+    loop {
+        let mut guard = shared.lock();
+        guard.drain_ready_releases();
+        let fingerprint = (guard.history.len(), guard.states[&pid].steps().len());
+        if last_fingerprint == Some(fingerprint) {
+            no_progress += 1;
+        } else {
+            no_progress = 0;
+        }
+        last_fingerprint = Some(fingerprint);
+        if no_progress > 0 && no_progress.is_multiple_of(200) && guard.states[&pid].is_active() {
+            if guard.states[&pid].abort_in_progress() {
+                // Our completion is blocked by other processes' hypothetical
+                // completions (§3.5): group-abort them so their real
+                // completions unblock ours.
+                let others: Vec<ProcessId> = guard
+                    .states
+                    .iter()
+                    .filter(|(&q, st)| q != pid && st.is_active() && !st.abort_in_progress())
+                    .map(|(&q, _)| q)
+                    .collect();
+                for q in others.into_iter().rev() {
+                    cascade_abort(&mut guard, q);
+                }
+            } else {
+                // Nothing moved for a while: only an abort can resolve this.
+                guard.metrics.rejections += 1;
+                initiate_abort(workload, pid, &mut guard);
+            }
+            cond.notify_all();
+            continue;
+        }
+        if no_progress >= 20_000 {
+            let mut diag = String::new();
+            for (p, st) in &guard.states {
+                diag.push_str(&format!(
+                    "\n  {p}: status={:?} aborting={} next_comp={:?} next_act={:?} can_commit={}",
+                    st.status(),
+                    st.abort_in_progress(),
+                    st.next_compensation(),
+                    st.next_activity(),
+                    st.can_commit()
+                ));
+            }
+            panic!(
+                "{pid}: concurrent run livelocked\nhistory: {}{diag}",
+                txproc_core::schedule::render(&guard.history)
+            );
+        }
+        let status = guard.states[&pid].status();
+        if status != ProcessStatus::Active {
+            finalize(&mut guard, pid);
+            cond.notify_all();
+            return;
+        }
+        // Deferred release arrived?
+        if let Some(a) = guard.released.remove(&pid) {
+            guard
+                .states
+                .get_mut(&pid)
+                .expect("state")
+                .apply_commit(a)
+                .expect("released frontier");
+            drop(guard);
+            std::thread::yield_now();
+            continue;
+        }
+        if guard.pending_release.contains_key(&pid) {
+            // Waiting for a predecessor to release our deferred commit.
+            cond.wait_for(&mut guard, Duration::from_millis(10));
+            continue;
+        }
+        // Pending compensation?
+        if let Some(c) = guard.states[&pid].next_compensation() {
+            let gid = GlobalActivityId::new(pid, c);
+            if !guard.certified_ok(txproc_core::schedule::Event::Compensate(gid)) {
+                cond.wait_for(&mut guard, Duration::from_millis(2));
+                continue;
+            }
+            let (sid, inv) = guard.invocations[&gid];
+            let outcome = guard
+                .agents
+                .get_mut(&sid)
+                .expect("agent")
+                .compensate(inv)
+                .expect("subsystem up");
+            match outcome {
+                InvokeOutcome::Committed { .. } => {
+                    guard.history.compensate(gid);
+                    guard.policy.record_compensated(gid);
+                    guard
+                        .states
+                        .get_mut(&pid)
+                        .expect("state")
+                        .apply_compensation(c)
+                        .expect("queued");
+                    guard.metrics.compensations += 1;
+                }
+                InvokeOutcome::Busy { .. } => {
+                    cond.wait_for(&mut guard, Duration::from_millis(5));
+                }
+                other => panic!("unexpected compensation outcome {other:?}"),
+            }
+            drop(guard);
+            std::thread::yield_now();
+            continue;
+        }
+        // Next forward activity?
+        if let Some(a) = guard.states[&pid].next_activity() {
+            step_activity(workload, cfg, pid, a, &mut guard, cond, &mut rng);
+            drop(guard);
+            std::thread::yield_now();
+            continue;
+        }
+        // Commit.
+        if guard.states[&pid].can_commit() {
+            match guard.policy.can_commit(pid) {
+                Ok(()) if !guard.certified_ok(txproc_core::schedule::Event::Commit(pid)) => {
+                    cond.wait_for(&mut guard, Duration::from_millis(2));
+                    continue;
+                }
+                Ok(()) => {
+                    guard
+                        .states
+                        .get_mut(&pid)
+                        .expect("state")
+                        .apply_process_commit()
+                        .expect("finished path");
+                    guard.history.commit(pid);
+                    finalize(&mut guard, pid);
+                    cond.notify_all();
+                    return;
+                }
+                Err(_) => {
+                    guard.metrics.waits += 1;
+                    cond.wait_for(&mut guard, Duration::from_millis(10));
+                }
+            }
+            continue;
+        }
+        // Nothing to do right now (e.g. mid-abort with empty completion).
+        cond.wait_for(&mut guard, Duration::from_millis(5));
+    }
+}
+
+fn step_activity<'a>(
+    workload: &'a Workload,
+    cfg: &ConcurrentConfig,
+    pid: ProcessId,
+    a: ActivityId,
+    guard: &mut Shared<'a>,
+    cond: &Condvar,
+    rng: &mut StdRng,
+) {
+    let gid = GlobalActivityId::new(pid, a);
+    let process = workload.spec.process(pid).expect("known");
+    let svc = process.service(a);
+    let site = workload.deployment.site(svc).expect("deployed").clone();
+    let termination = workload.spec.catalog.termination(svc);
+    let in_completion = guard.states[&pid].abort_in_progress();
+    let admission = if in_completion {
+        Admission::Allow
+    } else {
+        guard.policy.request(pid, gid, svc)
+    };
+    let mode = match admission {
+        Admission::Allow => CommitMode::Immediate,
+        Admission::AllowDeferred { .. } => CommitMode::Deferred,
+        Admission::Wait { .. } => {
+            guard.metrics.waits += 1;
+            // Wait; re-evaluated on the next iteration.
+            return;
+        }
+        Admission::Reject { .. } => {
+            guard.metrics.rejections += 1;
+            initiate_abort(workload, pid, guard);
+            cond.notify_all();
+            return;
+        }
+    };
+    // Failure injection.
+    let inject = cfg.inject_failures && p_fail(workload) > 0.0 && rng.gen_bool(p_fail(workload));
+    if inject && termination.can_fail() {
+        let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
+        let _ = agent.invoke(svc, &site.program, CommitMode::Immediate, true);
+        guard.history.fail(gid);
+        let outcome = guard
+            .states
+            .get_mut(&pid)
+            .expect("state")
+            .apply_failure(a)
+            .expect("frontier");
+        if matches!(outcome, FailureOutcome::Stuck) {
+            panic!("guaranteed-termination process stuck at {gid}");
+        }
+        return;
+    }
+    if inject && termination == Termination::Retriable {
+        let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
+        let _ = agent.invoke(svc, &site.program, CommitMode::Immediate, true);
+        guard.metrics.retries += 1;
+        return;
+    }
+    if mode == CommitMode::Immediate
+        && !guard.certified_ok(txproc_core::schedule::Event::Execute(gid))
+    {
+        // Retry on the next iteration, after other completions progressed.
+        return;
+    }
+    let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
+    match agent
+        .invoke(svc, &site.program, mode, false)
+        .expect("subsystem up")
+    {
+        InvokeOutcome::Committed { invocation, .. } => {
+            guard.invocations.insert(gid, (site.subsystem, invocation));
+            guard.history.execute(gid);
+            guard.policy.record_executed(gid, false);
+            guard
+                .states
+                .get_mut(&pid)
+                .expect("state")
+                .apply_commit(a)
+                .expect("frontier");
+            guard.metrics.activities += 1;
+        }
+        InvokeOutcome::Prepared { invocation, .. } => {
+            guard.invocations.insert(gid, (site.subsystem, invocation));
+            guard.policy.record_executed(gid, true);
+            guard
+                .pending_release
+                .insert(pid, (gid, a, site.subsystem, invocation));
+            guard.metrics.deferred_commits += 1;
+        }
+        InvokeOutcome::Busy { .. } => {
+            // Retry on the next iteration.
+        }
+        InvokeOutcome::Aborted => unreachable!("no injection requested"),
+    }
+}
+
+fn p_fail(workload: &Workload) -> f64 {
+    workload.config.failure_probability.clamp(0.0, 1.0)
+}
+
+fn finalize(guard: &mut Shared<'_>, pid: ProcessId) {
+    let status = guard.states[&pid].status();
+    let released = match status {
+        ProcessStatus::Committed => {
+            guard.metrics.committed += 1;
+            guard.policy.on_commit(pid)
+        }
+        ProcessStatus::Aborted => {
+            guard.metrics.aborted += 1;
+            guard.policy.on_abort(pid)
+        }
+        ProcessStatus::Active => return,
+    };
+    for (pj, _gids) in released {
+        if guard.pending_release.contains_key(&pj) {
+            guard.ready_releases.push(pj);
+        }
+    }
+    guard.drain_ready_releases();
+}
+
+/// Cascade-aborts a single process (prepared invocations dropped first).
+fn cascade_abort(guard: &mut Shared<'_>, v: ProcessId) {
+    if !guard.states[&v].is_active() || guard.states[&v].abort_in_progress() {
+        return;
+    }
+    guard.metrics.cascaded += 1;
+    if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&v) {
+        guard
+            .agents
+            .get_mut(&sid)
+            .expect("agent")
+            .abort_prepared(inv)
+            .expect("prepared");
+        guard.invocations.remove(&gid);
+        guard.policy.record_prepared_aborted(gid);
+    }
+    guard.policy.on_abort_begin(v);
+    guard.history.abort(v);
+    guard
+        .states
+        .get_mut(&v)
+        .expect("state")
+        .apply_process_abort()
+        .expect("active");
+}
+
+fn initiate_abort<'a>(workload: &'a Workload, pid: ProcessId, guard: &mut Shared<'a>) {
+    if guard.states[&pid].abort_in_progress() || !guard.states[&pid].is_active() {
+        return;
+    }
+    let completion = guard.states[&pid].completion();
+    let comp_gids: Vec<GlobalActivityId> = completion
+        .compensations
+        .iter()
+        .map(|&a| GlobalActivityId::new(pid, a))
+        .collect();
+    let process = workload.spec.process(pid).expect("known");
+    let fwd: Vec<_> = completion
+        .forward
+        .iter()
+        .map(|&a| process.service(a))
+        .collect();
+    let victims = guard.policy.plan_abort(pid, &comp_gids, &fwd);
+    for v in victims {
+        cascade_abort(guard, v);
+    }
+    if guard.states[&pid].is_active() && !guard.states[&pid].abort_in_progress() {
+        if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&pid) {
+            guard
+                .agents
+                .get_mut(&sid)
+                .expect("agent")
+                .abort_prepared(inv)
+                .expect("prepared");
+            guard.invocations.remove(&gid);
+            guard.policy.record_prepared_aborted(gid);
+        }
+        guard.policy.on_abort_begin(pid);
+        guard.history.abort(pid);
+        guard
+            .states
+            .get_mut(&pid)
+            .expect("state")
+            .apply_process_abort()
+            .expect("active");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txproc_sim::workload::{generate, WorkloadConfig};
+
+    #[test]
+    fn concurrent_run_terminates_and_is_pred() {
+        for seed in 0..4 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 5,
+                conflict_density: 0.4,
+                failure_probability: 0.15,
+                ..WorkloadConfig::default()
+            });
+            let result = run_concurrent(&w, ConcurrentConfig { seed, ..ConcurrentConfig::default() });
+            assert_eq!(result.metrics.terminated(), 5, "seed {seed}");
+            assert!(
+                txproc_core::pred::is_pred(&w.spec, &result.history).unwrap(),
+                "seed {seed}: concurrent history not PRED:\n{}",
+                txproc_core::schedule::render(&result.history)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_run_without_failures_commits_everything() {
+        let w = generate(&WorkloadConfig {
+            seed: 5,
+            processes: 6,
+            conflict_density: 0.3,
+            failure_probability: 0.0,
+            ..WorkloadConfig::default()
+        });
+        let result = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                inject_failures: false,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(result.metrics.committed, 6);
+        assert_eq!(result.metrics.aborted, 0);
+    }
+}

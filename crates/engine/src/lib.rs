@@ -1,0 +1,32 @@
+//! # txproc-engine
+//!
+//! A WISE-style **transactional process scheduler** (the system the PODS'99
+//! paper's conclusion describes): it executes processes with guaranteed
+//! termination over simulated transactional subsystems while keeping the
+//! emitted history prefix-reducible (PRED) — the paper's unified
+//! concurrency-control-and-recovery criterion.
+//!
+//! * [`policy`] — scheduling policies: the paper's PRED protocol
+//!   (Lemmas 1–3, §3.5) and three baselines (serial, conservative
+//!   process-level locking, and an *unsafe* concurrency-control-only
+//!   scheduler that demonstrates why recovery must be considered jointly),
+//! * [`engine`] — the deterministic virtual-time executor: admission
+//!   control, failure injection, alternative execution paths, compensation,
+//!   deferred 2PC commits, cascading aborts, metrics,
+//! * [`concurrent`] — the same protocol driven by one OS thread per process
+//!   (realistic concurrency; stress-tested for PRED),
+//! * [`recovery`] — scheduler crash recovery by group abort and completion
+//!   replay from the durable logs (§3.3, Definition 8).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod concurrent;
+pub mod engine;
+pub mod policy;
+pub mod recovery;
+
+pub use concurrent::{run_concurrent, ConcurrentConfig, ConcurrentResult};
+pub use engine::{run, Engine, RunConfig, RunResult};
+pub use policy::{Policy, PolicyKind};
+pub use recovery::{recover, CrashImage, RecoveryReport};

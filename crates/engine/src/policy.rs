@@ -1,0 +1,521 @@
+//! Scheduling policies: the paper's PRED protocol and the baselines it is
+//! evaluated against.
+//!
+//! * [`PredPolicy`] — the protocol of Lemmas 1–3 / §3.5 (wraps
+//!   [`txproc_core::protocol::Protocol`]): serializability enforcement,
+//!   deferment of non-compensatable activities behind active conflicting
+//!   predecessors, commit ordering, cascading aborts honouring quasi-commits.
+//! * [`SerialPolicy`] — executes processes one at a time: trivially correct,
+//!   zero parallelism. The lower bound.
+//! * [`ConservativePolicy`] — process-level conflict locking (a static
+//!   2PL-style scheduler): a process starts only when no live process holds
+//!   any conflicting service. Correct, but conflicting processes never
+//!   interleave.
+//! * [`UnsafeCcPolicy`] — concurrency control only: serializability is
+//!   enforced but every recovery-related obligation is ignored (no
+//!   deferment, no commit ordering, no cascades). Under failures it emits
+//!   non-PRED histories — the situation of §2.2 and Example 8 that the
+//!   paper's unified treatment exists to prevent.
+
+use txproc_core::ids::{GlobalActivityId, ProcessId, ServiceId};
+use txproc_core::protocol::{Admission, CompletionGate, DeferPolicy, Protocol};
+use txproc_core::spec::Spec;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scheduler policy interface used by the engine.
+pub trait Policy {
+    /// Display name (report tables).
+    fn name(&self) -> &'static str;
+    /// A process was admitted.
+    fn register(&mut self, pid: ProcessId);
+    /// May `pid` execute `gid` (invoking `service`) now?
+    fn request(&mut self, pid: ProcessId, gid: GlobalActivityId, service: ServiceId) -> Admission;
+    /// A forward activity executed (`deferred`: prepared, commit deferred).
+    fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool);
+    /// A deferred activity's subsystem commit was released.
+    fn record_deferred_released(&mut self, gid: GlobalActivityId);
+    /// A deferred (prepared) activity was aborted before release: it leaves
+    /// no effects.
+    fn record_prepared_aborted(&mut self, _gid: GlobalActivityId) {}
+    /// A compensating activity executed.
+    fn record_compensated(&mut self, gid: GlobalActivityId);
+    /// May the process commit now (Definition 11.1)?
+    fn can_commit(&mut self, pid: ProcessId) -> Result<(), Vec<ProcessId>>;
+    /// The process committed; returns deferred activities to release, per
+    /// dependent process.
+    fn on_commit(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)>;
+    /// Which dependents must cascade when `pid` aborts (victims in reverse
+    /// dependency order).
+    fn plan_abort(
+        &mut self,
+        pid: ProcessId,
+        compensations: &[GlobalActivityId],
+        forward_services: &[ServiceId],
+    ) -> Vec<ProcessId>;
+    /// The process aborted (completion finished); returns deferred
+    /// activities to release, per dependent process.
+    fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)>;
+    /// The process's abort was initiated (its completion starts executing).
+    fn on_abort_begin(&mut self, _pid: ProcessId) {}
+    /// Gate for a compensation step of a completion (see
+    /// [`CompletionGate`]). Policies without recovery obligations always
+    /// answer [`CompletionGate::Ready`].
+    fn compensation_gate(&self, _gid: GlobalActivityId) -> CompletionGate {
+        CompletionGate::Ready
+    }
+    /// Gate for a forward-recovery step of a completion.
+    fn forward_gate(&self, _pid: ProcessId, _service: ServiceId) -> CompletionGate {
+        CompletionGate::Ready
+    }
+    /// Debug dump of internal state (diagnostics only).
+    fn debug_state(&self) -> String {
+        String::new()
+    }
+}
+
+/// The paper's PRED scheduling protocol.
+pub struct PredPolicy<'a> {
+    protocol: Protocol<'a>,
+    name: &'static str,
+}
+
+impl<'a> PredPolicy<'a> {
+    /// Creates the policy over a spec.
+    pub fn new(spec: &'a Spec, defer: DeferPolicy) -> Self {
+        Self::with_name(
+            spec,
+            defer,
+            match defer {
+                DeferPolicy::PrepareAndDefer => "pred",
+                DeferPolicy::DeferExecution => "pred-wait",
+            },
+        )
+    }
+
+    /// Creates the policy with an explicit display name.
+    pub fn with_name(spec: &'a Spec, defer: DeferPolicy, name: &'static str) -> Self {
+        Self {
+            protocol: Protocol::new(spec, defer),
+            name,
+        }
+    }
+}
+
+impl Policy for PredPolicy<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn register(&mut self, pid: ProcessId) {
+        self.protocol.register(pid);
+    }
+    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, service: ServiceId) -> Admission {
+        self.protocol.request(pid, service)
+    }
+    fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
+        self.protocol.record_executed(gid, deferred);
+    }
+    fn record_deferred_released(&mut self, gid: GlobalActivityId) {
+        self.protocol.record_deferred_released(gid);
+    }
+    fn record_prepared_aborted(&mut self, gid: GlobalActivityId) {
+        self.protocol.record_prepared_aborted(gid);
+    }
+    fn record_compensated(&mut self, gid: GlobalActivityId) {
+        self.protocol.record_compensated(gid);
+    }
+    fn can_commit(&mut self, pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        self.protocol.can_commit(pid)
+    }
+    fn on_commit(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.protocol.record_process_commit(pid)
+    }
+    fn plan_abort(
+        &mut self,
+        pid: ProcessId,
+        compensations: &[GlobalActivityId],
+        forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        self.protocol.plan_abort(pid, compensations, forward_services)
+    }
+    fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.protocol.record_process_abort(pid)
+    }
+    fn on_abort_begin(&mut self, pid: ProcessId) {
+        self.protocol.mark_aborting(pid);
+    }
+    fn compensation_gate(&self, gid: GlobalActivityId) -> CompletionGate {
+        self.protocol.compensation_gate(gid)
+    }
+    fn forward_gate(&self, pid: ProcessId, service: ServiceId) -> CompletionGate {
+        self.protocol.forward_gate(pid, service)
+    }
+    fn debug_state(&self) -> String {
+        self.protocol.debug_ops()
+    }
+}
+
+/// Serial execution: one process at a time, admission order.
+#[derive(Debug, Default)]
+pub struct SerialPolicy {
+    order: Vec<ProcessId>,
+    terminated: BTreeSet<ProcessId>,
+}
+
+impl SerialPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn head(&self) -> Option<ProcessId> {
+        self.order.iter().copied().find(|p| !self.terminated.contains(p))
+    }
+}
+
+impl Policy for SerialPolicy {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+    fn register(&mut self, pid: ProcessId) {
+        if !self.order.contains(&pid) {
+            self.order.push(pid);
+        }
+    }
+    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, _service: ServiceId) -> Admission {
+        match self.head() {
+            Some(h) if h == pid => Admission::Allow,
+            Some(h) => Admission::Wait { blockers: vec![h] },
+            None => Admission::Allow,
+        }
+    }
+    fn record_executed(&mut self, _gid: GlobalActivityId, _deferred: bool) {}
+    fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
+    fn record_compensated(&mut self, _gid: GlobalActivityId) {}
+    fn can_commit(&mut self, _pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        Ok(())
+    }
+    fn on_commit(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.terminated.insert(pid);
+        Vec::new()
+    }
+    fn plan_abort(
+        &mut self,
+        _pid: ProcessId,
+        _compensations: &[GlobalActivityId],
+        _forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        Vec::new()
+    }
+    fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.terminated.insert(pid);
+        Vec::new()
+    }
+}
+
+/// Process-level conflict locking: a process acquires (logical) locks on all
+/// services it may invoke before its first activity runs; conflicting
+/// processes are serialized entirely.
+pub struct ConservativePolicy<'a> {
+    spec: &'a Spec,
+    /// Lock sets of live processes.
+    held: BTreeMap<ProcessId, Vec<ServiceId>>,
+    /// Registered processes that have not acquired their locks yet.
+    pending: BTreeSet<ProcessId>,
+}
+
+impl<'a> ConservativePolicy<'a> {
+    /// Creates the policy over a spec.
+    pub fn new(spec: &'a Spec) -> Self {
+        Self {
+            spec,
+            held: BTreeMap::new(),
+            pending: BTreeSet::new(),
+        }
+    }
+
+    fn lock_set(&self, pid: ProcessId) -> Vec<ServiceId> {
+        let process = self.spec.process(pid).expect("registered process");
+        let mut set: Vec<ServiceId> = process.iter().map(|(id, _)| process.service(id)).collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    fn conflicts_with_held(&self, pid: ProcessId, wanted: &[ServiceId]) -> Vec<ProcessId> {
+        let oracle = self.spec.oracle();
+        self.held
+            .iter()
+            .filter(|&(&other, _)| other != pid)
+            .filter(|(_, theirs)| {
+                wanted
+                    .iter()
+                    .any(|&w| theirs.iter().any(|&t| oracle.conflict(w, t)))
+            })
+            .map(|(&other, _)| other)
+            .collect()
+    }
+}
+
+impl Policy for ConservativePolicy<'_> {
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+    fn register(&mut self, pid: ProcessId) {
+        self.pending.insert(pid);
+    }
+    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, _service: ServiceId) -> Admission {
+        if self.held.contains_key(&pid) {
+            return Admission::Allow;
+        }
+        let wanted = self.lock_set(pid);
+        let blockers = self.conflicts_with_held(pid, &wanted);
+        if blockers.is_empty() {
+            self.pending.remove(&pid);
+            self.held.insert(pid, wanted);
+            Admission::Allow
+        } else {
+            Admission::Wait { blockers }
+        }
+    }
+    fn record_executed(&mut self, _gid: GlobalActivityId, _deferred: bool) {}
+    fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
+    fn record_compensated(&mut self, _gid: GlobalActivityId) {}
+    fn can_commit(&mut self, _pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        Ok(())
+    }
+    fn on_commit(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.held.remove(&pid);
+        Vec::new()
+    }
+    fn plan_abort(
+        &mut self,
+        _pid: ProcessId,
+        _compensations: &[GlobalActivityId],
+        _forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        Vec::new()
+    }
+    fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.held.remove(&pid);
+        Vec::new()
+    }
+}
+
+/// Concurrency control without recovery: serializability only.
+pub struct UnsafeCcPolicy<'a> {
+    protocol: Protocol<'a>,
+}
+
+impl<'a> UnsafeCcPolicy<'a> {
+    /// Creates the policy over a spec.
+    pub fn new(spec: &'a Spec) -> Self {
+        Self {
+            // The inner protocol is only used for edge/cycle tracking.
+            protocol: Protocol::new(spec, DeferPolicy::PrepareAndDefer),
+        }
+    }
+}
+
+impl Policy for UnsafeCcPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "unsafe-cc"
+    }
+    fn register(&mut self, pid: ProcessId) {
+        self.protocol.register(pid);
+    }
+    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, service: ServiceId) -> Admission {
+        match self.protocol.request(pid, service) {
+            Admission::Reject { conflicting } => Admission::Reject { conflicting },
+            // Ignore every recovery-related obligation.
+            _ => Admission::Allow,
+        }
+    }
+    fn record_executed(&mut self, gid: GlobalActivityId, _deferred: bool) {
+        self.protocol.record_executed(gid, false);
+    }
+    fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
+    fn record_compensated(&mut self, gid: GlobalActivityId) {
+        self.protocol.record_compensated(gid);
+    }
+    fn can_commit(&mut self, _pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        Ok(())
+    }
+    fn on_commit(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.protocol.record_process_commit(pid);
+        Vec::new()
+    }
+    fn plan_abort(
+        &mut self,
+        _pid: ProcessId,
+        _compensations: &[GlobalActivityId],
+        _forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        Vec::new()
+    }
+    fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        self.protocol.record_process_abort(pid);
+        Vec::new()
+    }
+}
+
+/// Selectable policy kind (run configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// The paper's PRED scheduler: protocol pre-filter (Lemmas 1–3) *plus*
+    /// per-event certification of the completed prefix (§3.5: "the
+    /// completed process schedule has always to be considered").
+    Pred,
+    /// Certified PRED, but non-compensatable activities wait instead of
+    /// executing under deferred 2PC commit (ablation).
+    PredWait,
+    /// Protocol rules only, no prefix certification (ablation: the lemma
+    /// obligations are necessary but not sufficient; this measures how often
+    /// they fall short).
+    PredProtocol,
+    /// Serial execution.
+    Serial,
+    /// Process-level conflict locking.
+    Conservative,
+    /// Serializability without recovery obligations (unsafe baseline).
+    UnsafeCc,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build<'a>(self, spec: &'a Spec) -> Box<dyn Policy + Send + 'a> {
+        match self {
+            PolicyKind::Pred => Box::new(PredPolicy::new(spec, DeferPolicy::PrepareAndDefer)),
+            PolicyKind::PredProtocol => Box::new(PredPolicy::with_name(
+                spec,
+                DeferPolicy::PrepareAndDefer,
+                "pred-protocol",
+            )),
+            PolicyKind::PredWait => Box::new(PredPolicy::new(spec, DeferPolicy::DeferExecution)),
+            PolicyKind::Serial => Box::new(SerialPolicy::new()),
+            PolicyKind::Conservative => Box::new(ConservativePolicy::new(spec)),
+            PolicyKind::UnsafeCc => Box::new(UnsafeCcPolicy::new(spec)),
+        }
+    }
+
+    /// Whether the engine certifies every effect event against the completed
+    /// prefix before emitting it.
+    pub fn certified(self) -> bool {
+        matches!(self, PolicyKind::Pred | PolicyKind::PredWait)
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Pred => "pred",
+            PolicyKind::PredWait => "pred-wait",
+            PolicyKind::PredProtocol => "pred-protocol",
+            PolicyKind::Serial => "serial",
+            PolicyKind::Conservative => "conservative",
+            PolicyKind::UnsafeCc => "unsafe-cc",
+        }
+    }
+
+    /// All kinds (sweeps).
+    pub fn all() -> [PolicyKind; 6] {
+        [
+            PolicyKind::Pred,
+            PolicyKind::PredWait,
+            PolicyKind::PredProtocol,
+            PolicyKind::Serial,
+            PolicyKind::Conservative,
+            PolicyKind::UnsafeCc,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txproc_core::fixtures;
+
+    #[test]
+    fn serial_policy_allows_only_head() {
+        let fx = fixtures::paper_world();
+        let mut p = SerialPolicy::new();
+        p.register(ProcessId(1));
+        p.register(ProcessId(2));
+        let svc = fx.spec.service_of(fx.a(1, 1)).unwrap();
+        assert_eq!(
+            p.request(ProcessId(1), fx.a(1, 1), svc),
+            Admission::Allow
+        );
+        assert!(matches!(
+            p.request(ProcessId(2), fx.a(2, 1), svc),
+            Admission::Wait { .. }
+        ));
+        p.on_commit(ProcessId(1));
+        assert_eq!(p.request(ProcessId(2), fx.a(2, 1), svc), Admission::Allow);
+    }
+
+    #[test]
+    fn conservative_policy_blocks_conflicting_process() {
+        let fx = fixtures::paper_world();
+        let mut p = ConservativePolicy::new(&fx.spec);
+        p.register(ProcessId(1));
+        p.register(ProcessId(2));
+        let s1 = fx.spec.service_of(fx.a(1, 1)).unwrap();
+        let s2 = fx.spec.service_of(fx.a(2, 1)).unwrap();
+        assert_eq!(p.request(ProcessId(1), fx.a(1, 1), s1), Admission::Allow);
+        // P₂ shares conflicting services with P₁ (Figure 4): blocked.
+        assert!(matches!(
+            p.request(ProcessId(2), fx.a(2, 1), s2),
+            Admission::Wait { .. }
+        ));
+        p.on_abort(ProcessId(1));
+        assert_eq!(p.request(ProcessId(2), fx.a(2, 1), s2), Admission::Allow);
+    }
+
+    #[test]
+    fn conservative_policy_allows_disjoint_processes() {
+        let fx = fixtures::cim_world();
+        // Construction and production conflict (PDM pair): blocked. But a
+        // process against itself re-requests freely.
+        let mut p = ConservativePolicy::new(&fx.spec);
+        let c = fx.construction.id;
+        p.register(c);
+        let svc = fx.spec.service_of(fx.construction_activity("design")).unwrap();
+        assert_eq!(
+            p.request(c, fx.construction_activity("design"), svc),
+            Admission::Allow
+        );
+        assert_eq!(
+            p.request(c, fx.construction_activity("pdm_entry"), svc),
+            Admission::Allow
+        );
+    }
+
+    #[test]
+    fn unsafe_cc_ignores_deferment_but_rejects_cycles() {
+        let fx = fixtures::paper_world();
+        let mut p = UnsafeCcPolicy::new(&fx.spec);
+        p.register(ProcessId(1));
+        p.register(ProcessId(2));
+        let s23 = fx.spec.service_of(fx.a(2, 3)).unwrap();
+        p.record_executed(fx.a(1, 1), false);
+        p.record_executed(fx.a(2, 1), false);
+        // The PRED policy would defer the pivot; unsafe-cc allows it.
+        assert_eq!(p.request(ProcessId(2), fx.a(2, 3), s23), Admission::Allow);
+        // But cycles are still rejected (it is a CC scheduler).
+        p.record_executed(fx.a(2, 3), false);
+        p.record_executed(fx.a(2, 4), false);
+        let s12 = fx.spec.service_of(fx.a(1, 2)).unwrap();
+        assert!(matches!(
+            p.request(ProcessId(1), fx.a(1, 2), s12),
+            Admission::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn policy_kind_builds_all() {
+        let fx = fixtures::paper_world();
+        for kind in PolicyKind::all() {
+            let p = kind.build(&fx.spec);
+            assert_eq!(p.name(), kind.label());
+        }
+    }
+}

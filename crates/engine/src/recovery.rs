@@ -1,0 +1,286 @@
+//! Scheduler crash recovery (§3.3): completing all active processes from the
+//! durable logs.
+//!
+//! When the process scheduler crashes, its volatile state (policy graph,
+//! process cursors, event queue) is gone. What survives is the emitted
+//! history, the invocation log, the 2PC decision log, and the subsystems
+//! themselves (holding committed state and in-doubt prepared transactions).
+//! Recovery proceeds exactly as the completion construction of Definition 8
+//! prescribes:
+//!
+//! 1. finish in-doubt 2PC groups from the coordinator's decision log,
+//! 2. abort prepared invocations that were never decided,
+//! 3. treat all still-active processes as aborted via a **group abort**
+//!    appended to the history,
+//! 4. execute each aborted process's completion — compensations in reverse
+//!    order, then the retriable forward recovery path — with processes
+//!    ordered reverse to the serialization order of the history, so the
+//!    Lemma 2/3 orderings hold.
+//!
+//! The resulting extended history is exactly a completed process schedule;
+//! the crash-recovery experiment (E16) verifies it reduces (RED).
+
+use std::collections::BTreeMap;
+use txproc_core::ids::{GlobalActivityId, ProcessId};
+use txproc_core::schedule::{Event, Schedule};
+use txproc_core::serializability::process_graph_linear;
+use txproc_core::spec::Spec;
+use txproc_sim::workload::Workload;
+use txproc_subsystem::agent::{Agent, CommitMode, InvokeOutcome};
+use txproc_subsystem::error::SubsystemError;
+use txproc_subsystem::subsystem::SubsystemId;
+use txproc_subsystem::tpc::{Coordinator, Decision};
+
+pub use crate::engine::InvocationLogEntry;
+
+/// The durable state surviving a scheduler crash.
+#[derive(Debug)]
+pub struct CrashImage {
+    /// The emitted history (the scheduler's durable log).
+    pub history: Schedule,
+    /// The subsystems (independent systems; they did not crash).
+    pub agents: BTreeMap<SubsystemId, Agent>,
+    /// The 2PC coordinator's decision log.
+    pub coordinator: Coordinator,
+    /// The durable invocation log.
+    pub invocation_log: Vec<InvocationLogEntry>,
+}
+
+/// Outcome of recovery.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The extended history (original + group abort + completions).
+    pub history: Schedule,
+    /// Processes completed through the group abort, in completion order.
+    pub aborted: Vec<ProcessId>,
+    /// Compensating activities executed during recovery.
+    pub compensations: usize,
+    /// Forward-recovery activities executed during recovery.
+    pub forward: usize,
+    /// 2PC groups finished from the decision log.
+    pub resolved_groups: usize,
+    /// Prepared invocations aborted because no decision was logged.
+    pub aborted_prepared: usize,
+}
+
+/// Runs crash recovery over a crash image.
+pub fn recover(workload: &Workload, mut image: CrashImage) -> Result<RecoveryReport, SubsystemError> {
+    let spec = &workload.spec;
+
+    // 1. Finish in-doubt 2PC groups from the decision log.
+    let resolved = image.coordinator.resolve_in_doubt(&mut image.agents)?;
+    let resolved_groups = resolved.len();
+    // Committed-by-recovery releases become visible history events.
+    let executed_gids: Vec<GlobalActivityId> = history_executed(&image.history);
+    for record in image.coordinator.log() {
+        if record.decision != Decision::Commit || !resolved.contains(&record.group) {
+            continue;
+        }
+        for p in &record.participants {
+            if let Some(entry) = image
+                .invocation_log
+                .iter()
+                .find(|e| e.subsystem == p.subsystem && e.invocation == p.invocation)
+            {
+                if !executed_gids.contains(&entry.gid) {
+                    image.history.execute(entry.gid);
+                }
+            }
+        }
+    }
+
+    // 2. Abort prepared invocations that were never decided.
+    let executed_gids: Vec<GlobalActivityId> = history_executed(&image.history);
+    let mut aborted_prepared = 0;
+    for entry in &image.invocation_log {
+        if entry.prepared && !executed_gids.contains(&entry.gid) {
+            let agent = image
+                .agents
+                .get_mut(&entry.subsystem)
+                .expect("agent exists");
+            // The invocation may already be resolved; ignore stale entries.
+            if agent.abort_prepared(entry.invocation).is_ok() {
+                aborted_prepared += 1;
+            }
+        }
+    }
+
+    // 3. Replay the history to rebuild process states; group-abort actives.
+    let replay = image
+        .history
+        .replay(spec)
+        .expect("durable history is a legal schedule");
+    let mut actives: Vec<ProcessId> = replay
+        .states
+        .iter()
+        .filter(|(_, st)| st.is_active())
+        .map(|(&p, _)| p)
+        .collect();
+    // Reverse serialization order (dependents complete first — Lemma 2).
+    let ranks = serialization_ranks(spec, &image.history);
+    actives.sort_by_key(|p| std::cmp::Reverse((ranks.get(p).copied().unwrap_or(0), p.0)));
+
+    let mut history = image.history.clone();
+    if !actives.is_empty() {
+        history.group_abort(actives.clone());
+    }
+
+    // 4. Execute completions.
+    let mut states = replay.states;
+    let mut compensations = 0;
+    let mut forward = 0;
+    let invocation_of: BTreeMap<GlobalActivityId, (SubsystemId, txproc_subsystem::agent::InvocationId)> =
+        image
+            .invocation_log
+            .iter()
+            .filter(|e| !e.prepared || executed_gids.contains(&e.gid))
+            .map(|e| (e.gid, (e.subsystem, e.invocation)))
+            .collect();
+    for &pid in &actives {
+        let state = states.get_mut(&pid).expect("active state");
+        let completion = state.apply_process_abort().expect("active process");
+        let process = spec.process(pid).expect("known process");
+        for &a in &completion.compensations {
+            let gid = GlobalActivityId::new(pid, a);
+            let &(sid, invocation) = invocation_of
+                .get(&gid)
+                .expect("compensatable activity was logged");
+            let agent = image.agents.get_mut(&sid).expect("agent");
+            match agent.compensate(invocation)? {
+                InvokeOutcome::Committed { .. } => {
+                    history.compensate(gid);
+                    state.apply_compensation(a).expect("queued compensation");
+                    compensations += 1;
+                }
+                other => panic!("compensation must succeed during recovery: {other:?}"),
+            }
+        }
+        for &a in &completion.forward {
+            let gid = GlobalActivityId::new(pid, a);
+            let svc = process.service(a);
+            let site = workload.deployment.site(svc).expect("deployed");
+            let sid = site.subsystem;
+            let program = site.program.clone();
+            let agent = image.agents.get_mut(&sid).expect("agent");
+            match agent.invoke(svc, &program, CommitMode::Immediate, false)? {
+                InvokeOutcome::Committed { .. } => {
+                    history.execute(gid);
+                    state.apply_commit(a).expect("forward path");
+                    forward += 1;
+                }
+                other => panic!("forward recovery must succeed: {other:?}"),
+            }
+        }
+        debug_assert!(!state.is_active(), "completion terminates the process");
+    }
+
+    Ok(RecoveryReport {
+        history,
+        aborted: actives,
+        compensations,
+        forward,
+        resolved_groups,
+        aborted_prepared,
+    })
+}
+
+fn history_executed(history: &Schedule) -> Vec<GlobalActivityId> {
+    history
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Execute(g) => Some(*g),
+            _ => None,
+        })
+        .collect()
+}
+
+fn serialization_ranks(spec: &Spec, history: &Schedule) -> BTreeMap<ProcessId, usize> {
+    let ops = history.ops(spec).expect("legal history");
+    let g = process_graph_linear(spec, &ops);
+    match g.topological_order() {
+        Some(order) => order.into_iter().enumerate().map(|(r, p)| (p, r)).collect(),
+        None => BTreeMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, RunConfig};
+    use txproc_core::reduction::is_reducible;
+    use txproc_sim::workload::{generate, WorkloadConfig};
+
+    fn workload(seed: u64) -> Workload {
+        generate(&WorkloadConfig {
+            seed,
+            processes: 6,
+            conflict_density: 0.4,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn recovery_after_midrun_crash_yields_reducible_history() {
+        for crash_at in [1, 3, 6, 10, 15] {
+            let w = workload(11);
+            let mut engine = Engine::new(&w, RunConfig::default());
+            engine.run_until_history(crash_at);
+            let image = engine.crash();
+            let report = recover(&w, image).expect("recovery succeeds");
+            // The extended history must replay and reduce (RED).
+            assert!(
+                is_reducible(&w.spec, &report.history).unwrap(),
+                "crash at {crash_at}: recovered history not reducible:\n{}",
+                txproc_core::schedule::render(&report.history)
+            );
+            // Every process terminated.
+            let replay = report.history.replay(&w.spec).unwrap();
+            assert!(replay.active_processes().is_empty(), "crash at {crash_at}");
+        }
+    }
+
+    #[test]
+    fn recovery_of_finished_run_is_a_noop() {
+        let w = workload(12);
+        let mut engine = Engine::new(&w, RunConfig::default());
+        while engine.tick() {}
+        let image = engine.crash();
+        let report = recover(&w, image).unwrap();
+        assert!(report.aborted.is_empty());
+        assert_eq!(report.compensations, 0);
+        assert_eq!(report.forward, 0);
+    }
+
+    #[test]
+    fn recovery_aborts_undecided_prepared_invocations() {
+        // Find a crash point where some invocation is prepared (deferred).
+        let mut exercised = false;
+        for seed in 0..20u64 {
+            let w = workload(seed);
+            let mut engine = Engine::new(&w, RunConfig { seed, ..RunConfig::default() });
+            engine.run_until_history(8);
+            let deferred_now = engine.metrics().deferred_commits;
+            let image = engine.crash();
+            let report = recover(&w, image).unwrap();
+            if deferred_now > 0 && report.aborted_prepared > 0 {
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no crash point with a prepared invocation found");
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let w = workload(13);
+        let run_once = || {
+            let mut engine = Engine::new(&w, RunConfig::default());
+            engine.run_until_history(7);
+            let report = recover(&w, engine.crash()).unwrap();
+            txproc_core::schedule::render(&report.history)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

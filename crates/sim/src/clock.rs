@@ -1,0 +1,142 @@
+//! Deterministic discrete-event simulation primitives: virtual time and an
+//! event queue with stable tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual simulation time, in abstract units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Advances by `d` units.
+    pub fn after(self, d: u64) -> SimTime {
+        SimTime(self.0 + d)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A deterministic event queue: events fire in time order; ties break by
+/// insertion order (FIFO), keeping runs reproducible.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that never compares the payload (only time and sequence do).
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((time, seq, EventSlot(event))));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse((t, _, EventSlot(e)))| (t, e))
+    }
+
+    /// Peeks at the next event time.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), "b");
+        q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(9), "c");
+        assert_eq!(q.pop(), Some((SimTime(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime(5), "b")));
+        assert_eq!(q.pop(), Some((SimTime(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(3), 1);
+        q.schedule(SimTime(3), 2);
+        q.schedule(SimTime(3), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(SimTime(7), ());
+        assert_eq!(q.next_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        assert_eq!(SimTime::ZERO.after(5), SimTime(5));
+        assert_eq!(SimTime(3).after(4), SimTime(7));
+        assert_eq!(SimTime(3).to_string(), "t3");
+    }
+}

@@ -1,0 +1,146 @@
+//! Execution metrics collected by the engine and reported by the benchmark
+//! harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and latency samples of one scheduler run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Processes that committed.
+    pub committed: u64,
+    /// Processes that aborted (including cascades).
+    pub aborted: u64,
+    /// Cascading aborts triggered by other processes' aborts.
+    pub cascaded: u64,
+    /// Forward activities executed (committed at a subsystem).
+    pub activities: u64,
+    /// Compensating activities executed.
+    pub compensations: u64,
+    /// Retriable invocation retries.
+    pub retries: u64,
+    /// Activities executed under deferred commit (2PC prepared).
+    pub deferred_commits: u64,
+    /// Scheduling requests answered with "wait".
+    pub waits: u64,
+    /// Scheduling requests rejected (would close a cycle).
+    pub rejections: u64,
+    /// Correctness violations observed (non-PRED histories emitted).
+    pub violations: u64,
+    /// Virtual end-to-end latency samples, one per terminated process.
+    pub latencies: Vec<u64>,
+    /// Virtual makespan of the whole run.
+    pub makespan: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total terminated processes.
+    pub fn terminated(&self) -> u64 {
+        self.committed + self.aborted
+    }
+
+    /// Throughput in committed processes per 1000 virtual time units.
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1000.0 / self.makespan as f64
+        }
+    }
+
+    /// Latency percentile (0.0..=1.0) over the collected samples.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Mean latency.
+    pub fn latency_mean(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            None
+        } else {
+            Some(self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64)
+        }
+    }
+
+    /// Merges another run's counters into this one (for aggregation over
+    /// repetitions).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.cascaded += other.cascaded;
+        self.activities += other.activities;
+        self.compensations += other.compensations;
+        self.retries += other.retries;
+        self.deferred_commits += other.deferred_commits;
+        self.waits += other.waits;
+        self.rejections += other.rejections;
+        self.violations += other.violations;
+        self.latencies.extend_from_slice(&other.latencies);
+        self.makespan += other.makespan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_computation() {
+        let m = Metrics {
+            committed: 10,
+            makespan: 2000,
+            ..Metrics::new()
+        };
+        assert!((m.throughput_per_kilotick() - 5.0).abs() < 1e-9);
+        assert_eq!(Metrics::new().throughput_per_kilotick(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let m = Metrics {
+            latencies: vec![10, 20, 30, 40, 50],
+            ..Metrics::new()
+        };
+        assert_eq!(m.latency_percentile(0.0), Some(10));
+        assert_eq!(m.latency_percentile(0.5), Some(30));
+        assert_eq!(m.latency_percentile(1.0), Some(50));
+        assert_eq!(m.latency_mean(), Some(30.0));
+        assert_eq!(Metrics::new().latency_percentile(0.5), None);
+        assert_eq!(Metrics::new().latency_mean(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            committed: 1,
+            aborted: 2,
+            latencies: vec![5],
+            makespan: 100,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            committed: 3,
+            cascaded: 1,
+            latencies: vec![7, 9],
+            makespan: 50,
+            ..Metrics::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 4);
+        assert_eq!(a.aborted, 2);
+        assert_eq!(a.cascaded, 1);
+        assert_eq!(a.terminated(), 6);
+        assert_eq!(a.latencies, vec![5, 7, 9]);
+        assert_eq!(a.makespan, 150);
+    }
+}

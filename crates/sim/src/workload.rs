@@ -1,0 +1,382 @@
+//! Synthetic workload generation: random processes with guaranteed
+//! termination, deployed over simulated subsystems, with a tunable conflict
+//! structure.
+//!
+//! The generator produces *strictly well-formed flex* processes
+//! (`comp* pivot tail`, recursively, with all-retriable fallback branches —
+//! \[ZNBB94\], §3.1), assigns every activity a service drawn from per-kind
+//! service pools, gives each service a physical program over hot (shared)
+//! and cold (private) keys, and declares the conflict matrix from the
+//! physical programs (plus perfect-commutativity closure). `conflict_density`
+//! steers how often services touch hot keys and therefore how often
+//! processes actually conflict.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use txproc_core::activity::Catalog;
+use txproc_core::conflict::ConflictMatrix;
+use txproc_core::flex::FlexAnalysis;
+use txproc_core::ids::{ProcessId, ServiceId};
+use txproc_core::process::ProcessBuilder;
+use txproc_core::spec::Spec;
+use txproc_subsystem::deploy::Deployment;
+use txproc_subsystem::kv::{Key, KvOp, Program};
+use txproc_subsystem::subsystem::SubsystemId;
+
+/// Configuration of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// RNG seed: equal seeds produce equal workloads.
+    pub seed: u64,
+    /// Number of processes.
+    pub processes: usize,
+    /// Compensatable-prefix length range (inclusive).
+    pub prefix_len: (usize, usize),
+    /// Retriable-tail length range (inclusive).
+    pub tail_len: (usize, usize),
+    /// Probability that a pivot carries an alternative branch (recursion).
+    pub alternative_probability: f64,
+    /// Maximum nesting depth of alternatives.
+    pub max_depth: usize,
+    /// Size of each service pool (compensatable / pivot / retriable).
+    pub services_per_kind: usize,
+    /// Number of subsystems services are spread over.
+    pub subsystems: usize,
+    /// Number of hot (shared) keys per subsystem.
+    pub hot_keys: u64,
+    /// Probability that a service operation touches a hot key.
+    pub conflict_density: f64,
+    /// Probability that a failable activity fails at runtime.
+    pub failure_probability: f64,
+    /// Mean service duration (virtual time units).
+    pub mean_duration: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            processes: 8,
+            prefix_len: (1, 3),
+            tail_len: (1, 2),
+            alternative_probability: 0.4,
+            max_depth: 2,
+            services_per_kind: 16,
+            subsystems: 3,
+            hot_keys: 4,
+            conflict_density: 0.3,
+            failure_probability: 0.1,
+            mean_duration: 10,
+        }
+    }
+}
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Catalog + conflicts + processes.
+    pub spec: Spec,
+    /// Physical placement and programs.
+    pub deployment: Deployment,
+    /// The configuration that produced it.
+    pub config: WorkloadConfig,
+}
+
+/// Generates a workload from a configuration. Deterministic in `seed`.
+pub fn generate(config: &WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut catalog = Catalog::new();
+    let mut deployment = Deployment::new();
+
+    let mut next_cold_key: u64 = 1_000_000;
+    let mut make_program = |rng: &mut StdRng, subsystem: u32, writes: bool| -> Program {
+        let ops = rng.gen_range(1..=3);
+        let mut program = Program::empty();
+        for _ in 0..ops {
+            let key = if rng.gen_bool(config.conflict_density) {
+                // Hot key within the subsystem's shared pool.
+                Key(u64::from(subsystem) * 10_000 + rng.gen_range(0..config.hot_keys))
+            } else {
+                next_cold_key += 1;
+                Key(next_cold_key)
+            };
+            let op = if !writes {
+                KvOp::Read(key)
+            } else {
+                // Mostly commuting increments: two invocations of the same
+                // service then conflict only through reads/overwrites, so
+                // `conflict_density` (hot-key sharing) stays the dominant
+                // contention knob.
+                match rng.gen_range(0..10) {
+                    0..=5 => KvOp::Add(key, rng.gen_range(1..100)),
+                    6 => KvOp::Set(key, rng.gen_range(1..100)),
+                    _ => KvOp::Read(key),
+                }
+            };
+            program = program.then(op);
+        }
+        program
+    };
+
+    let mut pool = |catalog: &mut Catalog,
+                    deployment: &mut Deployment,
+                    rng: &mut StdRng,
+                    kind: &str|
+     -> Vec<ServiceId> {
+        (0..config.services_per_kind)
+            .map(|i| {
+                let subsystem = rng.gen_range(0..config.subsystems as u32);
+                let svc = match kind {
+                    "c" => catalog.compensatable(format!("c{i}")).0,
+                    "p" => catalog.pivot(format!("p{i}")),
+                    _ => catalog.retriable(format!("r{i}")),
+                };
+                let writes = kind != "r" || rng.gen_bool(0.5);
+                let program = make_program(rng, subsystem, writes);
+                let duration = 1 + rng.gen_range(0..config.mean_duration.max(1) * 2);
+                deployment.place_with_duration(
+                    svc,
+                    SubsystemId(subsystem),
+                    program,
+                    duration,
+                );
+                svc
+            })
+            .collect()
+    };
+
+    let comp_pool = pool(&mut catalog, &mut deployment, &mut rng, "c");
+    let pivot_pool = pool(&mut catalog, &mut deployment, &mut rng, "p");
+    let retriable_pool = pool(&mut catalog, &mut deployment, &mut rng, "r");
+
+    // Declare the conflict matrix from the physical programs (sound and
+    // complete with respect to the deployment), then close it under perfect
+    // commutativity (the matrix stores base services only).
+    let mut conflicts = ConflictMatrix::new(&catalog);
+    let sites: Vec<(ServiceId, Program)> = deployment
+        .services()
+        .map(|(s, site)| (s, site.program.clone()))
+        .collect();
+    for (i, (sa, pa)) in sites.iter().enumerate() {
+        for (sb, pb) in &sites[i..] {
+            if pa.conflicts_with(pb) {
+                conflicts
+                    .declare_conflict(&catalog, *sa, *sb)
+                    .expect("services registered");
+            }
+        }
+    }
+
+    let mut spec = Spec::new(catalog, conflicts);
+    for p in 0..config.processes {
+        let pid = ProcessId(p as u32);
+        let mut builder = ProcessBuilder::new(pid, format!("W{p}"));
+        build_segment(
+            &mut builder,
+            &mut rng,
+            config,
+            &comp_pool,
+            &pivot_pool,
+            &retriable_pool,
+            None,
+            config.max_depth,
+        );
+        let process = builder
+            .build(&spec.catalog)
+            .expect("generated process is structurally valid");
+        debug_assert!(
+            FlexAnalysis::analyze(&process, &spec.catalog).has_guaranteed_termination(),
+            "generator must emit guaranteed-termination processes"
+        );
+        spec.add_process(process);
+    }
+
+    Workload {
+        spec,
+        deployment,
+        config: config.clone(),
+    }
+}
+
+/// Builds `comp* [pivot tail]` starting after `attach`; returns the first
+/// activity of the segment.
+#[allow(clippy::too_many_arguments)]
+fn build_segment(
+    b: &mut ProcessBuilder,
+    rng: &mut StdRng,
+    config: &WorkloadConfig,
+    comp_pool: &[ServiceId],
+    pivot_pool: &[ServiceId],
+    retriable_pool: &[ServiceId],
+    attach: Option<txproc_core::ids::ActivityId>,
+    depth: usize,
+) -> txproc_core::ids::ActivityId {
+    let pick = |rng: &mut StdRng, pool: &[ServiceId]| pool[rng.gen_range(0..pool.len())];
+    let prefix = rng.gen_range(config.prefix_len.0..=config.prefix_len.1).max(1);
+    let mut prev = attach;
+    let mut first = None;
+    for i in 0..prefix {
+        let a = b.activity(format!("c{i}"), pick(rng, comp_pool));
+        if let Some(p) = prev {
+            b.precede(p, a);
+        }
+        first.get_or_insert(a);
+        prev = Some(a);
+    }
+    // Pivot.
+    let pivot = b.activity("p", pick(rng, pivot_pool));
+    if let Some(p) = prev {
+        b.precede(p, pivot);
+    }
+    first.get_or_insert(pivot);
+    // Tail: either a plain retriable tail, or a recursive preferred branch
+    // with an all-retriable fallback.
+    let recurse = depth > 0 && rng.gen_bool(config.alternative_probability);
+    let tail_first = build_retriable_tail(b, rng, config, retriable_pool, None);
+    if recurse {
+        let preferred = build_segment(
+            b,
+            rng,
+            config,
+            comp_pool,
+            pivot_pool,
+            retriable_pool,
+            None,
+            depth - 1,
+        );
+        b.precede(pivot, preferred);
+        b.precede(pivot, tail_first);
+        b.prefer(pivot, preferred, tail_first);
+    } else {
+        b.precede(pivot, tail_first);
+    }
+    first.expect("segment has at least the pivot")
+}
+
+/// Builds a retriable chain; returns its first activity.
+fn build_retriable_tail(
+    b: &mut ProcessBuilder,
+    rng: &mut StdRng,
+    config: &WorkloadConfig,
+    retriable_pool: &[ServiceId],
+    attach: Option<txproc_core::ids::ActivityId>,
+) -> txproc_core::ids::ActivityId {
+    let pick = |rng: &mut StdRng, pool: &[ServiceId]| pool[rng.gen_range(0..pool.len())];
+    let len = rng.gen_range(config.tail_len.0..=config.tail_len.1).max(1);
+    let mut prev = attach;
+    let mut first = None;
+    for i in 0..len {
+        let a = b.activity(format!("r{i}"), pick(rng, retriable_pool));
+        if let Some(p) = prev {
+            b.precede(p, a);
+        }
+        first.get_or_insert(a);
+        prev = Some(a);
+    }
+    first.expect("tail non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::default();
+        let w1 = generate(&cfg);
+        let w2 = generate(&cfg);
+        assert_eq!(w1.spec.process_count(), w2.spec.process_count());
+        let p1: Vec<String> = w1.spec.processes().map(|p| format!("{p:?}")).collect();
+        let p2: Vec<String> = w2.spec.processes().map(|p| format!("{p:?}")).collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = generate(&WorkloadConfig::default());
+        let w2 = generate(&WorkloadConfig {
+            seed: 43,
+            ..WorkloadConfig::default()
+        });
+        let p1: Vec<String> = w1.spec.processes().map(|p| format!("{p:?}")).collect();
+        let p2: Vec<String> = w2.spec.processes().map(|p| format!("{p:?}")).collect();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn all_processes_have_guaranteed_termination() {
+        for seed in 0..10 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 12,
+                ..WorkloadConfig::default()
+            });
+            for p in w.spec.processes() {
+                let a = FlexAnalysis::analyze(p, &w.spec.catalog);
+                assert!(
+                    a.has_guaranteed_termination(),
+                    "seed {seed}, process {}: {:?}",
+                    p.name,
+                    a.guaranteed_termination
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_matrix_covers_physical_conflicts() {
+        for seed in 0..5 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                conflict_density: 0.8,
+                ..WorkloadConfig::default()
+            });
+            let missing = w
+                .deployment
+                .validate_conflicts(&w.spec.catalog, &w.spec.conflicts);
+            assert!(missing.is_empty(), "seed {seed}: {missing:?}");
+        }
+    }
+
+    #[test]
+    fn every_activity_has_a_deployed_service() {
+        let w = generate(&WorkloadConfig::default());
+        for p in w.spec.processes() {
+            for (id, _) in p.iter() {
+                let svc = p.service(id);
+                assert!(w.deployment.site(svc).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_density_generates_no_hot_conflicts_across_processes() {
+        let w = generate(&WorkloadConfig {
+            conflict_density: 0.0,
+            ..WorkloadConfig::default()
+        });
+        // With all-cold keys, distinct services never share keys; only
+        // self-conflicts (same service reused) remain possible.
+        let sites: Vec<_> = w.deployment.services().collect();
+        for (i, (sa, a)) in sites.iter().enumerate() {
+            for (sb, b) in &sites[i + 1..] {
+                assert!(
+                    !a.program.conflicts_with(&b.program),
+                    "{sa} vs {sb} share keys despite zero density"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsystem_count_respected() {
+        let w = generate(&WorkloadConfig {
+            subsystems: 2,
+            ..WorkloadConfig::default()
+        });
+        for sid in w.deployment.subsystems() {
+            assert!(sid.0 < 2);
+        }
+    }
+}

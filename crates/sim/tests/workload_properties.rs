@@ -1,0 +1,76 @@
+//! Property tests for the workload generator: structural invariants hold
+//! under arbitrary configurations.
+
+use proptest::prelude::*;
+use txproc_core::flex::FlexAnalysis;
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        0u64..500,
+        1usize..10,
+        (1usize..3, 1usize..3),
+        0.0f64..1.0,
+        1usize..4,
+        1usize..12,
+        1usize..5,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(seed, processes, prefix, alt, depth, services, subsystems, density)| {
+                WorkloadConfig {
+                    seed,
+                    processes,
+                    prefix_len: (prefix.0, prefix.0 + prefix.1),
+                    alternative_probability: alt,
+                    max_depth: depth,
+                    services_per_kind: services,
+                    subsystems,
+                    conflict_density: density,
+                    ..WorkloadConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated process has guaranteed termination, every service is
+    /// deployed, and the declared conflict matrix covers the physical
+    /// conflicts.
+    #[test]
+    fn generated_workloads_are_well_formed(config in config_strategy()) {
+        let w = generate(&config);
+        prop_assert_eq!(w.spec.process_count(), config.processes);
+        for p in w.spec.processes() {
+            let analysis = FlexAnalysis::analyze(p, &w.spec.catalog);
+            prop_assert!(
+                analysis.has_guaranteed_termination(),
+                "process {} lacks guaranteed termination",
+                p.name
+            );
+            for (id, _) in p.iter() {
+                prop_assert!(w.deployment.site(p.service(id)).is_some());
+            }
+        }
+        let missing = w.deployment.validate_conflicts(&w.spec.catalog, &w.spec.conflicts);
+        prop_assert!(missing.is_empty(), "undeclared conflicts: {missing:?}");
+        for sid in w.deployment.subsystems() {
+            prop_assert!((sid.0 as usize) < config.subsystems);
+        }
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn generation_is_deterministic(config in config_strategy()) {
+        let w1 = generate(&config);
+        let w2 = generate(&config);
+        let d1: Vec<String> = w1.spec.processes().map(|p| format!("{p:?}")).collect();
+        let d2: Vec<String> = w2.spec.processes().map(|p| format!("{p:?}")).collect();
+        prop_assert_eq!(d1, d2);
+        let s1: Vec<_> = w1.deployment.services().map(|(s, site)| (s, site.clone())).collect();
+        let s2: Vec<_> = w2.deployment.services().map(|(s, site)| (s, site.clone())).collect();
+        prop_assert_eq!(s1, s2);
+    }
+}

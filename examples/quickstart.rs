@@ -1,0 +1,88 @@
+//! Quickstart: define a transactional process, analyze its structure, and
+//! check schedules against the paper's PRED criterion.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use txproc_core::activity::Catalog;
+use txproc_core::conflict::ConflictMatrix;
+use txproc_core::flex::{valid_executions, FlexAnalysis};
+use txproc_core::ids::{GlobalActivityId, ProcessId};
+use txproc_core::pred::check_pred;
+use txproc_core::process::ProcessBuilder;
+use txproc_core::schedule::{render, Schedule};
+use txproc_core::spec::Spec;
+
+fn main() {
+    // 1. Declare the services of the transactional subsystems (Â).
+    //    Compensatable services get an auto-registered compensation;
+    //    pivots can fail for good; retriables always eventually commit.
+    let mut catalog = Catalog::new();
+    let (reserve, _) = catalog.compensatable("reserve_room");
+    let pay = catalog.pivot("charge_card");
+    let confirm = catalog.retriable("send_confirmation");
+    let waitlist = catalog.retriable("put_on_waitlist");
+
+    // 2. Declare which services conflict (do not commute). The relation is
+    //    closed under perfect commutativity: reserve⁻¹ conflicts whatever
+    //    reserve conflicts.
+    let mut conflicts = ConflictMatrix::new(&catalog);
+    conflicts.declare_self_conflict(&catalog, reserve).unwrap();
+
+    // 3. Define a process P = (A, ≪, ◁): reserve ≪ pay ≪ confirm, with the
+    //    preference-ordered alternative pay ≪ waitlist if confirmation work
+    //    can't proceed — here: if `pay` fails, fall back to the waitlist.
+    let booking = |pid: u32| {
+        let mut b = ProcessBuilder::new(ProcessId(pid), format!("booking-{pid}"));
+        let a_res = b.activity("reserve", reserve);
+        let a_pay = b.activity("pay", pay);
+        let a_conf = b.activity("confirm", confirm);
+        let a_wait = b.activity("waitlist", waitlist);
+        b.chain(&[a_res, a_pay, a_conf]);
+        b.precede(a_res, a_wait);
+        b.prefer(a_res, a_pay, a_wait);
+        b.build(&catalog).expect("valid structure")
+    };
+    let p1 = booking(1);
+    let p2 = booking(2);
+
+    // 4. Verify guaranteed termination (well-formed flex structure, §3.1).
+    let analysis = FlexAnalysis::analyze(&p1, &catalog);
+    println!("guaranteed termination: {}", analysis.has_guaranteed_termination());
+    println!("strict well-formed flex: {}", analysis.strict_well_formed);
+    println!("valid executions:");
+    for e in valid_executions(&p1, &catalog, 16).unwrap() {
+        println!("  {e}");
+    }
+
+    // 5. Check concurrent schedules for PRED (Definition 10).
+    let mut spec = Spec::new(catalog, conflicts);
+    spec.add_process(p1);
+    spec.add_process(p2);
+    let a = |p: u32, k: u32| GlobalActivityId::new(ProcessId(p), txproc_core::ids::ActivityId(k));
+
+    // A clean interleaving: P1's conflicting reserve precedes P2's, and P2
+    // holds its pivot until P1 committed.
+    let mut good = Schedule::new();
+    good.execute(a(1, 0))
+        .execute(a(1, 1))
+        .execute(a(2, 0))
+        .execute(a(1, 2))
+        .commit(ProcessId(1))
+        .execute(a(2, 1))
+        .execute(a(2, 2))
+        .commit(ProcessId(2));
+    let report = check_pred(&spec, &good).unwrap();
+    println!("\nschedule: {}", render(&good));
+    println!("PRED: {}", report.pred);
+
+    // The Example-8 trap: P2 reads past P1's uncommitted reserve and then
+    // commits its own pivot — if P1 now aborts, reserve⁻¹ closes a conflict
+    // cycle. The checker finds the violating prefix.
+    let mut bad = Schedule::new();
+    bad.execute(a(1, 0)).execute(a(2, 0)).execute(a(2, 1));
+    let report = check_pred(&spec, &bad).unwrap();
+    println!("\nschedule: {}", render(&bad));
+    println!("PRED: {} (first violating prefix: {:?})", report.pred, report.first_violation);
+}

@@ -1,0 +1,88 @@
+//! Subprocess composition — the paper's stated future work: "identify
+//! transactional execution guarantees of subprocesses".
+//!
+//! Embedding a subprocess does *not* automatically preserve guaranteed
+//! termination; the composition must be re-analyzed. This example shows a
+//! composition that keeps the guarantee, one that silently breaks it, and
+//! how an all-retriable fallback subprocess *repairs* a non-guaranteed
+//! parent (the recursive well-formed flex shape).
+//!
+//! ```text
+//! cargo run --example subprocesses
+//! ```
+
+use txproc_core::activity::Catalog;
+use txproc_core::compose::{compose, Attach};
+use txproc_core::flex::FlexAnalysis;
+use txproc_core::ids::{ActivityId, ProcessId};
+use txproc_core::process::ProcessBuilder;
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let (order, _) = catalog.compensatable("order_parts");
+    let assemble = catalog.pivot("assemble");
+    let ship = catalog.retriable("ship");
+    let (draft, _) = catalog.compensatable("draft_docs");
+    let publish = catalog.pivot("publish_docs");
+    let archive = catalog.retriable("archive");
+
+    // Parent: order ≪ assemble ≪ ship — well formed.
+    let mut b = ProcessBuilder::new(ProcessId(1), "manufacture");
+    let a0 = b.activity("order", order);
+    let a1 = b.activity("assemble", assemble);
+    let a2 = b.activity("ship", ship);
+    b.chain(&[a0, a1, a2]);
+    let parent = b.build(&catalog).unwrap();
+    println!(
+        "parent guaranteed: {}",
+        FlexAnalysis::analyze(&parent, &catalog).has_guaranteed_termination()
+    );
+
+    // Documentation subprocess with its own pivot.
+    let mut b = ProcessBuilder::new(ProcessId(2), "document");
+    let d0 = b.activity("draft", draft);
+    let d1 = b.activity("publish", publish);
+    b.precede(d0, d1);
+    let docs = b.build(&catalog).unwrap();
+
+    // Embedding it after `ship` BREAKS the parent's guarantee: the
+    // subprocess's pivot can fail after the parent is already F-REC.
+    let broken = compose(&catalog, &parent, &docs, Attach::After(a2), ProcessId(3)).unwrap();
+    println!(
+        "manufacture + document guaranteed: {} ({:?})",
+        broken.analysis.has_guaranteed_termination(),
+        broken.analysis.guaranteed_termination
+    );
+
+    // An all-retriable archival subprocess as the pivot's fallback REPAIRS
+    // the composition: this is exactly the recursive well-formed shape.
+    let mut b = ProcessBuilder::new(ProcessId(4), "archive_only");
+    let r0 = b.activity("archive", archive);
+    let _ = r0;
+    let fallback = b.build(&catalog).unwrap();
+    // Rebuild a parent whose pivot is followed by the risky doc subprocess…
+    let mut b = ProcessBuilder::new(ProcessId(5), "manufacture2");
+    let m0 = b.activity("order", order);
+    let m1 = b.activity("assemble", assemble);
+    let m2 = b.activity("draft", draft);
+    let m3 = b.activity("publish", publish);
+    b.chain(&[m0, m1, m2, m3]);
+    let risky = b.build(&catalog).unwrap();
+    println!(
+        "risky parent guaranteed: {}",
+        FlexAnalysis::analyze(&risky, &catalog).has_guaranteed_termination()
+    );
+    let repaired = compose(
+        &catalog,
+        &risky,
+        &fallback,
+        Attach::AsFallbackOf(ActivityId(m1.0)),
+        ProcessId(6),
+    )
+    .unwrap();
+    println!(
+        "repaired composition guaranteed: {} (strict well-formed: {})",
+        repaired.analysis.has_guaranteed_termination(),
+        repaired.analysis.strict_well_formed
+    );
+}

@@ -1,0 +1,35 @@
+//! # txproc
+//!
+//! **Concurrency control and recovery for transactional processes** — a
+//! from-scratch Rust reproduction of H. Schuldt, G. Alonso, H.-J. Schek,
+//! *"Concurrency Control and Recovery in Transactional Process Management"*,
+//! PODS 1999.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] (`txproc-core`) — the formal model: flex processes
+//!   (compensatable / pivot / retriable activities, preference-ordered
+//!   alternatives), process schedules, completed schedules (Definition 8),
+//!   reducibility RED (Definition 9), prefix-reducibility **PRED**
+//!   (Definition 10), process-recoverability (Definition 11), and the
+//!   scheduling protocol of Lemmas 1–3,
+//! * [`subsystem`] (`txproc-subsystem`) — simulated transactional
+//!   subsystems: local transactions, compensation, 2PC, commit-order
+//!   (weak order) support, crash simulation,
+//! * [`sim`] (`txproc-sim`) — deterministic simulation substrate and
+//!   synthetic workload generation,
+//! * [`engine`] (`txproc-engine`) — a WISE-style transactional process
+//!   scheduler: certified PRED scheduling, deferred 2PC commits, cascading
+//!   aborts, crash recovery, plus baseline schedulers,
+//! * [`bench`] (`txproc-bench`) — the experiment suite regenerating every
+//!   figure and result of the paper (see `EXPERIMENTS.md`).
+//!
+//! Start with `examples/quickstart.rs`.
+
+#![warn(missing_docs)]
+
+pub use txproc_bench as bench;
+pub use txproc_core as core;
+pub use txproc_engine as engine;
+pub use txproc_sim as sim;
+pub use txproc_subsystem as subsystem;

@@ -1,0 +1,63 @@
+// Shared helpers for the integration/property test suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txproc::core::fixtures::PaperWorld;
+use txproc::core::ids::ProcessId;
+use txproc::core::schedule::Schedule;
+use txproc::core::state::{FailureOutcome, ProcessState};
+
+/// Generates a random *legal* history over the paper world's processes by
+/// driving the per-process state machines with random choices: each step
+/// picks an active process and either executes, fails (if failable), or
+/// compensates its next pending step; finished processes commit with
+/// probability 1/2 per opportunity.
+pub fn random_history(fx: &PaperWorld, seed: u64, max_events: usize) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schedule = Schedule::new();
+    let processes: Vec<_> = fx.spec.processes().collect();
+    let mut states: Vec<ProcessState<'_>> = processes
+        .iter()
+        .map(|p| ProcessState::new(p, &fx.spec.catalog).expect("tree process"))
+        .collect();
+    for _ in 0..max_events {
+        let live: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_active())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let i = live[rng.gen_range(0..live.len())];
+        let pid = ProcessId(processes[i].id.0);
+        let st = &mut states[i];
+        if let Some(c) = st.next_compensation() {
+            let gid = txproc::core::ids::GlobalActivityId::new(pid, c);
+            st.apply_compensation(c).expect("queued");
+            schedule.compensate(gid);
+        } else if let Some(a) = st.next_activity() {
+            let gid = txproc::core::ids::GlobalActivityId::new(pid, a);
+            let termination = fx
+                .spec
+                .catalog
+                .termination(processes[i].service(a));
+            if termination.can_fail() && rng.gen_bool(0.25) {
+                match st.apply_failure(a).expect("failable frontier") {
+                    FailureOutcome::Stuck => unreachable!("paper processes terminate"),
+                    _ => {
+                        schedule.fail(gid);
+                    }
+                }
+            } else {
+                st.apply_commit(a).expect("frontier");
+                schedule.execute(gid);
+            }
+        } else if st.can_commit() && rng.gen_bool(0.5) {
+            st.apply_process_commit().expect("finished");
+            schedule.commit(pid);
+        }
+    }
+    schedule
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: every figure and formal claim of the
+//! paper, checked end to end through the public API.
+
+use txproc::core::fixtures::paper_world;
+use txproc::core::flex::{valid_executions, FlexAnalysis};
+use txproc::core::ids::ProcessId;
+use txproc::core::pred::{check_pred, is_pred};
+use txproc::core::recoverability::{is_proc_rec, sot_like, theorem1_holds};
+use txproc::core::reduction::{is_reducible, reduce};
+use txproc::core::schedule::Schedule;
+use txproc::core::serializability::is_serializable;
+use txproc::bench::scenarios::{figure4a_st2, figure4b_st2, figure7, figure9};
+
+#[test]
+fn figure2_p1_is_well_formed() {
+    let fx = paper_world();
+    let analysis = FlexAnalysis::analyze(&fx.p1, &fx.spec.catalog);
+    assert!(analysis.has_guaranteed_termination());
+    assert!(analysis.strict_well_formed);
+}
+
+#[test]
+fn figure3_four_valid_executions() {
+    let fx = paper_world();
+    let execs = valid_executions(&fx.p1, &fx.spec.catalog, 64).unwrap();
+    assert_eq!(execs.len(), 4);
+    assert_eq!(execs.iter().filter(|e| e.committed).count(), 3);
+    assert_eq!(execs.iter().filter(|e| !e.committed).count(), 1);
+}
+
+#[test]
+fn figure4_serializability_verdicts() {
+    let fx = paper_world();
+    assert!(is_serializable(&fx.spec, &figure4a_st2(&fx)).unwrap());
+    assert!(!is_serializable(&fx.spec, &figure4b_st2(&fx)).unwrap());
+}
+
+#[test]
+fn example6_st2_reduces_with_one_cancelled_pair() {
+    let fx = paper_world();
+    let completed =
+        txproc::core::completion::complete(&fx.spec, &figure4a_st2(&fx)).unwrap();
+    let outcome = reduce(&fx.spec, &completed);
+    assert!(outcome.reducible);
+    assert_eq!(outcome.cancelled_pairs.len(), 1);
+}
+
+#[test]
+fn example8_red_but_not_pred() {
+    let fx = paper_world();
+    let report = check_pred(&fx.spec, &figure4a_st2(&fx)).unwrap();
+    assert!(report.reducible());
+    assert!(!report.pred);
+}
+
+#[test]
+fn figure7_is_pred() {
+    let fx = paper_world();
+    assert!(is_pred(&fx.spec, &figure7(&fx)).unwrap());
+}
+
+#[test]
+fn figure9_quasi_commit_is_pred() {
+    let fx = paper_world();
+    assert!(is_pred(&fx.spec, &figure9(&fx)).unwrap());
+}
+
+#[test]
+fn theorem1_on_paper_schedules() {
+    let fx = paper_world();
+    for s in [figure4a_st2(&fx), figure4b_st2(&fx), figure7(&fx), figure9(&fx)] {
+        assert!(theorem1_holds(&fx.spec, &s).unwrap());
+    }
+}
+
+#[test]
+fn pred_schedule_is_serializable_and_proc_rec() {
+    let fx = paper_world();
+    let s = figure7(&fx);
+    assert!(is_pred(&fx.spec, &s).unwrap());
+    assert!(is_serializable(&fx.spec, &s).unwrap());
+    assert!(is_proc_rec(&fx.spec, &s).unwrap());
+}
+
+#[test]
+fn sot_like_criterion_is_unsound_for_processes() {
+    // §3.5: a criterion inspecting only S accepts the non-PRED prefix S_t1.
+    let fx = paper_world();
+    let mut s_t1 = Schedule::new();
+    s_t1.execute(fx.a(1, 1))
+        .execute(fx.a(2, 1))
+        .execute(fx.a(2, 2))
+        .execute(fx.a(2, 3));
+    assert!(sot_like(&fx.spec, &s_t1).unwrap());
+    assert!(!is_pred(&fx.spec, &s_t1).unwrap());
+}
+
+#[test]
+fn full_failure_handling_execution_is_reducible() {
+    // P₁ takes its alternative path after a1_4 fails; P₂ commits; the whole
+    // history must be reducible and PRED.
+    let fx = paper_world();
+    let mut s = Schedule::new();
+    for k in 1..=5 {
+        s.execute(fx.a(2, k));
+    }
+    s.commit(ProcessId(2));
+    s.execute(fx.a(1, 1))
+        .execute(fx.a(1, 2))
+        .execute(fx.a(1, 3))
+        .fail(fx.a(1, 4))
+        .compensate(fx.a(1, 3))
+        .execute(fx.a(1, 5))
+        .execute(fx.a(1, 6))
+        .commit(ProcessId(1));
+    assert!(is_reducible(&fx.spec, &s).unwrap());
+    assert!(is_pred(&fx.spec, &s).unwrap());
+}

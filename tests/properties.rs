@@ -1,0 +1,143 @@
+//! Property-based tests over the whole stack: random legal histories,
+//! random workloads through the engine, and cross-validation of the two RED
+//! deciders.
+
+mod common;
+
+use proptest::prelude::*;
+use txproc::core::fixtures::paper_world;
+use txproc::core::pred::{check_pred, is_pred};
+use txproc::core::recoverability::theorem1_holds;
+use txproc::core::reduction::{reduce, reduce_exhaustive, ExhaustiveOutcome};
+use txproc::core::serializability::is_serializable_committed;
+use txproc::engine::engine::{run, RunConfig};
+use txproc::engine::policy::PolicyKind;
+use txproc::sim::workload::{generate, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random legal history replays cleanly and satisfies Theorem 1.
+    #[test]
+    fn random_histories_satisfy_theorem1(seed in 0u64..5000) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 40);
+        prop_assert!(s.replay(&fx.spec).is_ok());
+        prop_assert!(theorem1_holds(&fx.spec, &s).unwrap());
+    }
+
+    /// PRED is prefix-closed by construction: every prefix of a PRED history
+    /// is PRED.
+    #[test]
+    fn pred_is_prefix_closed(seed in 0u64..5000, cut in 0usize..30) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 40);
+        if is_pred(&fx.spec, &s).unwrap() {
+            let prefix = s.prefix(cut.min(s.len()));
+            prop_assert!(is_pred(&fx.spec, &prefix).unwrap());
+        }
+    }
+
+    /// The graph-based RED decider agrees with the literal rule-rewriting
+    /// search on random completed schedules.
+    #[test]
+    fn red_deciders_agree(seed in 0u64..5000) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 14);
+        let completed = txproc::core::completion::complete(&fx.spec, &s).unwrap();
+        if completed.ops.len() > 12 {
+            // Keep the exhaustive search tractable.
+            return Ok(());
+        }
+        let fast = reduce(&fx.spec, &completed).reducible;
+        match reduce_exhaustive(&fx.spec, &completed, 400_000) {
+            ExhaustiveOutcome::Reducible(_) => prop_assert!(fast, "rewriter found a serial form, graph decider said no"),
+            ExhaustiveOutcome::NotReducible => prop_assert!(!fast, "graph decider said reducible, exhaustive search disagrees"),
+            ExhaustiveOutcome::Inconclusive => {}
+        }
+    }
+
+    /// PRED histories have serializable committed projections.
+    #[test]
+    fn pred_implies_committed_serializability(seed in 0u64..5000) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 40);
+        if is_pred(&fx.spec, &s).unwrap() {
+            prop_assert!(is_serializable_committed(&fx.spec, &s).unwrap());
+        }
+    }
+
+    /// The certified engine always emits PRED histories and terminates every
+    /// process, across random workloads.
+    #[test]
+    fn engine_emits_pred_histories(seed in 0u64..400, density in 0.0f64..0.8, failures in 0.0f64..0.4) {
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes: 5,
+            conflict_density: density,
+            failure_probability: failures,
+            ..WorkloadConfig::default()
+        });
+        let r = run(&w, RunConfig { seed, ..RunConfig::default() });
+        prop_assert!(r.stalled.is_empty(), "stalled: {:?}", r.stalled);
+        prop_assert_eq!(r.metrics.terminated(), 5);
+        prop_assert!(
+            is_pred(&w.spec, &r.history).unwrap(),
+            "non-PRED history: {}",
+            txproc::core::schedule::render(&r.history)
+        );
+    }
+
+    /// Serial execution is always PRED regardless of workload.
+    #[test]
+    fn serial_engine_is_always_pred(seed in 0u64..400) {
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes: 4,
+            conflict_density: 0.6,
+            failure_probability: 0.3,
+            ..WorkloadConfig::default()
+        });
+        let r = run(
+            &w,
+            RunConfig {
+                policy: PolicyKind::Serial,
+                seed,
+                ..RunConfig::default()
+            },
+        );
+        prop_assert!(is_pred(&w.spec, &r.history).unwrap());
+    }
+
+    /// Engine histories always replay as legal schedules (Definition 7.1).
+    #[test]
+    fn engine_histories_replay(seed in 0u64..400, kind_idx in 0usize..6) {
+        let kind = PolicyKind::all()[kind_idx];
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes: 4,
+            conflict_density: 0.4,
+            failure_probability: 0.2,
+            ..WorkloadConfig::default()
+        });
+        let r = run(&w, RunConfig { policy: kind, seed, ..RunConfig::default() });
+        prop_assert!(r.history.replay(&w.spec).is_ok());
+    }
+
+    /// The PRED report's prefix vector is consistent with its verdicts.
+    #[test]
+    fn pred_report_is_consistent(seed in 0u64..2000) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 25);
+        let report = check_pred(&fx.spec, &s).unwrap();
+        prop_assert_eq!(report.prefix_reducible.len(), s.len() + 1);
+        prop_assert_eq!(report.pred, report.prefix_reducible.iter().all(|&r| r));
+        match report.first_violation {
+            Some(k) => {
+                prop_assert!(!report.prefix_reducible[k]);
+                prop_assert!(report.prefix_reducible[..k].iter().all(|&r| r));
+            }
+            None => prop_assert!(report.pred),
+        }
+    }
+}
