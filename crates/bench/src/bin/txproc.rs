@@ -20,7 +20,7 @@ use txproc_core::pred::check_pred;
 use txproc_core::schedule::{render, Schedule};
 use txproc_core::spec::Spec;
 use txproc_engine::engine::{run, Engine, RunConfig};
-use txproc_engine::policy::PolicyKind;
+use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_engine::recovery::recover;
 use txproc_sim::workload::{generate, WorkloadConfig};
 
@@ -74,6 +74,13 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         .ok_or_else(|| format!("unknown policy: {name}"))
 }
 
+fn parse_certifier(name: &str) -> Result<CertifierKind, String> {
+    CertifierKind::all()
+        .into_iter()
+        .find(|k| k.label() == name)
+        .ok_or_else(|| format!("unknown certifier: {name} (expected batch|incremental)"))
+}
+
 fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> {
     Ok(generate(&WorkloadConfig {
         seed: args.get("seed", 42u64)?,
@@ -87,22 +94,33 @@ fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
+    let certifier = parse_certifier(&args.get("certifier", "batch".to_string())?)?;
     let cfg = RunConfig {
         policy,
         seed: args.get("seed", 42u64)?,
         arrival_gap: args.get("arrival-gap", 0u64)?,
         check_pred: args.flag("check"),
+        certifier,
         ..RunConfig::default()
     };
     let r = run(&w, cfg);
     println!("policy:            {}", policy.label());
+    if policy.certified() {
+        println!("certifier:         {}", certifier.label());
+    }
     println!("makespan:          {}", r.metrics.makespan);
-    println!("committed/aborted: {}/{}", r.metrics.committed, r.metrics.aborted);
+    println!(
+        "committed/aborted: {}/{}",
+        r.metrics.committed, r.metrics.aborted
+    );
     println!("activities:        {}", r.metrics.activities);
     println!("compensations:     {}", r.metrics.compensations);
     println!("retries:           {}", r.metrics.retries);
     println!("deferred commits:  {}", r.metrics.deferred_commits);
-    println!("waits/rejections:  {}/{}", r.metrics.waits, r.metrics.rejections);
+    println!(
+        "waits/rejections:  {}/{}",
+        r.metrics.waits, r.metrics.rejections
+    );
     println!(
         "latency p50/p95:   {:?}/{:?}",
         r.metrics.latency_percentile(0.5),
@@ -130,7 +148,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         );
     }
     println!("services: {}", w.spec.catalog.len());
-    println!("declared conflicting pairs: {}", w.spec.conflicts.declared_pairs());
+    println!(
+        "declared conflicting pairs: {}",
+        w.spec.conflicts.declared_pairs()
+    );
     println!("subsystems: {}", w.deployment.subsystems().len());
     if let Some(path) = args.values.get("json") {
         let json = serde_json::to_string_pretty(&w.spec).map_err(|e| e.to_string())?;
@@ -158,7 +179,10 @@ fn cmd_check(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_demo(args: &Args) -> Result<(), String> {
-    let which = args.positional.first().ok_or("demo needs a schedule name")?;
+    let which = args
+        .positional
+        .first()
+        .ok_or("demo needs a schedule name")?;
     let fx = paper_world();
     let s = match which.as_str() {
         "fig4a" => scenarios::figure4a_st2(&fx),

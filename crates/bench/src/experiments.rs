@@ -53,7 +53,13 @@ pub fn all_ids() -> Vec<String> {
 pub fn e1_cim() -> ExperimentResult {
     let mut t = Table::new(
         "CIM scenario: construction + production under each scheduler (test activity fails)",
-        &["scheduler", "committed", "aborted", "compensations", "history PRED?"],
+        &[
+            "scheduler",
+            "committed",
+            "aborted",
+            "compensations",
+            "history PRED?",
+        ],
     );
     let mut pass = true;
     for kind in [PolicyKind::Pred, PolicyKind::Serial, PolicyKind::UnsafeCc] {
@@ -75,12 +81,10 @@ pub fn e1_cim() -> ExperimentResult {
                     ..RunConfig::default()
                 },
             );
-            let test_failed = r
-                .history
-                .events()
-                .iter()
-                .any(|e| matches!(e, txproc_core::schedule::Event::Fail(g)
-                    if *g == fx.construction_activity("test")));
+            let test_failed = r.history.events().iter().any(|e| {
+                matches!(e, txproc_core::schedule::Event::Fail(g)
+                    if *g == fx.construction_activity("test"))
+            });
             if test_failed {
                 chosen = Some(r);
                 break;
@@ -125,7 +129,10 @@ pub fn e2_process_p1() -> ExperimentResult {
         "guaranteed termination",
         analysis.has_guaranteed_termination()
     ]);
-    t.row(cells!["strict well-formed flex", analysis.strict_well_formed]);
+    t.row(cells![
+        "strict well-formed flex",
+        analysis.strict_well_formed
+    ]);
     t.row(cells![
         "state-determining activity s_1_0",
         analysis
@@ -155,7 +162,11 @@ pub fn e3_valid_executions() -> ExperimentResult {
         &["#", "execution", "terminates"],
     );
     for (i, e) in execs.iter().enumerate() {
-        t.row(cells![i + 1, e, if e.committed { "commit" } else { "abort" }]);
+        t.row(cells![
+            i + 1,
+            e,
+            if e.committed { "commit" } else { "abort" }
+        ]);
     }
     ExperimentResult {
         id: "E3".into(),
@@ -183,7 +194,9 @@ pub fn e4_serializability() -> ExperimentResult {
         "S_t2 (4a)",
         render(&a),
         ser_a,
-        order_a.map(|o| format!("{o:?}")).unwrap_or_else(|| "-".into())
+        order_a
+            .map(|o| format!("{o:?}"))
+            .unwrap_or_else(|| "-".into())
     ]);
     t.row(cells!["S'_t2 (4b)", render(&b), ser_b, "-"]);
     ExperimentResult {
@@ -274,7 +287,10 @@ pub fn e7_figure7_pred() -> ExperimentResult {
     let fx = paper_world();
     let s = figure7(&fx);
     let report = check_pred(&fx.spec, &s).unwrap();
-    let mut t = Table::new("Prefix reducibility of S″ (Figure 7)", &["prefix", "reducible"]);
+    let mut t = Table::new(
+        "Prefix reducibility of S″ (Figure 7)",
+        &["prefix", "reducible"],
+    );
     for (k, red) in report.prefix_reducible.iter().enumerate() {
         t.row(cells![k, red]);
     }
@@ -317,7 +333,9 @@ pub fn e9_quasi_commit() -> ExperimentResult {
     let fx = paper_world();
     let good = figure9(&fx);
     let mut bad = txproc_core::schedule::Schedule::new();
-    bad.execute(fx.a(1, 1)).execute(fx.a(3, 1)).execute(fx.a(3, 2));
+    bad.execute(fx.a(1, 1))
+        .execute(fx.a(3, 1))
+        .execute(fx.a(3, 2));
     bad.commit(txproc_core::ids::ProcessId(3));
     let good_pred = is_pred(&fx.spec, &good).unwrap();
     let bad_pred = is_pred(&fx.spec, &bad).unwrap();
@@ -350,7 +368,11 @@ pub fn e10_theorem1() -> ExperimentResult {
             failure_probability: 0.2,
             ..WorkloadConfig::default()
         });
-        for kind in [PolicyKind::Pred, PolicyKind::UnsafeCc, PolicyKind::PredProtocol] {
+        for kind in [
+            PolicyKind::Pred,
+            PolicyKind::UnsafeCc,
+            PolicyKind::PredProtocol,
+        ] {
             let r = run(
                 &w,
                 RunConfig {
@@ -420,7 +442,10 @@ pub fn e11_lemmas() -> ExperimentResult {
         .execute(fx.a(1, 2));
     let bad_violations = proc_rec_violations(&fx.spec, &bad).unwrap();
     let bad_pred = is_pred(&fx.spec, &bad).unwrap();
-    let mut t = Table::new("Lemma obligations on scheduler output", &["metric", "value"]);
+    let mut t = Table::new(
+        "Lemma obligations on scheduler output",
+        &["metric", "value"],
+    );
     t.row(cells!["PRED histories emitted", pred_histories]);
     t.row(cells!["of which process-recoverable", proc_rec_ok]);
     t.row(cells![
@@ -431,7 +456,8 @@ pub fn e11_lemmas() -> ExperimentResult {
     ExperimentResult {
         id: "E11".into(),
         source: "Lemmas 1-3, Definition 11".into(),
-        title: "Scheduler output satisfies the lemma obligations; violating them breaks PRED".into(),
+        title: "Scheduler output satisfies the lemma obligations; violating them breaks PRED"
+            .into(),
         expectation: "all PRED histories Proc-REC; the directed violation is neither".into(),
         pass: pred_histories > 0
             && proc_rec_ok == pred_histories
@@ -460,9 +486,8 @@ pub fn e12_sot() -> ExperimentResult {
     ExperimentResult {
         id: "E12".into(),
         source: "§3.5 (SOT discussion)".into(),
-        title:
-            "A criterion that never inspects the completed schedule accepts the non-PRED S_t1"
-                .into(),
+        title: "A criterion that never inspects the completed schedule accepts the non-PRED S_t1"
+            .into(),
         expectation: "SOT-like accepts, PRED rejects".into(),
         pass: sot && !pred,
         tables: vec![t],

@@ -76,15 +76,55 @@ pub fn cim_workload(failure_probability: f64) -> (CimWorld, Workload) {
         proc_.service(proc_.find(name).expect("activity"))
     };
     let bom = Key(100);
-    deployment.place_with_duration(svc("design", &fx.construction), cad, Program::set(Key(1), 7), 50);
-    deployment.place_with_duration(svc("pdm_entry", &fx.construction), pdm, Program::set(bom, 42), 5);
-    deployment.place_with_duration(svc("test", &fx.construction), testdb, Program::set(Key(2), 1), 20);
-    deployment.place_with_duration(svc("tech_doc", &fx.construction), doc, Program::set(Key(3), 1), 10);
-    deployment.place_with_duration(svc("doc_cad", &fx.construction), doc, Program::set(Key(4), 1), 10);
+    deployment.place_with_duration(
+        svc("design", &fx.construction),
+        cad,
+        Program::set(Key(1), 7),
+        50,
+    );
+    deployment.place_with_duration(
+        svc("pdm_entry", &fx.construction),
+        pdm,
+        Program::set(bom, 42),
+        5,
+    );
+    deployment.place_with_duration(
+        svc("test", &fx.construction),
+        testdb,
+        Program::set(Key(2), 1),
+        20,
+    );
+    deployment.place_with_duration(
+        svc("tech_doc", &fx.construction),
+        doc,
+        Program::set(Key(3), 1),
+        10,
+    );
+    deployment.place_with_duration(
+        svc("doc_cad", &fx.construction),
+        doc,
+        Program::set(Key(4), 1),
+        10,
+    );
     deployment.place_with_duration(svc("read_bom", &fx.production), pdm, Program::read(bom), 2);
-    deployment.place_with_duration(svc("schedule", &fx.production), floor, Program::set(Key(5), 1), 8);
-    deployment.place_with_duration(svc("production", &fx.production), floor, Program::set(Key(6), 1), 30);
-    deployment.place_with_duration(svc("deliver", &fx.production), floor, Program::set(Key(7), 1), 5);
+    deployment.place_with_duration(
+        svc("schedule", &fx.production),
+        floor,
+        Program::set(Key(5), 1),
+        8,
+    );
+    deployment.place_with_duration(
+        svc("production", &fx.production),
+        floor,
+        Program::set(Key(6), 1),
+        30,
+    );
+    deployment.place_with_duration(
+        svc("deliver", &fx.production),
+        floor,
+        Program::set(Key(7), 1),
+        5,
+    );
 
     let workload = Workload {
         spec: fx.spec.clone(),

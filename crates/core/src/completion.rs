@@ -145,7 +145,10 @@ fn build_order(spec: &Spec, ops: &[Op], original_len: usize, permanent: &[bool])
     // completion activities in completion order.
     let mut per_process: BTreeMap<ProcessId, Vec<usize>> = BTreeMap::new();
     for op in ops {
-        per_process.entry(op.gid.process).or_default().push(op.index);
+        per_process
+            .entry(op.gid.process)
+            .or_default()
+            .push(op.index);
     }
     for chain in per_process.values() {
         for w in chain.windows(2) {
@@ -178,10 +181,8 @@ fn build_order(spec: &Spec, ops: &[Op], original_len: usize, permanent: &[bool])
     // 8.3d/8.3f + Lemmas 2 and 3: conflicting completion activities of
     // different processes.
     // Base-activity position lookup for Lemma 2's reverse ordering.
-    let base_pos: BTreeMap<(GlobalActivityId, OpKind), usize> = ops
-        .iter()
-        .map(|o| ((o.gid, o.kind), o.index))
-        .collect();
+    let base_pos: BTreeMap<(GlobalActivityId, OpKind), usize> =
+        ops.iter().map(|o| ((o.gid, o.kind), o.index)).collect();
     // Ranks for ordering conflicting forward-recovery activities of
     // different processes (8.3d/8.3f): derived from the *mandatory* process
     // dependencies — conflicting permanent operation pairs of the original
@@ -369,11 +370,26 @@ mod tests {
             .collect();
         assert!(added.contains(&"a1_0⁻¹".to_string())); // a1_1⁻¹
         assert!(added.contains(&"a2_4".to_string())); // a2_5 forward recovery
-        // The conflict cycle of Example 8: a1_1 ≪ a2_1 ≪ a1_1⁻¹.
+                                                      // The conflict cycle of Example 8: a1_1 ≪ a2_1 ≪ a1_1⁻¹.
         let reach = completed.order.reachability();
-        let a11 = completed.ops.iter().find(|o| o.gid == fx.a(1, 1) && o.kind == OpKind::Forward).unwrap().index;
-        let a21 = completed.ops.iter().find(|o| o.gid == fx.a(2, 1)).unwrap().index;
-        let a11_inv = completed.ops.iter().find(|o| o.kind == OpKind::Compensation).unwrap().index;
+        let a11 = completed
+            .ops
+            .iter()
+            .find(|o| o.gid == fx.a(1, 1) && o.kind == OpKind::Forward)
+            .unwrap()
+            .index;
+        let a21 = completed
+            .ops
+            .iter()
+            .find(|o| o.gid == fx.a(2, 1))
+            .unwrap()
+            .index;
+        let a11_inv = completed
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::Compensation)
+            .unwrap()
+            .index;
         assert!(reach.lt(a11, a21));
         assert!(reach.lt(a21, a11_inv));
     }

@@ -160,7 +160,12 @@ mod tests {
     use super::*;
     use crate::process::ProcessBuilder;
 
-    fn catalog() -> (Catalog, crate::ids::ServiceId, crate::ids::ServiceId, crate::ids::ServiceId) {
+    fn catalog() -> (
+        Catalog,
+        crate::ids::ServiceId,
+        crate::ids::ServiceId,
+        crate::ids::ServiceId,
+    ) {
         let mut cat = Catalog::new();
         let (c, _) = cat.compensatable("c");
         let p = cat.pivot("p");
@@ -185,8 +190,14 @@ mod tests {
         let (cat, c, _, r) = catalog();
         let parent = chain(&cat, 1, "parent", &[c, r]);
         let child = chain(&cat, 2, "child", &[r, r]);
-        let comp = compose(&cat, &parent, &child, Attach::After(ActivityId(1)), ProcessId(3))
-            .unwrap();
+        let comp = compose(
+            &cat,
+            &parent,
+            &child,
+            Attach::After(ActivityId(1)),
+            ProcessId(3),
+        )
+        .unwrap();
         assert_eq!(comp.process.len(), 4);
         assert!(comp.analysis.has_guaranteed_termination());
         assert!(comp.process.find("child::a0").is_some());
@@ -202,8 +213,14 @@ mod tests {
         let (cat, c, p, r) = catalog();
         let parent = chain(&cat, 1, "parent", &[c, p, r]);
         let child = chain(&cat, 2, "child", &[c, p]);
-        let comp = compose(&cat, &parent, &child, Attach::After(ActivityId(2)), ProcessId(3))
-            .unwrap();
+        let comp = compose(
+            &cat,
+            &parent,
+            &child,
+            Attach::After(ActivityId(2)),
+            ProcessId(3),
+        )
+        .unwrap();
         assert!(!comp.analysis.has_guaranteed_termination());
     }
 
@@ -222,10 +239,20 @@ mod tests {
         // Parent alone is NOT guaranteed (inner pivot without fallback).
         assert!(!FlexAnalysis::analyze(&parent, &cat).has_guaranteed_termination());
         let child = chain(&cat, 2, "fallback", &[r, r]);
-        let comp = compose(&cat, &parent, &child, Attach::AsFallbackOf(a1), ProcessId(3))
-            .unwrap();
+        let comp = compose(
+            &cat,
+            &parent,
+            &child,
+            Attach::AsFallbackOf(a1),
+            ProcessId(3),
+        )
+        .unwrap();
         // With the all-retriable fallback, the composition is guaranteed.
-        assert!(comp.analysis.has_guaranteed_termination(), "{:?}", comp.analysis);
+        assert!(
+            comp.analysis.has_guaranteed_termination(),
+            "{:?}",
+            comp.analysis
+        );
         assert!(comp.analysis.strict_well_formed);
         match comp.process.successors(a1) {
             Successors::Alternatives(branches) => assert_eq!(branches.len(), 2),
@@ -254,8 +281,14 @@ mod tests {
         let (cat, c, _, r) = catalog();
         let parent = chain(&cat, 1, "parent", &[c, r]);
         let child = chain(&cat, 2, "child", &[r]);
-        let err = compose(&cat, &parent, &child, Attach::After(ActivityId(9)), ProcessId(3))
-            .unwrap_err();
+        let err = compose(
+            &cat,
+            &parent,
+            &child,
+            Attach::After(ActivityId(9)),
+            ProcessId(3),
+        )
+        .unwrap_err();
         assert!(matches!(err, ModelError::UnknownActivity(_)));
     }
 

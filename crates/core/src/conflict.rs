@@ -146,7 +146,14 @@ impl<'a> ConflictOracle<'a> {
 mod tests {
     use super::*;
 
-    fn setup() -> (Catalog, ConflictMatrix, ServiceId, ServiceId, ServiceId, ServiceId) {
+    fn setup() -> (
+        Catalog,
+        ConflictMatrix,
+        ServiceId,
+        ServiceId,
+        ServiceId,
+        ServiceId,
+    ) {
         let mut cat = Catalog::new();
         let (a, a_inv) = cat.compensatable("a");
         let (b, b_inv) = cat.compensatable("b");

@@ -59,7 +59,10 @@ pub fn process_to_dot(process: &Process, spec: &Spec) -> String {
 
 /// Renders a schedule's process-level conflict graph as a DOT digraph
 /// (the cycles of Figure 4(b) become visible immediately).
-pub fn conflict_graph_to_dot(spec: &Spec, schedule: &Schedule) -> Result<String, crate::error::ScheduleError> {
+pub fn conflict_graph_to_dot(
+    spec: &Spec,
+    schedule: &Schedule,
+) -> Result<String, crate::error::ScheduleError> {
     let ops = schedule.ops(spec)?;
     let graph = process_graph_linear(spec, &ops);
     let mut out = String::new();
@@ -90,7 +93,10 @@ mod tests {
         // The alternative edge a1_2 -> a1_5 is dashed with rank 2.
         assert!(dot.contains("style=dashed"));
         assert!(dot.contains("shape=box"), "pivots render as boxes");
-        assert!(dot.contains("shape=diamond"), "retriables render as diamonds");
+        assert!(
+            dot.contains("shape=diamond"),
+            "retriables render as diamonds"
+        );
     }
 
     #[test]

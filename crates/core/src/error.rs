@@ -189,7 +189,10 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::Model(e) => write!(f, "{e}"),
             ScheduleError::PrecedenceViolation { activity } => {
-                write!(f, "activity {activity} scheduled before its predecessors committed")
+                write!(
+                    f,
+                    "activity {activity} scheduled before its predecessors committed"
+                )
             }
             ScheduleError::DuplicateInvocation(a) => {
                 write!(f, "activity {a} scheduled twice")
@@ -207,7 +210,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "retriable activity {a} cannot fail (Definition 3)")
             }
             ScheduleError::PrematureCommit(p) => {
-                write!(f, "process {p} committed before finishing a valid execution path")
+                write!(
+                    f,
+                    "process {p} committed before finishing a valid execution path"
+                )
             }
             ScheduleError::NoAlternativeLeft(a) => {
                 write!(f, "no alternative left after failure of {a}")
@@ -232,10 +238,8 @@ mod tests {
     fn errors_render_human_readable_messages() {
         let e = ModelError::PrecedenceCycle(ProcessId(1));
         assert!(e.to_string().contains("P1"));
-        let e = ScheduleError::RetriableCannotFail(GlobalActivityId::new(
-            ProcessId(2),
-            ActivityId(4),
-        ));
+        let e =
+            ScheduleError::RetriableCannotFail(GlobalActivityId::new(ProcessId(2), ActivityId(4)));
         assert!(e.to_string().contains("a2_4"));
         assert!(e.to_string().contains("Definition 3"));
     }

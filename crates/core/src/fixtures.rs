@@ -159,7 +159,9 @@ pub fn cim_world() -> CimWorld {
 
     let mut conflicts = ConflictMatrix::new(&cat);
     // §2.2: "only the two activities within the PDM system do conflict".
-    conflicts.declare_conflict(&cat, pdm_entry, read_bom).unwrap();
+    conflicts
+        .declare_conflict(&cat, pdm_entry, read_bom)
+        .unwrap();
 
     let mut b = ProcessBuilder::new(ProcessId(1), "construction");
     let a_design = b.activity("design", design);

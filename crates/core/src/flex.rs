@@ -344,15 +344,16 @@ mod tests {
         // ⟨a0 a0⁻¹⟩ backward abort (a1_2 failed; ids are 0-based here).
         assert!(rendered.iter().any(|s| s.contains("a0⁻¹")));
         // The full success path.
-        assert!(execs
-            .iter()
-            .any(|e| e.committed && e.steps.len() == 4 && !e
+        assert!(execs.iter().any(|e| e.committed
+            && e.steps.len() == 4
+            && !e
                 .steps
                 .iter()
                 .any(|s| matches!(s, ExecStep::Compensated(_)))));
         // The a1_4-failure path with compensation of a1_3.
-        assert!(execs.iter().any(|e| e.committed
-            && e.steps.contains(&ExecStep::Compensated(ActivityId(2)))));
+        assert!(execs
+            .iter()
+            .any(|e| e.committed && e.steps.contains(&ExecStep::Compensated(ActivityId(2)))));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | [`completion`] | completed process schedules S̃ (Def 8) |
 //! | [`reduction`] | reducibility RED (Def 9) |
 //! | [`pred`] | prefix-reducibility PRED (Def 10) |
+//! | [`pred_incremental`] | incremental event-by-event PRED certifier |
 //! | [`recoverability`] | Proc-REC (Def 11), Theorem 1, SOT discussion |
 //! | [`protocol`] | the online scheduling protocol (Lemmas 1–3, §3.5) |
 //! | [`weak`] | strong vs. weak orders (§3.6) |
@@ -71,6 +72,7 @@ pub mod flex;
 pub mod ids;
 pub mod order;
 pub mod pred;
+pub mod pred_incremental;
 pub mod process;
 pub mod protocol;
 pub mod recoverability;
@@ -86,6 +88,7 @@ pub use conflict::{ConflictMatrix, ConflictOracle};
 pub use error::{ModelError, ScheduleError};
 pub use ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 pub use pred::{check_pred, is_pred};
+pub use pred_incremental::{check_pred_incremental, IncrementalPred, StepVerdict};
 pub use process::{Process, ProcessBuilder};
 pub use schedule::{Event, Schedule};
 pub use spec::Spec;

@@ -1,0 +1,1147 @@
+//! Incremental PRED certification (Definition 10, evaluated event by event).
+//!
+//! [`crate::pred::check_pred`] re-derives the completed schedule `S̃` and its
+//! reduction for *every* prefix, which is `O(n³)` over a history of `n`
+//! events. An online scheduler, however, only ever extends the history by one
+//! event at a time, and almost all of the certification state is shared
+//! between consecutive prefixes:
+//!
+//! * the per-process state machines advance by exactly one transition,
+//! * the `≪̃`-predecessor closure of every already-recorded operation is
+//!   final — a new operation of the original history is always a *sink*
+//!   among the original operations (8.3a orders conflicting pairs by history
+//!   position, per-process chains follow execution order),
+//! * the per-service conflict aggregates (union of the predecessor closures
+//!   of all operations of a service) let the closure of a new operation be
+//!   assembled in `O(conflicting services · n/64)` words,
+//! * permanence of an operation (it survives every reduction) only flips
+//!   when a process's pending completion changes — the affected operations
+//!   are found through their activity ids and re-counted against their
+//!   conflict buckets in `O(degree)`,
+//! * the process-level conflict-pair counters for both the mandatory-rank
+//!   graph and the final serializability check are maintained by the same
+//!   flip-diff scheme.
+//!
+//! Only the *completion overlay* — the operations Definition 8 appends for
+//! the still-active processes — is rebuilt per event, from cached
+//! [`crate::state::Completion`]s. Its size is bounded by the remaining work
+//! of the active processes, so the per-event cost is `O(n/64)`-ish plus terms
+//! in the overlay size and the conflict degree, instead of the batch
+//! decider's full `O(n²)` per prefix.
+//!
+//! The certifier is **bit-for-bit compatible** with the batch pipeline
+//! (`complete` + `reduce` per prefix): `check_pred_incremental` returns a
+//! [`PredReport`] equal to [`crate::pred::check_pred`]'s, and the
+//! differential property tests in `tests/properties.rs` drive both — plus
+//! [`crate::reduction::reduce_exhaustive`] on small inputs — over random
+//! histories. The batch decider remains the reference implementation.
+
+use crate::error::ScheduleError;
+use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
+use crate::pred::PredReport;
+use crate::schedule::{Event, OpKind, Schedule};
+use crate::serializability::ProcessGraph;
+use crate::spec::Spec;
+use crate::state::{Completion, FailureOutcome, ProcessState};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+fn words_for(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+fn bit_get(row: &[u64], i: usize) -> bool {
+    row.get(i / 64).is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+}
+
+fn bit_set(row: &mut Vec<u64>, i: usize) {
+    if row.len() <= i / 64 {
+        row.resize(i / 64 + 1, 0);
+    }
+    row[i / 64] |= 1u64 << (i % 64);
+}
+
+fn or_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d |= *s;
+    }
+}
+
+/// One operation of the recorded (original) history.
+#[derive(Debug, Clone, Copy)]
+struct OrigOp {
+    gid: GlobalActivityId,
+    service: ServiceId,
+    kind: OpKind,
+}
+
+/// The operation a planned event appends to the original history.
+#[derive(Debug, Clone)]
+struct NewOp {
+    gid: GlobalActivityId,
+    service: ServiceId,
+    kind: OpKind,
+    eff_free: bool,
+    /// `≪̃`-predecessor closure over the original operations.
+    row: Vec<u64>,
+}
+
+/// A completion-overlay operation (rebuilt per event from cached
+/// completions; cheap because the overlay only covers active processes).
+#[derive(Debug, Clone, Copy)]
+struct Cop {
+    gid: GlobalActivityId,
+    service: ServiceId,
+    kind: OpKind,
+    pid: ProcessId,
+    eff_free: bool,
+}
+
+/// Everything [`IncrementalPred::plan`] derives for one event: the verdict
+/// plus the state updates [`IncrementalPred::apply`] folds in. Planning is
+/// pure — a rejected event leaves the certifier untouched.
+struct StepDelta<'a> {
+    reducible: bool,
+    states: BTreeMap<ProcessId, ProcessState<'a>>,
+    commit: Option<ProcessId>,
+    compensated: Option<GlobalActivityId>,
+    new_op: Option<NewOp>,
+    completion_updates: BTreeMap<ProcessId, Option<Completion>>,
+    will_comp: BTreeSet<GlobalActivityId>,
+    perm: Vec<bool>,
+    live_base: Vec<bool>,
+    m: BTreeMap<(ProcessId, ProcessId), u32>,
+    m2: BTreeMap<(ProcessId, ProcessId), u32>,
+}
+
+/// Verdict for one planned or recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepVerdict {
+    /// Length of the prefix the verdict covers (events, including this one).
+    pub prefix_len: usize,
+    /// Whether the extended prefix is reducible.
+    pub reducible: bool,
+}
+
+/// Incremental PRED certifier: answers "is this extended prefix still
+/// reducible?" per appended event, maintaining the serialization/weak-order
+/// closure, compensation-pair state and completion obligations across events.
+pub struct IncrementalPred<'a> {
+    spec: &'a Spec,
+    len: usize,
+    states: BTreeMap<ProcessId, ProcessState<'a>>,
+    committed: BTreeSet<ProcessId>,
+    // -- original operations and their ≪̃ closure --
+    ops: Vec<OrigOp>,
+    rows: Vec<Vec<u64>>,
+    eff_free: Vec<bool>,
+    /// Per base service: union of `rows[i] | {i}` over operations of that
+    /// service (closure aggregate for O(words) row assembly).
+    agg: BTreeMap<ServiceId, Vec<u64>>,
+    buckets: BTreeMap<ServiceId, Vec<usize>>,
+    proc_ops: BTreeMap<ProcessId, Vec<usize>>,
+    last_of: BTreeMap<ProcessId, usize>,
+    fwd_of: BTreeMap<GlobalActivityId, usize>,
+    gid_ops: BTreeMap<GlobalActivityId, Vec<usize>>,
+    comp_gids: BTreeSet<GlobalActivityId>,
+    orig_comps: Vec<usize>,
+    procs_with_ops: BTreeSet<ProcessId>,
+    // -- permanence and liveness pair counters --
+    perm: Vec<bool>,
+    will_comp: BTreeSet<GlobalActivityId>,
+    completion_cache: BTreeMap<ProcessId, Completion>,
+    /// Permanent conflicting cross-process original pairs, keyed in history
+    /// order (feeds the 8.3(d)/(f) mandatory-rank graph).
+    m2: BTreeMap<(ProcessId, ProcessId), u32>,
+    /// Rule-3-live conflicting cross-process original pairs, keyed in
+    /// history order (feeds the final serializability graph).
+    m: BTreeMap<(ProcessId, ProcessId), u32>,
+    live_base: Vec<bool>,
+    // -- report --
+    prefix_reducible: Vec<bool>,
+    first_violation: Option<usize>,
+}
+
+fn touch<'a, 'b>(
+    spec: &'a Spec,
+    base: &BTreeMap<ProcessId, ProcessState<'a>>,
+    touched: &'b mut BTreeMap<ProcessId, ProcessState<'a>>,
+    pid: ProcessId,
+) -> Result<&'b mut ProcessState<'a>, ScheduleError> {
+    match touched.entry(pid) {
+        std::collections::btree_map::Entry::Occupied(e) => Ok(e.into_mut()),
+        std::collections::btree_map::Entry::Vacant(e) => {
+            let st = match base.get(&pid) {
+                Some(st) => st.clone(),
+                None => {
+                    let process = spec.process(pid)?;
+                    ProcessState::new(process, &spec.catalog).map_err(|_| {
+                        ScheduleError::Model(crate::error::ModelError::NotATree {
+                            process: pid,
+                            activity: crate::ids::ActivityId(0),
+                        })
+                    })?
+                }
+            };
+            Ok(e.insert(st))
+        }
+    }
+}
+
+impl<'a> IncrementalPred<'a> {
+    /// Creates a certifier for the empty history (which is reducible).
+    pub fn new(spec: &'a Spec) -> Self {
+        IncrementalPred {
+            spec,
+            len: 0,
+            states: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            ops: Vec::new(),
+            rows: Vec::new(),
+            eff_free: Vec::new(),
+            agg: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            proc_ops: BTreeMap::new(),
+            last_of: BTreeMap::new(),
+            fwd_of: BTreeMap::new(),
+            gid_ops: BTreeMap::new(),
+            comp_gids: BTreeSet::new(),
+            orig_comps: Vec::new(),
+            procs_with_ops: BTreeSet::new(),
+            perm: Vec::new(),
+            will_comp: BTreeSet::new(),
+            completion_cache: BTreeMap::new(),
+            m2: BTreeMap::new(),
+            m: BTreeMap::new(),
+            live_base: Vec::new(),
+            prefix_reducible: vec![true],
+            first_violation: None,
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every recorded prefix was reducible.
+    pub fn pred(&self) -> bool {
+        self.first_violation.is_none()
+    }
+
+    /// The shortest non-reducible recorded prefix, if any.
+    pub fn first_violation(&self) -> Option<usize> {
+        self.first_violation
+    }
+
+    /// Reducibility per recorded prefix length `0..=len`.
+    pub fn prefix_reducible(&self) -> &[bool] {
+        &self.prefix_reducible
+    }
+
+    /// The report over the recorded history, equal to
+    /// [`crate::pred::check_pred`] of the same event sequence.
+    pub fn report(&self) -> PredReport {
+        PredReport {
+            pred: self.first_violation.is_none(),
+            prefix_reducible: self.prefix_reducible.clone(),
+            first_violation: self.first_violation,
+        }
+    }
+
+    /// Pure what-if: would the history extended by `event` still be
+    /// reducible? Does not change the certifier.
+    pub fn certify(&self, event: &Event) -> Result<StepVerdict, ScheduleError> {
+        let delta = self.plan(event)?;
+        Ok(StepVerdict {
+            prefix_len: self.len + 1,
+            reducible: delta.reducible,
+        })
+    }
+
+    /// Records `event` as appended to the history and returns the verdict
+    /// for the extended prefix.
+    pub fn record(&mut self, event: &Event) -> Result<StepVerdict, ScheduleError> {
+        let delta = self.plan(event)?;
+        let reducible = delta.reducible;
+        self.apply(delta);
+        Ok(StepVerdict {
+            prefix_len: self.len,
+            reducible,
+        })
+    }
+
+    /// Derives the verdict and state updates for one event without mutating
+    /// the certifier. Mirrors `complete` + `reduce` on the extended prefix.
+    fn plan(&self, event: &Event) -> Result<StepDelta<'a>, ScheduleError> {
+        let spec = self.spec;
+        let oracle = spec.oracle();
+        let n_old = self.ops.len();
+
+        // 1. Advance the touched process state machines (on clones),
+        //    mirroring `Schedule::replay` including its error behaviour.
+        let mut states: BTreeMap<ProcessId, ProcessState<'a>> = BTreeMap::new();
+        let mut commit: Option<ProcessId> = None;
+        let mut compensated: Option<GlobalActivityId> = None;
+        let mut appended: Option<(GlobalActivityId, ServiceId, OpKind)> = None;
+        match event {
+            Event::Execute(g) => {
+                let service = spec.catalog.base(spec.service_of(*g)?);
+                touch(spec, &self.states, &mut states, g.process)?.apply_commit(g.activity)?;
+                appended = Some((*g, service, OpKind::Forward));
+            }
+            Event::Fail(g) => {
+                spec.service_of(*g)?;
+                let outcome =
+                    touch(spec, &self.states, &mut states, g.process)?.apply_failure(g.activity)?;
+                if outcome == FailureOutcome::Stuck {
+                    return Err(ScheduleError::NoAlternativeLeft(*g));
+                }
+            }
+            Event::Compensate(g) => {
+                let service = spec.catalog.base(spec.service_of(*g)?);
+                touch(spec, &self.states, &mut states, g.process)?
+                    .apply_compensation(g.activity)?;
+                appended = Some((*g, service, OpKind::Compensation));
+                compensated = Some(*g);
+            }
+            Event::Commit(p) => {
+                touch(spec, &self.states, &mut states, *p)?.apply_process_commit()?;
+                commit = Some(*p);
+            }
+            Event::Abort(p) => {
+                touch(spec, &self.states, &mut states, *p)?.apply_process_abort()?;
+            }
+            Event::GroupAbort(ps) => {
+                for p in ps {
+                    let st = touch(spec, &self.states, &mut states, *p)?;
+                    if st.is_active() {
+                        st.apply_process_abort()?;
+                    }
+                }
+            }
+        }
+
+        // 2. Closure row of the appended operation: chain predecessor plus
+        //    the aggregates of every conflicting service (8.3a; same-process
+        //    aggregate members are chain predecessors anyway).
+        let new_op = appended.map(|(gid, service, kind)| {
+            let mut row = vec![0u64; words_for(n_old)];
+            if let Some(&prev) = self.last_of.get(&gid.process) {
+                or_into(&mut row, &self.rows[prev]);
+                bit_set(&mut row, prev);
+            }
+            for (s, bits) in &self.agg {
+                if oracle.conflict(service, *s) {
+                    or_into(&mut row, bits);
+                }
+            }
+            NewOp {
+                gid,
+                service,
+                kind,
+                eff_free: spec.catalog.is_effect_free(service),
+                row,
+            }
+        });
+        let n_new = n_old + usize::from(new_op.is_some());
+        let idx_new = n_old;
+        let committed_now = |p: ProcessId| self.committed.contains(&p) || commit == Some(p);
+
+        // 3. Completion caches of the touched processes, and the
+        //    will-compensate delta they induce.
+        let mut completion_updates: BTreeMap<ProcessId, Option<Completion>> = BTreeMap::new();
+        let mut will_comp = self.will_comp.clone();
+        let mut changed_gids: BTreeSet<GlobalActivityId> = BTreeSet::new();
+        for (&pid, st) in &states {
+            let next = st.is_active().then(|| st.completion());
+            if let Some(old) = self.completion_cache.get(&pid) {
+                for &a in &old.compensations {
+                    let g = GlobalActivityId::new(pid, a);
+                    if will_comp.remove(&g) {
+                        changed_gids.insert(g);
+                    }
+                }
+            }
+            if let Some(next) = &next {
+                for &a in &next.compensations {
+                    let g = GlobalActivityId::new(pid, a);
+                    if will_comp.insert(g) {
+                        changed_gids.insert(g);
+                    }
+                }
+            }
+            completion_updates.insert(pid, next);
+        }
+        if let Some(g) = compensated {
+            changed_gids.insert(g);
+        }
+        let comp_now =
+            |g: &GlobalActivityId| self.comp_gids.contains(g) || compensated.as_ref() == Some(g);
+
+        // 4. Permanence flips and the mandatory-pair counters (m2).
+        let mut m2 = self.m2.clone();
+        let mut perm = self.perm.clone();
+        for g in &changed_gids {
+            for &i in self.gid_ops.get(g).map(Vec::as_slice).unwrap_or(&[]) {
+                let target =
+                    self.ops[i].kind == OpKind::Forward && !comp_now(g) && !will_comp.contains(g);
+                if target == perm[i] {
+                    continue;
+                }
+                let pi = self.ops[i].gid.process;
+                for (s, bucket) in &self.buckets {
+                    if !oracle.conflict(self.ops[i].service, *s) {
+                        continue;
+                    }
+                    for &j in bucket {
+                        if j == i || !perm[j] || self.ops[j].gid.process == pi {
+                            continue;
+                        }
+                        let pj = self.ops[j].gid.process;
+                        let key = if i < j { (pi, pj) } else { (pj, pi) };
+                        let e = m2.entry(key).or_insert(0);
+                        if target {
+                            *e += 1;
+                        } else {
+                            debug_assert!(*e > 0, "m2 pair underflow");
+                            *e -= 1;
+                        }
+                    }
+                }
+                perm[i] = target;
+            }
+        }
+        let perm_push = new_op.as_ref().is_some_and(|o| {
+            o.kind == OpKind::Forward && !comp_now(&o.gid) && !will_comp.contains(&o.gid)
+        });
+        if let Some(o) = &new_op {
+            if perm_push {
+                for (s, bucket) in &self.buckets {
+                    if !oracle.conflict(o.service, *s) {
+                        continue;
+                    }
+                    for &j in bucket {
+                        if perm[j] && self.ops[j].gid.process != o.gid.process {
+                            *m2.entry((self.ops[j].gid.process, o.gid.process))
+                                .or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Completion overlay, in the same order `complete` appends:
+        //    processes ascending, compensations before forward recovery.
+        let mut cops: Vec<Cop> = Vec::new();
+        let mut cop_pids: BTreeSet<ProcessId> = self.completion_cache.keys().copied().collect();
+        cop_pids.extend(completion_updates.keys().copied());
+        for pid in cop_pids {
+            let completion = match completion_updates.get(&pid) {
+                Some(update) => update.as_ref(),
+                None => self.completion_cache.get(&pid),
+            };
+            let Some(completion) = completion else {
+                continue;
+            };
+            let process = spec.process(pid)?;
+            for (&a, kind) in completion
+                .compensations
+                .iter()
+                .map(|a| (a, OpKind::Compensation))
+                .chain(completion.forward.iter().map(|a| (a, OpKind::Forward)))
+            {
+                let service = spec.catalog.base(process.service(a));
+                cops.push(Cop {
+                    gid: GlobalActivityId::new(pid, a),
+                    service,
+                    kind,
+                    pid,
+                    eff_free: spec.catalog.is_effect_free(service),
+                });
+            }
+        }
+        let cn = cops.len();
+        let total = n_new + cn;
+        let perm_cop =
+            |c: &Cop| c.kind == OpKind::Forward && !comp_now(&c.gid) && !will_comp.contains(&c.gid);
+
+        // 6. Mandatory ranks (8.3d/8.3f): permanent original pairs (m2) plus
+        //    the forced 8.3e edges into permanent completion activities.
+        let mut rg = ProcessGraph::new();
+        for &p in &self.procs_with_ops {
+            rg.add_node(p);
+        }
+        if let Some(o) = &new_op {
+            rg.add_node(o.gid.process);
+        }
+        for c in &cops {
+            rg.add_node(c.pid);
+        }
+        for (&(a, b), &cnt) in &m2 {
+            if cnt > 0 {
+                rg.add_edge(a, b);
+            }
+        }
+        for c in &cops {
+            if !perm_cop(c) {
+                continue;
+            }
+            for (s, bucket) in &self.buckets {
+                if !oracle.conflict(*s, c.service) {
+                    continue;
+                }
+                for &i in bucket {
+                    if perm[i] && self.ops[i].gid.process != c.pid {
+                        rg.add_edge(self.ops[i].gid.process, c.pid);
+                    }
+                }
+            }
+            if let Some(o) = &new_op {
+                if perm_push && o.gid.process != c.pid && oracle.conflict(o.service, c.service) {
+                    rg.add_edge(o.gid.process, c.pid);
+                }
+            }
+        }
+        let ranks: BTreeMap<ProcessId, usize> = match rg.topological_order() {
+            Some(order) => order.into_iter().enumerate().map(|(r, p)| (p, r)).collect(),
+            None => rg.nodes().enumerate().map(|(r, p)| (p, r)).collect(),
+        };
+
+        // 7. Order edges among the overlay operations (8.3b/c chains plus
+        //    the 8.3d/f + Lemma 2/3 arms; overlay order equals the batch
+        //    completion order, so local index order matches global order).
+        let fwd_pos = |g: &GlobalActivityId| -> Option<usize> {
+            if let Some(o) = &new_op {
+                if o.kind == OpKind::Forward && o.gid == *g {
+                    return Some(idx_new);
+                }
+            }
+            self.fwd_of.get(g).copied()
+        };
+        let mut cedges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for ci in 1..cn {
+            if cops[ci].pid == cops[ci - 1].pid {
+                cedges.insert((ci - 1, ci));
+            }
+        }
+        for i in 0..cn {
+            for j in (i + 1)..cn {
+                let (x, y) = (&cops[i], &cops[j]);
+                if x.pid == y.pid || !oracle.conflict(x.service, y.service) {
+                    continue;
+                }
+                let edge = match (x.kind, y.kind) {
+                    (OpKind::Compensation, OpKind::Forward) => (i, j),
+                    (OpKind::Forward, OpKind::Compensation) => (j, i),
+                    (OpKind::Compensation, OpKind::Compensation) => {
+                        match (fwd_pos(&x.gid), fwd_pos(&y.gid)) {
+                            (Some(bx), Some(by)) if bx < by => (j, i),
+                            _ => (i, j),
+                        }
+                    }
+                    (OpKind::Forward, OpKind::Forward) => {
+                        let rx = ranks.get(&x.pid).copied().unwrap_or(usize::MAX);
+                        let ry = ranks.get(&y.pid).copied().unwrap_or(usize::MAX);
+                        if (rx, x.pid) <= (ry, y.pid) {
+                            (i, j)
+                        } else {
+                            (j, i)
+                        }
+                    }
+                };
+                cedges.insert(edge);
+            }
+        }
+
+        // 8. Closure rows of the overlay, in topological order.
+        let mut indeg = vec![0usize; cn];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); cn];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); cn];
+        for &(a, b) in &cedges {
+            indeg[b] += 1;
+            succ[a].push(b);
+            preds[b].push(a);
+        }
+        let mut queue: VecDeque<usize> = (0..cn).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(cn);
+        while let Some(i) = queue.pop_front() {
+            topo.push(i);
+            for &j in &succ[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+        assert_eq!(topo.len(), cn, "≪̃ construction must stay acyclic");
+        let first_flag: Vec<bool> = (0..cn)
+            .map(|ci| ci == 0 || cops[ci].pid != cops[ci - 1].pid)
+            .collect();
+        let mut crows: Vec<Vec<u64>> = vec![Vec::new(); cn];
+        for &ci in &topo {
+            let c = &cops[ci];
+            let mut row = vec![0u64; words_for(total)];
+            if first_flag[ci] {
+                let last = match &new_op {
+                    Some(o) if o.gid.process == c.pid => Some(idx_new),
+                    _ => self.last_of.get(&c.pid).copied(),
+                };
+                if let Some(l) = last {
+                    match &new_op {
+                        Some(o) if l == idx_new => or_into(&mut row, &o.row),
+                        _ => or_into(&mut row, &self.rows[l]),
+                    }
+                    bit_set(&mut row, l);
+                }
+            }
+            for (s, bits) in &self.agg {
+                if oracle.conflict(*s, c.service) {
+                    or_into(&mut row, bits);
+                }
+            }
+            if let Some(o) = &new_op {
+                if oracle.conflict(o.service, c.service) {
+                    or_into(&mut row, &o.row);
+                    bit_set(&mut row, idx_new);
+                }
+            }
+            for &a in &preds[ci] {
+                let prow = crows[a].clone();
+                or_into(&mut row, &prow);
+                bit_set(&mut row, n_new + a);
+            }
+            crows[ci] = row;
+        }
+
+        // 9. Reduction: rule 3 liveness, then the compensation-pair
+        //    cancellation fixpoint over the bitset reachability.
+        let mut live = vec![true; total];
+        for ((lv, &ef), op) in live.iter_mut().zip(&self.eff_free).zip(&self.ops) {
+            *lv = !ef || committed_now(op.gid.process);
+        }
+        if let Some(o) = &new_op {
+            live[idx_new] = !o.eff_free || committed_now(o.gid.process);
+        }
+        for (ci, c) in cops.iter().enumerate() {
+            live[n_new + ci] = !c.eff_free || committed_now(c.pid);
+        }
+
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &c in &self.orig_comps {
+            if let Some(f) = fwd_pos(&self.ops[c].gid) {
+                pairs.push((f, c));
+            }
+        }
+        if let Some(o) = &new_op {
+            if o.kind == OpKind::Compensation {
+                if let Some(f) = fwd_pos(&o.gid) {
+                    pairs.push((f, idx_new));
+                }
+            }
+        }
+        for (ci, c) in cops.iter().enumerate() {
+            if c.kind == OpKind::Compensation {
+                if let Some(f) = fwd_pos(&c.gid) {
+                    pairs.push((f, n_new + ci));
+                }
+            }
+        }
+
+        let nrow = new_op.as_ref().map(|o| &o.row);
+        let row_of = |x: usize| -> &[u64] {
+            if x < n_old {
+                &self.rows[x]
+            } else if x < n_new {
+                nrow.expect("index n_old only exists with a new op")
+            } else {
+                &crows[x - n_new]
+            }
+        };
+        let lt = |a: usize, b: usize| bit_get(row_of(b), a);
+        let service_at = |x: usize| -> ServiceId {
+            if x < n_old {
+                self.ops[x].service
+            } else if x < n_new {
+                new_op.as_ref().expect("new op").service
+            } else {
+                cops[x - n_new].service
+            }
+        };
+        let conflicting_with = |s: ServiceId| -> Vec<usize> {
+            let mut out = Vec::new();
+            for (s2, bucket) in &self.buckets {
+                if oracle.conflict(*s2, s) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+            if let Some(o) = &new_op {
+                if oracle.conflict(o.service, s) {
+                    out.push(idx_new);
+                }
+            }
+            for (ci, c) in cops.iter().enumerate() {
+                if oracle.conflict(c.service, s) {
+                    out.push(n_new + ci);
+                }
+            }
+            out
+        };
+        loop {
+            let mut changed = false;
+            for &(f, c) in &pairs {
+                if !live[f] || !live[c] {
+                    continue;
+                }
+                let candidates = conflicting_with(service_at(f));
+                let blocked = candidates
+                    .iter()
+                    .any(|&k| k != f && k != c && live[k] && lt(f, k) && lt(k, c));
+                if !blocked {
+                    live[f] = false;
+                    live[c] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 10. Serializability of the remainder: rule-3 pair counters (m)
+        //     adjusted for commit flips and the new operation, then with the
+        //     cancelled operations subtracted, plus the overlay edges.
+        let mut m = self.m.clone();
+        let mut live_base = self.live_base.clone();
+        if let Some(p) = commit {
+            for &i in self.proc_ops.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
+                if live_base[i] {
+                    continue;
+                }
+                let pi = self.ops[i].gid.process;
+                for (s, bucket) in &self.buckets {
+                    if !oracle.conflict(self.ops[i].service, *s) {
+                        continue;
+                    }
+                    for &j in bucket {
+                        if j == i || !live_base[j] || self.ops[j].gid.process == pi {
+                            continue;
+                        }
+                        let pj = self.ops[j].gid.process;
+                        let key = if i < j { (pi, pj) } else { (pj, pi) };
+                        *m.entry(key).or_insert(0) += 1;
+                    }
+                }
+                live_base[i] = true;
+            }
+        }
+        let bl_new = new_op
+            .as_ref()
+            .is_some_and(|o| !o.eff_free || committed_now(o.gid.process));
+        if let Some(o) = &new_op {
+            if bl_new {
+                for (s, bucket) in &self.buckets {
+                    if !oracle.conflict(o.service, *s) {
+                        continue;
+                    }
+                    for &j in bucket {
+                        if live_base[j] && self.ops[j].gid.process != o.gid.process {
+                            *m.entry((self.ops[j].gid.process, o.gid.process))
+                                .or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut m_adj = m.clone();
+        let mut removed: BTreeSet<usize> = BTreeSet::new();
+        for x in 0..n_new {
+            let blx = if x < n_old { live_base[x] } else { bl_new };
+            if !blx || live[x] {
+                continue;
+            }
+            let (px, sx) = if x < n_old {
+                (self.ops[x].gid.process, self.ops[x].service)
+            } else {
+                let o = new_op.as_ref().expect("new op");
+                (o.gid.process, o.service)
+            };
+            for (s, bucket) in &self.buckets {
+                if !oracle.conflict(sx, *s) {
+                    continue;
+                }
+                for &j in bucket {
+                    if j == x || removed.contains(&j) || !live_base[j] {
+                        continue;
+                    }
+                    let pj = self.ops[j].gid.process;
+                    if pj == px {
+                        continue;
+                    }
+                    let key = if x < j { (px, pj) } else { (pj, px) };
+                    let e = m_adj.get_mut(&key).expect("pair was counted");
+                    debug_assert!(*e > 0, "m pair underflow");
+                    *e -= 1;
+                }
+            }
+            if let Some(o) = &new_op {
+                let j = idx_new;
+                if j != x
+                    && !removed.contains(&j)
+                    && bl_new
+                    && o.gid.process != px
+                    && oracle.conflict(sx, o.service)
+                {
+                    let e = m_adj
+                        .get_mut(&(px, o.gid.process))
+                        .expect("pair was counted");
+                    debug_assert!(*e > 0, "m pair underflow");
+                    *e -= 1;
+                }
+            }
+            removed.insert(x);
+        }
+
+        let mut pg = ProcessGraph::new();
+        for (lv, op) in live.iter().zip(&self.ops) {
+            if *lv {
+                pg.add_node(op.gid.process);
+            }
+        }
+        if let Some(o) = &new_op {
+            if live[idx_new] {
+                pg.add_node(o.gid.process);
+            }
+        }
+        for (ci, c) in cops.iter().enumerate() {
+            if live[n_new + ci] {
+                pg.add_node(c.pid);
+            }
+        }
+        for (&(a, b), &cnt) in &m_adj {
+            if cnt > 0 {
+                pg.add_edge(a, b);
+            }
+        }
+        for (ci, c) in cops.iter().enumerate() {
+            if !live[n_new + ci] {
+                continue;
+            }
+            for (s, bucket) in &self.buckets {
+                if !oracle.conflict(*s, c.service) {
+                    continue;
+                }
+                for &i in bucket {
+                    if live[i] && self.ops[i].gid.process != c.pid {
+                        pg.add_edge(self.ops[i].gid.process, c.pid);
+                    }
+                }
+            }
+            if let Some(o) = &new_op {
+                if live[idx_new] && o.gid.process != c.pid && oracle.conflict(o.service, c.service)
+                {
+                    pg.add_edge(o.gid.process, c.pid);
+                }
+            }
+        }
+        for &(a, b) in &cedges {
+            if cops[a].pid != cops[b].pid && live[n_new + a] && live[n_new + b] {
+                pg.add_edge(cops[a].pid, cops[b].pid);
+            }
+        }
+        let reducible = pg.is_acyclic();
+
+        let mut perm_full = perm;
+        let mut live_base_full = live_base;
+        if new_op.is_some() {
+            perm_full.push(perm_push);
+            live_base_full.push(bl_new);
+        }
+        Ok(StepDelta {
+            reducible,
+            states,
+            commit,
+            compensated,
+            new_op,
+            completion_updates,
+            will_comp,
+            perm: perm_full,
+            live_base: live_base_full,
+            m,
+            m2,
+        })
+    }
+
+    /// Folds a planned delta into the certifier.
+    fn apply(&mut self, delta: StepDelta<'a>) {
+        self.len += 1;
+        self.states.extend(delta.states);
+        if let Some(p) = delta.commit {
+            self.committed.insert(p);
+        }
+        if let Some(g) = delta.compensated {
+            self.comp_gids.insert(g);
+        }
+        for (pid, update) in delta.completion_updates {
+            match update {
+                Some(c) => {
+                    self.completion_cache.insert(pid, c);
+                }
+                None => {
+                    self.completion_cache.remove(&pid);
+                }
+            }
+        }
+        self.will_comp = delta.will_comp;
+        self.perm = delta.perm;
+        self.live_base = delta.live_base;
+        self.m = delta.m;
+        self.m2 = delta.m2;
+        if let Some(o) = delta.new_op {
+            let idx = self.ops.len();
+            let mut closure = o.row.clone();
+            bit_set(&mut closure, idx);
+            let agg = self.agg.entry(o.service).or_default();
+            or_into(agg, &closure);
+            self.buckets.entry(o.service).or_default().push(idx);
+            self.proc_ops.entry(o.gid.process).or_default().push(idx);
+            self.last_of.insert(o.gid.process, idx);
+            self.gid_ops.entry(o.gid).or_default().push(idx);
+            if o.kind == OpKind::Forward {
+                self.fwd_of.insert(o.gid, idx);
+            } else {
+                self.orig_comps.push(idx);
+            }
+            self.procs_with_ops.insert(o.gid.process);
+            self.rows.push(o.row);
+            self.eff_free.push(o.eff_free);
+            self.ops.push(OrigOp {
+                gid: o.gid,
+                service: o.service,
+                kind: o.kind,
+            });
+        }
+        self.prefix_reducible.push(delta.reducible);
+        if !delta.reducible && self.first_violation.is_none() {
+            self.first_violation = Some(self.len);
+        }
+    }
+}
+
+/// Checks PRED by driving the incremental certifier over the history.
+/// Agrees exactly (report and errors) with [`crate::pred::check_pred`].
+pub fn check_pred_incremental(
+    spec: &Spec,
+    schedule: &Schedule,
+) -> Result<PredReport, ScheduleError> {
+    let mut certifier = IncrementalPred::new(spec);
+    for event in schedule.events() {
+        certifier.record(event)?;
+    }
+    Ok(certifier.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ids::ProcessId;
+    use crate::pred::check_pred;
+
+    fn st2(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    fn figure7(fx: &fixtures::PaperWorld) -> Schedule {
+        let mut s = Schedule::new();
+        s.execute(fx.a(2, 1))
+            .execute(fx.a(2, 2))
+            .execute(fx.a(2, 3))
+            .execute(fx.a(2, 4))
+            .execute(fx.a(1, 1))
+            .execute(fx.a(2, 5))
+            .commit(ProcessId(2))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3));
+        s
+    }
+
+    fn assert_parity(spec: &Spec, s: &Schedule) {
+        let batch = check_pred(spec, s).expect("batch succeeds");
+        let inc = check_pred_incremental(spec, s).expect("incremental succeeds");
+        assert_eq!(
+            batch,
+            inc,
+            "batch/incremental disagree on {}",
+            crate::schedule::render(s)
+        );
+    }
+
+    #[test]
+    fn parity_on_example_8_st2() {
+        let fx = fixtures::paper_world();
+        assert_parity(&fx.spec, &st2(&fx));
+        let report = check_pred_incremental(&fx.spec, &st2(&fx)).unwrap();
+        assert!(!report.pred);
+        assert_eq!(report.first_violation, Some(4));
+    }
+
+    #[test]
+    fn parity_on_example_9_figure7() {
+        let fx = fixtures::paper_world();
+        assert_parity(&fx.spec, &figure7(&fx));
+        assert!(
+            check_pred_incremental(&fx.spec, &figure7(&fx))
+                .unwrap()
+                .pred
+        );
+    }
+
+    #[test]
+    fn parity_with_failures_and_compensations() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3))
+            .fail(fx.a(1, 4))
+            .compensate(fx.a(1, 3))
+            .execute(fx.a(1, 5))
+            .execute(fx.a(1, 6))
+            .commit(ProcessId(1));
+        assert_parity(&fx.spec, &s);
+    }
+
+    #[test]
+    fn parity_with_abort_and_completion_events() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(1, 3))
+            .abort(ProcessId(1))
+            .compensate(fx.a(1, 3))
+            .execute(fx.a(1, 5))
+            .execute(fx.a(1, 6));
+        assert_parity(&fx.spec, &s);
+    }
+
+    #[test]
+    fn parity_with_group_abort() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1));
+        for k in 1..=5 {
+            s.execute(fx.a(2, k));
+        }
+        s.commit(ProcessId(2));
+        s.group_abort(vec![ProcessId(1), ProcessId(2)]);
+        assert_parity(&fx.spec, &s);
+    }
+
+    #[test]
+    fn parity_on_quasi_commit_example_10() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1))
+            .execute(fx.a(1, 2))
+            .execute(fx.a(3, 1))
+            .execute(fx.a(1, 3));
+        assert_parity(&fx.spec, &s);
+    }
+
+    #[test]
+    fn verdicts_match_batch_prefixes_event_by_event() {
+        let fx = fixtures::paper_world();
+        let s = st2(&fx);
+        let batch = check_pred(&fx.spec, &s).unwrap();
+        let mut certifier = IncrementalPred::new(&fx.spec);
+        for (i, e) in s.events().iter().enumerate() {
+            let v = certifier.record(e).unwrap();
+            assert_eq!(v.prefix_len, i + 1);
+            assert_eq!(
+                v.reducible,
+                batch.prefix_reducible[i + 1],
+                "event {i}: verdict diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn certify_is_pure() {
+        let fx = fixtures::paper_world();
+        let s = figure7(&fx);
+        let mut certifier = IncrementalPred::new(&fx.spec);
+        for e in s.events() {
+            let before = certifier.report();
+            let what_if = certifier.certify(e).unwrap();
+            assert_eq!(certifier.report(), before, "certify must not mutate");
+            let recorded = certifier.record(e).unwrap();
+            assert_eq!(what_if, recorded);
+        }
+    }
+
+    #[test]
+    fn illegal_event_errors_and_leaves_state_intact() {
+        let fx = fixtures::paper_world();
+        let mut certifier = IncrementalPred::new(&fx.spec);
+        // a1_2 before a1_1 violates the precedence order.
+        let bad = Event::Execute(fx.a(1, 2));
+        assert!(certifier.record(&bad).is_err());
+        assert_eq!(certifier.len(), 0);
+        // The certifier still works afterwards.
+        certifier.record(&Event::Execute(fx.a(1, 1))).unwrap();
+        assert_eq!(certifier.len(), 1);
+    }
+
+    #[test]
+    fn error_parity_with_batch() {
+        let fx = fixtures::paper_world();
+        let mut s = Schedule::new();
+        s.execute(fx.a(1, 1)).execute(fx.a(1, 3));
+        let batch = check_pred(&fx.spec, &s);
+        let inc = check_pred_incremental(&fx.spec, &s);
+        assert!(batch.is_err());
+        assert!(inc.is_err());
+    }
+
+    #[test]
+    fn empty_history_is_pred() {
+        let fx = fixtures::paper_world();
+        let report = check_pred_incremental(&fx.spec, &Schedule::new()).unwrap();
+        assert!(report.pred);
+        assert_eq!(report.prefix_reducible, vec![true]);
+    }
+
+    #[test]
+    fn first_violation_sticks() {
+        let fx = fixtures::paper_world();
+        let s = st2(&fx);
+        let mut certifier = IncrementalPred::new(&fx.spec);
+        for e in s.events() {
+            certifier.record(e).unwrap();
+        }
+        assert_eq!(certifier.first_violation(), Some(4));
+        assert!(!certifier.pred());
+        // The final prefix itself is reducible (Example 6) …
+        assert!(certifier.prefix_reducible().last().copied().unwrap());
+        // … but the violation at prefix 4 is remembered.
+        assert!(!certifier.prefix_reducible()[4]);
+    }
+}

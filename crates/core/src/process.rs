@@ -249,11 +249,7 @@ impl ProcessBuilder {
     }
 
     fn edge_index_or_insert(&mut self, from: ActivityId, to: ActivityId) -> usize {
-        if let Some(i) = self
-            .edges
-            .iter()
-            .position(|e| e.from == from && e.to == to)
-        {
+        if let Some(i) = self.edges.iter().position(|e| e.from == from && e.to == to) {
             i
         } else {
             self.edges.push(Edge { from, to });
@@ -364,11 +360,8 @@ impl Process {
         }
         for (src, edge_idxs) in out {
             // Build the ◁ relation restricted to this node's out-edges.
-            let local: BTreeMap<usize, usize> = edge_idxs
-                .iter()
-                .enumerate()
-                .map(|(k, &e)| (e, k))
-                .collect();
+            let local: BTreeMap<usize, usize> =
+                edge_idxs.iter().enumerate().map(|(k, &e)| (e, k)).collect();
             let m = edge_idxs.len();
             let mut po = PartialOrder::new(m);
             let mut related = vec![false; m];
@@ -413,7 +406,10 @@ impl Process {
                     }
                 }
                 Successors::Alternatives(
-                    order.into_iter().map(|k| self.edges[edge_idxs[k]].to).collect(),
+                    order
+                        .into_iter()
+                        .map(|k| self.edges[edge_idxs[k]].to)
+                        .collect(),
                 )
             } else {
                 Successors::Parallel(edge_idxs.iter().map(|&k| self.edges[k].to).collect())
@@ -472,10 +468,7 @@ mod tests {
         b.precede(a5, a6);
         b.prefer(a2, a3, a5);
         let proc = b.build(&cat).unwrap();
-        assert_eq!(
-            proc.successors(a2),
-            &Successors::Alternatives(vec![a3, a5])
-        );
+        assert_eq!(proc.successors(a2), &Successors::Alternatives(vec![a3, a5]));
         assert_eq!(proc.successors(a3), &Successors::Seq(a4));
         assert_eq!(proc.successors(a5), &Successors::Seq(a6));
         assert!(proc.is_tree());

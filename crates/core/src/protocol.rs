@@ -284,11 +284,7 @@ impl<'a> Protocol<'a> {
             .spec
             .catalog
             .base(self.spec.service_of(gid).expect("validated activity"));
-        let compensatable = self
-            .spec
-            .catalog
-            .termination(service)
-            .is_compensatable();
+        let compensatable = self.spec.catalog.termination(service).is_compensatable();
         // Dependency edges from every conflicting predecessor.
         let preds = self.conflicting_predecessors(pid, service);
         for &pi in preds.keys() {
@@ -534,11 +530,7 @@ impl<'a> Protocol<'a> {
     /// must cascade (if still running).
     pub fn compensation_gate(&self, gid: GlobalActivityId) -> CompletionGate {
         let oracle = self.spec.oracle();
-        let Some(pos) = self
-            .ops
-            .iter()
-            .position(|r| r.gid == gid && !r.compensated)
-        else {
+        let Some(pos) = self.ops.iter().position(|r| r.gid == gid && !r.compensated) else {
             return CompletionGate::Ready;
         };
         let service = self.ops[pos].service;
@@ -755,11 +747,7 @@ mod tests {
         prot.record_executed(fx.a(3, 1), false);
         // P₁ aborts: completion = a1_3⁻¹-style compensations (none here
         // touching P₃) + forward path a1_5, a1_6.
-        let victims = prot.plan_abort(
-            ProcessId(1),
-            &[],
-            &[svc(&fx, 1, 5), svc(&fx, 1, 6)],
-        );
+        let victims = prot.plan_abort(ProcessId(1), &[], &[svc(&fx, 1, 5), svc(&fx, 1, 6)]);
         assert!(victims.is_empty());
     }
 

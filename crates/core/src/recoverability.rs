@@ -89,14 +89,12 @@ pub fn proc_rec_violations(
             // from that moment on. `stable_by(limit)` tests whether that
             // already happened before the given event position.
             let stable_by = |limit: usize| {
-                ops[u..]
-                    .iter()
-                    .any(|z| {
-                        z.gid.process == pi
-                            && z.kind == OpKind::Forward
-                            && z.event_index < limit
-                            && !spec.catalog.termination(z.service).is_compensatable()
-                    })
+                ops[u..].iter().any(|z| {
+                    z.gid.process == pi
+                        && z.kind == OpKind::Forward
+                        && z.event_index < limit
+                        && !spec.catalog.termination(z.service).is_compensatable()
+                })
             };
             // 11.1: C_i must precede C_j. The definition constrains commit
             // events of S; aborted processes commit only by conversion
@@ -104,10 +102,9 @@ pub fn proc_rec_violations(
             // free to choose, so only explicit commits are compared, and a
             // pair whose earlier activity was quasi-committed before C_j is
             // exempt.
-            if let (Some(&ti), Some(&tj)) = (
-                replay.commit_event.get(&pi),
-                replay.commit_event.get(&pj),
-            ) {
+            if let (Some(&ti), Some(&tj)) =
+                (replay.commit_event.get(&pi), replay.commit_event.get(&pj))
+            {
                 if ti >= tj && !stable_by(tj) {
                     violations.push(ProcRecViolation::CommitOrder {
                         earlier: pi,
@@ -128,10 +125,7 @@ pub fn proc_rec_violations(
                             && o.index >= start.index
                             && o.kind == OpKind::Forward
                             && abort_at.is_none_or(|a| o.event_index < a)
-                            && !spec
-                                .catalog
-                                .termination(o.service)
-                                .is_compensatable()
+                            && !spec.catalog.termination(o.service).is_compensatable()
                     })
                     .map(|o| o.index)
                     .next()
@@ -163,8 +157,10 @@ pub fn theorem1_holds(spec: &Spec, schedule: &Schedule) -> Result<bool, Schedule
     if !is_pred(spec, schedule)? {
         return Ok(true);
     }
-    Ok(crate::serializability::is_serializable_committed(spec, schedule)?
-        && is_proc_rec(spec, schedule)?)
+    Ok(
+        crate::serializability::is_serializable_committed(spec, schedule)?
+            && is_proc_rec(spec, schedule)?,
+    )
 }
 
 /// An SOT-like criterion (serializable with ordered termination, \[AVA⁺94\])
@@ -251,10 +247,10 @@ mod tests {
         }
         s.commit(ProcessId(1));
         let violations = proc_rec_violations(&fx.spec, &s).unwrap();
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, ProcRecViolation::CommitOrder { earlier, later }
-                if *earlier == ProcessId(1) && *later == ProcessId(2))));
+        assert!(violations.iter().any(
+            |v| matches!(v, ProcRecViolation::CommitOrder { earlier, later }
+                if *earlier == ProcessId(1) && *later == ProcessId(2))
+        ));
     }
 
     #[test]
@@ -269,10 +265,10 @@ mod tests {
             .execute(fx.a(2, 3))
             .execute(fx.a(1, 2));
         let violations = proc_rec_violations(&fx.spec, &s).unwrap();
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, ProcRecViolation::PivotOrder { earlier, later }
-                if *earlier == ProcessId(1) && *later == ProcessId(2))));
+        assert!(violations.iter().any(
+            |v| matches!(v, ProcRecViolation::PivotOrder { earlier, later }
+                if *earlier == ProcessId(1) && *later == ProcessId(2))
+        ));
     }
 
     #[test]

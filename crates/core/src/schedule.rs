@@ -183,12 +183,16 @@ impl Schedule {
             match event {
                 Event::Execute(g) => {
                     let service = spec.catalog.base(spec.service_of(*g)?);
-                    replay.state_mut(spec, g.process)?.apply_commit(g.activity)?;
+                    replay
+                        .state_mut(spec, g.process)?
+                        .apply_commit(g.activity)?;
                     replay.push_op(ei, *g, service, OpKind::Forward);
                 }
                 Event::Fail(g) => {
                     spec.service_of(*g)?;
-                    let outcome = replay.state_mut(spec, g.process)?.apply_failure(g.activity)?;
+                    let outcome = replay
+                        .state_mut(spec, g.process)?
+                        .apply_failure(g.activity)?;
                     if outcome == FailureOutcome::Stuck {
                         return Err(ScheduleError::NoAlternativeLeft(*g));
                     }
@@ -260,7 +264,13 @@ impl<'a> Replay<'a> {
         Ok(self.states.get_mut(&pid).expect("just inserted"))
     }
 
-    fn push_op(&mut self, event_index: usize, gid: GlobalActivityId, service: ServiceId, kind: OpKind) {
+    fn push_op(
+        &mut self,
+        event_index: usize,
+        gid: GlobalActivityId,
+        service: ServiceId,
+        kind: OpKind,
+    ) {
         let index = self.ops.len();
         self.ops.push(Op {
             index,
@@ -357,7 +367,11 @@ mod tests {
         // Ops: 4 executes + 1 compensation + 2 executes.
         assert_eq!(replay.ops.len(), 6);
         assert_eq!(
-            replay.ops.iter().filter(|o| o.kind == OpKind::Compensation).count(),
+            replay
+                .ops
+                .iter()
+                .filter(|o| o.kind == OpKind::Compensation)
+                .count(),
             1
         );
     }
@@ -430,7 +444,10 @@ mod tests {
             .compensate(fx.a(1, 3));
         let ops = s.ops(&fx.spec).unwrap();
         let comp_op = ops.iter().find(|o| o.kind == OpKind::Compensation).unwrap();
-        let fwd_op = ops.iter().find(|o| o.gid == fx.a(1, 3) && o.kind == OpKind::Forward).unwrap();
+        let fwd_op = ops
+            .iter()
+            .find(|o| o.gid == fx.a(1, 3) && o.kind == OpKind::Forward)
+            .unwrap();
         // Perfect commutativity: the compensation carries its base service.
         assert_eq!(comp_op.service, fwd_op.service);
     }

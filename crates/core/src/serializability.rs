@@ -56,8 +56,7 @@ impl ProcessGraph {
 
     /// Topological order over the nodes, or `None` if cyclic.
     pub fn topological_order(&self) -> Option<Vec<ProcessId>> {
-        let mut indeg: BTreeMap<ProcessId, usize> =
-            self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut indeg: BTreeMap<ProcessId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
         let mut succ: BTreeMap<ProcessId, Vec<ProcessId>> = BTreeMap::new();
         for &(a, b) in &self.edges {
             *indeg.get_mut(&b).expect("edge endpoint registered") += 1;
@@ -226,7 +225,9 @@ mod tests {
     fn example_4_is_serializable() {
         let fx = fixtures::paper_world();
         assert!(is_serializable(&fx.spec, &figure4a(&fx)).unwrap());
-        let order = serialization_order(&fx.spec, &figure4a(&fx)).unwrap().unwrap();
+        let order = serialization_order(&fx.spec, &figure4a(&fx))
+            .unwrap()
+            .unwrap();
         // Both conflicts point P₁ → P₂: P₁ serializes first.
         assert_eq!(order, vec![ProcessId(1), ProcessId(2)]);
     }
@@ -237,7 +238,9 @@ mod tests {
         // (a1_1 ≪ a2_1 gives P₁→P₂, a2_4 ≪ a1_2 gives P₂→P₁).
         let fx = fixtures::paper_world();
         assert!(!is_serializable(&fx.spec, &figure4b(&fx)).unwrap());
-        assert!(serialization_order(&fx.spec, &figure4b(&fx)).unwrap().is_none());
+        assert!(serialization_order(&fx.spec, &figure4b(&fx))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

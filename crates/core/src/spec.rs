@@ -36,7 +36,9 @@ impl Spec {
 
     /// Looks up a process.
     pub fn process(&self, id: ProcessId) -> Result<&Process, ModelError> {
-        self.processes.get(&id).ok_or(ModelError::UnknownProcess(id))
+        self.processes
+            .get(&id)
+            .ok_or(ModelError::UnknownProcess(id))
     }
 
     /// Iterates over registered processes in id order.

@@ -253,7 +253,9 @@ impl<'a> ProcessState<'a> {
             return Err(ScheduleError::ProcessAlreadyTerminated(self.process.id));
         }
         if !self.pending_compensations.is_empty() {
-            return Err(ScheduleError::PrecedenceViolation { activity: self.gid(a) });
+            return Err(ScheduleError::PrecedenceViolation {
+                activity: self.gid(a),
+            });
         }
         if self.committed[a.index()] {
             return Err(ScheduleError::DuplicateInvocation(self.gid(a)));
@@ -350,7 +352,9 @@ impl<'a> ProcessState<'a> {
             if self.pending_compensations.is_empty() {
                 self.status = ProcessStatus::Aborted;
             }
-            return Ok(FailureOutcome::ProcessAbort { compensations: comps });
+            return Ok(FailureOutcome::ProcessAbort {
+                compensations: comps,
+            });
         }
         Ok(FailureOutcome::Stuck)
     }
@@ -391,7 +395,8 @@ impl<'a> ProcessState<'a> {
     /// Applies all pending compensations (test/enumeration convenience).
     pub fn run_pending_compensations(&mut self) {
         while let Some(a) = self.pending_compensations.front().copied() {
-            self.apply_compensation(a).expect("pending compensation is legal");
+            self.apply_compensation(a)
+                .expect("pending compensation is legal");
         }
     }
 

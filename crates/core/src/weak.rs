@@ -80,11 +80,8 @@ pub const COMMIT_SYNC: u64 = 1;
 ///
 /// Constraint edges must be acyclic; returns `None` otherwise.
 pub fn makespan(tasks: &[Task], constraints: &[OrderConstraint]) -> Option<MakespanPlan> {
-    let index: BTreeMap<GlobalActivityId, usize> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.gid, i))
-        .collect();
+    let index: BTreeMap<GlobalActivityId, usize> =
+        tasks.iter().enumerate().map(|(i, t)| (t.gid, i)).collect();
     let n = tasks.len();
     let mut preds: Vec<Vec<(usize, OrderKind)>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
@@ -149,11 +146,7 @@ pub struct MakespanPlan {
 /// (transiently) and restarts at `restart_time`, the dependent activity must
 /// be restarted inside the subsystem too — *without* raising a process-level
 /// exception. Returns the new finish times of the pair.
-pub fn restart_cascade(
-    first: &Task,
-    second: &Task,
-    restart_time: u64,
-) -> (u64, u64) {
+pub fn restart_cascade(first: &Task, second: &Task, restart_time: u64) -> (u64, u64) {
     let first_finish = restart_time + first.duration;
     // The dependent restarts alongside and finishes no earlier than its own
     // duration from the restart, respecting the commit order.
@@ -244,11 +237,7 @@ mod tests {
 
     #[test]
     fn chain_of_weak_orders_pipelines() {
-        let tasks = [
-            task(1, 0, 10, 0),
-            task(2, 0, 10, 0),
-            task(3, 0, 10, 0),
-        ];
+        let tasks = [task(1, 0, 10, 0), task(2, 0, 10, 0), task(3, 0, 10, 0)];
         let constraints = [
             OrderConstraint {
                 first: gid(1, 0),

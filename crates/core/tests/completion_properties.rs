@@ -68,7 +68,9 @@ fn completion_sets(
     let completed = complete(&fx.spec, s).unwrap();
     let mut out: std::collections::BTreeMap<_, BTreeSet<_>> = Default::default();
     for op in completed.completion_ops() {
-        out.entry(op.gid.process).or_default().insert((op.gid, op.kind));
+        out.entry(op.gid.process)
+            .or_default()
+            .insert((op.gid, op.kind));
     }
     out
 }

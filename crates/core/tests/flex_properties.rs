@@ -35,11 +35,14 @@ fn kind_strategy() -> impl Strategy<Value = Kind> {
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = proptest::collection::vec(kind_strategy(), 1..4)
-        .prop_map(|ks| Node::Chain(ks, None));
+    let leaf =
+        proptest::collection::vec(kind_strategy(), 1..4).prop_map(|ks| Node::Chain(ks, None));
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            (proptest::collection::vec(kind_strategy(), 1..3), inner.clone())
+            (
+                proptest::collection::vec(kind_strategy(), 1..3),
+                inner.clone()
+            )
                 .prop_map(|(ks, n)| Node::Chain(ks, Some(Box::new(n)))),
             (inner.clone(), inner).prop_map(|(a, b)| Node::Choice(Box::new(a), Box::new(b))),
         ]

@@ -18,7 +18,10 @@ fn drive(
     seed: u64,
     policy: DeferPolicy,
     steps: usize,
-) -> (Vec<(GlobalActivityId, Admission)>, Vec<(ProcessId, ProcessId)>) {
+) -> (
+    Vec<(GlobalActivityId, Admission)>,
+    Vec<(ProcessId, ProcessId)>,
+) {
     let fx = paper_world();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut protocol = Protocol::new(&fx.spec, policy);

@@ -10,7 +10,7 @@
 //! event ordering: whatever interleaving the OS produces, the emitted
 //! history stays PRED (verified by the stress tests).
 
-use crate::policy::{Policy, PolicyKind};
+use crate::policy::{CertifierKind, Policy, PolicyKind};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +35,9 @@ pub struct ConcurrentConfig {
     pub seed: u64,
     /// Whether failable activities may fail.
     pub inject_failures: bool,
+    /// Which §3.5 certifier implementation answers the per-event
+    /// certification (certified policies only).
+    pub certifier: CertifierKind,
 }
 
 impl Default for ConcurrentConfig {
@@ -43,6 +46,7 @@ impl Default for ConcurrentConfig {
             policy: PolicyKind::Pred,
             seed: 99,
             inject_failures: true,
+            certifier: CertifierKind::Batch,
         }
     }
 }
@@ -59,6 +63,10 @@ pub struct ConcurrentResult {
 struct Shared<'a> {
     workload: &'a Workload,
     certify: bool,
+    /// The incremental §3.5 certifier (when configured). Synced lazily with
+    /// `history` inside `certified_ok`; the lock serializes history order,
+    /// so the certifier sees exactly the emitted sequence.
+    incremental: Option<txproc_core::pred_incremental::IncrementalPred<'a>>,
     policy: Box<dyn Policy + Send + 'a>,
     agents: BTreeMap<SubsystemId, Agent>,
     states: BTreeMap<ProcessId, ProcessState<'a>>,
@@ -75,9 +83,18 @@ struct Shared<'a> {
 impl Shared<'_> {
     /// §3.5 certification of the next effect event (see the virtual-time
     /// engine for the rationale).
-    fn certified_ok(&self, event: txproc_core::schedule::Event) -> bool {
+    fn certified_ok(&mut self, event: txproc_core::schedule::Event) -> bool {
         if !self.certify {
             return true;
+        }
+        if let Some(inc) = &mut self.incremental {
+            for e in &self.history.events()[inc.len()..] {
+                inc.record(e).expect("emitted history event is legal");
+            }
+            return match inc.certify(&event) {
+                Ok(verdict) => verdict.reducible,
+                Err(_) => false,
+            };
         }
         let mut candidate = self.history.clone();
         candidate.push(event);
@@ -119,7 +136,10 @@ impl Shared<'_> {
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
     let mut agents = BTreeMap::new();
     for sid in workload.deployment.subsystems() {
-        agents.insert(sid, Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))));
+        agents.insert(
+            sid,
+            Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))),
+        );
     }
     let mut policy = cfg.policy.build(&workload.spec);
     let mut states = BTreeMap::new();
@@ -133,6 +153,8 @@ pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentR
     let shared = Mutex::new(Shared {
         workload,
         certify: cfg.policy.certified(),
+        incremental: (cfg.policy.certified() && cfg.certifier == CertifierKind::Incremental)
+            .then(|| txproc_core::pred_incremental::IncrementalPred::new(&workload.spec)),
         policy,
         agents,
         states,
@@ -524,7 +546,13 @@ mod tests {
                 failure_probability: 0.15,
                 ..WorkloadConfig::default()
             });
-            let result = run_concurrent(&w, ConcurrentConfig { seed, ..ConcurrentConfig::default() });
+            let result = run_concurrent(
+                &w,
+                ConcurrentConfig {
+                    seed,
+                    ..ConcurrentConfig::default()
+                },
+            );
             assert_eq!(result.metrics.terminated(), 5, "seed {seed}");
             assert!(
                 txproc_core::pred::is_pred(&w.spec, &result.history).unwrap(),
@@ -535,9 +563,40 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_run_with_incremental_certifier_is_pred() {
+        // Thread interleavings are nondeterministic, so histories cannot be
+        // compared against a batch run; the contract is that whatever
+        // interleaving the OS produces, an incrementally-certified history
+        // is still PRED.
+        for seed in 0..4 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 5,
+                conflict_density: 0.4,
+                failure_probability: 0.15,
+                ..WorkloadConfig::default()
+            });
+            let result = run_concurrent(
+                &w,
+                ConcurrentConfig {
+                    seed,
+                    certifier: CertifierKind::Incremental,
+                    ..ConcurrentConfig::default()
+                },
+            );
+            assert_eq!(result.metrics.terminated(), 5, "seed {seed}");
+            assert!(
+                txproc_core::pred::is_pred(&w.spec, &result.history).unwrap(),
+                "seed {seed}: incrementally-certified history not PRED:\n{}",
+                txproc_core::schedule::render(&result.history)
+            );
+        }
+    }
+
+    #[test]
     fn concurrent_run_without_failures_commits_everything() {
         let w = generate(&WorkloadConfig {
-            seed: 5,
+            seed: 4,
             processes: 6,
             conflict_density: 0.3,
             failure_probability: 0.0,

@@ -12,10 +12,11 @@
 //! [`Schedule`](txproc_core::schedule::Schedule) that can be checked for
 //! PRED offline.
 
-use crate::policy::{Policy, PolicyKind};
+use crate::policy::{CertifierKind, Policy, PolicyKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use txproc_core::activity::Termination;
 use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
@@ -42,6 +43,9 @@ pub struct RunConfig {
     pub arrival_gap: u64,
     /// Verify the emitted history for PRED after the run (expensive).
     pub check_pred: bool,
+    /// Which §3.5 certifier implementation answers the per-event
+    /// certification (certified policies only).
+    pub certifier: CertifierKind,
 }
 
 impl Default for RunConfig {
@@ -52,6 +56,7 @@ impl Default for RunConfig {
             inject_failures: true,
             arrival_gap: 0,
             check_pred: false,
+            certifier: CertifierKind::Batch,
         }
     }
 }
@@ -117,6 +122,12 @@ pub struct Engine<'a> {
     /// Whether every effect event is certified against the completed prefix
     /// (§3.5) before it is emitted.
     certify: bool,
+    /// The incremental §3.5 certifier (when configured). Kept in lock-step
+    /// with `history` lazily: `certified_ok` absorbs newly emitted events
+    /// before certifying the candidate, so each event is processed exactly
+    /// once over the whole run. `RefCell` because diagnostic probes certify
+    /// through `&self`.
+    incremental: Option<RefCell<txproc_core::pred_incremental::IncrementalPred<'a>>>,
     /// Deferred releases postponed by certification, retried on progress.
     postponed_releases: Vec<(ProcessId, Vec<GlobalActivityId>)>,
     /// Consecutive certification failures per process; escalates to an
@@ -155,7 +166,10 @@ impl<'a> Engine<'a> {
         let policy = cfg.policy.build(&workload.spec);
         let mut agents = BTreeMap::new();
         for sid in workload.deployment.subsystems() {
-            agents.insert(sid, Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))));
+            agents.insert(
+                sid,
+                Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))),
+            );
         }
         let mut engine = Self {
             workload,
@@ -183,6 +197,12 @@ impl<'a> Engine<'a> {
             abort_seq: BTreeMap::new(),
             next_abort_seq: 0,
             certify: cfg.policy.certified(),
+            incremental: (cfg.policy.certified() && cfg.certifier == CertifierKind::Incremental)
+                .then(|| {
+                    RefCell::new(txproc_core::pred_incremental::IncrementalPred::new(
+                        &workload.spec,
+                    ))
+                }),
             postponed_releases: Vec::new(),
             cert_failures: BTreeMap::new(),
         };
@@ -283,9 +303,17 @@ impl<'a> Engine<'a> {
                 continue; // stale
             }
             self.now = time;
-            let before = (self.history.len(), self.invocation_log.len(), self.done.len());
+            let before = (
+                self.history.len(),
+                self.invocation_log.len(),
+                self.done.len(),
+            );
             self.dispatch(pid);
-            let after = (self.history.len(), self.invocation_log.len(), self.done.len());
+            let after = (
+                self.history.len(),
+                self.invocation_log.len(),
+                self.done.len(),
+            );
             if before != after {
                 // Real progress: effects, prepares, or terminations.
                 self.stall_guard = 0;
@@ -366,6 +394,18 @@ impl<'a> Engine<'a> {
     fn certified_ok(&self, event: txproc_core::schedule::Event) -> bool {
         if !self.certify {
             return true;
+        }
+        if let Some(cell) = &self.incremental {
+            let mut inc = cell.borrow_mut();
+            // Absorb history events emitted since the last certification;
+            // amortized, every event is recorded exactly once per run.
+            for e in &self.history.events()[inc.len()..] {
+                inc.record(e).expect("emitted history event is legal");
+            }
+            return match inc.certify(&event) {
+                Ok(verdict) => verdict.reducible,
+                Err(_) => false,
+            };
         }
         let mut candidate = self.history.clone();
         candidate.push(event);
@@ -500,9 +540,7 @@ impl<'a> Engine<'a> {
         };
         match admission {
             Admission::Allow => self.execute_forward(pid, a, CommitMode::Immediate),
-            Admission::AllowDeferred { .. } => {
-                self.execute_forward(pid, a, CommitMode::Deferred)
-            }
+            Admission::AllowDeferred { .. } => self.execute_forward(pid, a, CommitMode::Deferred),
             Admission::Wait { blockers } => {
                 self.metrics.waits += 1;
                 self.waiting.insert(pid, Waiting::OnProcesses(blockers));
@@ -534,9 +572,8 @@ impl<'a> Engine<'a> {
 
         // Failure injection (Definitions 3 and 4).
         let p_fail = self.workload.config.failure_probability;
-        let inject = self.cfg.inject_failures
-            && p_fail > 0.0
-            && self.rng.gen_bool(p_fail.clamp(0.0, 1.0));
+        let inject =
+            self.cfg.inject_failures && p_fail > 0.0 && self.rng.gen_bool(p_fail.clamp(0.0, 1.0));
         if inject {
             match termination {
                 Termination::Retriable => {
@@ -1015,6 +1052,46 @@ mod tests {
     }
 
     #[test]
+    fn incremental_certifier_matches_batch_histories() {
+        // The virtual-time engine is deterministic, so two runs diverge only
+        // if the certifiers ever answer differently. Identical histories are
+        // therefore an end-to-end differential check of the incremental
+        // certifier against the batch reference.
+        for policy in [PolicyKind::Pred, PolicyKind::PredWait] {
+            for seed in 0..8 {
+                let w = small_workload(seed, 0.5, 0.2);
+                let batch = run(
+                    &w,
+                    RunConfig {
+                        policy,
+                        seed,
+                        check_pred: true,
+                        ..RunConfig::default()
+                    },
+                );
+                let incr = run(
+                    &w,
+                    RunConfig {
+                        policy,
+                        seed,
+                        check_pred: true,
+                        certifier: crate::policy::CertifierKind::Incremental,
+                        ..RunConfig::default()
+                    },
+                );
+                assert_eq!(
+                    txproc_core::schedule::render(&batch.history),
+                    txproc_core::schedule::render(&incr.history),
+                    "{} seed {seed}: certifiers diverged",
+                    policy.label()
+                );
+                assert!(incr.stalled.is_empty(), "{} seed {seed}", policy.label());
+                assert_eq!(incr.pred_ok, Some(true), "{} seed {seed}", policy.label());
+            }
+        }
+    }
+
+    #[test]
     fn serial_policy_is_pred_and_slower() {
         let w = small_workload(3, 0.5, 0.0);
         let pred = run(&w, RunConfig::default());
@@ -1090,7 +1167,10 @@ mod tests {
             },
         );
         assert_eq!(result.metrics.terminated(), 6);
-        assert_eq!(result.metrics.aborted, result.metrics.rejections + result.metrics.cascaded);
+        assert_eq!(
+            result.metrics.aborted,
+            result.metrics.rejections + result.metrics.cascaded
+        );
         assert_eq!(result.pred_ok, Some(true));
     }
 
@@ -1153,10 +1233,13 @@ mod tests {
     #[test]
     fn external_abort_runs_completion() {
         let w = small_workload(9, 0.0, 0.0);
-        let mut engine = Engine::new(&w, RunConfig {
-            inject_failures: false,
-            ..RunConfig::default()
-        });
+        let mut engine = Engine::new(
+            &w,
+            RunConfig {
+                inject_failures: false,
+                ..RunConfig::default()
+            },
+        );
         // Let the first few events run, then abort one process.
         engine.run_until_history(4);
         let victim = engine.live_processes()[0];
@@ -1166,4 +1249,3 @@ mod tests {
         assert!(result.metrics.aborted >= 1);
     }
 }
-

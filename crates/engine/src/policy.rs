@@ -17,10 +17,10 @@
 //!   non-PRED histories — the situation of §2.2 and Example 8 that the
 //!   paper's unified treatment exists to prevent.
 
+use std::collections::{BTreeMap, BTreeSet};
 use txproc_core::ids::{GlobalActivityId, ProcessId, ServiceId};
 use txproc_core::protocol::{Admission, CompletionGate, DeferPolicy, Protocol};
 use txproc_core::spec::Spec;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Scheduler policy interface used by the engine.
 pub trait Policy {
@@ -135,7 +135,8 @@ impl Policy for PredPolicy<'_> {
         compensations: &[GlobalActivityId],
         forward_services: &[ServiceId],
     ) -> Vec<ProcessId> {
-        self.protocol.plan_abort(pid, compensations, forward_services)
+        self.protocol
+            .plan_abort(pid, compensations, forward_services)
     }
     fn on_abort(&mut self, pid: ProcessId) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
         self.protocol.record_process_abort(pid)
@@ -168,7 +169,10 @@ impl SerialPolicy {
     }
 
     fn head(&self) -> Option<ProcessId> {
-        self.order.iter().copied().find(|p| !self.terminated.contains(p))
+        self.order
+            .iter()
+            .copied()
+            .find(|p| !self.terminated.contains(p))
     }
 }
 
@@ -181,7 +185,12 @@ impl Policy for SerialPolicy {
             self.order.push(pid);
         }
     }
-    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, _service: ServiceId) -> Admission {
+    fn request(
+        &mut self,
+        pid: ProcessId,
+        _gid: GlobalActivityId,
+        _service: ServiceId,
+    ) -> Admission {
         match self.head() {
             Some(h) if h == pid => Admission::Allow,
             Some(h) => Admission::Wait { blockers: vec![h] },
@@ -263,7 +272,12 @@ impl Policy for ConservativePolicy<'_> {
     fn register(&mut self, pid: ProcessId) {
         self.pending.insert(pid);
     }
-    fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, _service: ServiceId) -> Admission {
+    fn request(
+        &mut self,
+        pid: ProcessId,
+        _gid: GlobalActivityId,
+        _service: ServiceId,
+    ) -> Admission {
         if self.held.contains_key(&pid) {
             return Admission::Allow;
         }
@@ -428,6 +442,47 @@ impl PolicyKind {
     }
 }
 
+/// Selectable implementation of the §3.5 certifier (run configuration).
+///
+/// Certified policies gate every effect event on the question "does the
+/// extended prefix still have a reducible completed schedule?". Two
+/// implementations answer it:
+///
+/// * [`CertifierKind::Batch`] — the reference: clone the history, append the
+///   candidate event, rebuild the completion (Definition 8) and reduce it
+///   from scratch. O(n²) per event, O(n³) over a run.
+/// * [`CertifierKind::Incremental`] — the incremental certifier
+///   ([`IncrementalPred`](txproc_core::pred_incremental::IncrementalPred)):
+///   maintains the serialization/weak-order closure, compensation-pair
+///   cancellation state and deferred-completion overlays as events append,
+///   answering each certification in amortized near-O(degree) work.
+///
+/// Both certifiers answer identically — the differential property tests pin
+/// this — and `Batch` stays the default and the semantic reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CertifierKind {
+    /// Recompute completion + reduction from scratch per candidate event.
+    #[default]
+    Batch,
+    /// Maintain the certification state incrementally across events.
+    Incremental,
+}
+
+impl CertifierKind {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CertifierKind::Batch => "batch",
+            CertifierKind::Incremental => "incremental",
+        }
+    }
+
+    /// All kinds (sweeps).
+    pub fn all() -> [CertifierKind; 2] {
+        [CertifierKind::Batch, CertifierKind::Incremental]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,10 +495,7 @@ mod tests {
         p.register(ProcessId(1));
         p.register(ProcessId(2));
         let svc = fx.spec.service_of(fx.a(1, 1)).unwrap();
-        assert_eq!(
-            p.request(ProcessId(1), fx.a(1, 1), svc),
-            Admission::Allow
-        );
+        assert_eq!(p.request(ProcessId(1), fx.a(1, 1), svc), Admission::Allow);
         assert!(matches!(
             p.request(ProcessId(2), fx.a(2, 1), svc),
             Admission::Wait { .. }
@@ -478,7 +530,10 @@ mod tests {
         let mut p = ConservativePolicy::new(&fx.spec);
         let c = fx.construction.id;
         p.register(c);
-        let svc = fx.spec.service_of(fx.construction_activity("design")).unwrap();
+        let svc = fx
+            .spec
+            .service_of(fx.construction_activity("design"))
+            .unwrap();
         assert_eq!(
             p.request(c, fx.construction_activity("design"), svc),
             Admission::Allow

@@ -21,8 +21,9 @@
 //! the crash-recovery experiment (E16) verifies it reduces (RED).
 
 use std::collections::BTreeMap;
+use txproc_core::completion::complete;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
-use txproc_core::schedule::{Event, Schedule};
+use txproc_core::schedule::{Event, OpKind, Schedule};
 use txproc_core::serializability::process_graph_linear;
 use txproc_core::spec::Spec;
 use txproc_sim::workload::Workload;
@@ -34,7 +35,7 @@ use txproc_subsystem::tpc::{Coordinator, Decision};
 pub use crate::engine::InvocationLogEntry;
 
 /// The durable state surviving a scheduler crash.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CrashImage {
     /// The emitted history (the scheduler's durable log).
     pub history: Schedule,
@@ -61,10 +62,18 @@ pub struct RecoveryReport {
     pub resolved_groups: usize,
     /// Prepared invocations aborted because no decision was logged.
     pub aborted_prepared: usize,
+    /// The durable state after recovery: the extended history plus the
+    /// updated subsystems, decision log and invocation log. A crash right
+    /// after recovery resumes from this image — recovering it again must be
+    /// a no-op (idempotence, exercised by the tests).
+    pub image: CrashImage,
 }
 
 /// Runs crash recovery over a crash image.
-pub fn recover(workload: &Workload, mut image: CrashImage) -> Result<RecoveryReport, SubsystemError> {
+pub fn recover(
+    workload: &Workload,
+    mut image: CrashImage,
+) -> Result<RecoveryReport, SubsystemError> {
     let spec = &workload.spec;
 
     // 1. Finish in-doubt 2PC groups from the decision log.
@@ -125,56 +134,88 @@ pub fn recover(workload: &Workload, mut image: CrashImage) -> Result<RecoveryRep
         history.group_abort(actives.clone());
     }
 
-    // 4. Execute completions.
-    let mut states = replay.states;
+    // 4. Execute completions in a single ≪̃-respecting interleaved order.
+    //    Running each process's completion serially is NOT sound: a forward
+    //    recovery activity of one process may then land between another
+    //    process's base activity and its compensation, violating Lemma 3 and
+    //    leaving the recovered history irreducible. The completion
+    //    construction of Definition 8 already carries the correct partial
+    //    order `≪̃`, so recovery executes one of its linearisations.
+    let completed = complete(spec, &history).expect("group-aborted history has a completion");
+    let mut states = history
+        .replay(spec)
+        .expect("group-aborted history is a legal schedule")
+        .states;
     let mut compensations = 0;
     let mut forward = 0;
-    let invocation_of: BTreeMap<GlobalActivityId, (SubsystemId, txproc_subsystem::agent::InvocationId)> =
-        image
-            .invocation_log
-            .iter()
-            .filter(|e| !e.prepared || executed_gids.contains(&e.gid))
-            .map(|e| (e.gid, (e.subsystem, e.invocation)))
-            .collect();
+    let invocation_of: BTreeMap<
+        GlobalActivityId,
+        (SubsystemId, txproc_subsystem::agent::InvocationId),
+    > = image
+        .invocation_log
+        .iter()
+        .filter(|e| !e.prepared || executed_gids.contains(&e.gid))
+        .map(|e| (e.gid, (e.subsystem, e.invocation)))
+        .collect();
+    let topo = completed
+        .order
+        .topological_order()
+        .expect("≪̃ construction is acyclic");
+    for idx in topo {
+        if idx < completed.original_len {
+            continue;
+        }
+        let op = &completed.ops[idx];
+        let gid = op.gid;
+        let (pid, a) = (gid.process, gid.activity);
+        let state = states.get_mut(&pid).expect("completing state");
+        match op.kind {
+            OpKind::Compensation => {
+                let &(sid, invocation) = invocation_of
+                    .get(&gid)
+                    .expect("compensatable activity was logged");
+                let agent = image.agents.get_mut(&sid).expect("agent");
+                match agent.compensate(invocation)? {
+                    InvokeOutcome::Committed { .. } => {
+                        history.compensate(gid);
+                        state.apply_compensation(a).expect("queued compensation");
+                        compensations += 1;
+                    }
+                    other => panic!("compensation must succeed during recovery: {other:?}"),
+                }
+            }
+            OpKind::Forward => {
+                let process = spec.process(pid).expect("known process");
+                let svc = process.service(a);
+                let site = workload.deployment.site(svc).expect("deployed");
+                let sid = site.subsystem;
+                let program = site.program.clone();
+                let agent = image.agents.get_mut(&sid).expect("agent");
+                match agent.invoke(svc, &program, CommitMode::Immediate, false)? {
+                    InvokeOutcome::Committed { .. } => {
+                        history.execute(gid);
+                        state.apply_commit(a).expect("forward path");
+                        forward += 1;
+                    }
+                    other => panic!("forward recovery must succeed: {other:?}"),
+                }
+            }
+        }
+    }
     for &pid in &actives {
-        let state = states.get_mut(&pid).expect("active state");
-        let completion = state.apply_process_abort().expect("active process");
-        let process = spec.process(pid).expect("known process");
-        for &a in &completion.compensations {
-            let gid = GlobalActivityId::new(pid, a);
-            let &(sid, invocation) = invocation_of
-                .get(&gid)
-                .expect("compensatable activity was logged");
-            let agent = image.agents.get_mut(&sid).expect("agent");
-            match agent.compensate(invocation)? {
-                InvokeOutcome::Committed { .. } => {
-                    history.compensate(gid);
-                    state.apply_compensation(a).expect("queued compensation");
-                    compensations += 1;
-                }
-                other => panic!("compensation must succeed during recovery: {other:?}"),
-            }
-        }
-        for &a in &completion.forward {
-            let gid = GlobalActivityId::new(pid, a);
-            let svc = process.service(a);
-            let site = workload.deployment.site(svc).expect("deployed");
-            let sid = site.subsystem;
-            let program = site.program.clone();
-            let agent = image.agents.get_mut(&sid).expect("agent");
-            match agent.invoke(svc, &program, CommitMode::Immediate, false)? {
-                InvokeOutcome::Committed { .. } => {
-                    history.execute(gid);
-                    state.apply_commit(a).expect("forward path");
-                    forward += 1;
-                }
-                other => panic!("forward recovery must succeed: {other:?}"),
-            }
-        }
-        debug_assert!(!state.is_active(), "completion terminates the process");
+        debug_assert!(
+            states.get(&pid).is_some_and(|s| !s.is_active()),
+            "completion terminates process {pid:?}"
+        );
     }
 
     Ok(RecoveryReport {
+        image: CrashImage {
+            history: history.clone(),
+            agents: image.agents,
+            coordinator: image.coordinator,
+            invocation_log: image.invocation_log,
+        },
         history,
         aborted: actives,
         compensations,
@@ -257,19 +298,86 @@ mod tests {
     fn recovery_aborts_undecided_prepared_invocations() {
         // Find a crash point where some invocation is prepared (deferred).
         let mut exercised = false;
-        for seed in 0..20u64 {
-            let w = workload(seed);
-            let mut engine = Engine::new(&w, RunConfig { seed, ..RunConfig::default() });
-            engine.run_until_history(8);
-            let deferred_now = engine.metrics().deferred_commits;
-            let image = engine.crash();
-            let report = recover(&w, image).unwrap();
-            if deferred_now > 0 && report.aborted_prepared > 0 {
-                exercised = true;
-                break;
+        'search: for seed in 0..64u64 {
+            for crash_at in [4usize, 6, 8, 10, 12] {
+                let w = workload(seed);
+                let mut engine = Engine::new(
+                    &w,
+                    RunConfig {
+                        seed,
+                        ..RunConfig::default()
+                    },
+                );
+                engine.run_until_history(crash_at);
+                let deferred_now = engine.metrics().deferred_commits;
+                let image = engine.crash();
+                let report = recover(&w, image).unwrap();
+                if deferred_now > 0 && report.aborted_prepared > 0 {
+                    exercised = true;
+                    break 'search;
+                }
             }
         }
         assert!(exercised, "no crash point with a prepared invocation found");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        // Crashing again immediately after recovery and recovering the
+        // post-recovery image must change nothing: every process already
+        // terminated, every in-doubt group is resolved, every undecided
+        // prepared invocation is already aborted.
+        for seed in [11u64, 14, 23] {
+            for crash_at in [3usize, 7, 12] {
+                let w = workload(seed);
+                let mut engine = Engine::new(
+                    &w,
+                    RunConfig {
+                        seed,
+                        ..RunConfig::default()
+                    },
+                );
+                engine.run_until_history(crash_at);
+                let first = recover(&w, engine.crash()).expect("first recovery");
+                let second = recover(&w, first.image.clone()).expect("second recovery");
+                assert_eq!(
+                    txproc_core::schedule::render(&second.history),
+                    txproc_core::schedule::render(&first.history),
+                    "seed {seed} crash {crash_at}: second recovery changed the history"
+                );
+                assert!(second.aborted.is_empty(), "seed {seed} crash {crash_at}");
+                assert_eq!(second.compensations, 0, "seed {seed} crash {crash_at}");
+                assert_eq!(second.forward, 0, "seed {seed} crash {crash_at}");
+                assert_eq!(second.resolved_groups, 0, "seed {seed} crash {crash_at}");
+                assert_eq!(second.aborted_prepared, 0, "seed {seed} crash {crash_at}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_histories_are_pred() {
+        // Stronger than reducibility of the final completed schedule: the
+        // whole extended history stays prefix-reducible, because recovery
+        // executes the completion in a ≪̃-respecting order (Lemma 3).
+        for seed in [11u64, 21, 31] {
+            for crash_at in [2usize, 5, 9, 14] {
+                let w = workload(seed);
+                let mut engine = Engine::new(
+                    &w,
+                    RunConfig {
+                        seed,
+                        ..RunConfig::default()
+                    },
+                );
+                engine.run_until_history(crash_at);
+                let report = recover(&w, engine.crash()).expect("recovery succeeds");
+                assert!(
+                    txproc_core::pred::is_pred(&w.spec, &report.history).unwrap(),
+                    "seed {seed} crash {crash_at}: recovered history not PRED:\n{}",
+                    txproc_core::schedule::render(&report.history)
+                );
+            }
+        }
     }
 
     #[test]

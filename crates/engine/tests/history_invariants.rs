@@ -189,19 +189,17 @@ fn lemma1_noncompensatable_commits_after_conflicting_predecessor_terminates() {
                 if after_own_abort {
                     continue;
                 }
-                let terminated_before_j = term_pos
-                    .get(&gi.process)
-                    .map(|&t| t < j)
-                    .unwrap_or(false)
-                    || last_pos
-                        .get(&gi.process)
-                        .map(|&t| {
-                            t < j
-                                && events.iter().any(|e| {
-                                    matches!(e, Event::Abort(p) if *p == gi.process)
-                                })
-                        })
-                        .unwrap_or(false);
+                let terminated_before_j =
+                    term_pos.get(&gi.process).map(|&t| t < j).unwrap_or(false)
+                        || last_pos
+                            .get(&gi.process)
+                            .map(|&t| {
+                                t < j
+                                    && events
+                                        .iter()
+                                        .any(|e| matches!(e, Event::Abort(p) if *p == gi.process))
+                            })
+                            .unwrap_or(false);
                 assert!(
                     terminated_before_j,
                     "Lemma 1.1 violated: non-compensatable {gj} committed at {j} \

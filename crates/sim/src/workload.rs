@@ -135,12 +135,7 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
                 let writes = kind != "r" || rng.gen_bool(0.5);
                 let program = make_program(rng, subsystem, writes);
                 let duration = 1 + rng.gen_range(0..config.mean_duration.max(1) * 2);
-                deployment.place_with_duration(
-                    svc,
-                    SubsystemId(subsystem),
-                    program,
-                    duration,
-                );
+                deployment.place_with_duration(svc, SubsystemId(subsystem), program, duration);
                 svc
             })
             .collect()
@@ -213,7 +208,9 @@ fn build_segment(
     depth: usize,
 ) -> txproc_core::ids::ActivityId {
     let pick = |rng: &mut StdRng, pool: &[ServiceId]| pool[rng.gen_range(0..pool.len())];
-    let prefix = rng.gen_range(config.prefix_len.0..=config.prefix_len.1).max(1);
+    let prefix = rng
+        .gen_range(config.prefix_len.0..=config.prefix_len.1)
+        .max(1);
     let mut prev = attach;
     let mut first = None;
     for i in 0..prefix {

@@ -17,18 +17,16 @@ fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
         0.0f64..1.0,
     )
         .prop_map(
-            |(seed, processes, prefix, alt, depth, services, subsystems, density)| {
-                WorkloadConfig {
-                    seed,
-                    processes,
-                    prefix_len: (prefix.0, prefix.0 + prefix.1),
-                    alternative_probability: alt,
-                    max_depth: depth,
-                    services_per_kind: services,
-                    subsystems,
-                    conflict_density: density,
-                    ..WorkloadConfig::default()
-                }
+            |(seed, processes, prefix, alt, depth, services, subsystems, density)| WorkloadConfig {
+                seed,
+                processes,
+                prefix_len: (prefix.0, prefix.0 + prefix.1),
+                alternative_probability: alt,
+                max_depth: depth,
+                services_per_kind: services,
+                subsystems,
+                conflict_density: density,
+                ..WorkloadConfig::default()
             },
         )
 }

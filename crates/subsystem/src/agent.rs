@@ -107,9 +107,7 @@ impl Agent {
     ) -> Result<InvokeOutcome, SubsystemError> {
         let (tx, returns) = match self.subsystem.execute(program) {
             Ok(x) => x,
-            Err(SubsystemError::KeyLocked { key, .. }) => {
-                return Ok(InvokeOutcome::Busy { key })
-            }
+            Err(SubsystemError::KeyLocked { key, .. }) => return Ok(InvokeOutcome::Busy { key }),
             Err(e) => return Err(e),
         };
         if inject_abort {
@@ -149,11 +147,17 @@ impl Agent {
         match mode {
             CommitMode::Immediate => {
                 self.subsystem.commit(tx)?;
-                Ok(InvokeOutcome::Committed { invocation, returns })
+                Ok(InvokeOutcome::Committed {
+                    invocation,
+                    returns,
+                })
             }
             CommitMode::Deferred => {
                 self.subsystem.prepare(tx)?;
-                Ok(InvokeOutcome::Prepared { invocation, returns })
+                Ok(InvokeOutcome::Prepared {
+                    invocation,
+                    returns,
+                })
             }
         }
     }
@@ -183,7 +187,10 @@ impl Agent {
     /// (Definition 2). Runs as its own atomic transaction; compensating
     /// activities are retriable, so a `Busy` outcome should be retried by
     /// the caller.
-    pub fn compensate(&mut self, invocation: InvocationId) -> Result<InvokeOutcome, SubsystemError> {
+    pub fn compensate(
+        &mut self,
+        invocation: InvocationId,
+    ) -> Result<InvokeOutcome, SubsystemError> {
         let record = self
             .invocations
             .get(&invocation)
@@ -197,9 +204,7 @@ impl Agent {
         let inverse = record.inverse.clone();
         let (tx, returns) = match self.subsystem.execute(&inverse) {
             Ok(x) => x,
-            Err(SubsystemError::KeyLocked { key, .. }) => {
-                return Ok(InvokeOutcome::Busy { key })
-            }
+            Err(SubsystemError::KeyLocked { key, .. }) => return Ok(InvokeOutcome::Busy { key }),
             Err(e) => return Err(e),
         };
         self.subsystem.commit(tx)?;
@@ -247,7 +252,12 @@ mod tests {
     fn committed_invocation_applies_effects() {
         let (mut agent, write, _) = setup();
         let out = agent
-            .invoke(write, &Program::set(Key(1), 7), CommitMode::Immediate, false)
+            .invoke(
+                write,
+                &Program::set(Key(1), 7),
+                CommitMode::Immediate,
+                false,
+            )
             .unwrap();
         assert!(matches!(out, InvokeOutcome::Committed { .. }));
         assert_eq!(agent.subsystem.peek(Key(1)), Some(7));
@@ -269,7 +279,12 @@ mod tests {
         let (mut agent, write, _) = setup();
         // Pre-existing state.
         let seed = agent
-            .invoke(write, &Program::set(Key(1), 10), CommitMode::Immediate, false)
+            .invoke(
+                write,
+                &Program::set(Key(1), 10),
+                CommitMode::Immediate,
+                false,
+            )
             .unwrap();
         let _ = seed;
         let out = agent
@@ -295,7 +310,12 @@ mod tests {
     fn double_compensation_rejected() {
         let (mut agent, write, _) = setup();
         let out = agent
-            .invoke(write, &Program::set(Key(1), 1), CommitMode::Immediate, false)
+            .invoke(
+                write,
+                &Program::set(Key(1), 1),
+                CommitMode::Immediate,
+                false,
+            )
             .unwrap();
         let InvokeOutcome::Committed { invocation, .. } = out else {
             panic!()
@@ -315,7 +335,12 @@ mod tests {
         };
         // In doubt: a conflicting invocation is Busy.
         let busy = agent
-            .invoke(pivot, &Program::set(Key(1), 2), CommitMode::Immediate, false)
+            .invoke(
+                pivot,
+                &Program::set(Key(1), 2),
+                CommitMode::Immediate,
+                false,
+            )
             .unwrap();
         assert!(matches!(busy, InvokeOutcome::Busy { .. }));
         agent.release(invocation).unwrap();
@@ -351,7 +376,12 @@ mod tests {
     fn service_of_round_trips() {
         let (mut agent, write, _) = setup();
         let out = agent
-            .invoke(write, &Program::set(Key(1), 1), CommitMode::Immediate, false)
+            .invoke(
+                write,
+                &Program::set(Key(1), 1),
+                CommitMode::Immediate,
+                false,
+            )
             .unwrap();
         let InvokeOutcome::Committed { invocation, .. } = out else {
             panic!()
@@ -370,8 +400,10 @@ mod tests {
         let b = agent
             .invoke(write, &Program::add(Key(2), 1), CommitMode::Deferred, false)
             .unwrap();
-        let (InvokeOutcome::Prepared { invocation: ia, .. }, InvokeOutcome::Prepared { invocation: ib, .. }) =
-            (a, b)
+        let (
+            InvokeOutcome::Prepared { invocation: ia, .. },
+            InvokeOutcome::Prepared { invocation: ib, .. },
+        ) = (a, b)
         else {
             panic!()
         };

@@ -90,7 +90,11 @@ impl Program {
 
     /// All keys written by the program.
     pub fn write_set(&self) -> Vec<Key> {
-        self.ops.iter().filter(|o| o.is_write()).map(KvOp::key).collect()
+        self.ops
+            .iter()
+            .filter(|o| o.is_write())
+            .map(KvOp::key)
+            .collect()
     }
 
     /// All keys read by the program.

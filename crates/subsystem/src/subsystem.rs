@@ -196,7 +196,10 @@ impl Subsystem {
             }
             Some(LockState::Exclusive(holder)) => {
                 if *holder != tx {
-                    return Err(SubsystemError::KeyLocked { key, holder: *holder });
+                    return Err(SubsystemError::KeyLocked {
+                        key,
+                        holder: *holder,
+                    });
                 }
                 false
             }
@@ -568,10 +571,7 @@ mod tests {
         let (t1, _) = s.execute(&Program::set(Key(1), 1)).unwrap();
         s.commit(t1).unwrap();
         assert!(matches!(s.log()[0], LogRecord::Begin(_)));
-        assert!(s
-            .log()
-            .iter()
-            .any(|r| matches!(r, LogRecord::Write { .. })));
+        assert!(s.log().iter().any(|r| matches!(r, LogRecord::Write { .. })));
         assert!(matches!(s.log().last(), Some(LogRecord::Commit(_))));
     }
 

@@ -170,8 +170,14 @@ mod tests {
         let mut cat = Catalog::new();
         let pivot = cat.pivot("p");
         let mut agents = BTreeMap::new();
-        agents.insert(SubsystemId(0), Agent::new(Subsystem::new(SubsystemId(0), "s0")));
-        agents.insert(SubsystemId(1), Agent::new(Subsystem::new(SubsystemId(1), "s1")));
+        agents.insert(
+            SubsystemId(0),
+            Agent::new(Subsystem::new(SubsystemId(0), "s0")),
+        );
+        agents.insert(
+            SubsystemId(1),
+            Agent::new(Subsystem::new(SubsystemId(1), "s1")),
+        );
         (agents, pivot)
     }
 

@@ -49,7 +49,10 @@ fn main() {
 
     // 4. Verify guaranteed termination (well-formed flex structure, §3.1).
     let analysis = FlexAnalysis::analyze(&p1, &catalog);
-    println!("guaranteed termination: {}", analysis.has_guaranteed_termination());
+    println!(
+        "guaranteed termination: {}",
+        analysis.has_guaranteed_termination()
+    );
     println!("strict well-formed flex: {}", analysis.strict_well_formed);
     println!("valid executions:");
     for e in valid_executions(&p1, &catalog, 16).unwrap() {
@@ -84,5 +87,8 @@ fn main() {
     bad.execute(a(1, 0)).execute(a(2, 0)).execute(a(2, 1));
     let report = check_pred(&spec, &bad).unwrap();
     println!("\nschedule: {}", render(&bad));
-    println!("PRED: {} (first violating prefix: {:?})", report.pred, report.first_violation);
+    println!(
+        "PRED: {} (first violating prefix: {:?})",
+        report.pred, report.first_violation
+    );
 }

@@ -75,7 +75,10 @@ fn main() {
     let (t1, _) = sub.execute(&Program::add(Key(1), 5)).unwrap();
     let (t2, _) = sub.execute(&Program::add(Key(1), 7)).unwrap();
     sub.order_commits(t1, t2).unwrap();
-    println!("\nsubsystem: t2 commit before t1 -> {:?}", sub.commit(t2).unwrap_err());
+    println!(
+        "\nsubsystem: t2 commit before t1 -> {:?}",
+        sub.commit(t2).unwrap_err()
+    );
     sub.commit(t1).unwrap();
     sub.commit(t2).unwrap();
     println!("after ordered commits, key 1 = {:?}", sub.peek(Key(1)));

@@ -1,0 +1,405 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! Parses the item declaration directly from the `proc_macro` token stream
+//! (no syn/quote available offline) and emits impls against the shim's
+//! `Value` tree model. Supported shapes — which cover every derived type in
+//! this workspace — are non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported and are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed item: struct or enum with its fields/variants.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_serialize(name, fields),
+        Item::Enum { name, variants } => enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_deserialize(name, fields),
+        Item::Enum { name, variants } => enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_commas(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            let variants = split_top_commas(body)
+                .into_iter()
+                .map(|seg| parse_variant(&seg, &name))
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes, rejecting `#[serde(...)]` which the shim
+/// cannot honour.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") {
+                panic!("#[serde(...)] attributes are not supported by the offline shim");
+            }
+        }
+        *i += 2;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas. Nested `()`/`[]`/`{}` groups
+/// are single trees, but generic arguments use plain `<`/`>` puncts, so
+/// angle-bracket depth is tracked explicitly.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from a named-fields body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_commas(stream)
+        .iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attributes(seg, &mut i);
+            skip_visibility(seg, &mut i);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variant(seg: &[TokenTree], enum_name: &str) -> (String, Fields) {
+    let mut i = 0;
+    skip_attributes(seg, &mut i);
+    let name = match seg.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected variant name in `{enum_name}`, found {other:?}"),
+    };
+    i += 1;
+    let fields = match seg.get(i) {
+        None => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_commas(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_fields(g.stream()))
+        }
+        other => panic!("unsupported variant shape `{enum_name}::{name}`: {other:?}"),
+    };
+    (name, fields)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => {
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected sequence for {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))")
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::Serialize::to_value(__f0))])"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let vals: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Seq(::std::vec![{}]))])",
+                    binds.join(", "),
+                    vals.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Map(::std::vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_value(__inner)?))"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                     let __s = __inner.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected sequence for {name}::{v}\"))?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"wrong arity for {name}::{v}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n}}",
+                    inits.join(", ")
+                ))
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_field(__m, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                     let __m = __inner.as_map().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected map for {name}::{v}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{ {} }})\n}}",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown {name} variant {{__other}}\")))\n\
+         }},\n\
+         ::serde::Value::Map(__m1) if __m1.len() == 1 => {{\n\
+         let (__tag, __inner) = &__m1[0];\n\
+         match __tag.as_str() {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown {name} variant {{__other}}\")))\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"cannot read {name} from {{__other:?}}\")))\n\
+         }}\n\
+         }}\n\
+         }}",
+        if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        },
+        if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", tagged_arms.join(",\n"))
+        },
+    )
+}

@@ -39,10 +39,7 @@ pub fn random_history(fx: &PaperWorld, seed: u64, max_events: usize) -> Schedule
             schedule.compensate(gid);
         } else if let Some(a) = st.next_activity() {
             let gid = txproc::core::ids::GlobalActivityId::new(pid, a);
-            let termination = fx
-                .spec
-                .catalog
-                .termination(processes[i].service(a));
+            let termination = fx.spec.catalog.termination(processes[i].service(a));
             if termination.can_fail() && rng.gen_bool(0.25) {
                 match st.apply_failure(a).expect("failable frontier") {
                     FailureOutcome::Stuck => unreachable!("paper processes terminate"),

@@ -11,7 +11,12 @@ use txproc::engine::policy::PolicyKind;
 use txproc::engine::recovery::recover;
 use txproc::sim::workload::{generate, WorkloadConfig};
 
-fn workload(seed: u64, processes: usize, density: f64, failures: f64) -> txproc::sim::workload::Workload {
+fn workload(
+    seed: u64,
+    processes: usize,
+    density: f64,
+    failures: f64,
+) -> txproc::sim::workload::Workload {
     generate(&WorkloadConfig {
         seed,
         processes,
@@ -103,9 +108,16 @@ fn unsafe_scheduler_violates_but_serial_never_does() {
                 ..RunConfig::default()
             },
         );
-        assert_eq!(serial_run.pred_ok, Some(true), "seed {seed}: serial violated PRED");
+        assert_eq!(
+            serial_run.pred_ok,
+            Some(true),
+            "seed {seed}: serial violated PRED"
+        );
     }
-    assert!(unsafe_violations > 0, "unsafe scheduler never violated — suspicious");
+    assert!(
+        unsafe_violations > 0,
+        "unsafe scheduler never violated — suspicious"
+    );
 }
 
 #[test]
@@ -136,18 +148,18 @@ fn cim_production_never_starts_before_construction_outcome() {
             matches!(e, Event::Execute(g) | Event::Fail(g)
                 if *g == fx.construction_activity("test"))
         });
-        let prod_pos = events.iter().position(|e| {
-            matches!(e, Event::Execute(g) if *g == fx.production_activity("production"))
-        });
+        let prod_pos = events.iter().position(
+            |e| matches!(e, Event::Execute(g) if *g == fx.production_activity("production")),
+        );
         // The §2.2 constraint applies when production read the BOM the
         // construction process wrote (pdm_entry before read_bom); if the
         // production process serialized first, it is independent.
-        let pdm_pos = events.iter().position(|e| {
-            matches!(e, Event::Execute(g) if *g == fx.construction_activity("pdm_entry"))
-        });
-        let read_pos = events.iter().position(|e| {
-            matches!(e, Event::Execute(g) if *g == fx.production_activity("read_bom"))
-        });
+        let pdm_pos = events.iter().position(
+            |e| matches!(e, Event::Execute(g) if *g == fx.construction_activity("pdm_entry")),
+        );
+        let read_pos = events.iter().position(
+            |e| matches!(e, Event::Execute(g) if *g == fx.production_activity("read_bom")),
+        );
         let depends = matches!((pdm_pos, read_pos), (Some(w), Some(r)) if w < r);
         if let (Some(p), true) = (prod_pos, depends) {
             exercised += 1;
@@ -191,8 +203,5 @@ fn arrival_gap_reduces_contention() {
     );
     // With processes fully staggered, scheduling conflicts vanish.
     assert!(staggered.metrics.rejections <= packed.metrics.rejections);
-    assert_eq!(
-        staggered.metrics.committed + staggered.metrics.aborted,
-        8
-    );
+    assert_eq!(staggered.metrics.committed + staggered.metrics.aborted, 8);
 }

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: every figure and formal claim of the
 //! paper, checked end to end through the public API.
 
+use txproc::bench::scenarios::{figure4a_st2, figure4b_st2, figure7, figure9};
 use txproc::core::fixtures::paper_world;
 use txproc::core::flex::{valid_executions, FlexAnalysis};
 use txproc::core::ids::ProcessId;
@@ -9,7 +10,6 @@ use txproc::core::recoverability::{is_proc_rec, sot_like, theorem1_holds};
 use txproc::core::reduction::{is_reducible, reduce};
 use txproc::core::schedule::Schedule;
 use txproc::core::serializability::is_serializable;
-use txproc::bench::scenarios::{figure4a_st2, figure4b_st2, figure7, figure9};
 
 #[test]
 fn figure2_p1_is_well_formed() {
@@ -38,8 +38,7 @@ fn figure4_serializability_verdicts() {
 #[test]
 fn example6_st2_reduces_with_one_cancelled_pair() {
     let fx = paper_world();
-    let completed =
-        txproc::core::completion::complete(&fx.spec, &figure4a_st2(&fx)).unwrap();
+    let completed = txproc::core::completion::complete(&fx.spec, &figure4a_st2(&fx)).unwrap();
     let outcome = reduce(&fx.spec, &completed);
     assert!(outcome.reducible);
     assert_eq!(outcome.cancelled_pairs.len(), 1);
@@ -68,7 +67,12 @@ fn figure9_quasi_commit_is_pred() {
 #[test]
 fn theorem1_on_paper_schedules() {
     let fx = paper_world();
-    for s in [figure4a_st2(&fx), figure4b_st2(&fx), figure7(&fx), figure9(&fx)] {
+    for s in [
+        figure4a_st2(&fx),
+        figure4b_st2(&fx),
+        figure7(&fx),
+        figure9(&fx),
+    ] {
         assert!(theorem1_holds(&fx.spec, &s).unwrap());
     }
 }

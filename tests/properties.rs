@@ -7,6 +7,7 @@ mod common;
 use proptest::prelude::*;
 use txproc::core::fixtures::paper_world;
 use txproc::core::pred::{check_pred, is_pred};
+use txproc::core::pred_incremental::{check_pred_incremental, IncrementalPred};
 use txproc::core::recoverability::theorem1_holds;
 use txproc::core::reduction::{reduce, reduce_exhaustive, ExhaustiveOutcome};
 use txproc::core::serializability::is_serializable_committed;
@@ -124,6 +125,56 @@ proptest! {
         prop_assert!(r.history.replay(&w.spec).is_ok());
     }
 
+    /// Differential oracle over engine-emitted histories: the incremental
+    /// certifier's full report equals the batch reference on every random
+    /// workload the certified engine produces.
+    #[test]
+    fn incremental_agrees_with_batch_on_engine_histories(
+        seed in 0u64..400,
+        density in 0.0f64..0.8,
+        failures in 0.0f64..0.4,
+    ) {
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes: 5,
+            conflict_density: density,
+            failure_probability: failures,
+            ..WorkloadConfig::default()
+        });
+        let r = run(&w, RunConfig { seed, ..RunConfig::default() });
+        let batch = check_pred(&w.spec, &r.history).unwrap();
+        let incremental = check_pred_incremental(&w.spec, &r.history).unwrap();
+        prop_assert_eq!(batch, incremental);
+    }
+
+    /// On small random histories the incremental certifier also agrees with
+    /// the literal rule-rewriting search (`reduce_exhaustive`) prefix by
+    /// prefix — a second, independently derived oracle.
+    #[test]
+    fn incremental_agrees_with_exhaustive_on_small_histories(seed in 0u64..5000) {
+        let fx = paper_world();
+        let s = common::random_history(&fx, seed, 10);
+        let report = check_pred_incremental(&fx.spec, &s).unwrap();
+        for cut in 0..=s.len() {
+            let prefix = s.prefix(cut);
+            let completed = txproc::core::completion::complete(&fx.spec, &prefix).unwrap();
+            if completed.ops.len() > 12 {
+                return Ok(());
+            }
+            match reduce_exhaustive(&fx.spec, &completed, 400_000) {
+                ExhaustiveOutcome::Reducible(_) => prop_assert!(
+                    report.prefix_reducible[cut],
+                    "prefix {cut}: rewriter reduces, incremental certifier says no"
+                ),
+                ExhaustiveOutcome::NotReducible => prop_assert!(
+                    !report.prefix_reducible[cut],
+                    "prefix {cut}: incremental certifier says reducible, exhaustive search disagrees"
+                ),
+                ExhaustiveOutcome::Inconclusive => {}
+            }
+        }
+    }
+
     /// The PRED report's prefix vector is consistent with its verdicts.
     #[test]
     fn pred_report_is_consistent(seed in 0u64..2000) {
@@ -139,5 +190,45 @@ proptest! {
             }
             None => prop_assert!(report.pred),
         }
+    }
+}
+
+/// The central differential oracle of the incremental certifier: across 256
+/// random legal histories, drive [`IncrementalPred`] event by event and
+/// demand that (a) every pure `certify` verdict, (b) every applied `record`
+/// verdict, and (c) the final report agree exactly with the batch
+/// `check_pred` reference. Deterministic (fixed seeds), so a failure is a
+/// one-line repro.
+#[test]
+fn incremental_certifier_agrees_with_batch_event_by_event() {
+    let fx = paper_world();
+    for seed in 0..256u64 {
+        let s = common::random_history(&fx, seed, 24);
+        let batch = check_pred(&fx.spec, &s).unwrap();
+        let mut inc = IncrementalPred::new(&fx.spec);
+        for (i, event) in s.events().iter().enumerate() {
+            let previewed = inc
+                .certify(event)
+                .unwrap_or_else(|e| panic!("seed {seed} event {i}: certify failed: {e}"));
+            assert_eq!(
+                previewed.reducible,
+                batch.prefix_reducible[i + 1],
+                "seed {seed} event {i}: certify disagrees with batch on prefix {}",
+                i + 1
+            );
+            let applied = inc
+                .record(event)
+                .unwrap_or_else(|e| panic!("seed {seed} event {i}: record failed: {e}"));
+            assert_eq!(
+                previewed, applied,
+                "seed {seed} event {i}: certify and record verdicts diverge"
+            );
+        }
+        assert_eq!(
+            inc.report(),
+            batch,
+            "seed {seed}: final incremental report diverges from batch:\n{}",
+            txproc::core::schedule::render(&s)
+        );
     }
 }
