@@ -1,21 +1,32 @@
-//! E17 benchmark: scheduler cost vs number of concurrent processes.
+//! E17/E19 benchmark: scheduler cost vs number of concurrent processes.
+//!
+//! Covers the deterministic engine at 8–256 processes (pred-protocol vs
+//! serial) and the threaded concurrent driver at 8–64 processes. The larger
+//! sizes exercise the indexed protocol hot path: per-decision cost must stay
+//! O(degree), not O(live ops), for these to finish in sensible time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig};
 use txproc_engine::engine::{run, RunConfig};
 use txproc_engine::policy::PolicyKind;
 use txproc_sim::workload::{generate, WorkloadConfig};
 
+fn workload(n: usize) -> txproc_sim::workload::Workload {
+    generate(&WorkloadConfig {
+        seed: 3,
+        processes: n,
+        conflict_density: 0.3,
+        failure_probability: 0.1,
+        ..WorkloadConfig::default()
+    })
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("scalability");
-    g.sample_size(15);
-    for &n in &[8usize, 16, 32, 64] {
-        let w = generate(&WorkloadConfig {
-            seed: 3,
-            processes: n,
-            conflict_density: 0.3,
-            failure_probability: 0.1,
-            ..WorkloadConfig::default()
-        });
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        // Large sizes are slow per iteration; fewer samples keep wall time sane.
+        g.sample_size(if n >= 128 { 10 } else { 15 });
+        let w = workload(n);
         g.bench_with_input(BenchmarkId::new("pred-protocol", n), &w, |b, w| {
             b.iter(|| {
                 run(
@@ -34,6 +45,26 @@ fn bench(c: &mut Criterion) {
                     RunConfig {
                         policy: PolicyKind::Serial,
                         ..RunConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // One thread per process: cap the size so the bench stays within
+    // reasonable thread counts, and measure the driver end to end.
+    let mut g = c.benchmark_group("scalability-concurrent");
+    g.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let w = workload(n);
+        g.bench_with_input(BenchmarkId::new("pred-protocol", n), &w, |b, w| {
+            b.iter(|| {
+                run_concurrent(
+                    w,
+                    ConcurrentConfig {
+                        policy: PolicyKind::PredProtocol,
+                        ..ConcurrentConfig::default()
                     },
                 )
             })

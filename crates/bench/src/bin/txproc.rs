@@ -10,6 +10,9 @@
 //! txproc demo      fig4a|fig4b|fig7|fig9       # PRED-check a paper schedule
 //! txproc dot       p1|p2|p3|cim-construction|cim-production
 //! txproc crash     [--seed N] [--at N]         # crash/recovery demo
+//! txproc bench     [--smoke] [--out PATH] [--seed N] [--processes CSV]
+//!                  [--density CSV] [--policy CSV] [--certifier batch|incremental]
+//!                  [--arrival-gap N]           # perf trajectory → BENCH_scheduler.json
 //! ```
 
 use serde::Deserialize;
@@ -38,7 +41,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "check" {
+                if key == "check" || key == "smoke" {
                     values.insert(key.to_string(), "true".to_string());
                 } else {
                     i += 1;
@@ -68,6 +71,12 @@ impl Args {
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    // `pred-scan` is deliberately not in `all()` (it duplicates
+    // pred-protocol decisions); it stays selectable by name as the
+    // pre-index perf baseline.
+    if name == PolicyKind::PredScan.label() {
+        return Ok(PolicyKind::PredScan);
+    }
     PolicyKind::all()
         .into_iter()
         .find(|k| k.label() == name)
@@ -94,7 +103,7 @@ fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
-    let certifier = parse_certifier(&args.get("certifier", "batch".to_string())?)?;
+    let certifier = parse_certifier(&args.get("certifier", "incremental".to_string())?)?;
     let cfg = RunConfig {
         policy,
         seed: args.get("seed", 42u64)?,
@@ -235,6 +244,68 @@ fn cmd_dot(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_csv<T: std::str::FromStr>(raw: &str, what: &str) -> Result<Vec<T>, String> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("invalid {what} value: {s}"))
+        })
+        .collect()
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use txproc_bench::perf::{run_scheduler_bench, SchedulerBenchConfig};
+    let mut cfg = if args.flag("smoke") {
+        SchedulerBenchConfig::smoke()
+    } else {
+        SchedulerBenchConfig::full()
+    };
+    cfg.seed = args.get("seed", cfg.seed)?;
+    cfg.arrival_gap = args.get("arrival-gap", cfg.arrival_gap)?;
+    if let Some(raw) = args.values.get("processes") {
+        cfg.processes = parse_csv(raw, "--processes")?;
+    }
+    if let Some(raw) = args.values.get("density") {
+        cfg.densities = parse_csv(raw, "--density")?;
+    }
+    if let Some(raw) = args.values.get("policy") {
+        cfg.policies = raw
+            .split(',')
+            .map(|s| parse_policy(s.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(raw) = args.values.get("certifier") {
+        cfg.certifier = parse_certifier(raw)?;
+    }
+    let report = run_scheduler_bench(&cfg);
+    for e in &report.runs {
+        println!(
+            "{:<10} {:<14} n={:<4} d={:<4} {:>10.2} ms  {:>12.0} events/s  ({} committed, {} aborted)",
+            e.mode, e.policy, e.processes, e.density, e.wall_ms, e.events_per_sec,
+            e.committed, e.aborted
+        );
+    }
+    for d in &report.decision {
+        println!(
+            "decision   live_ops={:<6} edges={:<5} indexed {:>9.0} ns/request  scan {:>9.0} ns/request",
+            d.live_ops, d.edges, d.ns_per_request_indexed, d.ns_per_request_scan
+        );
+    }
+    for n in &report.notes {
+        println!("note: {n}");
+    }
+    let out = args
+        .values
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_crash(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let at = args.get("at", 8usize)?;
@@ -258,7 +329,7 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash> [options]");
+        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash|bench> [options]");
         std::process::exit(2);
     };
     let args = match Args::parse(rest) {
@@ -275,6 +346,7 @@ fn main() {
         "demo" => cmd_demo(&args),
         "dot" => cmd_dot(&args),
         "crash" => cmd_crash(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown command: {other}")),
     };
     if let Err(e) = result {
@@ -318,7 +390,27 @@ mod tests {
     fn policy_parsing() {
         assert_eq!(parse_policy("pred").unwrap(), PolicyKind::Pred);
         assert_eq!(parse_policy("unsafe-cc").unwrap(), PolicyKind::UnsafeCc);
+        assert_eq!(parse_policy("pred-scan").unwrap(), PolicyKind::PredScan);
         assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn bench_smoke_writes_report() {
+        let out = std::env::temp_dir().join("txproc_bench_smoke_test.json");
+        let a = args(&[
+            "--smoke",
+            "--processes",
+            "5",
+            "--policy",
+            "pred-protocol,pred-scan",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        cmd_bench(&a).unwrap();
+        let raw = std::fs::read_to_string(&out).unwrap();
+        assert!(raw.contains("txproc-bench-scheduler/v1"));
+        assert!(raw.contains("pred-scan"));
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! * [`experiments`] — experiments E1–E17 (see `EXPERIMENTS.md`): each
 //!   regenerates one figure/result of the paper or one extrapolated
 //!   measurement, and self-assesses against the paper's claim,
-//! * [`tables`] — text-table rendering for the `report` binary.
+//! * [`tables`] — text-table rendering for the `report` binary,
+//! * [`perf`] — the scheduler perf trajectory (`txproc bench`): scalability
+//!   runs plus per-decision protocol cost, written to
+//!   `BENCH_scheduler.json` (E19).
 //!
 //! Run `cargo run -p txproc-bench --bin report` for the full report, or
 //! `cargo bench` for the Criterion microbenchmarks (one per figure plus the
@@ -18,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod perf;
 pub mod scenarios;
 pub mod tables;
 

@@ -1,0 +1,375 @@
+//! Scheduler perf trajectory: scalability scenarios over the virtual-time
+//! engine and the concurrent driver, plus a protocol decision-cost
+//! microbenchmark, written to `BENCH_scheduler.json` so later PRs can
+//! detect regressions (E19).
+//!
+//! Two complementary measurements:
+//!
+//! * **End-to-end** — wall-clock per full run at 8→256 processes and
+//!   several conflict densities, per policy. `pred-scan` (the retained
+//!   scan-based oracle as a live policy) is the pre-index baseline;
+//!   `pred-protocol` is the same decision logic answered from the
+//!   maintained indexes — the ratio is the tentpole's end-to-end speedup.
+//! * **Per-decision** — nanoseconds per `request` (indexed vs scan) as the
+//!   number of live operations grows, driving the
+//!   [`Protocol`](txproc_core::protocol::Protocol) directly. This isolates
+//!   the O(degree)-vs-O(total ops) claim from engine overhead.
+
+use serde::Serialize;
+use std::time::Instant;
+use txproc_core::ids::{GlobalActivityId, ProcessId};
+use txproc_core::protocol::{DeferPolicy, Protocol};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig};
+use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::policy::{CertifierKind, PolicyKind};
+use txproc_sim::workload::{generate, Workload, WorkloadConfig};
+
+/// Configuration of a scheduler bench run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerBenchConfig {
+    /// Smoke mode: minimal sizes, CI-friendly wall time.
+    pub smoke: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Process counts to sweep.
+    pub processes: Vec<usize>,
+    /// Conflict densities to sweep.
+    pub densities: Vec<f64>,
+    /// Policies to compare.
+    pub policies: Vec<PolicyKind>,
+    /// Certifier used by certified policies.
+    pub certifier: CertifierKind,
+    /// Virtual time between arrivals (engine runs).
+    pub arrival_gap: u64,
+    /// Failure-injection probability.
+    pub failure_probability: f64,
+    /// Largest process count driven through the concurrent (thread-per-
+    /// process) driver; larger sweep points run the engine only. Recorded
+    /// in the report so the cap is never silent.
+    pub concurrent_max_processes: usize,
+}
+
+impl SchedulerBenchConfig {
+    /// The full trajectory: 8→256 processes, two densities, indexed vs
+    /// scan vs certified vs serial.
+    pub fn full() -> Self {
+        Self {
+            smoke: false,
+            seed: 3,
+            processes: vec![8, 16, 32, 64, 128, 256],
+            densities: vec![0.3, 0.6],
+            policies: vec![
+                PolicyKind::PredProtocol,
+                PolicyKind::PredScan,
+                PolicyKind::Pred,
+                PolicyKind::Serial,
+            ],
+            certifier: CertifierKind::Incremental,
+            arrival_gap: 0,
+            failure_probability: 0.1,
+            concurrent_max_processes: 64,
+        }
+    }
+
+    /// CI smoke mode: the same pipeline at token sizes.
+    pub fn smoke() -> Self {
+        Self {
+            smoke: true,
+            processes: vec![8, 32],
+            densities: vec![0.3],
+            policies: vec![PolicyKind::PredProtocol, PolicyKind::PredScan],
+            concurrent_max_processes: 16,
+            ..Self::full()
+        }
+    }
+}
+
+/// One end-to-end run measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// `engine` (virtual time) or `concurrent` (thread per process).
+    pub mode: &'static str,
+    /// Policy label.
+    pub policy: String,
+    /// Certifier label (certified policies only).
+    pub certifier: Option<String>,
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Emitted history events.
+    pub events: usize,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Committed processes.
+    pub committed: u64,
+    /// Aborted processes.
+    pub aborted: u64,
+    /// Virtual makespan.
+    pub makespan: u64,
+    /// Virtual latency p50 (engine runs).
+    pub latency_p50: Option<u64>,
+    /// Virtual latency p95 (engine runs).
+    pub latency_p95: Option<u64>,
+}
+
+/// One per-decision measurement point.
+#[derive(Debug, Clone, Serialize)]
+pub struct DecisionBenchEntry {
+    /// Live operations recorded in the protocol when probed.
+    pub live_ops: usize,
+    /// Dependency edges present when probed.
+    pub edges: usize,
+    /// Nanoseconds per indexed `request`.
+    pub ns_per_request_indexed: f64,
+    /// Nanoseconds per scan-oracle `request`.
+    pub ns_per_request_scan: f64,
+}
+
+/// The full report written to `BENCH_scheduler.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Format tag.
+    pub schema: &'static str,
+    /// Unix timestamp of the run.
+    pub created_unix: u64,
+    /// The configuration that produced it.
+    pub config: SchedulerBenchConfig,
+    /// End-to-end entries (engine + concurrent driver).
+    pub runs: Vec<BenchEntry>,
+    /// Per-decision protocol cost.
+    pub decision: Vec<DecisionBenchEntry>,
+    /// Coverage notes (anything capped or skipped, never silent).
+    pub notes: Vec<String>,
+}
+
+/// Bench workloads use longer processes than the defaults so protocol
+/// decisions (not fixed engine overhead) dominate; both the indexed and the
+/// scan policy run the exact same workloads.
+fn bench_workload(seed: u64, processes: usize, density: f64, failures: f64) -> Workload {
+    generate(&WorkloadConfig {
+        seed,
+        processes,
+        conflict_density: density,
+        failure_probability: failures,
+        prefix_len: (2, 5),
+        tail_len: (1, 3),
+        alternative_probability: 0.5,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) -> BenchEntry {
+    let t = Instant::now();
+    let r = run(
+        w,
+        RunConfig {
+            policy,
+            seed: cfg.seed,
+            arrival_gap: cfg.arrival_gap,
+            certifier: cfg.certifier,
+            ..RunConfig::default()
+        },
+    );
+    let wall = t.elapsed();
+    let events = r.history.events().len();
+    BenchEntry {
+        mode: "engine",
+        policy: policy.label().to_string(),
+        certifier: policy
+            .certified()
+            .then(|| cfg.certifier.label().to_string()),
+        processes: w.spec.process_count(),
+        density: w.config.conflict_density,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        committed: r.metrics.committed,
+        aborted: r.metrics.aborted,
+        makespan: r.metrics.makespan,
+        latency_p50: r.metrics.latency_percentile(0.5),
+        latency_p95: r.metrics.latency_percentile(0.95),
+    }
+}
+
+fn concurrent_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) -> BenchEntry {
+    let t = Instant::now();
+    let r = run_concurrent(
+        w,
+        ConcurrentConfig {
+            policy,
+            seed: cfg.seed,
+            certifier: cfg.certifier,
+            ..ConcurrentConfig::default()
+        },
+    );
+    let wall = t.elapsed();
+    let events = r.history.events().len();
+    BenchEntry {
+        mode: "concurrent",
+        policy: policy.label().to_string(),
+        certifier: policy
+            .certified()
+            .then(|| cfg.certifier.label().to_string()),
+        processes: w.spec.process_count(),
+        density: w.config.conflict_density,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        committed: r.metrics.committed,
+        aborted: r.metrics.aborted,
+        makespan: r.metrics.makespan,
+        latency_p50: None,
+        latency_p95: None,
+    }
+}
+
+/// Times `f` adaptively: batches until one batch exceeds ~2ms, then takes
+/// the median of a few batch samples. Returns nanoseconds per call.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t.elapsed().as_micros() >= 2_000 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Per-decision microbenchmark: grow a protocol state by recording live
+/// (uncommitted) operations process by process, probing `request` cost at
+/// checkpoints.
+fn decision_bench(cfg: &SchedulerBenchConfig) -> Vec<DecisionBenchEntry> {
+    let checkpoints: &[usize] = if cfg.smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let max_ops = *checkpoints.last().expect("non-empty");
+    // Enough processes that recording every activity passes the last
+    // checkpoint (avg ≈ 7 ops per process at these length ranges).
+    let w = bench_workload(cfg.seed, max_ops / 4 + 32, 0.3, 0.0);
+    let mut prot = Protocol::new(&w.spec, DeferPolicy::PrepareAndDefer);
+    let mut out = Vec::new();
+    let mut recorded = 0usize;
+    let mut next_checkpoint = 0usize;
+    let processes: Vec<_> = w.spec.processes().collect();
+    // The probe is a registered process with no operations: its request
+    // cost is pure lookup work, not amortized maintenance.
+    let probe = ProcessId(u32::MAX);
+    prot.register(probe);
+    let probe_svcs: Vec<_> = processes[0]
+        .iter()
+        .map(|(id, _)| processes[0].service(id))
+        .collect();
+    'record: for p in &processes {
+        prot.register(p.id);
+        for (a, _) in p.iter() {
+            prot.record_executed(GlobalActivityId::new(p.id, a), false);
+            recorded += 1;
+            if next_checkpoint < checkpoints.len() && recorded >= checkpoints[next_checkpoint] {
+                let edges = prot.edges().count();
+                let indexed = time_ns(|| {
+                    for &svc in &probe_svcs {
+                        std::hint::black_box(prot.request(probe, svc));
+                    }
+                }) / probe_svcs.len() as f64;
+                let scan = time_ns(|| {
+                    for &svc in &probe_svcs {
+                        std::hint::black_box(prot.scan_request(probe, svc));
+                    }
+                }) / probe_svcs.len() as f64;
+                out.push(DecisionBenchEntry {
+                    live_ops: recorded,
+                    edges,
+                    ns_per_request_indexed: indexed,
+                    ns_per_request_scan: scan,
+                });
+                next_checkpoint += 1;
+                if next_checkpoint == checkpoints.len() {
+                    break 'record;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full scheduler bench and assembles the report.
+pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
+    let mut runs = Vec::new();
+    let mut notes = Vec::new();
+    for &density in &cfg.densities {
+        for &n in &cfg.processes {
+            let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+            for &policy in &cfg.policies {
+                runs.push(engine_entry(cfg, &w, policy));
+                if n <= cfg.concurrent_max_processes {
+                    runs.push(concurrent_entry(cfg, &w, policy));
+                }
+            }
+        }
+    }
+    if cfg
+        .processes
+        .iter()
+        .any(|&n| n > cfg.concurrent_max_processes)
+    {
+        notes.push(format!(
+            "concurrent driver capped at {} processes (thread-per-process); larger sweep points are engine-only",
+            cfg.concurrent_max_processes
+        ));
+    }
+    let decision = decision_bench(cfg);
+    BenchReport {
+        schema: "txproc-bench-scheduler/v1",
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        config: cfg.clone(),
+        runs,
+        decision,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_entries() {
+        let mut cfg = SchedulerBenchConfig::smoke();
+        cfg.processes = vec![6];
+        cfg.concurrent_max_processes = 6;
+        let report = run_scheduler_bench(&cfg);
+        // engine + concurrent, per policy.
+        assert_eq!(report.runs.len(), 4);
+        assert!(report.runs.iter().all(|e| e.events > 0));
+        assert_eq!(report.decision.len(), 2);
+        assert!(report
+            .decision
+            .iter()
+            .all(|d| d.ns_per_request_indexed > 0.0 && d.ns_per_request_scan > 0.0));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("txproc-bench-scheduler/v1"));
+    }
+}

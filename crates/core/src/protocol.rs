@@ -28,6 +28,28 @@
 //!    process's forward-recovery activities, is aborted too; victims are
 //!    reported in reverse dependency order so their completions respect
 //!    Lemmas 2 and 3.
+//!
+//! # Indexed hot path
+//!
+//! Decisions are answered from maintained indexes instead of rescanning the
+//! full operation log:
+//!
+//! * [`Bucket`]s — an inverted index `base ServiceId → live operations`,
+//!   split into per-process live counts and per-process sets of
+//!   *non-stable* operation indices. Conflict queries touch only the
+//!   (precomputed) conflicting services and the processes actually holding
+//!   live operations there.
+//! * `ops_by_process` / `op_index` — per-process and per-activity operation
+//!   lists, so stabilization and compensation touch only a process's own
+//!   records.
+//! * `succ_adj` / `pred_adj` plus the transitive-closure bitsets `reach` /
+//!   `rreach` over dense process indices — the `edges` relation with O(1)
+//!   reachability, maintained incrementally on edge insertion (the same
+//!   ancestor×descendant union used by `pred_incremental`).
+//!
+//! Every decision method retains the original scan formulation as a
+//! `scan_*` differential oracle; in debug builds each indexed answer is
+//! `debug_assert!`-checked against it bit-for-bit.
 
 use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
 use crate::spec::Spec;
@@ -112,6 +134,64 @@ pub enum CompletionGate {
     Cascade(Vec<ProcessId>),
 }
 
+/// Growable bitset over dense process indices (reachability closure rows).
+#[derive(Debug, Clone, Default)]
+struct PidSet {
+    words: Vec<u64>,
+}
+
+impl PidSet {
+    fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    fn union_with(&mut self, other: &PidSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Inverted index entry for one base service: which processes hold live
+/// (non-compensated) operations of it, and which of those operations are
+/// still non-stable (compensatable in principle).
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Live operation count per process (entries are strictly positive).
+    live: BTreeMap<ProcessId, u32>,
+    /// Indices (into `ops`) of live non-stable operations, per process
+    /// (entries are non-empty).
+    nonstable: BTreeMap<ProcessId, BTreeSet<usize>>,
+}
+
 /// The protocol state machine (single-threaded core; the engine wraps it in
 /// a lock).
 #[derive(Debug, Clone)]
@@ -126,11 +206,43 @@ pub struct Protocol<'a> {
     deferred: BTreeMap<ProcessId, Vec<GlobalActivityId>>,
     /// Processes currently executing their completion (abort in progress).
     aborting: BTreeSet<ProcessId>,
+    // ---- maintained indexes (derived from the state above) ----
+    /// Per service: the base services it conflicts with (precomputed from
+    /// the conflict matrix at construction; queried via `base(service)`).
+    conflict_adj: Vec<Vec<ServiceId>>,
+    /// Per base service: live conflicting operations (inverted index).
+    buckets: Vec<Bucket>,
+    /// Per process: indices of its operation records, in execution order.
+    ops_by_process: BTreeMap<ProcessId, Vec<usize>>,
+    /// Per activity: indices of its operation records, in execution order
+    /// (retries can record the same activity more than once).
+    op_index: BTreeMap<GlobalActivityId, Vec<usize>>,
+    /// Dense index per process participating in `edges`.
+    dense: BTreeMap<ProcessId, u32>,
+    /// Direct successors / predecessors in the `edges` relation.
+    succ_adj: Vec<BTreeSet<ProcessId>>,
+    pred_adj: Vec<BTreeSet<ProcessId>>,
+    /// Strict descendants / ancestors (transitive closure over `edges`).
+    reach: Vec<PidSet>,
+    rreach: Vec<PidSet>,
 }
 
 impl<'a> Protocol<'a> {
     /// Creates an empty protocol state.
     pub fn new(spec: &'a Spec, policy: DeferPolicy) -> Self {
+        let n = spec.catalog.len();
+        let oracle = spec.oracle();
+        let mut conflict_adj = vec![Vec::new(); n];
+        for (s, adj) in conflict_adj.iter_mut().enumerate() {
+            let sid = ServiceId(s as u32);
+            for t in 0..n {
+                let tid = ServiceId(t as u32);
+                // Only base services appear as record services / bucket keys.
+                if spec.catalog.base(tid) == tid && oracle.conflict(sid, tid) {
+                    adj.push(tid);
+                }
+            }
+        }
         Self {
             spec,
             policy,
@@ -139,6 +251,15 @@ impl<'a> Protocol<'a> {
             status: BTreeMap::new(),
             deferred: BTreeMap::new(),
             aborting: BTreeSet::new(),
+            conflict_adj,
+            buckets: vec![Bucket::default(); n],
+            ops_by_process: BTreeMap::new(),
+            op_index: BTreeMap::new(),
+            dense: BTreeMap::new(),
+            succ_adj: Vec::new(),
+            pred_adj: Vec::new(),
+            reach: Vec::new(),
+            rreach: Vec::new(),
         }
     }
 
@@ -166,8 +287,173 @@ impl<'a> Protocol<'a> {
         self.status(pid) == ProtStatus::Active
     }
 
-    /// Whether `from` can reach `to` through dependency edges.
+    // ---- index maintenance ----------------------------------------------
+
+    /// Dense index of a process, allocated on first use.
+    fn densify(&mut self, pid: ProcessId) -> usize {
+        if let Some(&d) = self.dense.get(&pid) {
+            return d as usize;
+        }
+        let d = self.succ_adj.len();
+        self.dense.insert(pid, d as u32);
+        self.succ_adj.push(BTreeSet::new());
+        self.pred_adj.push(BTreeSet::new());
+        self.reach.push(PidSet::default());
+        self.rreach.push(PidSet::default());
+        d
+    }
+
+    /// Inserts edge `a → b` and updates adjacency + closure incrementally:
+    /// every ancestor of `a` (plus `a`) reaches every descendant of `b`
+    /// (plus `b`).
+    fn insert_edge(&mut self, a: ProcessId, b: ProcessId) {
+        if !self.edges.insert((a, b)) {
+            return;
+        }
+        let da = self.densify(a);
+        let db = self.densify(b);
+        self.succ_adj[da].insert(b);
+        self.pred_adj[db].insert(a);
+        if self.reach[da].contains(db) {
+            return;
+        }
+        let mut desc = self.reach[db].clone();
+        desc.insert(db);
+        let mut anc = self.rreach[da].clone();
+        anc.insert(da);
+        for x in anc.iter() {
+            self.reach[x].union_with(&desc);
+        }
+        for y in desc.iter() {
+            self.rreach[y].union_with(&anc);
+        }
+    }
+
+    /// Updates the `compensated`/`stable` flags of one record, keeping the
+    /// service buckets in sync (the single mutation point for both flags).
+    fn apply_record_flags(&mut self, idx: usize, compensated: bool, stable: bool) {
+        let (old_c, old_s, svc, pid) = {
+            let r = &self.ops[idx];
+            (r.compensated, r.stable, r.service, r.gid.process)
+        };
+        if old_c == compensated && old_s == stable {
+            return;
+        }
+        let bucket = &mut self.buckets[svc.index()];
+        let (was_live, is_live) = (!old_c, !compensated);
+        if was_live && !is_live {
+            let n = bucket.live.get_mut(&pid).expect("live count tracked");
+            *n -= 1;
+            if *n == 0 {
+                bucket.live.remove(&pid);
+            }
+        } else if !was_live && is_live {
+            *bucket.live.entry(pid).or_insert(0) += 1;
+        }
+        let (was_ns, is_ns) = (!old_c && !old_s, !compensated && !stable);
+        if was_ns && !is_ns {
+            let set = bucket.nonstable.get_mut(&pid).expect("nonstable tracked");
+            set.remove(&idx);
+            if set.is_empty() {
+                bucket.nonstable.remove(&pid);
+            }
+        } else if !was_ns && is_ns {
+            bucket.nonstable.entry(pid).or_default().insert(idx);
+        }
+        let r = &mut self.ops[idx];
+        r.compensated = compensated;
+        r.stable = stable;
+    }
+
+    fn push_record(&mut self, rec: ExecRecord) {
+        let idx = self.ops.len();
+        let pid = rec.gid.process;
+        self.ops_by_process.entry(pid).or_default().push(idx);
+        self.op_index.entry(rec.gid).or_default().push(idx);
+        if !rec.compensated {
+            let bucket = &mut self.buckets[rec.service.index()];
+            *bucket.live.entry(pid).or_insert(0) += 1;
+            if !rec.stable {
+                bucket.nonstable.entry(pid).or_default().insert(idx);
+            }
+        }
+        self.ops.push(rec);
+    }
+
+    /// Rebuild-and-compare consistency check of every maintained index
+    /// (test support; called explicitly by the differential tests).
+    #[doc(hidden)]
+    pub fn check_index_invariants(&self) {
+        for (s, bucket) in self.buckets.iter().enumerate() {
+            let mut live: BTreeMap<ProcessId, u32> = BTreeMap::new();
+            let mut nonstable: BTreeMap<ProcessId, BTreeSet<usize>> = BTreeMap::new();
+            for (i, r) in self.ops.iter().enumerate() {
+                if r.service.index() != s || r.compensated {
+                    continue;
+                }
+                *live.entry(r.gid.process).or_insert(0) += 1;
+                if !r.stable {
+                    nonstable.entry(r.gid.process).or_default().insert(i);
+                }
+            }
+            assert_eq!(bucket.live, live, "live index diverged for service {s}");
+            assert_eq!(
+                bucket.nonstable, nonstable,
+                "nonstable index diverged for service {s}"
+            );
+        }
+        for (&pid, idxs) in &self.ops_by_process {
+            let expect: Vec<usize> = (0..self.ops.len())
+                .filter(|&i| self.ops[i].gid.process == pid)
+                .collect();
+            assert_eq!(idxs, &expect, "ops_by_process diverged for {pid}");
+        }
+        for (&(a, b), _) in self.edges.iter().zip(self.edges.iter()) {
+            assert!(self.reaches(a, b), "closure misses edge {a}→{b}");
+        }
+        for (&pid, &d) in &self.dense {
+            for q in self.reach[d as usize].iter() {
+                let to = self.pids_of_dense(q);
+                assert!(
+                    self.scan_reaches(pid, to),
+                    "closure claims {pid}→{to} but edges do not"
+                );
+            }
+        }
+    }
+
+    fn pids_of_dense(&self, d: usize) -> ProcessId {
+        *self
+            .dense
+            .iter()
+            .find(|&(_, &v)| v as usize == d)
+            .expect("dense index allocated")
+            .0
+    }
+
+    // ---- reachability ---------------------------------------------------
+
+    /// Whether `from` can reach `to` through dependency edges (O(1) via the
+    /// maintained closure).
     fn reaches(&self, from: ProcessId, to: ProcessId) -> bool {
+        if from == to {
+            return true;
+        }
+        let answer = match (self.dense.get(&from), self.dense.get(&to)) {
+            (Some(&df), Some(&dt)) => self.reach[df as usize].contains(dt as usize),
+            _ => false,
+        };
+        debug_assert_eq!(
+            answer,
+            self.scan_reaches(from, to),
+            "closure/scan divergence for {from}→{to}"
+        );
+        answer
+    }
+
+    /// Scan oracle for [`reaches`](Self::reaches): DFS over the raw edge
+    /// set.
+    fn scan_reaches(&self, from: ProcessId, to: ProcessId) -> bool {
         if from == to {
             return true;
         }
@@ -189,9 +475,42 @@ impl<'a> Protocol<'a> {
         false
     }
 
+    // ---- conflicting predecessors ---------------------------------------
+
     /// Processes (≠ `pid`) holding a live conflicting operation against
-    /// `service`, with the stability of the newest conflicting operation.
+    /// `service`, with the stability of *all* their conflicting operations
+    /// (`true` iff none is still compensatable). Answered from the service
+    /// buckets: only conflicting services and the processes holding live
+    /// operations there are touched.
     fn conflicting_predecessors(
+        &self,
+        pid: ProcessId,
+        service: ServiceId,
+    ) -> BTreeMap<ProcessId, bool> {
+        let base = self.spec.catalog.base(service);
+        let mut preds: BTreeMap<ProcessId, bool> = BTreeMap::new();
+        for &s in &self.conflict_adj[base.index()] {
+            let bucket = &self.buckets[s.index()];
+            for &p in bucket.live.keys() {
+                if p == pid {
+                    continue;
+                }
+                let all_stable = !bucket.nonstable.contains_key(&p);
+                let entry = preds.entry(p).or_insert(true);
+                *entry = *entry && all_stable;
+            }
+        }
+        debug_assert_eq!(
+            preds,
+            self.scan_conflicting_predecessors(pid, service),
+            "conflicting_predecessors index/scan divergence"
+        );
+        preds
+    }
+
+    /// Scan oracle for
+    /// [`conflicting_predecessors`](Self::conflicting_predecessors).
+    fn scan_conflicting_predecessors(
         &self,
         pid: ProcessId,
         service: ServiceId,
@@ -210,6 +529,8 @@ impl<'a> Protocol<'a> {
         preds
     }
 
+    // ---- admission ------------------------------------------------------
+
     /// Decides whether process `pid` may now execute the activity `gid`
     /// invoking `service`.
     pub fn request(&self, pid: ProcessId, service: ServiceId) -> Admission {
@@ -217,12 +538,75 @@ impl<'a> Protocol<'a> {
         // Serializability: adding P_i → P_j must not close a cycle.
         for &pi in preds.keys() {
             if !self.edges.contains(&(pi, pid)) && self.reaches(pid, pi) {
-                return Admission::Reject { conflicting: pi };
+                let answer = Admission::Reject { conflicting: pi };
+                debug_assert_eq!(answer, self.scan_request(pid, service));
+                return answer;
             }
         }
         // A conflict with a non-stable operation of an *aborting* process
         // would land between that operation and its imminent compensation —
         // the Example 8 cycle. Wait until the compensation ran.
+        let base = self.spec.catalog.base(service);
+        let mut due_compensation: BTreeSet<ProcessId> = BTreeSet::new();
+        for &s in &self.conflict_adj[base.index()] {
+            for &p in self.buckets[s.index()].nonstable.keys() {
+                if p != pid && self.aborting.contains(&p) {
+                    due_compensation.insert(p);
+                }
+            }
+        }
+        if !due_compensation.is_empty() {
+            let answer = Admission::Wait {
+                blockers: due_compensation.into_iter().collect(),
+            };
+            debug_assert_eq!(answer, self.scan_request(pid, service));
+            return answer;
+        }
+        let compensatable = self.spec.catalog.termination(base).is_compensatable();
+        if compensatable {
+            debug_assert_eq!(Admission::Allow, self.scan_request(pid, service));
+            return Admission::Allow;
+        }
+        // Lemma 1.1: *every* non-compensatable activity of P_j may only
+        // commit after the commit of each active P_i that P_j conflict-
+        // depends on — whether the dependency comes from this activity or an
+        // earlier one. Blockers include quasi-committed (stable) conflicts
+        // too: Lemma 1.1 defers on C_i, not on stability.
+        let mut blockers: BTreeSet<ProcessId> = preds
+            .keys()
+            .copied()
+            .filter(|&pi| self.is_active(pi))
+            .collect();
+        if let Some(&d) = self.dense.get(&pid) {
+            for &pi in &self.pred_adj[d as usize] {
+                if self.is_active(pi) {
+                    blockers.insert(pi);
+                }
+            }
+        }
+        let blockers: Vec<ProcessId> = blockers.into_iter().collect();
+        let answer = if blockers.is_empty() {
+            Admission::Allow
+        } else {
+            match self.policy {
+                DeferPolicy::PrepareAndDefer => Admission::AllowDeferred { blockers },
+                DeferPolicy::DeferExecution => Admission::Wait { blockers },
+            }
+        };
+        debug_assert_eq!(answer, self.scan_request(pid, service));
+        answer
+    }
+
+    /// Scan oracle for [`request`](Self::request): the original O(total ops)
+    /// formulation, retained for differential checking and as the
+    /// `pred-scan` baseline policy.
+    pub fn scan_request(&self, pid: ProcessId, service: ServiceId) -> Admission {
+        let preds = self.scan_conflicting_predecessors(pid, service);
+        for &pi in preds.keys() {
+            if !self.edges.contains(&(pi, pid)) && self.scan_reaches(pid, pi) {
+                return Admission::Reject { conflicting: pi };
+            }
+        }
         let oracle = self.spec.oracle();
         let due_compensation: Vec<ProcessId> = self
             .ops
@@ -250,11 +634,6 @@ impl<'a> Protocol<'a> {
         if compensatable {
             return Admission::Allow;
         }
-        // Lemma 1.1: *every* non-compensatable activity of P_j may only
-        // commit after the commit of each active P_i that P_j conflict-
-        // depends on — whether the dependency comes from this activity or an
-        // earlier one. Blockers include quasi-committed (stable) conflicts
-        // too: Lemma 1.1 defers on C_i, not on stability.
         let mut blockers: BTreeSet<ProcessId> = preds
             .keys()
             .copied()
@@ -275,6 +654,8 @@ impl<'a> Protocol<'a> {
         }
     }
 
+    // ---- recording ------------------------------------------------------
+
     /// Records an executed forward activity. `deferred` mirrors the
     /// [`Admission::AllowDeferred`] decision.
     pub fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
@@ -288,19 +669,20 @@ impl<'a> Protocol<'a> {
         // Dependency edges from every conflicting predecessor.
         let preds = self.conflicting_predecessors(pid, service);
         for &pi in preds.keys() {
-            self.edges.insert((pi, pid));
+            self.insert_edge(pi, pid);
         }
         // A committed non-compensatable activity stabilizes every earlier
         // operation of the same process (quasi-commit, §3.5).
         let stabilizes = !compensatable && !deferred;
         if stabilizes {
-            for rec in &mut self.ops {
-                if rec.gid.process == pid {
-                    rec.stable = true;
+            if let Some(idxs) = self.ops_by_process.get(&pid) {
+                for idx in idxs.clone() {
+                    let compensated = self.ops[idx].compensated;
+                    self.apply_record_flags(idx, compensated, true);
                 }
             }
         }
-        self.ops.push(ExecRecord {
+        self.push_record(ExecRecord {
             gid,
             service,
             compensated: false,
@@ -315,20 +697,45 @@ impl<'a> Protocol<'a> {
 
     /// Records the compensation of a previously executed activity.
     pub fn record_compensated(&mut self, gid: GlobalActivityId) {
-        if let Some(rec) = self
-            .ops
-            .iter_mut()
-            .rev()
-            .find(|r| r.gid == gid && !r.compensated)
-        {
-            debug_assert!(!rec.stable, "stable operations are never compensated");
-            rec.compensated = true;
+        let idx = self
+            .op_index
+            .get(&gid)
+            .and_then(|idxs| idxs.iter().rev().find(|&&i| !self.ops[i].compensated))
+            .copied();
+        if let Some(idx) = idx {
+            debug_assert!(
+                !self.ops[idx].stable,
+                "stable operations are never compensated"
+            );
+            let stable = self.ops[idx].stable;
+            self.apply_record_flags(idx, true, stable);
         }
     }
+
+    // ---- commit ---------------------------------------------------------
 
     /// Whether `pid` may commit: all processes it depends on have terminated
     /// (Definition 11.1) and it has no deferred activities left unreleased.
     pub fn can_commit(&self, pid: ProcessId) -> Result<(), Vec<ProcessId>> {
+        let blockers: Vec<ProcessId> = match self.dense.get(&pid) {
+            Some(&d) => self.pred_adj[d as usize]
+                .iter()
+                .copied()
+                .filter(|&pi| self.is_active(pi))
+                .collect(),
+            None => Vec::new(),
+        };
+        let answer = if blockers.is_empty() {
+            Ok(())
+        } else {
+            Err(blockers)
+        };
+        debug_assert_eq!(answer, self.scan_can_commit(pid));
+        answer
+    }
+
+    /// Scan oracle for [`can_commit`](Self::can_commit).
+    pub fn scan_can_commit(&self, pid: ProcessId) -> Result<(), Vec<ProcessId>> {
         let blockers: Vec<ProcessId> = self
             .edges
             .iter()
@@ -351,9 +758,10 @@ impl<'a> Protocol<'a> {
     ) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
         self.status.insert(pid, ProtStatus::Committed);
         // Every operation of a committed process is final.
-        for rec in &mut self.ops {
-            if rec.gid.process == pid {
-                rec.stable = !rec.compensated;
+        if let Some(idxs) = self.ops_by_process.get(&pid) {
+            for idx in idxs.clone() {
+                let compensated = self.ops[idx].compensated;
+                self.apply_record_flags(idx, compensated, !compensated);
             }
         }
         self.collect_releasable()
@@ -361,34 +769,64 @@ impl<'a> Protocol<'a> {
 
     /// Releasable deferred commits: processes whose active blockers are gone.
     fn collect_releasable(&mut self) -> Vec<(ProcessId, Vec<GlobalActivityId>)> {
+        debug_assert_eq!(self.releasable_now(), self.scan_releasable_now());
+        let ready = self.releasable_now();
         let mut out = Vec::new();
-        let pids: Vec<ProcessId> = self.deferred.keys().copied().collect();
-        for pj in pids {
-            if !self.is_active(pj) {
-                continue;
-            }
-            let blocked = self
-                .edges
-                .iter()
-                .any(|&(pi, p)| p == pj && self.is_active(pi));
-            if !blocked {
-                let acts = self.deferred.remove(&pj).unwrap_or_default();
-                if !acts.is_empty() {
-                    out.push((pj, acts));
-                }
+        for pj in ready {
+            let acts = self.deferred.remove(&pj).unwrap_or_default();
+            if !acts.is_empty() {
+                out.push((pj, acts));
             }
         }
         out
+    }
+
+    /// Processes with deferred activities whose active blockers are gone
+    /// (indexed answer, no mutation).
+    fn releasable_now(&self) -> Vec<ProcessId> {
+        self.deferred
+            .keys()
+            .copied()
+            .filter(|&pj| {
+                if !self.is_active(pj) {
+                    return false;
+                }
+                match self.dense.get(&pj) {
+                    Some(&d) => !self.pred_adj[d as usize]
+                        .iter()
+                        .any(|&pi| self.is_active(pi)),
+                    None => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Scan oracle for [`releasable_now`](Self::releasable_now).
+    fn scan_releasable_now(&self) -> Vec<ProcessId> {
+        self.deferred
+            .keys()
+            .copied()
+            .filter(|&pj| {
+                self.is_active(pj)
+                    && !self
+                        .edges
+                        .iter()
+                        .any(|&(pi, p)| p == pj && self.is_active(pi))
+            })
+            .collect()
     }
 
     /// Records that a deferred (prepared) activity was aborted before its
     /// commit was released: it leaves no effects and stops participating in
     /// conflicts.
     pub fn record_prepared_aborted(&mut self, gid: GlobalActivityId) {
-        for rec in &mut self.ops {
-            if rec.gid == gid && rec.deferred {
-                rec.compensated = true;
-                rec.deferred = false;
+        if let Some(idxs) = self.op_index.get(&gid) {
+            for idx in idxs.clone() {
+                if self.ops[idx].deferred {
+                    let stable = self.ops[idx].stable;
+                    self.apply_record_flags(idx, true, stable);
+                    self.ops[idx].deferred = false;
+                }
             }
         }
         if let Some(list) = self.deferred.get_mut(&gid.process) {
@@ -403,22 +841,21 @@ impl<'a> Protocol<'a> {
     /// Stabilizes the process's earlier operations like a direct commit.
     pub fn record_deferred_released(&mut self, gid: GlobalActivityId) {
         let pid = gid.process;
-        let mut found = false;
-        for rec in &mut self.ops {
-            if rec.gid == gid {
-                rec.deferred = false;
-                found = true;
+        let last = self.op_index.get(&gid).and_then(|idxs| {
+            for &idx in idxs {
+                self.ops[idx].deferred = false;
             }
-        }
-        if found {
+            idxs.last().copied()
+        });
+        if let Some(last) = last {
             // Stabilize everything up to and including the released op.
-            let mut hit = false;
-            for rec in self.ops.iter_mut().rev() {
-                if rec.gid == gid {
-                    hit = true;
+            let idxs = self.ops_by_process.get(&pid).cloned().unwrap_or_default();
+            for idx in idxs {
+                if idx > last {
+                    break;
                 }
-                if hit && rec.gid.process == pid && !rec.compensated {
-                    rec.stable = true;
+                if !self.ops[idx].compensated {
+                    self.apply_record_flags(idx, false, true);
                 }
             }
         }
@@ -429,6 +866,8 @@ impl<'a> Protocol<'a> {
             }
         }
     }
+
+    // ---- abort ----------------------------------------------------------
 
     /// Plans a process abort: which dependent processes must cascade.
     ///
@@ -445,24 +884,104 @@ impl<'a> Protocol<'a> {
         compensating: &[GlobalActivityId],
         forward_services: &[ServiceId],
     ) -> Vec<ProcessId> {
-        let oracle = self.spec.oracle();
-        let comp_services: Vec<ServiceId> = compensating
+        let comp_services = self.comp_services(compensating);
+        let victims = self.plan_abort_victims(pid, &comp_services, forward_services);
+        debug_assert_eq!(
+            victims,
+            self.scan_plan_abort_victims(pid, &comp_services, forward_services),
+            "plan_abort victim set index/scan divergence"
+        );
+        self.order_victims(victims)
+    }
+
+    /// Scan oracle for [`plan_abort`](Self::plan_abort): victim discovery by
+    /// edge-set and operation-log scans, identical ordering.
+    pub fn scan_plan_abort(
+        &self,
+        pid: ProcessId,
+        compensating: &[GlobalActivityId],
+        forward_services: &[ServiceId],
+    ) -> Vec<ProcessId> {
+        let comp_services = self.comp_services(compensating);
+        let victims = self.scan_plan_abort_victims(pid, &comp_services, forward_services);
+        self.order_victims(victims)
+    }
+
+    fn comp_services(&self, compensating: &[GlobalActivityId]) -> Vec<ServiceId> {
+        compensating
             .iter()
             .map(|g| {
                 self.spec
                     .catalog
                     .base(self.spec.service_of(*g).expect("validated"))
             })
-            .collect();
+            .collect()
+    }
+
+    /// Victim discovery over the adjacency index: walk direct successors of
+    /// the aborting process (then of each victim), pulling in any active
+    /// dependent holding a live operation that conflicts with what the
+    /// frontier process is about to compensate or forward-execute.
+    fn plan_abort_victims(
+        &self,
+        pid: ProcessId,
+        comp_services: &[ServiceId],
+        forward_services: &[ServiceId],
+    ) -> BTreeSet<ProcessId> {
+        let oracle = self.spec.oracle();
         let mut victims: BTreeSet<ProcessId> = BTreeSet::new();
-        let mut frontier = vec![(pid, comp_services, forward_services.to_vec())];
+        let mut frontier = vec![(pid, comp_services.to_vec(), forward_services.to_vec())];
+        while let Some((pi, comps, fwds)) = frontier.pop() {
+            let Some(&d) = self.dense.get(&pi) else {
+                continue;
+            };
+            for &b in &self.succ_adj[d as usize] {
+                if !self.is_active(b) || b == pid || victims.contains(&b) {
+                    continue;
+                }
+                let Some(idxs) = self.ops_by_process.get(&b) else {
+                    continue;
+                };
+                let pb_conflicts = idxs.iter().any(|&i| {
+                    let r = &self.ops[i];
+                    !r.compensated
+                        && comps
+                            .iter()
+                            .chain(fwds.iter())
+                            .any(|&s| oracle.conflict(r.service, s))
+                });
+                if pb_conflicts {
+                    victims.insert(b);
+                    // The victim's own completion cascades further; its
+                    // compensations cover its non-stable operations.
+                    let victim_comps: Vec<ServiceId> = idxs
+                        .iter()
+                        .map(|&i| &self.ops[i])
+                        .filter(|r| !r.compensated && !r.stable)
+                        .map(|r| r.service)
+                        .collect();
+                    frontier.push((b, victim_comps, Vec::new()));
+                }
+            }
+        }
+        victims
+    }
+
+    /// Scan-based victim discovery (edge-set scans per frontier element).
+    fn scan_plan_abort_victims(
+        &self,
+        pid: ProcessId,
+        comp_services: &[ServiceId],
+        forward_services: &[ServiceId],
+    ) -> BTreeSet<ProcessId> {
+        let oracle = self.spec.oracle();
+        let mut victims: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut frontier = vec![(pid, comp_services.to_vec(), forward_services.to_vec())];
         while let Some((pi, comps, fwds)) = frontier.pop() {
             for &(a, b) in &self.edges {
                 if a != pi || !self.is_active(b) || b == pid || victims.contains(&b) {
                     continue;
                 }
-                // Does P_b conflict with anything P_a will compensate or
-                // forward-execute?
                 let pb_conflicts = self.ops.iter().any(|r| {
                     r.gid.process == b
                         && !r.compensated
@@ -473,8 +992,6 @@ impl<'a> Protocol<'a> {
                 });
                 if pb_conflicts {
                     victims.insert(b);
-                    // The victim's own completion cascades further; its
-                    // compensations cover its non-stable operations.
                     let victim_comps: Vec<ServiceId> = self
                         .ops
                         .iter()
@@ -485,18 +1002,26 @@ impl<'a> Protocol<'a> {
                 }
             }
         }
-        // Reverse dependency order: dependents (later in the serialization)
-        // first.
-        let mut ordered: Vec<ProcessId> = victims.into_iter().collect();
-        ordered.sort_by(|&x, &y| {
-            if self.reaches(x, y) && x != y {
-                std::cmp::Ordering::Greater
-            } else if self.reaches(y, x) && x != y {
-                std::cmp::Ordering::Less
-            } else {
-                y.cmp(&x)
-            }
-        });
+        victims
+    }
+
+    /// Reverse dependency order: dependents (later in the serialization)
+    /// first. Deterministic topological emission — repeatedly emit the
+    /// highest-numbered victim whose remaining dependents are all emitted —
+    /// rather than a comparator sort (reachability is not a total order, so
+    /// a comparator-based sort is not well-defined over it).
+    fn order_victims(&self, victims: BTreeSet<ProcessId>) -> Vec<ProcessId> {
+        let mut remaining: Vec<ProcessId> = victims.into_iter().collect();
+        let mut ordered = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let i = remaining
+                .iter()
+                .rposition(|&v| !remaining.iter().any(|&u| u != v && self.reaches(v, u)))
+                // Victims on a residual cycle cannot exist under the
+                // serializability invariant; emit highest-numbered first.
+                .unwrap_or(remaining.len() - 1);
+            ordered.push(remaining.remove(i));
+        }
         ordered
     }
 
@@ -524,11 +1049,51 @@ impl<'a> Protocol<'a> {
         self.aborting.contains(&pid)
     }
 
+    // ---- completion gates -----------------------------------------------
+
     /// Gate for executing the compensation of `gid` (Lemma 2 and the
     /// Example 8 cycle): every conflicting operation executed *after* `gid`
     /// must be compensated first (if its owner is aborting) or its owner
     /// must cascade (if still running).
     pub fn compensation_gate(&self, gid: GlobalActivityId) -> CompletionGate {
+        let pos = self
+            .op_index
+            .get(&gid)
+            .and_then(|idxs| idxs.iter().find(|&&i| !self.ops[i].compensated))
+            .copied();
+        let Some(pos) = pos else {
+            debug_assert_eq!(CompletionGate::Ready, self.scan_compensation_gate(gid));
+            return CompletionGate::Ready;
+        };
+        let service = self.ops[pos].service;
+        let mut wait: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut cascade: BTreeSet<ProcessId> = BTreeSet::new();
+        for &s in &self.conflict_adj[service.index()] {
+            for (&p, set) in &self.buckets[s.index()].nonstable {
+                // Only operations strictly *after* the compensated one gate
+                // its compensation; `set` is ordered, so the max index
+                // decides.
+                if p == gid.process || set.last().is_none_or(|&max| max <= pos) {
+                    continue;
+                }
+                match self.status(p) {
+                    ProtStatus::Active if self.aborting.contains(&p) => {
+                        wait.insert(p);
+                    }
+                    ProtStatus::Active => {
+                        cascade.insert(p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let answer = Self::gate(wait.into_iter().collect(), cascade.into_iter().collect());
+        debug_assert_eq!(answer, self.scan_compensation_gate(gid));
+        answer
+    }
+
+    /// Scan oracle for [`compensation_gate`](Self::compensation_gate).
+    pub fn scan_compensation_gate(&self, gid: GlobalActivityId) -> CompletionGate {
         let oracle = self.spec.oracle();
         let Some(pos) = self.ops.iter().position(|r| r.gid == gid && !r.compensated) else {
             return CompletionGate::Ready;
@@ -560,6 +1125,32 @@ impl<'a> Protocol<'a> {
     /// conflicting live non-stable operations of other processes must be
     /// compensated first.
     pub fn forward_gate(&self, pid: ProcessId, service: ServiceId) -> CompletionGate {
+        let base = self.spec.catalog.base(service);
+        let mut wait: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut cascade: BTreeSet<ProcessId> = BTreeSet::new();
+        for &s in &self.conflict_adj[base.index()] {
+            for &p in self.buckets[s.index()].nonstable.keys() {
+                if p == pid {
+                    continue;
+                }
+                match self.status(p) {
+                    ProtStatus::Active if self.aborting.contains(&p) => {
+                        wait.insert(p);
+                    }
+                    ProtStatus::Active => {
+                        cascade.insert(p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let answer = Self::gate(wait.into_iter().collect(), cascade.into_iter().collect());
+        debug_assert_eq!(answer, self.scan_forward_gate(pid, service));
+        answer
+    }
+
+    /// Scan oracle for [`forward_gate`](Self::forward_gate).
+    pub fn scan_forward_gate(&self, pid: ProcessId, service: ServiceId) -> CompletionGate {
         let oracle = self.spec.oracle();
         let base = self.spec.catalog.base(service);
         let mut wait = Vec::new();
@@ -606,16 +1197,25 @@ impl<'a> Protocol<'a> {
         self.aborting.remove(&pid);
         // Whatever effects the completed abort left behind (pre-boundary
         // operations and forward-recovery activities) are final.
-        for rec in &mut self.ops {
-            if rec.gid.process == pid && !rec.compensated {
-                rec.stable = true;
+        if let Some(idxs) = self.ops_by_process.get(&pid) {
+            for idx in idxs.clone() {
+                if !self.ops[idx].compensated {
+                    self.apply_record_flags(idx, false, true);
+                }
             }
         }
         // Drop its unreleased deferred activities (they abort at prepare).
         if let Some(acts) = self.deferred.remove(&pid) {
             for gid in acts {
-                if let Some(rec) = self.ops.iter_mut().find(|r| r.gid == gid) {
-                    rec.compensated = true; // prepared-then-aborted: no effect
+                let idx = self
+                    .op_index
+                    .get(&gid)
+                    .and_then(|idxs| idxs.first())
+                    .copied();
+                if let Some(idx) = idx {
+                    let stable = self.ops[idx].stable;
+                    // Prepared-then-aborted: no effect.
+                    self.apply_record_flags(idx, true, stable);
                 }
             }
         }
@@ -791,5 +1391,31 @@ mod tests {
         assert!(prot.can_commit(ProcessId(2)).is_err());
         prot.record_process_abort(ProcessId(1));
         assert!(prot.can_commit(ProcessId(2)).is_ok());
+    }
+
+    #[test]
+    fn indexes_stay_consistent_through_lifecycle() {
+        let fx = fixtures::paper_world();
+        let mut prot = Protocol::new(&fx.spec, DeferPolicy::PrepareAndDefer);
+        prot.register(ProcessId(1));
+        prot.register(ProcessId(2));
+        prot.register(ProcessId(3));
+        prot.record_executed(fx.a(1, 1), false);
+        prot.check_index_invariants();
+        prot.record_executed(fx.a(2, 1), false);
+        prot.record_executed(fx.a(2, 2), false);
+        prot.record_executed(fx.a(2, 3), true);
+        prot.check_index_invariants();
+        prot.mark_aborting(ProcessId(2));
+        prot.record_prepared_aborted(fx.a(2, 3));
+        prot.record_compensated(fx.a(2, 2));
+        prot.record_compensated(fx.a(2, 1));
+        prot.record_process_abort(ProcessId(2));
+        prot.check_index_invariants();
+        prot.record_executed(fx.a(3, 1), false);
+        prot.record_process_commit(ProcessId(1));
+        prot.check_index_invariants();
+        prot.record_process_commit(ProcessId(3));
+        prot.check_index_invariants();
     }
 }

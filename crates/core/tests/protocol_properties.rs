@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use txproc_core::fixtures::paper_world;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
-use txproc_core::protocol::{Admission, DeferPolicy, Protocol};
+use txproc_core::protocol::{Admission, CompletionGate, DeferPolicy, Protocol};
 use txproc_core::state::ProcessState;
 
 /// Drives the protocol with a random but admission-respecting interleaving
@@ -81,6 +81,150 @@ fn drive(
     (log, edges)
 }
 
+/// Drives the protocol through a randomized lifecycle — admissions,
+/// deferred commits, releases, compensations and full process aborts — and
+/// at every step compares each indexed decision API against its retained
+/// scan oracle (`scan_*`). The comparisons here are explicit `assert_eq!`s,
+/// so the differential check also runs in release builds where the
+/// `debug_assert!`s inside the indexed paths compile out.
+fn drive_differential(seed: u64, policy: DeferPolicy, steps: usize) {
+    let fx = paper_world();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut protocol = Protocol::new(&fx.spec, policy);
+    let processes: Vec<_> = fx.spec.processes().collect();
+    let mut states: Vec<ProcessState<'_>> = processes
+        .iter()
+        .map(|p| ProcessState::new(p, &fx.spec.catalog).unwrap())
+        .collect();
+    let mut executed: Vec<Vec<GlobalActivityId>> = vec![Vec::new(); processes.len()];
+    // Prefix of `executed[i]` that is stable (quasi-committed, §3.5) and can
+    // no longer be compensated: a committed pivot or a released deferred
+    // commit stabilizes everything before it.
+    let mut stable_upto: Vec<usize> = vec![0; processes.len()];
+    let mut deferred_at: Vec<Option<GlobalActivityId>> = vec![None; processes.len()];
+    let mut terminated = vec![false; processes.len()];
+    for p in &processes {
+        protocol.register(p.id);
+    }
+    for step in 0..steps {
+        let live: Vec<usize> = (0..processes.len()).filter(|&i| !terminated[i]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let i = live[rng.gen_range(0..live.len())];
+        let pid = processes[i].id;
+
+        // Differential checks against the scan oracle, every step.
+        for (j, p) in processes.iter().enumerate() {
+            assert_eq!(
+                protocol.can_commit(p.id),
+                protocol.scan_can_commit(p.id),
+                "can_commit divergence (seed {seed}, step {step})"
+            );
+            for gid in &executed[j] {
+                assert_eq!(
+                    protocol.compensation_gate(*gid),
+                    protocol.scan_compensation_gate(*gid),
+                    "compensation_gate divergence (seed {seed}, step {step})"
+                );
+            }
+            let own: Vec<GlobalActivityId> = executed[j].clone();
+            assert_eq!(
+                protocol.plan_abort(p.id, &own, &[]),
+                protocol.scan_plan_abort(p.id, &own, &[]),
+                "plan_abort divergence (seed {seed}, step {step})"
+            );
+        }
+        protocol.check_index_invariants();
+
+        // Occasionally abort a process outright instead of progressing it.
+        if !executed[i].is_empty() && rng.gen_range(0..10u32) == 0 {
+            protocol.mark_aborting(pid);
+            // Compensate only what the protocol still considers undoable:
+            // nothing before the stable boundary, and not the prepared but
+            // unreleased deferred activity (it aborts at prepare instead).
+            let comps: Vec<GlobalActivityId> = executed[i][stable_upto[i]..]
+                .iter()
+                .rev()
+                .copied()
+                .filter(|g| Some(*g) != deferred_at[i])
+                .collect();
+            let _victims = protocol.plan_abort(pid, &comps, &[]);
+            for gid in comps {
+                if protocol.compensation_gate(gid) == CompletionGate::Ready {
+                    protocol.record_compensated(gid);
+                }
+            }
+            let released = protocol.record_process_abort(pid);
+            terminated[i] = true;
+            for (pj, gids) in released {
+                let j = processes.iter().position(|p| p.id == pj).unwrap();
+                for gid in gids {
+                    protocol.record_deferred_released(gid);
+                    states[j].apply_commit(gid.activity).unwrap();
+                    if let Some(pos) = executed[j].iter().position(|g| *g == gid) {
+                        stable_upto[j] = stable_upto[j].max(pos + 1);
+                    }
+                }
+                deferred_at[j] = None;
+            }
+            continue;
+        }
+        if deferred_at[i].is_some() {
+            continue;
+        }
+        let st = &mut states[i];
+        if let Some(a) = st.next_activity() {
+            let gid = GlobalActivityId::new(pid, a);
+            let svc = processes[i].service(a);
+            let admission = protocol.request(pid, svc);
+            assert_eq!(
+                admission,
+                protocol.scan_request(pid, svc),
+                "request divergence (seed {seed}, step {step})"
+            );
+            assert_eq!(
+                protocol.forward_gate(pid, svc),
+                protocol.scan_forward_gate(pid, svc),
+                "forward_gate divergence (seed {seed}, step {step})"
+            );
+            match admission {
+                Admission::Allow => {
+                    protocol.record_executed(gid, false);
+                    executed[i].push(gid);
+                    let base = fx.spec.catalog.base(svc);
+                    if !fx.spec.catalog.termination(base).is_compensatable() {
+                        // Committed pivot: quasi-commit stabilizes the prefix.
+                        stable_upto[i] = executed[i].len();
+                    }
+                    st.apply_commit(a).unwrap();
+                }
+                Admission::AllowDeferred { .. } => {
+                    protocol.record_executed(gid, true);
+                    executed[i].push(gid);
+                    deferred_at[i] = Some(gid);
+                }
+                Admission::Wait { .. } | Admission::Reject { .. } => {}
+            }
+        } else if st.can_commit() && protocol.can_commit(pid).is_ok() {
+            let released = protocol.record_process_commit(pid);
+            terminated[i] = true;
+            for (pj, gids) in released {
+                let j = processes.iter().position(|p| p.id == pj).unwrap();
+                for gid in gids {
+                    protocol.record_deferred_released(gid);
+                    states[j].apply_commit(gid.activity).unwrap();
+                    if let Some(pos) = executed[j].iter().position(|g| *g == gid) {
+                        stable_upto[j] = stable_upto[j].max(pos + 1);
+                    }
+                }
+                deferred_at[j] = None;
+            }
+        }
+    }
+    protocol.check_index_invariants();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
 
@@ -146,5 +290,20 @@ proptest! {
                 "DeferExecution must never prepare"
             );
         }
+    }
+
+    /// Every indexed decision API (`request`, `can_commit`,
+    /// `compensation_gate`, `forward_gate`, `plan_abort`) returns results
+    /// bit-identical to the retained scan oracle at every step of a
+    /// randomized lifecycle including aborts, and the maintained indexes
+    /// match a from-scratch rebuild throughout.
+    #[test]
+    fn indexed_decisions_match_scan_oracle(seed in 0u64..10_000, wait in any::<bool>()) {
+        let policy = if wait {
+            DeferPolicy::DeferExecution
+        } else {
+            DeferPolicy::PrepareAndDefer
+        };
+        drive_differential(seed, policy, 50);
     }
 }

@@ -3,12 +3,19 @@
 //!
 //! The virtual-time [`Engine`](crate::engine::Engine) is deterministic and
 //! fast — ideal for experiments. This driver runs every process on its own
-//! OS thread against a shared scheduler state (policy + agents + history)
-//! protected by a [`parking_lot::Mutex`], with a condition variable for
-//! admission waits and deferred-commit releases. It demonstrates that the
-//! protocol is driven entirely by its decision core and needs no global
-//! event ordering: whatever interleaving the OS produces, the emitted
-//! history stays PRED (verified by the stress tests).
+//! OS thread against a shared scheduler state (policy + history) protected
+//! by a [`parking_lot::Mutex`], with a condition variable for admission
+//! waits and deferred-commit releases. It demonstrates that the protocol is
+//! driven entirely by its decision core and needs no global event ordering:
+//! whatever interleaving the OS produces, the emitted history stays PRED
+//! (verified by the stress tests).
+//!
+//! Lock structure: the global mutex serializes scheduling decisions and the
+//! history; each subsystem agent sits behind its own mutex (lock order:
+//! global → agent, never the reverse). Work that does not touch shared
+//! scheduling state stays outside the global lock — per-thread RNG draws
+//! and simulated (failure-injected) agent invocations, whose outcome is
+//! ignored and which leave no trace in history or policy.
 
 use crate::policy::{CertifierKind, Policy, PolicyKind};
 use parking_lot::{Condvar, Mutex};
@@ -17,13 +24,14 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::time::Duration;
 use txproc_core::activity::Termination;
-use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
+use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 use txproc_core::protocol::Admission;
 use txproc_core::schedule::Schedule;
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
 use txproc_sim::metrics::Metrics;
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
+use txproc_subsystem::deploy::ServiceSite;
 use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
 
 /// Configuration of a concurrent run.
@@ -46,7 +54,7 @@ impl Default for ConcurrentConfig {
             policy: PolicyKind::Pred,
             seed: 99,
             inject_failures: true,
-            certifier: CertifierKind::Batch,
+            certifier: CertifierKind::Incremental,
         }
     }
 }
@@ -60,6 +68,10 @@ pub struct ConcurrentResult {
     pub metrics: Metrics,
 }
 
+/// Per-subsystem agents, each behind its own lock so agent work does not
+/// serialize unrelated threads on the scheduler mutex.
+type Agents = BTreeMap<SubsystemId, Mutex<Agent>>;
+
 struct Shared<'a> {
     workload: &'a Workload,
     certify: bool,
@@ -68,7 +80,6 @@ struct Shared<'a> {
     /// so the certifier sees exactly the emitted sequence.
     incremental: Option<txproc_core::pred_incremental::IncrementalPred<'a>>,
     policy: Box<dyn Policy + Send + 'a>,
-    agents: BTreeMap<SubsystemId, Agent>,
     states: BTreeMap<ProcessId, ProcessState<'a>>,
     history: Schedule,
     metrics: Metrics,
@@ -78,6 +89,19 @@ struct Shared<'a> {
     pending_release: BTreeMap<ProcessId, (GlobalActivityId, ActivityId, SubsystemId, InvocationId)>,
     /// Releases granted by the policy but not yet certified/applied.
     ready_releases: Vec<ProcessId>,
+    /// Releases that failed certification, stamped with the history length
+    /// at failure time. Certification is a pure function of the history, so
+    /// they are re-armed only once the history actually advanced — not
+    /// busy-retried on every lock acquisition.
+    stalled_releases: Vec<(ProcessId, usize)>,
+}
+
+/// A failure-injected ("simulated") agent invocation to run after the
+/// global lock is dropped: its outcome is ignored and it leaves no trace in
+/// history or policy, so only the agent's own lock is needed.
+struct SimulatedInvoke {
+    svc: ServiceId,
+    site: ServiceSite,
 }
 
 impl Shared<'_> {
@@ -106,23 +130,30 @@ impl Shared<'_> {
         }
     }
 
-    /// Attempts every granted-but-unapplied deferred release.
-    fn drain_ready_releases(&mut self) {
+    /// Attempts every granted-but-unapplied deferred release. Releases whose
+    /// history event does not certify yet are parked in `stalled_releases`
+    /// and re-armed when the history grows.
+    fn drain_ready_releases(&mut self, agents: &Agents) {
+        if !self.stalled_releases.is_empty() {
+            let hist_len = self.history.len();
+            let (rearm, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stalled_releases)
+                .into_iter()
+                .partition(|&(_, stamp)| stamp < hist_len);
+            self.stalled_releases = keep;
+            self.ready_releases
+                .extend(rearm.into_iter().map(|(pj, _)| pj));
+        }
         let ready = std::mem::take(&mut self.ready_releases);
         for pj in ready {
             let Some(&(gid, a, sid, inv)) = self.pending_release.get(&pj) else {
                 continue;
             };
             if !self.certified_ok(txproc_core::schedule::Event::Execute(gid)) {
-                self.ready_releases.push(pj);
+                self.stalled_releases.push((pj, self.history.len()));
                 continue;
             }
             self.pending_release.remove(&pj);
-            self.agents
-                .get_mut(&sid)
-                .expect("agent")
-                .release(inv)
-                .expect("prepared");
+            agents[&sid].lock().release(inv).expect("prepared");
             self.history.execute(gid);
             self.policy.record_deferred_released(gid);
             self.metrics.activities += 1;
@@ -134,11 +165,11 @@ impl Shared<'_> {
 
 /// Runs every process of the workload on its own thread.
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
-    let mut agents = BTreeMap::new();
+    let mut agents: Agents = BTreeMap::new();
     for sid in workload.deployment.subsystems() {
         agents.insert(
             sid,
-            Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))),
+            Mutex::new(Agent::new(Subsystem::new(sid, format!("sub{}", sid.0)))),
         );
     }
     let mut policy = cfg.policy.build(&workload.spec);
@@ -156,7 +187,6 @@ pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentR
         incremental: (cfg.policy.certified() && cfg.certifier == CertifierKind::Incremental)
             .then(|| txproc_core::pred_incremental::IncrementalPred::new(&workload.spec)),
         policy,
-        agents,
         states,
         history: Schedule::new(),
         metrics: Metrics::new(),
@@ -164,6 +194,7 @@ pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentR
         released: BTreeMap::new(),
         pending_release: BTreeMap::new(),
         ready_releases: Vec::new(),
+        stalled_releases: Vec::new(),
     });
     let cond = Condvar::new();
 
@@ -171,9 +202,10 @@ pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentR
         for process in workload.spec.processes() {
             let pid = process.id;
             let shared = &shared;
+            let agents = &agents;
             let cond = &cond;
             let cfg = cfg.clone();
-            scope.spawn(move || worker(workload, &cfg, pid, shared, cond));
+            scope.spawn(move || worker(workload, &cfg, pid, shared, agents, cond));
         }
     });
 
@@ -189,6 +221,7 @@ fn worker<'a>(
     cfg: &ConcurrentConfig,
     pid: ProcessId,
     shared: &Mutex<Shared<'a>>,
+    agents: &Agents,
     cond: &Condvar,
 ) {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(pid.0) << 32));
@@ -198,8 +231,11 @@ fn worker<'a>(
     let mut no_progress = 0u32;
     let mut last_fingerprint = None;
     loop {
+        // Pre-draw the failure-injection coin outside the lock (the driver
+        // is nondeterministic anyway; only the per-thread stream matters).
+        let coin = rng.gen_range(0.0..1.0f64);
         let mut guard = shared.lock();
-        guard.drain_ready_releases();
+        guard.drain_ready_releases(agents);
         let fingerprint = (guard.history.len(), guard.states[&pid].steps().len());
         if last_fingerprint == Some(fingerprint) {
             no_progress += 1;
@@ -219,12 +255,12 @@ fn worker<'a>(
                     .map(|(&q, _)| q)
                     .collect();
                 for q in others.into_iter().rev() {
-                    cascade_abort(&mut guard, q);
+                    cascade_abort(&mut guard, agents, q);
                 }
             } else {
                 // Nothing moved for a while: only an abort can resolve this.
                 guard.metrics.rejections += 1;
-                initiate_abort(workload, pid, &mut guard);
+                initiate_abort(workload, pid, &mut guard, agents);
             }
             cond.notify_all();
             continue;
@@ -248,7 +284,7 @@ fn worker<'a>(
         }
         let status = guard.states[&pid].status();
         if status != ProcessStatus::Active {
-            finalize(&mut guard, pid);
+            finalize(&mut guard, agents, pid);
             cond.notify_all();
             return;
         }
@@ -277,12 +313,7 @@ fn worker<'a>(
                 continue;
             }
             let (sid, inv) = guard.invocations[&gid];
-            let outcome = guard
-                .agents
-                .get_mut(&sid)
-                .expect("agent")
-                .compensate(inv)
-                .expect("subsystem up");
+            let outcome = agents[&sid].lock().compensate(inv).expect("subsystem up");
             match outcome {
                 InvokeOutcome::Committed { .. } => {
                     guard.history.compensate(gid);
@@ -306,8 +337,18 @@ fn worker<'a>(
         }
         // Next forward activity?
         if let Some(a) = guard.states[&pid].next_activity() {
-            step_activity(workload, cfg, pid, a, &mut guard, cond, &mut rng);
+            let simulated = step_activity(workload, cfg, pid, a, &mut guard, agents, cond, coin);
             drop(guard);
+            // Failure-injected invocation: agent work only, no shared
+            // scheduling state — run it without the global lock.
+            if let Some(sim) = simulated {
+                let _ = agents[&sim.site.subsystem].lock().invoke(
+                    sim.svc,
+                    &sim.site.program,
+                    CommitMode::Immediate,
+                    true,
+                );
+            }
             std::thread::yield_now();
             continue;
         }
@@ -326,7 +367,7 @@ fn worker<'a>(
                         .apply_process_commit()
                         .expect("finished path");
                     guard.history.commit(pid);
-                    finalize(&mut guard, pid);
+                    finalize(&mut guard, agents, pid);
                     cond.notify_all();
                     return;
                 }
@@ -342,15 +383,20 @@ fn worker<'a>(
     }
 }
 
+/// Runs one scheduling step for the next forward activity. Returns the
+/// simulated (failure-injected) invocation to perform after the caller
+/// drops the global lock, if any.
+#[allow(clippy::too_many_arguments)]
 fn step_activity<'a>(
     workload: &'a Workload,
     cfg: &ConcurrentConfig,
     pid: ProcessId,
     a: ActivityId,
     guard: &mut Shared<'a>,
+    agents: &Agents,
     cond: &Condvar,
-    rng: &mut StdRng,
-) {
+    coin: f64,
+) -> Option<SimulatedInvoke> {
     let gid = GlobalActivityId::new(pid, a);
     let process = workload.spec.process(pid).expect("known");
     let svc = process.service(a);
@@ -368,20 +414,18 @@ fn step_activity<'a>(
         Admission::Wait { .. } => {
             guard.metrics.waits += 1;
             // Wait; re-evaluated on the next iteration.
-            return;
+            return None;
         }
         Admission::Reject { .. } => {
             guard.metrics.rejections += 1;
-            initiate_abort(workload, pid, guard);
+            initiate_abort(workload, pid, guard, agents);
             cond.notify_all();
-            return;
+            return None;
         }
     };
-    // Failure injection.
-    let inject = cfg.inject_failures && p_fail(workload) > 0.0 && rng.gen_bool(p_fail(workload));
+    // Failure injection (coin pre-drawn outside the lock).
+    let inject = cfg.inject_failures && coin < p_fail(workload);
     if inject && termination.can_fail() {
-        let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
-        let _ = agent.invoke(svc, &site.program, CommitMode::Immediate, true);
         guard.history.fail(gid);
         let outcome = guard
             .states
@@ -392,25 +436,23 @@ fn step_activity<'a>(
         if matches!(outcome, FailureOutcome::Stuck) {
             panic!("guaranteed-termination process stuck at {gid}");
         }
-        return;
+        return Some(SimulatedInvoke { svc, site });
     }
     if inject && termination == Termination::Retriable {
-        let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
-        let _ = agent.invoke(svc, &site.program, CommitMode::Immediate, true);
         guard.metrics.retries += 1;
-        return;
+        return Some(SimulatedInvoke { svc, site });
     }
     if mode == CommitMode::Immediate
         && !guard.certified_ok(txproc_core::schedule::Event::Execute(gid))
     {
         // Retry on the next iteration, after other completions progressed.
-        return;
+        return None;
     }
-    let agent = guard.agents.get_mut(&site.subsystem).expect("agent");
-    match agent
+    let outcome = agents[&site.subsystem]
+        .lock()
         .invoke(svc, &site.program, mode, false)
-        .expect("subsystem up")
-    {
+        .expect("subsystem up");
+    match outcome {
         InvokeOutcome::Committed { invocation, .. } => {
             guard.invocations.insert(gid, (site.subsystem, invocation));
             guard.history.execute(gid);
@@ -436,13 +478,14 @@ fn step_activity<'a>(
         }
         InvokeOutcome::Aborted => unreachable!("no injection requested"),
     }
+    None
 }
 
 fn p_fail(workload: &Workload) -> f64 {
     workload.config.failure_probability.clamp(0.0, 1.0)
 }
 
-fn finalize(guard: &mut Shared<'_>, pid: ProcessId) {
+fn finalize(guard: &mut Shared<'_>, agents: &Agents, pid: ProcessId) {
     let status = guard.states[&pid].status();
     let released = match status {
         ProcessStatus::Committed => {
@@ -460,22 +503,17 @@ fn finalize(guard: &mut Shared<'_>, pid: ProcessId) {
             guard.ready_releases.push(pj);
         }
     }
-    guard.drain_ready_releases();
+    guard.drain_ready_releases(agents);
 }
 
 /// Cascade-aborts a single process (prepared invocations dropped first).
-fn cascade_abort(guard: &mut Shared<'_>, v: ProcessId) {
+fn cascade_abort(guard: &mut Shared<'_>, agents: &Agents, v: ProcessId) {
     if !guard.states[&v].is_active() || guard.states[&v].abort_in_progress() {
         return;
     }
     guard.metrics.cascaded += 1;
     if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&v) {
-        guard
-            .agents
-            .get_mut(&sid)
-            .expect("agent")
-            .abort_prepared(inv)
-            .expect("prepared");
+        agents[&sid].lock().abort_prepared(inv).expect("prepared");
         guard.invocations.remove(&gid);
         guard.policy.record_prepared_aborted(gid);
     }
@@ -489,7 +527,12 @@ fn cascade_abort(guard: &mut Shared<'_>, v: ProcessId) {
         .expect("active");
 }
 
-fn initiate_abort<'a>(workload: &'a Workload, pid: ProcessId, guard: &mut Shared<'a>) {
+fn initiate_abort<'a>(
+    workload: &'a Workload,
+    pid: ProcessId,
+    guard: &mut Shared<'a>,
+    agents: &Agents,
+) {
     if guard.states[&pid].abort_in_progress() || !guard.states[&pid].is_active() {
         return;
     }
@@ -507,16 +550,11 @@ fn initiate_abort<'a>(workload: &'a Workload, pid: ProcessId, guard: &mut Shared
         .collect();
     let victims = guard.policy.plan_abort(pid, &comp_gids, &fwd);
     for v in victims {
-        cascade_abort(guard, v);
+        cascade_abort(guard, agents, v);
     }
     if guard.states[&pid].is_active() && !guard.states[&pid].abort_in_progress() {
         if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&pid) {
-            guard
-                .agents
-                .get_mut(&sid)
-                .expect("agent")
-                .abort_prepared(inv)
-                .expect("prepared");
+            agents[&sid].lock().abort_prepared(inv).expect("prepared");
             guard.invocations.remove(&gid);
             guard.policy.record_prepared_aborted(gid);
         }
@@ -563,11 +601,11 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_run_with_incremental_certifier_is_pred() {
+    fn concurrent_run_with_batch_certifier_is_pred() {
         // Thread interleavings are nondeterministic, so histories cannot be
-        // compared against a batch run; the contract is that whatever
-        // interleaving the OS produces, an incrementally-certified history
-        // is still PRED.
+        // compared against an incremental run; the contract is that whatever
+        // interleaving the OS produces, a batch-certified history is still
+        // PRED.
         for seed in 0..4 {
             let w = generate(&WorkloadConfig {
                 seed,
@@ -580,14 +618,14 @@ mod tests {
                 &w,
                 ConcurrentConfig {
                     seed,
-                    certifier: CertifierKind::Incremental,
+                    certifier: CertifierKind::Batch,
                     ..ConcurrentConfig::default()
                 },
             );
             assert_eq!(result.metrics.terminated(), 5, "seed {seed}");
             assert!(
                 txproc_core::pred::is_pred(&w.spec, &result.history).unwrap(),
-                "seed {seed}: incrementally-certified history not PRED:\n{}",
+                "seed {seed}: batch-certified history not PRED:\n{}",
                 txproc_core::schedule::render(&result.history)
             );
         }
@@ -611,5 +649,32 @@ mod tests {
         );
         assert_eq!(result.metrics.committed, 6);
         assert_eq!(result.metrics.aborted, 0);
+    }
+
+    #[test]
+    fn concurrent_run_uncertified_protocol_terminates() {
+        // The pure protocol (no certifier) under real threads — the
+        // bench-harness configuration. PRED is not guaranteed without
+        // certification (pred-protocol is the "necessary but not
+        // sufficient" ablation); the contract here is termination with a
+        // fully accounted outcome.
+        for seed in 0..4 {
+            let w = generate(&WorkloadConfig {
+                seed: seed + 11,
+                processes: 6,
+                conflict_density: 0.4,
+                failure_probability: 0.15,
+                ..WorkloadConfig::default()
+            });
+            let result = run_concurrent(
+                &w,
+                ConcurrentConfig {
+                    policy: PolicyKind::PredProtocol,
+                    seed,
+                    ..ConcurrentConfig::default()
+                },
+            );
+            assert_eq!(result.metrics.terminated(), 6, "seed {seed}");
+        }
     }
 }

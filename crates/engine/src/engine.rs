@@ -56,7 +56,7 @@ impl Default for RunConfig {
             inject_failures: true,
             arrival_gap: 0,
             check_pred: false,
-            certifier: CertifierKind::Batch,
+            certifier: CertifierKind::Incremental,
         }
     }
 }
@@ -128,8 +128,10 @@ pub struct Engine<'a> {
     /// once over the whole run. `RefCell` because diagnostic probes certify
     /// through `&self`.
     incremental: Option<RefCell<txproc_core::pred_incremental::IncrementalPred<'a>>>,
-    /// Deferred releases postponed by certification, retried on progress.
-    postponed_releases: Vec<(ProcessId, Vec<GlobalActivityId>)>,
+    /// Deferred releases postponed by certification, stamped with the
+    /// history length at failure time; retried only once the history
+    /// actually advanced (the certifier's answer depends on nothing else).
+    postponed_releases: Vec<(ProcessId, Vec<GlobalActivityId>, usize)>,
     /// Consecutive certification failures per process; escalates to an
     /// abort so the run cannot livelock.
     cert_failures: BTreeMap<ProcessId, u32>,
@@ -784,7 +786,8 @@ impl<'a> Engine<'a> {
             }
             let gid = self.pending_release[&pj].gid;
             if !self.certified_ok(txproc_core::schedule::Event::Execute(gid)) {
-                self.postponed_releases.push((pj, gids));
+                self.postponed_releases
+                    .push((pj, gids, self.history.events().len()));
                 continue;
             }
             let pending = self.pending_release.remove(&pj).expect("checked");
@@ -810,13 +813,22 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Retries releases previously postponed by certification.
+    /// Retries releases previously postponed by certification — but only
+    /// those whose failure predates the current history: certification is a
+    /// pure function of the history, so re-asking without new events is a
+    /// guaranteed-failed busy-retry.
     fn retry_postponed_releases(&mut self) {
         if self.postponed_releases.is_empty() {
             return;
         }
-        let retry = std::mem::take(&mut self.postponed_releases);
-        self.release_deferred(retry);
+        let hist_len = self.history.events().len();
+        let (retry, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.postponed_releases)
+            .into_iter()
+            .partition(|&(_, _, stamp)| stamp < hist_len);
+        self.postponed_releases = keep;
+        if !retry.is_empty() {
+            self.release_deferred(retry.into_iter().map(|(pj, gids, _)| (pj, gids)).collect());
+        }
     }
 
     /// Escalation for repeated certification failures: back off, then abort
@@ -1066,6 +1078,7 @@ mod tests {
                         policy,
                         seed,
                         check_pred: true,
+                        certifier: crate::policy::CertifierKind::Batch,
                         ..RunConfig::default()
                     },
                 );
