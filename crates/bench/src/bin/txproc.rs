@@ -13,12 +13,20 @@
 //! txproc bench     [--smoke] [--out PATH] [--seed N] [--processes CSV]
 //!                  [--density CSV] [--policy CSV] [--certifier batch|incremental]
 //!                  [--arrival-gap N]           # perf trajectory → BENCH_scheduler.json
+//! txproc trace     [--seed N] [--processes N] [--density F] [--failures F]
+//!                  [--policy …] [--certifier …] [--arrival-gap N]
+//!                  [--pid N] [--kind SUBSTR]   # filter the printed journal
+//!                  [--explain PID]             # why was P blocked/aborted?
+//!                  [--json PATH]               # JSONL event journal
+//!                  [--chrome PATH]             # chrome://tracing / Perfetto
+//!                  [--dot-dir DIR]             # per-step conflict-graph dots
 //! ```
 
 use serde::Deserialize;
 use txproc_bench::scenarios;
 use txproc_core::dot::process_to_dot;
 use txproc_core::fixtures::{cim_world, paper_world};
+use txproc_core::ids::ProcessId;
 use txproc_core::pred::check_pred;
 use txproc_core::schedule::{render, Schedule};
 use txproc_core::spec::Spec;
@@ -292,6 +300,12 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             d.live_ops, d.edges, d.ns_per_request_indexed, d.ns_per_request_scan
         );
     }
+    for t in &report.trace_overhead {
+        println!(
+            "trace      {:<14} n={:<4} d={:<4} {:>10.2} ms  ({:+.1}% vs untraced)",
+            t.sink, t.processes, t.density, t.wall_ms, t.overhead_pct
+        );
+    }
     for n in &report.notes {
         println!("note: {n}");
     }
@@ -303,6 +317,89 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
+    Ok(())
+}
+
+/// Re-runs a seeded workload with the trace journal attached and renders
+/// the scheduler's decisions: pretty-printed (filterable), as a JSONL
+/// journal, as a Chrome-trace timeline, as per-step conflict-graph dot
+/// snapshots, or as an `--explain` decision chain for one process.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use txproc_core::trace::{chrome_trace, explain_process, to_jsonl, Journal};
+    let w = workload_from(args)?;
+    let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
+    let certifier = parse_certifier(&args.get("certifier", "incremental".to_string())?)?;
+    let cfg = RunConfig {
+        policy,
+        seed: args.get("seed", 42u64)?,
+        arrival_gap: args.get("arrival-gap", 0u64)?,
+        certifier,
+        ..RunConfig::default()
+    };
+    let journal = Journal::new();
+    let r = Engine::with_sink(&w, cfg, Box::new(journal.clone())).run();
+    let records = journal.snapshot();
+
+    if let Some(path) = args.values.get("json") {
+        std::fs::write(path, to_jsonl(&records)).map_err(|e| e.to_string())?;
+        println!("wrote {} trace records to {path}", records.len());
+    }
+    if let Some(path) = args.values.get("chrome") {
+        std::fs::write(path, chrome_trace(&records)).map_err(|e| e.to_string())?;
+        println!("wrote chrome trace to {path} (load in chrome://tracing or Perfetto)");
+    }
+    if let Some(dir) = args.values.get("dot-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let mut prefix = Schedule::new();
+        for (i, e) in r.history.events().iter().enumerate() {
+            prefix.push(e.clone());
+            let dot = txproc_core::dot::conflict_graph_to_dot(&w.spec, &prefix)
+                .map_err(|e| e.to_string())?;
+            let path = std::path::Path::new(dir).join(format!("step_{:03}.dot", i + 1));
+            std::fs::write(&path, dot).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "wrote {} conflict-graph snapshots to {dir}",
+            r.history.len()
+        );
+    }
+    if let Some(raw) = args.values.get("explain") {
+        let pid = ProcessId(
+            raw.parse()
+                .map_err(|_| format!("invalid --explain pid: {raw}"))?,
+        );
+        print!("{}", explain_process(&records, pid));
+        return Ok(());
+    }
+    let pid_filter: Option<ProcessId> = match args.values.get("pid") {
+        Some(raw) => Some(ProcessId(
+            raw.parse().map_err(|_| format!("invalid --pid: {raw}"))?,
+        )),
+        None => None,
+    };
+    let kind_filter = args.values.get("kind");
+    let mut shown = 0usize;
+    for rec in &records {
+        if let Some(p) = pid_filter {
+            if !rec.event.mentions(p) {
+                continue;
+            }
+        }
+        if let Some(k) = kind_filter {
+            if !rec.event.kind().contains(k.as_str()) {
+                continue;
+            }
+        }
+        println!("{rec}");
+        shown += 1;
+    }
+    println!(
+        "-- {shown} of {} records (history: {} events, {} committed, {} aborted)",
+        records.len(),
+        r.history.len(),
+        r.metrics.committed,
+        r.metrics.aborted
+    );
     Ok(())
 }
 
@@ -329,7 +426,7 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash|bench> [options]");
+        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash|bench|trace> [options]");
         std::process::exit(2);
     };
     let args = match Args::parse(rest) {
@@ -347,6 +444,7 @@ fn main() {
         "dot" => cmd_dot(&args),
         "crash" => cmd_crash(&args),
         "bench" => cmd_bench(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown command: {other}")),
     };
     if let Err(e) = result {
@@ -408,7 +506,7 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v1"));
+        assert!(raw.contains("txproc-bench-scheduler/v2"));
         assert!(raw.contains("pred-scan"));
         std::fs::remove_file(&out).ok();
     }
@@ -433,6 +531,48 @@ mod tests {
             };
             cmd_dot(&a).unwrap();
         }
+    }
+
+    #[test]
+    fn trace_exports_and_explains() {
+        let dir = std::env::temp_dir().join("txproc_trace_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("trace.jsonl");
+        let chrome = dir.join("trace.json");
+        let dots = dir.join("dots");
+        let base = [
+            "--seed",
+            "4",
+            "--processes",
+            "6",
+            "--density",
+            "0.5",
+            "--failures",
+            "0.2",
+        ];
+        let mut export = base.to_vec();
+        export.extend([
+            "--json",
+            json.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+            "--dot-dir",
+            dots.to_str().unwrap(),
+        ]);
+        cmd_trace(&args(&export)).unwrap();
+        let jsonl = std::fs::read_to_string(&json).unwrap();
+        assert!(jsonl.lines().count() > 0);
+        assert!(std::fs::read_to_string(&chrome)
+            .unwrap()
+            .contains("traceEvents"));
+        assert!(std::fs::read_dir(&dots).unwrap().count() > 0);
+        let mut explain = base.to_vec();
+        explain.extend(["--explain", "0"]);
+        cmd_trace(&args(&explain)).unwrap();
+        let mut filtered = base.to_vec();
+        filtered.extend(["--pid", "1", "--kind", "request"]);
+        cmd_trace(&args(&filtered)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

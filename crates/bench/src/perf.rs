@@ -19,9 +19,11 @@ use serde::Serialize;
 use std::time::Instant;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
 use txproc_core::protocol::{DeferPolicy, Protocol};
+use txproc_core::trace::{JsonlSink, NoopSink, RingSink, TraceSink};
 use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig};
-use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
+use txproc_sim::metrics::AbortReasons;
 use txproc_sim::workload::{generate, Workload, WorkloadConfig};
 
 /// Configuration of a scheduler bench run.
@@ -113,6 +115,29 @@ pub struct BenchEntry {
     pub latency_p50: Option<u64>,
     /// Virtual latency p95 (engine runs).
     pub latency_p95: Option<u64>,
+    /// Total virtual time processes spent blocked (engine runs; the
+    /// concurrent driver has no virtual clock and reports 0).
+    pub blocked_time_total: u64,
+    /// Certification attempts answered "not PRED".
+    pub cert_failures: u64,
+    /// Abort initiations broken down by first cause.
+    pub abort_reasons: AbortReasons,
+}
+
+/// One tracing-overhead measurement (E20): the same engine run driven with
+/// different trace sinks attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceOverheadEntry {
+    /// `none` (untraced baseline), `noop`, `ring-4096` or `jsonl-devnull`.
+    pub sink: &'static str,
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Median wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Overhead relative to the untraced baseline, in percent.
+    pub overhead_pct: f64,
 }
 
 /// One per-decision measurement point.
@@ -141,6 +166,8 @@ pub struct BenchReport {
     pub runs: Vec<BenchEntry>,
     /// Per-decision protocol cost.
     pub decision: Vec<DecisionBenchEntry>,
+    /// Tracing overhead per sink (E20).
+    pub trace_overhead: Vec<TraceOverheadEntry>,
     /// Coverage notes (anything capped or skipped, never silent).
     pub notes: Vec<String>,
 }
@@ -191,6 +218,9 @@ fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) ->
         makespan: r.metrics.makespan,
         latency_p50: r.metrics.latency_percentile(0.5),
         latency_p95: r.metrics.latency_percentile(0.95),
+        blocked_time_total: r.metrics.blocked_total(),
+        cert_failures: r.metrics.cert_failures,
+        abort_reasons: r.metrics.abort_reasons,
     }
 }
 
@@ -223,7 +253,74 @@ fn concurrent_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind
         makespan: r.metrics.makespan,
         latency_p50: None,
         latency_p95: None,
+        blocked_time_total: r.metrics.blocked_total(),
+        cert_failures: r.metrics.cert_failures,
+        abort_reasons: r.metrics.abort_reasons,
     }
+}
+
+/// E20: the same engine run with different trace sinks. Minimum of several
+/// repetitions: for a CPU-bound deterministic run the minimum is the noise
+/// floor — every source of interference (scheduler hiccups, cache eviction
+/// by neighbours) only ever adds time, so min-of-N is the robust estimator
+/// of the true cost and a median at this scale can fake a few percent
+/// either way.
+pub fn trace_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TraceOverheadEntry> {
+    let density = cfg.densities.first().copied().unwrap_or(0.3);
+    let n = cfg.processes.iter().copied().max().unwrap_or(8);
+    let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+    let run_cfg = RunConfig {
+        policy: PolicyKind::Pred,
+        seed: cfg.seed,
+        arrival_gap: cfg.arrival_gap,
+        certifier: cfg.certifier,
+        ..RunConfig::default()
+    };
+    let reps = if cfg.smoke { 7 } else { 9 };
+    let min_ms = |mk: &dyn Fn() -> Box<dyn TraceSink>| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = std::hint::black_box(Engine::with_sink(&w, run_cfg.clone(), mk()).run());
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    // The untraced baseline is the public constructor (which installs the
+    // no-op sink itself); `noop` measures the explicit sink path.
+    let baseline = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = std::hint::black_box(run(&w, run_cfg.clone()));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+    let mut out = vec![TraceOverheadEntry {
+        sink: "none",
+        processes: n,
+        density,
+        wall_ms: baseline,
+        overhead_pct: 0.0,
+    }];
+    type MkSink<'a> = &'a dyn Fn() -> Box<dyn TraceSink>;
+    let sinks: [(&'static str, MkSink<'_>); 3] = [
+        ("noop", &|| Box::new(NoopSink)),
+        ("ring-4096", &|| Box::new(RingSink::new(4096))),
+        ("jsonl-devnull", &|| {
+            Box::new(JsonlSink::new(std::io::sink()))
+        }),
+    ];
+    for (name, mk) in sinks {
+        let ms = min_ms(mk);
+        out.push(TraceOverheadEntry {
+            sink: name,
+            processes: n,
+            density,
+            wall_ms: ms,
+            overhead_pct: (ms - baseline) / baseline.max(1e-9) * 100.0,
+        });
+    }
+    out
 }
 
 /// Times `f` adaptively: batches until one batch exceeds ~2ms, then takes
@@ -338,8 +435,12 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         ));
     }
     let decision = decision_bench(cfg);
+    let trace_overhead = trace_overhead_bench(cfg);
     BenchReport {
-        schema: "txproc-bench-scheduler/v1",
+        // v2 (additive over v1): entries carry blocked_time_total,
+        // cert_failures and abort_reasons; the report carries
+        // trace_overhead. v1 readers that pick fields by name still work.
+        schema: "txproc-bench-scheduler/v2",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -347,6 +448,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         config: cfg.clone(),
         runs,
         decision,
+        trace_overhead,
         notes,
     }
 }
@@ -369,7 +471,13 @@ mod tests {
             .decision
             .iter()
             .all(|d| d.ns_per_request_indexed > 0.0 && d.ns_per_request_scan > 0.0));
+        // E20 sinks: untraced baseline plus the three sink variants.
+        let sinks: Vec<_> = report.trace_overhead.iter().map(|t| t.sink).collect();
+        assert_eq!(sinks, vec!["none", "noop", "ring-4096", "jsonl-devnull"]);
+        assert!(report.trace_overhead.iter().all(|t| t.wall_ms > 0.0));
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v1"));
+        assert!(json.contains("txproc-bench-scheduler/v2"));
+        assert!(json.contains("abort_reasons"));
+        assert!(json.contains("blocked_time_total"));
     }
 }

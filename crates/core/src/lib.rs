@@ -32,6 +32,7 @@
 //! | [`pred_incremental`] | incremental event-by-event PRED certifier |
 //! | [`recoverability`] | Proc-REC (Def 11), Theorem 1, SOT discussion |
 //! | [`protocol`] | the online scheduling protocol (Lemmas 1–3, §3.5) |
+//! | [`trace`] | structured decision tracing (event journal, sinks, explain) |
 //! | [`weak`] | strong vs. weak orders (§3.6) |
 //! | [`fixtures`] | the paper's running examples, ready made |
 //!
@@ -81,6 +82,7 @@ pub mod schedule;
 pub mod serializability;
 pub mod spec;
 pub mod state;
+pub mod trace;
 pub mod weak;
 
 pub use activity::{Catalog, Termination};
@@ -92,3 +94,4 @@ pub use pred_incremental::{check_pred_incremental, IncrementalPred, StepVerdict}
 pub use process::{Process, ProcessBuilder};
 pub use schedule::{Event, Schedule};
 pub use spec::Spec;
+pub use trace::{Journal, JsonlSink, NoopSink, RingSink, TraceEvent, TraceRecord, TraceSink};

@@ -305,17 +305,17 @@ impl<'a> Protocol<'a> {
 
     /// Inserts edge `a → b` and updates adjacency + closure incrementally:
     /// every ancestor of `a` (plus `a`) reaches every descendant of `b`
-    /// (plus `b`).
-    fn insert_edge(&mut self, a: ProcessId, b: ProcessId) {
+    /// (plus `b`). Returns whether the edge was new (for decision tracing).
+    fn insert_edge(&mut self, a: ProcessId, b: ProcessId) -> bool {
         if !self.edges.insert((a, b)) {
-            return;
+            return false;
         }
         let da = self.densify(a);
         let db = self.densify(b);
         self.succ_adj[da].insert(b);
         self.pred_adj[db].insert(a);
         if self.reach[da].contains(db) {
-            return;
+            return true;
         }
         let mut desc = self.reach[db].clone();
         desc.insert(db);
@@ -327,6 +327,7 @@ impl<'a> Protocol<'a> {
         for y in desc.iter() {
             self.rreach[y].union_with(&anc);
         }
+        true
     }
 
     /// Updates the `compensated`/`stable` flags of one record, keeping the
@@ -657,8 +658,14 @@ impl<'a> Protocol<'a> {
     // ---- recording ------------------------------------------------------
 
     /// Records an executed forward activity. `deferred` mirrors the
-    /// [`Admission::AllowDeferred`] decision.
-    pub fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
+    /// [`Admission::AllowDeferred`] decision. Returns the serialization
+    /// edges `(predecessor, pid)` newly added by this execution, so the
+    /// driver can attach them to its decision trace.
+    pub fn record_executed(
+        &mut self,
+        gid: GlobalActivityId,
+        deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
         let pid = gid.process;
         self.status.entry(pid).or_insert(ProtStatus::Active);
         let service = self
@@ -668,8 +675,11 @@ impl<'a> Protocol<'a> {
         let compensatable = self.spec.catalog.termination(service).is_compensatable();
         // Dependency edges from every conflicting predecessor.
         let preds = self.conflicting_predecessors(pid, service);
+        let mut edges_added = Vec::new();
         for &pi in preds.keys() {
-            self.insert_edge(pi, pid);
+            if self.insert_edge(pi, pid) {
+                edges_added.push((pi, pid));
+            }
         }
         // A committed non-compensatable activity stabilizes every earlier
         // operation of the same process (quasi-commit, §3.5).
@@ -693,6 +703,7 @@ impl<'a> Protocol<'a> {
         if deferred {
             self.deferred.entry(pid).or_default().push(gid);
         }
+        edges_added
     }
 
     /// Records the compensation of a previously executed activity.

@@ -117,6 +117,20 @@ pub fn proc_rec_violations(
             // activities (executed after the process's abort) are excluded:
             // their mutual order is Definition 8.3's choice, not a
             // recovery-relevant commit decision.
+            //
+            // A compensating operation as the *earlier* element imposes no
+            // pivot obligation either: a compensation is itself recovery and
+            // is never undone again, so P_j stabilizing first cannot strand
+            // it (same rationale as the quasi-commit refinement above).
+            // Definition 11 ranges over the processes' activities a_{i_k};
+            // the a⁻¹ operations enter the history only as recovery steps.
+            // E11's trace-backed triage found the scheduler legitimately
+            // emitting `a⁻¹ ≪ b` with the compensating process's next pivot
+            // one event after `b`: the history is PRED (Theorem 1 then
+            // demands Proc-REC), only the literal pair scan objected.
+            if x.kind == OpKind::Compensation {
+                continue;
+            }
             let next_nc = |start: &Op| {
                 let abort_at = replay.abort_event.get(&start.gid.process).copied();
                 ops.iter()

@@ -28,6 +28,7 @@ use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 use txproc_core::protocol::Admission;
 use txproc_core::schedule::Schedule;
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
+use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
 use txproc_sim::metrics::Metrics;
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
@@ -94,6 +95,18 @@ struct Shared<'a> {
     /// they are re-armed only once the history actually advanced — not
     /// busy-retried on every lock acquisition.
     stalled_releases: Vec<(ProcessId, usize)>,
+    /// Structured decision trace. Records are stamped with `time == seq`
+    /// (journal order): the driver has no virtual clock.
+    sink: Box<dyn TraceSink + 'a>,
+    trace_seq: u64,
+    /// Last journalled block state per process (kind, wait set). The worker
+    /// loop re-polls blocked requests every few milliseconds; one journal
+    /// record per *distinct* blocked state keeps the trace readable.
+    block_notes: BTreeMap<ProcessId, (u8, Vec<ProcessId>)>,
+    /// Certification failures already journalled, stamped with the history
+    /// length: the verdict is a pure function of the history, so re-polls at
+    /// the same length are the same decision, not a new one.
+    cert_fail_notes: Vec<(txproc_core::schedule::Event, usize)>,
 }
 
 /// A failure-injected ("simulated") agent invocation to run after the
@@ -105,6 +118,84 @@ struct SimulatedInvoke {
 }
 
 impl Shared<'_> {
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.trace_seq,
+            time: self.trace_seq,
+            history_len: self.history.len(),
+            event,
+        };
+        self.trace_seq += 1;
+        self.sink.record(rec);
+    }
+
+    fn count_abort_reason(&mut self, reason: AbortReason) {
+        let r = &mut self.metrics.abort_reasons;
+        match reason {
+            AbortReason::Rejected => r.rejected += 1,
+            AbortReason::Cascade => r.cascade += 1,
+            AbortReason::Failure => r.failure += 1,
+            AbortReason::CertStuck => r.cert_stuck += 1,
+            AbortReason::Deadlock => r.deadlock += 1,
+            AbortReason::External => r.external += 1,
+        }
+    }
+
+    /// Whether this block state is new for `pid` (and notes it if so).
+    fn note_blocked(&mut self, pid: ProcessId, kind: u8, wait_for: &[ProcessId]) -> bool {
+        match self.block_notes.get(&pid) {
+            Some((k, w)) if *k == kind && w == wait_for => false,
+            _ => {
+                self.block_notes.insert(pid, (kind, wait_for.to_vec()));
+                true
+            }
+        }
+    }
+
+    fn clear_block_note(&mut self, pid: ProcessId) {
+        self.block_notes.remove(&pid);
+    }
+
+    /// [`Self::certified_ok`] plus metrics accounting and a
+    /// [`TraceEvent::CertifyOutcome`] record. Re-polls of a failed
+    /// certification against an unchanged history are deduplicated.
+    fn certified_traced(&mut self, event: txproc_core::schedule::Event) -> bool {
+        if !self.certify {
+            return true;
+        }
+        let ok = self.certified_ok(event.clone());
+        if !ok {
+            let len = self.history.len();
+            self.cert_fail_notes.retain(|&(_, stamp)| stamp >= len);
+            if self
+                .cert_fail_notes
+                .iter()
+                .any(|(e, stamp)| *stamp == len && *e == event)
+            {
+                return false;
+            }
+            self.cert_fail_notes.push((event.clone(), len));
+            self.metrics.cert_failures += 1;
+        }
+        if self.tracing() {
+            let frontier = self.history.len() + 1;
+            self.trace(TraceEvent::CertifyOutcome {
+                event,
+                ok,
+                frontier,
+            });
+        }
+        ok
+    }
+
     /// §3.5 certification of the next effect event (see the virtual-time
     /// engine for the rationale).
     fn certified_ok(&mut self, event: txproc_core::schedule::Event) -> bool {
@@ -148,7 +239,7 @@ impl Shared<'_> {
             let Some(&(gid, a, sid, inv)) = self.pending_release.get(&pj) else {
                 continue;
             };
-            if !self.certified_ok(txproc_core::schedule::Event::Execute(gid)) {
+            if !self.certified_traced(txproc_core::schedule::Event::Execute(gid)) {
                 self.stalled_releases.push((pj, self.history.len()));
                 continue;
             }
@@ -157,6 +248,10 @@ impl Shared<'_> {
             self.history.execute(gid);
             self.policy.record_deferred_released(gid);
             self.metrics.activities += 1;
+            self.clear_block_note(pj);
+            if self.tracing() {
+                self.trace(TraceEvent::CommitReleased { gid });
+            }
             // The owner thread applies the state advance.
             self.released.insert(pj, a);
         }
@@ -165,6 +260,20 @@ impl Shared<'_> {
 
 /// Runs every process of the workload on its own thread.
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
+    run_concurrent_traced(workload, cfg, Box::new(NoopSink))
+}
+
+/// Same as [`run_concurrent`], delivering structured [`TraceEvent`]s to
+/// `sink`. The driver has no virtual clock, so records are stamped with
+/// `time == seq` (journal order), and [`Metrics::blocked_time`] stays empty
+/// (waits here are wall-clock polls, counted in `waits`). Multi-process
+/// interleavings are nondeterministic; a single-process run yields a
+/// bit-identical journal across repeats.
+pub fn run_concurrent_traced<'a>(
+    workload: &'a Workload,
+    cfg: ConcurrentConfig,
+    sink: Box<dyn TraceSink + 'a>,
+) -> ConcurrentResult {
     let mut agents: Agents = BTreeMap::new();
     for sid in workload.deployment.subsystems() {
         agents.insert(
@@ -195,6 +304,10 @@ pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentR
         pending_release: BTreeMap::new(),
         ready_releases: Vec::new(),
         stalled_releases: Vec::new(),
+        sink,
+        trace_seq: 0,
+        block_notes: BTreeMap::new(),
+        cert_fail_notes: Vec::new(),
     });
     let cond = Condvar::new();
 
@@ -254,13 +367,27 @@ fn worker<'a>(
                     .filter(|(&q, st)| q != pid && st.is_active() && !st.abort_in_progress())
                     .map(|(&q, _)| q)
                     .collect();
+                if guard.tracing() && !others.is_empty() {
+                    guard.trace(TraceEvent::GroupAbort {
+                        initiator: Some(pid),
+                        victims: others.iter().rev().copied().collect(),
+                        trigger: None,
+                    });
+                }
                 for q in others.into_iter().rev() {
                     cascade_abort(&mut guard, agents, q);
                 }
             } else {
                 // Nothing moved for a while: only an abort can resolve this.
                 guard.metrics.rejections += 1;
-                initiate_abort(workload, pid, &mut guard, agents);
+                initiate_abort(
+                    workload,
+                    pid,
+                    &mut guard,
+                    agents,
+                    AbortReason::Deadlock,
+                    None,
+                );
             }
             cond.notify_all();
             continue;
@@ -308,7 +435,7 @@ fn worker<'a>(
         // Pending compensation?
         if let Some(c) = guard.states[&pid].next_compensation() {
             let gid = GlobalActivityId::new(pid, c);
-            if !guard.certified_ok(txproc_core::schedule::Event::Compensate(gid)) {
+            if !guard.certified_traced(txproc_core::schedule::Event::Compensate(gid)) {
                 cond.wait_for(&mut guard, Duration::from_millis(2));
                 continue;
             }
@@ -316,6 +443,10 @@ fn worker<'a>(
             let outcome = agents[&sid].lock().compensate(inv).expect("subsystem up");
             match outcome {
                 InvokeOutcome::Committed { .. } => {
+                    if guard.tracing() {
+                        let service = workload.spec.process(pid).expect("known").service(c);
+                        guard.trace(TraceEvent::CompensationStarted { gid, service });
+                    }
                     guard.history.compensate(gid);
                     guard.policy.record_compensated(gid);
                     guard
@@ -355,7 +486,7 @@ fn worker<'a>(
         // Commit.
         if guard.states[&pid].can_commit() {
             match guard.policy.can_commit(pid) {
-                Ok(()) if !guard.certified_ok(txproc_core::schedule::Event::Commit(pid)) => {
+                Ok(()) if !guard.certified_traced(txproc_core::schedule::Event::Commit(pid)) => {
                     cond.wait_for(&mut guard, Duration::from_millis(2));
                     continue;
                 }
@@ -371,8 +502,14 @@ fn worker<'a>(
                     cond.notify_all();
                     return;
                 }
-                Err(_) => {
+                Err(blockers) => {
                     guard.metrics.waits += 1;
+                    if guard.tracing() && guard.note_blocked(pid, 1, &blockers) {
+                        guard.trace(TraceEvent::CommitBlocked {
+                            pid,
+                            wait_for: blockers,
+                        });
+                    }
                     cond.wait_for(&mut guard, Duration::from_millis(10));
                 }
             }
@@ -408,17 +545,38 @@ fn step_activity<'a>(
     } else {
         guard.policy.request(pid, gid, svc)
     };
-    let mode = match admission {
-        Admission::Allow => CommitMode::Immediate,
-        Admission::AllowDeferred { .. } => CommitMode::Deferred,
-        Admission::Wait { .. } => {
+    let (mode, blockers) = match admission {
+        Admission::Allow => (CommitMode::Immediate, Vec::new()),
+        Admission::AllowDeferred { blockers } => (CommitMode::Deferred, blockers),
+        Admission::Wait { blockers } => {
             guard.metrics.waits += 1;
+            if guard.tracing() && guard.note_blocked(pid, 0, &blockers) {
+                guard.trace(TraceEvent::RequestBlocked {
+                    gid,
+                    service: svc,
+                    blockers,
+                });
+            }
             // Wait; re-evaluated on the next iteration.
             return None;
         }
-        Admission::Reject { .. } => {
+        Admission::Reject { conflicting } => {
             guard.metrics.rejections += 1;
-            initiate_abort(workload, pid, guard, agents);
+            if guard.tracing() {
+                guard.trace(TraceEvent::RequestRejected {
+                    gid,
+                    service: svc,
+                    conflicting,
+                });
+            }
+            initiate_abort(
+                workload,
+                pid,
+                guard,
+                agents,
+                AbortReason::Rejected,
+                Some(gid),
+            );
             cond.notify_all();
             return None;
         }
@@ -427,14 +585,28 @@ fn step_activity<'a>(
     let inject = cfg.inject_failures && coin < p_fail(workload);
     if inject && termination.can_fail() {
         guard.history.fail(gid);
+        if guard.tracing() {
+            guard.trace(TraceEvent::ActivityFailed { gid, service: svc });
+        }
         let outcome = guard
             .states
             .get_mut(&pid)
             .expect("state")
             .apply_failure(a)
             .expect("frontier");
-        if matches!(outcome, FailureOutcome::Stuck) {
-            panic!("guaranteed-termination process stuck at {gid}");
+        match outcome {
+            FailureOutcome::Stuck => panic!("guaranteed-termination process stuck at {gid}"),
+            FailureOutcome::ProcessAbort { .. } => {
+                guard.count_abort_reason(AbortReason::Failure);
+                guard.clear_block_note(pid);
+                if guard.tracing() {
+                    guard.trace(TraceEvent::AbortStarted {
+                        pid,
+                        reason: AbortReason::Failure,
+                    });
+                }
+            }
+            FailureOutcome::Alternative { .. } => {}
         }
         return Some(SimulatedInvoke { svc, site });
     }
@@ -443,7 +615,7 @@ fn step_activity<'a>(
         return Some(SimulatedInvoke { svc, site });
     }
     if mode == CommitMode::Immediate
-        && !guard.certified_ok(txproc_core::schedule::Event::Execute(gid))
+        && !guard.certified_traced(txproc_core::schedule::Event::Execute(gid))
     {
         // Retry on the next iteration, after other completions progressed.
         return None;
@@ -456,7 +628,7 @@ fn step_activity<'a>(
         InvokeOutcome::Committed { invocation, .. } => {
             guard.invocations.insert(gid, (site.subsystem, invocation));
             guard.history.execute(gid);
-            guard.policy.record_executed(gid, false);
+            let edges_added = guard.policy.record_executed(gid, false);
             guard
                 .states
                 .get_mut(&pid)
@@ -464,14 +636,35 @@ fn step_activity<'a>(
                 .apply_commit(a)
                 .expect("frontier");
             guard.metrics.activities += 1;
+            guard.clear_block_note(pid);
+            if guard.tracing() {
+                guard.trace(TraceEvent::RequestAdmitted {
+                    gid,
+                    service: svc,
+                    deferred: false,
+                    blockers: Vec::new(),
+                    edges_added,
+                });
+            }
         }
         InvokeOutcome::Prepared { invocation, .. } => {
             guard.invocations.insert(gid, (site.subsystem, invocation));
-            guard.policy.record_executed(gid, true);
+            let edges_added = guard.policy.record_executed(gid, true);
             guard
                 .pending_release
                 .insert(pid, (gid, a, site.subsystem, invocation));
             guard.metrics.deferred_commits += 1;
+            guard.clear_block_note(pid);
+            if guard.tracing() {
+                guard.trace(TraceEvent::RequestAdmitted {
+                    gid,
+                    service: svc,
+                    deferred: true,
+                    blockers: blockers.clone(),
+                    edges_added,
+                });
+                guard.trace(TraceEvent::CommitDeferred { gid, blockers });
+            }
         }
         InvokeOutcome::Busy { .. } => {
             // Retry on the next iteration.
@@ -490,10 +683,18 @@ fn finalize(guard: &mut Shared<'_>, agents: &Agents, pid: ProcessId) {
     let released = match status {
         ProcessStatus::Committed => {
             guard.metrics.committed += 1;
+            guard.clear_block_note(pid);
+            if guard.tracing() {
+                guard.trace(TraceEvent::ProcessCommitted { pid });
+            }
             guard.policy.on_commit(pid)
         }
         ProcessStatus::Aborted => {
             guard.metrics.aborted += 1;
+            guard.clear_block_note(pid);
+            if guard.tracing() {
+                guard.trace(TraceEvent::ProcessAborted { pid });
+            }
             guard.policy.on_abort(pid)
         }
         ProcessStatus::Active => return,
@@ -512,6 +713,14 @@ fn cascade_abort(guard: &mut Shared<'_>, agents: &Agents, v: ProcessId) {
         return;
     }
     guard.metrics.cascaded += 1;
+    guard.count_abort_reason(AbortReason::Cascade);
+    guard.clear_block_note(v);
+    if guard.tracing() {
+        guard.trace(TraceEvent::AbortStarted {
+            pid: v,
+            reason: AbortReason::Cascade,
+        });
+    }
     if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&v) {
         agents[&sid].lock().abort_prepared(inv).expect("prepared");
         guard.invocations.remove(&gid);
@@ -532,6 +741,8 @@ fn initiate_abort<'a>(
     pid: ProcessId,
     guard: &mut Shared<'a>,
     agents: &Agents,
+    reason: AbortReason,
+    trigger: Option<GlobalActivityId>,
 ) {
     if guard.states[&pid].abort_in_progress() || !guard.states[&pid].is_active() {
         return;
@@ -549,6 +760,13 @@ fn initiate_abort<'a>(
         .map(|&a| process.service(a))
         .collect();
     let victims = guard.policy.plan_abort(pid, &comp_gids, &fwd);
+    if guard.tracing() && !victims.is_empty() {
+        guard.trace(TraceEvent::GroupAbort {
+            initiator: Some(pid),
+            victims: victims.clone(),
+            trigger,
+        });
+    }
     for v in victims {
         cascade_abort(guard, agents, v);
     }
@@ -557,6 +775,11 @@ fn initiate_abort<'a>(
             agents[&sid].lock().abort_prepared(inv).expect("prepared");
             guard.invocations.remove(&gid);
             guard.policy.record_prepared_aborted(gid);
+        }
+        guard.count_abort_reason(reason);
+        guard.clear_block_note(pid);
+        if guard.tracing() {
+            guard.trace(TraceEvent::AbortStarted { pid, reason });
         }
         guard.policy.on_abort_begin(pid);
         guard.history.abort(pid);

@@ -23,6 +23,7 @@ use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
 use txproc_core::protocol::Admission;
 use txproc_core::schedule::Schedule;
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
+use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
 use txproc_sim::clock::{EventQueue, SimTime};
 use txproc_sim::metrics::Metrics;
 use txproc_sim::workload::Workload;
@@ -143,6 +144,15 @@ pub struct Engine<'a> {
     stall_guard: u32,
     /// Consecutive processed events without progress (livelock detector).
     no_progress_ticks: u32,
+    /// Decision-trace sink ([`NoopSink`] unless installed via
+    /// [`Engine::with_sink`]). Emission sites consult `sink.enabled()`
+    /// before building payloads, so the no-op sink costs one branch.
+    sink: Box<dyn TraceSink + 'a>,
+    /// Next trace sequence number.
+    trace_seq: u64,
+    /// Virtual time at which each currently blocked process entered its
+    /// wait, for the per-process blocked-time metric.
+    blocked_since: BTreeMap<ProcessId, u64>,
 }
 
 /// One durable invocation-log entry: enough to find the subsystem
@@ -163,8 +173,20 @@ const BUSY_BACKOFF: u64 = 1;
 const MAX_TRANSIENT_RETRIES: u32 = 3;
 
 impl<'a> Engine<'a> {
-    /// Sets up a run over a workload.
+    /// Sets up a run over a workload with the default (no-op) trace sink.
     pub fn new(workload: &'a Workload, cfg: RunConfig) -> Self {
+        Self::with_sink(workload, cfg, Box::new(NoopSink))
+    }
+
+    /// Sets up a run that emits its decision trace into `sink`. Install a
+    /// cloned [`txproc_core::trace::Journal`] or
+    /// [`txproc_core::trace::RingSink`] handle to read the trace back after
+    /// [`Engine::run`] consumes the engine.
+    pub fn with_sink(
+        workload: &'a Workload,
+        cfg: RunConfig,
+        sink: Box<dyn TraceSink + 'a>,
+    ) -> Self {
         let policy = cfg.policy.build(&workload.spec);
         let mut agents = BTreeMap::new();
         for sid in workload.deployment.subsystems() {
@@ -207,6 +229,9 @@ impl<'a> Engine<'a> {
                 }),
             postponed_releases: Vec::new(),
             cert_failures: BTreeMap::new(),
+            sink,
+            trace_seq: 0,
+            blocked_since: BTreeMap::new(),
         };
         let mut at = 0u64;
         for process in workload.spec.processes() {
@@ -252,6 +277,54 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
+    /// Whether decision tracing is on. Emission sites building non-trivial
+    /// payloads (clones, vectors) guard on this so the no-op sink stays
+    /// zero-cost.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Emits one decision record, stamped with the causal position.
+    fn trace(&mut self, event: TraceEvent) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.trace_seq,
+            time: self.now.0,
+            history_len: self.history.len(),
+            event,
+        };
+        self.trace_seq += 1;
+        self.sink.record(rec);
+    }
+
+    /// Marks the start of a blocked interval (idempotent while blocked).
+    fn mark_blocked(&mut self, pid: ProcessId) {
+        let now = self.now.0;
+        self.blocked_since.entry(pid).or_insert(now);
+    }
+
+    /// Closes a blocked interval, accumulating it into the metrics.
+    fn mark_unblocked(&mut self, pid: ProcessId) {
+        if let Some(t) = self.blocked_since.remove(&pid) {
+            *self.metrics.blocked_time.entry(pid.0).or_insert(0) += self.now.0.saturating_sub(t);
+        }
+    }
+
+    fn count_abort_reason(&mut self, reason: AbortReason) {
+        let r = &mut self.metrics.abort_reasons;
+        match reason {
+            AbortReason::Rejected => r.rejected += 1,
+            AbortReason::Cascade => r.cascade += 1,
+            AbortReason::Failure => r.failure += 1,
+            AbortReason::CertStuck => r.cert_stuck += 1,
+            AbortReason::Deadlock => r.deadlock += 1,
+            AbortReason::External => r.external += 1,
+        }
+    }
+
     fn schedule_dispatch(&mut self, pid: ProcessId, at: SimTime) {
         let token = self.next_token;
         self.next_token += 1;
@@ -294,6 +367,7 @@ impl<'a> Engine<'a> {
                     // Never clobber OnRelease: the process already executed
                     // its deferred activity and must not re-run it.
                     if !matches!(self.waiting.get(&pid), Some(Waiting::OnRelease)) {
+                        self.mark_unblocked(pid);
                         self.waiting.insert(pid, Waiting::No);
                     }
                     let at = self.now;
@@ -348,7 +422,7 @@ impl<'a> Engine<'a> {
         };
         self.metrics.rejections += 1;
         self.stall_guard = 0;
-        self.initiate_abort(victim);
+        self.initiate_abort(victim, AbortReason::Deadlock, None);
         true
     }
 
@@ -419,6 +493,28 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::certified_ok`] plus bookkeeping: counts failed verdicts in
+    /// the metrics and emits a [`TraceEvent::CertifyOutcome`] per decision
+    /// (certified policies only).
+    fn certified_traced(&mut self, event: txproc_core::schedule::Event) -> bool {
+        if !self.certify {
+            return true;
+        }
+        let ok = self.certified_ok(event.clone());
+        if !ok {
+            self.metrics.cert_failures += 1;
+        }
+        if self.tracing() {
+            let frontier = self.history.len() + 1;
+            self.trace(TraceEvent::CertifyOutcome {
+                event,
+                ok,
+                frontier,
+            });
+        }
+        ok
+    }
+
     fn dispatch(&mut self, pid: ProcessId) {
         self.retry_postponed_releases();
         if self.done.contains(&pid) {
@@ -458,21 +554,24 @@ impl<'a> Engine<'a> {
         // compensated one must vanish first (or their owners cascade).
         match self.policy.compensation_gate(gid) {
             txproc_core::protocol::CompletionGate::Ready => {}
-            txproc_core::protocol::CompletionGate::WaitFor(_) => {
+            txproc_core::protocol::CompletionGate::WaitFor(wait_for) => {
+                if self.tracing() {
+                    self.trace(TraceEvent::CompletionBlocked { pid, wait_for });
+                }
                 let at = self.now.after(BUSY_BACKOFF);
                 self.schedule_dispatch(pid, at);
                 return;
             }
             txproc_core::protocol::CompletionGate::Cascade(victims) => {
                 for v in victims {
-                    self.begin_abort(v, true);
+                    self.begin_abort(v, true, AbortReason::Cascade);
                 }
                 let at = self.now.after(BUSY_BACKOFF);
                 self.schedule_dispatch(pid, at);
                 return;
             }
         }
-        if !self.certified_ok(txproc_core::schedule::Event::Compensate(gid)) {
+        if !self.certified_traced(txproc_core::schedule::Event::Compensate(gid)) {
             // Another process's completion step must come first (Lemma 2/3
             // ordering); retry after it progressed, escalating if stuck.
             self.cert_failure_backoff(pid);
@@ -485,6 +584,10 @@ impl<'a> Engine<'a> {
         let agent = self.agents.get_mut(&sid).expect("agent exists");
         match agent.compensate(invocation).expect("subsystem up") {
             InvokeOutcome::Committed { .. } => {
+                if self.tracing() {
+                    let service = self.workload.spec.process(pid).expect("known").service(a);
+                    self.trace(TraceEvent::CompensationStarted { gid, service });
+                }
                 self.history.compensate(gid);
                 self.policy.record_compensated(gid);
                 self.states
@@ -523,14 +626,17 @@ impl<'a> Engine<'a> {
                     return;
                 }
                 txproc_core::protocol::CompletionGate::Ready => Admission::Allow,
-                txproc_core::protocol::CompletionGate::WaitFor(_) => {
+                txproc_core::protocol::CompletionGate::WaitFor(wait_for) => {
+                    if self.tracing() {
+                        self.trace(TraceEvent::CompletionBlocked { pid, wait_for });
+                    }
                     let at = self.now.after(BUSY_BACKOFF);
                     self.schedule_dispatch(pid, at);
                     return;
                 }
                 txproc_core::protocol::CompletionGate::Cascade(victims) => {
                     for v in victims {
-                        self.begin_abort(v, true);
+                        self.begin_abort(v, true, AbortReason::Cascade);
                     }
                     let at = self.now.after(BUSY_BACKOFF);
                     self.schedule_dispatch(pid, at);
@@ -541,22 +647,46 @@ impl<'a> Engine<'a> {
             self.policy.request(pid, gid, svc)
         };
         match admission {
-            Admission::Allow => self.execute_forward(pid, a, CommitMode::Immediate),
-            Admission::AllowDeferred { .. } => self.execute_forward(pid, a, CommitMode::Deferred),
+            Admission::Allow => self.execute_forward(pid, a, CommitMode::Immediate, Vec::new()),
+            Admission::AllowDeferred { blockers } => {
+                self.execute_forward(pid, a, CommitMode::Deferred, blockers)
+            }
             Admission::Wait { blockers } => {
                 self.metrics.waits += 1;
+                if self.tracing() {
+                    self.trace(TraceEvent::RequestBlocked {
+                        gid,
+                        service: svc,
+                        blockers: blockers.clone(),
+                    });
+                }
+                self.mark_blocked(pid);
                 self.waiting.insert(pid, Waiting::OnProcesses(blockers));
             }
-            Admission::Reject { .. } => {
+            Admission::Reject { conflicting } => {
                 self.metrics.rejections += 1;
-                self.initiate_abort(pid);
+                if self.tracing() {
+                    self.trace(TraceEvent::RequestRejected {
+                        gid,
+                        service: svc,
+                        conflicting,
+                    });
+                }
+                self.initiate_abort(pid, AbortReason::Rejected, Some(gid));
             }
         }
     }
 
-    fn execute_forward(&mut self, pid: ProcessId, a: ActivityId, mode: CommitMode) {
+    fn execute_forward(
+        &mut self,
+        pid: ProcessId,
+        a: ActivityId,
+        mode: CommitMode,
+        blockers: Vec<ProcessId>,
+    ) {
         if self.pending_release.contains_key(&pid) {
             // Already executed under deferred commit; awaiting release.
+            self.mark_blocked(pid);
             self.waiting.insert(pid, Waiting::OnRelease);
             return;
         }
@@ -609,7 +739,7 @@ impl<'a> Engine<'a> {
         // (Deferred executions emit their history event at release time and
         // are certified there.)
         if mode == CommitMode::Immediate
-            && !self.certified_ok(txproc_core::schedule::Event::Execute(gid))
+            && !self.certified_traced(txproc_core::schedule::Event::Execute(gid))
         {
             self.cert_failure_backoff(pid);
             return;
@@ -629,7 +759,16 @@ impl<'a> Engine<'a> {
                     prepared: false,
                 });
                 self.history.execute(gid);
-                self.policy.record_executed(gid, false);
+                let edges_added = self.policy.record_executed(gid, false);
+                if self.tracing() {
+                    self.trace(TraceEvent::RequestAdmitted {
+                        gid,
+                        service: svc,
+                        deferred: false,
+                        blockers,
+                        edges_added,
+                    });
+                }
                 self.states
                     .get_mut(&pid)
                     .expect("state")
@@ -647,7 +786,17 @@ impl<'a> Engine<'a> {
                     invocation,
                     prepared: true,
                 });
-                self.policy.record_executed(gid, true);
+                let edges_added = self.policy.record_executed(gid, true);
+                if self.tracing() {
+                    self.trace(TraceEvent::RequestAdmitted {
+                        gid,
+                        service: svc,
+                        deferred: true,
+                        blockers: blockers.clone(),
+                        edges_added,
+                    });
+                    self.trace(TraceEvent::CommitDeferred { gid, blockers });
+                }
                 self.pending_release.insert(
                     pid,
                     PendingRelease {
@@ -658,6 +807,7 @@ impl<'a> Engine<'a> {
                     },
                 );
                 self.metrics.deferred_commits += 1;
+                self.mark_blocked(pid);
                 self.waiting.insert(pid, Waiting::OnRelease);
             }
             InvokeOutcome::Busy { .. } => {
@@ -711,6 +861,10 @@ impl<'a> Engine<'a> {
 
     fn handle_definitive_failure(&mut self, pid: ProcessId, a: ActivityId) {
         let gid = Self::gid(pid, a);
+        if self.tracing() {
+            let service = self.workload.spec.process(pid).expect("known").service(a);
+            self.trace(TraceEvent::ActivityFailed { gid, service });
+        }
         self.history.fail(gid);
         let outcome = self
             .states
@@ -719,7 +873,19 @@ impl<'a> Engine<'a> {
             .apply_failure(a)
             .expect("failable activity at frontier");
         match outcome {
-            FailureOutcome::Alternative { .. } | FailureOutcome::ProcessAbort { .. } => {
+            FailureOutcome::ProcessAbort { .. } => {
+                // The state machine entered its completion directly; record
+                // the abort initiation for the trace and the breakdown.
+                self.count_abort_reason(AbortReason::Failure);
+                self.trace(TraceEvent::AbortStarted {
+                    pid,
+                    reason: AbortReason::Failure,
+                });
+                let d = self.duration_of(gid);
+                let at = self.now.after(d);
+                self.schedule_dispatch(pid, at);
+            }
+            FailureOutcome::Alternative { .. } => {
                 let d = self.duration_of(gid);
                 let at = self.now.after(d);
                 self.schedule_dispatch(pid, at);
@@ -732,7 +898,7 @@ impl<'a> Engine<'a> {
 
     fn try_commit(&mut self, pid: ProcessId) {
         match self.policy.can_commit(pid) {
-            Ok(()) if !self.certified_ok(txproc_core::schedule::Event::Commit(pid)) => {
+            Ok(()) if !self.certified_traced(txproc_core::schedule::Event::Commit(pid)) => {
                 self.cert_failure_backoff(pid);
             }
             Ok(()) => {
@@ -746,6 +912,13 @@ impl<'a> Engine<'a> {
             }
             Err(blockers) => {
                 self.metrics.waits += 1;
+                if self.tracing() {
+                    self.trace(TraceEvent::CommitBlocked {
+                        pid,
+                        wait_for: blockers.clone(),
+                    });
+                }
+                self.mark_blocked(pid);
                 self.waiting.insert(pid, Waiting::OnProcesses(blockers));
             }
         }
@@ -757,18 +930,21 @@ impl<'a> Engine<'a> {
             return;
         }
         self.done.insert(pid);
+        self.mark_unblocked(pid);
         let status = self.states[&pid].status();
         let released = match status {
             ProcessStatus::Committed => {
                 self.metrics.committed += 1;
                 let latency = self.now.0.saturating_sub(self.arrivals[&pid]);
                 self.metrics.latencies.push(latency);
+                self.trace(TraceEvent::ProcessCommitted { pid });
                 self.policy.on_commit(pid)
             }
             ProcessStatus::Aborted => {
                 self.metrics.aborted += 1;
                 let latency = self.now.0.saturating_sub(self.arrivals[&pid]);
                 self.metrics.latencies.push(latency);
+                self.trace(TraceEvent::ProcessAborted { pid });
                 self.policy.on_abort(pid)
             }
             ProcessStatus::Active => unreachable!("finalize on active process"),
@@ -785,7 +961,7 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let gid = self.pending_release[&pj].gid;
-            if !self.certified_ok(txproc_core::schedule::Event::Execute(gid)) {
+            if !self.certified_traced(txproc_core::schedule::Event::Execute(gid)) {
                 self.postponed_releases
                     .push((pj, gids, self.history.events().len()));
                 continue;
@@ -801,12 +977,14 @@ impl<'a> Engine<'a> {
                 .expect("participants prepared");
             self.history.execute(pending.gid);
             self.policy.record_deferred_released(pending.gid);
+            self.trace(TraceEvent::CommitReleased { gid: pending.gid });
             self.states
                 .get_mut(&pj)
                 .expect("state")
                 .apply_commit(pending.activity)
                 .expect("deferred activity was the frontier");
             self.metrics.activities += 1;
+            self.mark_unblocked(pj);
             self.waiting.insert(pj, Waiting::No);
             let at = self.now;
             self.schedule_dispatch(pj, at);
@@ -848,12 +1026,19 @@ impl<'a> Engine<'a> {
                     .into_iter()
                     .filter(|&q| q != pid && !self.states[&q].abort_in_progress())
                     .collect();
+                if self.tracing() && !others.is_empty() {
+                    self.trace(TraceEvent::GroupAbort {
+                        initiator: Some(pid),
+                        victims: others.iter().rev().copied().collect(),
+                        trigger: None,
+                    });
+                }
                 for q in others.into_iter().rev() {
-                    self.begin_abort(q, true);
+                    self.begin_abort(q, true, AbortReason::Cascade);
                 }
             } else {
                 self.metrics.rejections += 1;
-                self.initiate_abort(pid);
+                self.initiate_abort(pid, AbortReason::CertStuck, None);
                 return;
             }
         }
@@ -874,6 +1059,7 @@ impl<'a> Engine<'a> {
             .map(|(&pid, _)| pid)
             .collect();
         for pid in to_wake {
+            self.mark_unblocked(pid);
             self.waiting.insert(pid, Waiting::No);
             let at = self.now;
             self.schedule_dispatch(pid, at);
@@ -882,8 +1068,14 @@ impl<'a> Engine<'a> {
 
     /// Aborts a process (and its cascade victims), per Lemma 2/3 ordering:
     /// victims — dependents later in the serialization — run their
-    /// completions first.
-    fn initiate_abort(&mut self, pid: ProcessId) {
+    /// completions first. `reason` is the initiator's first cause; `trigger`
+    /// the operation whose rejection/failure set it off (when known).
+    fn initiate_abort(
+        &mut self,
+        pid: ProcessId,
+        reason: AbortReason,
+        trigger: Option<GlobalActivityId>,
+    ) {
         if self.done.contains(&pid) || self.states[&pid].abort_in_progress() {
             return;
         }
@@ -900,13 +1092,20 @@ impl<'a> Engine<'a> {
             .map(|&a| process.service(a))
             .collect();
         let victims = self.policy.plan_abort(pid, &comp_gids, &fwd_services);
-        for v in victims {
-            self.begin_abort(v, true);
+        if self.tracing() && !victims.is_empty() {
+            self.trace(TraceEvent::GroupAbort {
+                initiator: Some(pid),
+                victims: victims.clone(),
+                trigger,
+            });
         }
-        self.begin_abort(pid, false);
+        for v in victims {
+            self.begin_abort(v, true, AbortReason::Cascade);
+        }
+        self.begin_abort(pid, false, reason);
     }
 
-    fn begin_abort(&mut self, pid: ProcessId, cascade: bool) {
+    fn begin_abort(&mut self, pid: ProcessId, cascade: bool, reason: AbortReason) {
         if self.done.contains(&pid)
             || !self.states[&pid].is_active()
             || self.states[&pid].abort_in_progress()
@@ -926,6 +1125,8 @@ impl<'a> Engine<'a> {
         if cascade {
             self.metrics.cascaded += 1;
         }
+        self.count_abort_reason(reason);
+        self.trace(TraceEvent::AbortStarted { pid, reason });
         let seq = self.next_abort_seq;
         self.next_abort_seq += 1;
         self.abort_seq.insert(pid, seq);
@@ -936,6 +1137,7 @@ impl<'a> Engine<'a> {
             .expect("state")
             .apply_process_abort()
             .expect("active process");
+        self.mark_unblocked(pid);
         self.waiting.insert(pid, Waiting::No);
         let at = self.now;
         self.schedule_dispatch(pid, at);
@@ -943,7 +1145,7 @@ impl<'a> Engine<'a> {
 
     /// Requests an abort of a process from outside (tests, crash recovery).
     pub fn abort_process(&mut self, pid: ProcessId) {
-        self.initiate_abort(pid);
+        self.initiate_abort(pid, AbortReason::External, None);
     }
 
     /// Evaluates (without side effects) why a process's next step is

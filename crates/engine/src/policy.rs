@@ -31,7 +31,14 @@ pub trait Policy {
     /// May `pid` execute `gid` (invoking `service`) now?
     fn request(&mut self, pid: ProcessId, gid: GlobalActivityId, service: ServiceId) -> Admission;
     /// A forward activity executed (`deferred`: prepared, commit deferred).
-    fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool);
+    /// Returns the serialization edges newly added by the execution, for
+    /// decision tracing; policies without an explicit serialization order
+    /// return the empty vector.
+    fn record_executed(
+        &mut self,
+        gid: GlobalActivityId,
+        deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)>;
     /// A deferred activity's subsystem commit was released.
     fn record_deferred_released(&mut self, gid: GlobalActivityId);
     /// A deferred (prepared) activity was aborted before release: it leaves
@@ -111,8 +118,12 @@ impl Policy for PredPolicy<'_> {
     fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, service: ServiceId) -> Admission {
         self.protocol.request(pid, service)
     }
-    fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
-        self.protocol.record_executed(gid, deferred);
+    fn record_executed(
+        &mut self,
+        gid: GlobalActivityId,
+        deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
+        self.protocol.record_executed(gid, deferred)
     }
     fn record_deferred_released(&mut self, gid: GlobalActivityId) {
         self.protocol.record_deferred_released(gid);
@@ -186,8 +197,12 @@ impl Policy for ScanPredPolicy<'_> {
     fn request(&mut self, pid: ProcessId, _gid: GlobalActivityId, service: ServiceId) -> Admission {
         self.protocol.scan_request(pid, service)
     }
-    fn record_executed(&mut self, gid: GlobalActivityId, deferred: bool) {
-        self.protocol.record_executed(gid, deferred);
+    fn record_executed(
+        &mut self,
+        gid: GlobalActivityId,
+        deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
+        self.protocol.record_executed(gid, deferred)
     }
     fn record_deferred_released(&mut self, gid: GlobalActivityId) {
         self.protocol.record_deferred_released(gid);
@@ -272,7 +287,13 @@ impl Policy for SerialPolicy {
             None => Admission::Allow,
         }
     }
-    fn record_executed(&mut self, _gid: GlobalActivityId, _deferred: bool) {}
+    fn record_executed(
+        &mut self,
+        _gid: GlobalActivityId,
+        _deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
+        Vec::new()
+    }
     fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
     fn record_compensated(&mut self, _gid: GlobalActivityId) {}
     fn can_commit(&mut self, _pid: ProcessId) -> Result<(), Vec<ProcessId>> {
@@ -366,7 +387,13 @@ impl Policy for ConservativePolicy<'_> {
             Admission::Wait { blockers }
         }
     }
-    fn record_executed(&mut self, _gid: GlobalActivityId, _deferred: bool) {}
+    fn record_executed(
+        &mut self,
+        _gid: GlobalActivityId,
+        _deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
+        Vec::new()
+    }
     fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
     fn record_compensated(&mut self, _gid: GlobalActivityId) {}
     fn can_commit(&mut self, _pid: ProcessId) -> Result<(), Vec<ProcessId>> {
@@ -419,8 +446,12 @@ impl Policy for UnsafeCcPolicy<'_> {
             _ => Admission::Allow,
         }
     }
-    fn record_executed(&mut self, gid: GlobalActivityId, _deferred: bool) {
-        self.protocol.record_executed(gid, false);
+    fn record_executed(
+        &mut self,
+        gid: GlobalActivityId,
+        _deferred: bool,
+    ) -> Vec<(ProcessId, ProcessId)> {
+        self.protocol.record_executed(gid, false)
     }
     fn record_deferred_released(&mut self, _gid: GlobalActivityId) {}
     fn record_compensated(&mut self, gid: GlobalActivityId) {

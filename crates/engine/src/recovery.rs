@@ -26,6 +26,7 @@ use txproc_core::ids::{GlobalActivityId, ProcessId};
 use txproc_core::schedule::{Event, OpKind, Schedule};
 use txproc_core::serializability::process_graph_linear;
 use txproc_core::spec::Spec;
+use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvokeOutcome};
 use txproc_subsystem::error::SubsystemError;
@@ -69,11 +70,49 @@ pub struct RecoveryReport {
     pub image: CrashImage,
 }
 
+/// Decision trace of a recovery run. Recovery has no virtual clock, so
+/// records are stamped with `time == seq` (journal order).
+struct Tracer<'s> {
+    sink: Box<dyn TraceSink + 's>,
+    seq: u64,
+}
+
+impl Tracer<'_> {
+    fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    fn emit(&mut self, history_len: usize, event: TraceEvent) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.seq,
+            time: self.seq,
+            history_len,
+            event,
+        };
+        self.seq += 1;
+        self.sink.record(rec);
+    }
+}
+
 /// Runs crash recovery over a crash image.
-pub fn recover(
+pub fn recover(workload: &Workload, image: CrashImage) -> Result<RecoveryReport, SubsystemError> {
+    recover_traced(workload, image, Box::new(NoopSink))
+}
+
+/// Same as [`recover`], delivering structured [`TraceEvent`]s to `sink`:
+/// the recovery-initiated group abort (`initiator: None` — the scheduler
+/// itself is the initiator), each victim's `AbortStarted` (reason
+/// `External`), every completion operation, and the final `ProcessAborted`
+/// terminations.
+pub fn recover_traced<'s>(
     workload: &Workload,
     mut image: CrashImage,
+    sink: Box<dyn TraceSink + 's>,
 ) -> Result<RecoveryReport, SubsystemError> {
+    let mut tracer = Tracer { sink, seq: 0 };
     let spec = &workload.spec;
 
     // 1. Finish in-doubt 2PC groups from the decision log.
@@ -131,7 +170,28 @@ pub fn recover(
 
     let mut history = image.history.clone();
     if !actives.is_empty() {
+        if tracer.enabled() {
+            tracer.emit(
+                history.len(),
+                TraceEvent::GroupAbort {
+                    initiator: None,
+                    victims: actives.clone(),
+                    trigger: None,
+                },
+            );
+        }
         history.group_abort(actives.clone());
+        if tracer.enabled() {
+            for &pid in &actives {
+                tracer.emit(
+                    history.len(),
+                    TraceEvent::AbortStarted {
+                        pid,
+                        reason: AbortReason::External,
+                    },
+                );
+            }
+        }
     }
 
     // 4. Execute completions in a single ≪̃-respecting interleaved order.
@@ -177,6 +237,13 @@ pub fn recover(
                 let agent = image.agents.get_mut(&sid).expect("agent");
                 match agent.compensate(invocation)? {
                     InvokeOutcome::Committed { .. } => {
+                        if tracer.enabled() {
+                            let service = spec.process(pid).expect("known").service(a);
+                            tracer.emit(
+                                history.len(),
+                                TraceEvent::CompensationStarted { gid, service },
+                            );
+                        }
                         history.compensate(gid);
                         state.apply_compensation(a).expect("queued compensation");
                         compensations += 1;
@@ -194,6 +261,18 @@ pub fn recover(
                 match agent.invoke(svc, &program, CommitMode::Immediate, false)? {
                     InvokeOutcome::Committed { .. } => {
                         history.execute(gid);
+                        if tracer.enabled() {
+                            tracer.emit(
+                                history.len(),
+                                TraceEvent::RequestAdmitted {
+                                    gid,
+                                    service: svc,
+                                    deferred: false,
+                                    blockers: Vec::new(),
+                                    edges_added: Vec::new(),
+                                },
+                            );
+                        }
                         state.apply_commit(a).expect("forward path");
                         forward += 1;
                     }
@@ -207,6 +286,9 @@ pub fn recover(
             states.get(&pid).is_some_and(|s| !s.is_active()),
             "completion terminates process {pid:?}"
         );
+        if tracer.enabled() {
+            tracer.emit(history.len(), TraceEvent::ProcessAborted { pid });
+        }
     }
 
     Ok(RecoveryReport {

@@ -2,6 +2,49 @@
 //! harness.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Abort counts broken down by first cause (mirrors
+/// `txproc_core::trace::AbortReason`). A trace-derived aggregate: the sum of
+/// the fields equals the number of `AbortStarted` decisions, which can exceed
+/// [`Metrics::aborted`] when an abort is initiated but the run ends first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortReasons {
+    /// Admission rejected: execution would close a serialization cycle.
+    pub rejected: u64,
+    /// Victim of another process's abort (group abort / Lemma 3).
+    pub cascade: u64,
+    /// Definitive activity failure with no remaining alternative.
+    pub failure: u64,
+    /// Certification livelock breaker escalated.
+    pub cert_stuck: u64,
+    /// Deadlock breaker picked the process as victim.
+    pub deadlock: u64,
+    /// Abort requested from outside the scheduler.
+    pub external: u64,
+}
+
+impl AbortReasons {
+    /// Total abort initiations across all causes.
+    pub fn total(&self) -> u64 {
+        self.rejected
+            + self.cascade
+            + self.failure
+            + self.cert_stuck
+            + self.deadlock
+            + self.external
+    }
+
+    /// Accumulates another run's breakdown.
+    pub fn merge(&mut self, other: &AbortReasons) {
+        self.rejected += other.rejected;
+        self.cascade += other.cascade;
+        self.failure += other.failure;
+        self.cert_stuck += other.cert_stuck;
+        self.deadlock += other.deadlock;
+        self.external += other.external;
+    }
+}
 
 /// Counters and latency samples of one scheduler run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -30,6 +73,15 @@ pub struct Metrics {
     pub latencies: Vec<u64>,
     /// Virtual makespan of the whole run.
     pub makespan: u64,
+    /// Per-process time spent blocked (virtual time in the deterministic
+    /// engine; the concurrent driver does not populate this — its waits are
+    /// wall-clock and counted in [`Metrics::waits`] instead).
+    pub blocked_time: BTreeMap<u32, u64>,
+    /// Abort initiations broken down by first cause.
+    pub abort_reasons: AbortReasons,
+    /// Certification attempts answered "not PRED" (each forces a defer,
+    /// retry or escalation).
+    pub cert_failures: u64,
 }
 
 impl Metrics {
@@ -87,6 +139,16 @@ impl Metrics {
         self.violations += other.violations;
         self.latencies.extend_from_slice(&other.latencies);
         self.makespan += other.makespan;
+        for (&pid, &t) in &other.blocked_time {
+            *self.blocked_time.entry(pid).or_insert(0) += t;
+        }
+        self.abort_reasons.merge(&other.abort_reasons);
+        self.cert_failures += other.cert_failures;
+    }
+
+    /// Total blocked time across all processes.
+    pub fn blocked_total(&self) -> u64 {
+        self.blocked_time.values().sum()
     }
 }
 
