@@ -13,6 +13,8 @@
 //! txproc bench     [--smoke] [--out PATH] [--seed N] [--processes CSV]
 //!                  [--density CSV] [--policy CSV] [--certifier batch|incremental]
 //!                  [--arrival-gap N]           # perf trajectory → BENCH_scheduler.json
+//!                  [--shards auto|single|N]    # concurrent-driver shard topology
+//!                  [--clusters N]              # tenants in the sharding comparison
 //! txproc trace     [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy …] [--certifier …] [--arrival-gap N]
 //!                  [--pid N] [--kind SUBSTR]   # filter the printed journal
@@ -286,10 +288,19 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     if let Some(raw) = args.values.get("certifier") {
         cfg.certifier = parse_certifier(raw)?;
     }
+    if let Some(raw) = args.values.get("shards") {
+        cfg.shards = txproc_engine::ShardMode::parse(raw)
+            .ok_or_else(|| format!("invalid --shards value: {raw} (want auto|single|N)"))?;
+    }
+    cfg.sharding_clusters = args.get("clusters", cfg.sharding_clusters)?;
     let report = run_scheduler_bench(&cfg);
     for e in &report.runs {
+        let shard = match &e.shard_mode {
+            Some(m) => format!(" shards={m}/{}", e.shards),
+            None => String::new(),
+        };
         println!(
-            "{:<10} {:<14} n={:<4} d={:<4} {:>10.2} ms  {:>12.0} events/s  ({} committed, {} aborted)",
+            "{:<10} {:<14} n={:<4} d={:<4} {:>10.2} ms  {:>12.0} events/s  ({} committed, {} aborted){shard}",
             e.mode, e.policy, e.processes, e.density, e.wall_ms, e.events_per_sec,
             e.committed, e.aborted
         );
@@ -506,7 +517,7 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v2"));
+        assert!(raw.contains("txproc-bench-scheduler/v3"));
         assert!(raw.contains("pred-scan"));
         std::fs::remove_file(&out).ok();
     }

@@ -20,7 +20,7 @@ use std::time::Instant;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
 use txproc_core::protocol::{DeferPolicy, Protocol};
 use txproc_core::trace::{JsonlSink, NoopSink, RingSink, TraceSink};
-use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, ShardMode};
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_sim::metrics::AbortReasons;
@@ -49,6 +49,15 @@ pub struct SchedulerBenchConfig {
     /// process) driver; larger sweep points run the engine only. Recorded
     /// in the report so the cap is never silent.
     pub concurrent_max_processes: usize,
+    /// Shard topology for concurrent sweep entries.
+    pub shards: ShardMode,
+    /// Cluster count (disjoint tenants) of the dedicated sharding
+    /// comparison workload; 0 disables the comparison sweep.
+    pub sharding_clusters: usize,
+    /// Process count of the sharding comparison workload (larger than the
+    /// general concurrent cap: the single-vs-auto contrast is the point of
+    /// that pair, and it grows with scale).
+    pub sharding_processes: usize,
 }
 
 impl SchedulerBenchConfig {
@@ -70,6 +79,9 @@ impl SchedulerBenchConfig {
             arrival_gap: 0,
             failure_probability: 0.1,
             concurrent_max_processes: 64,
+            shards: ShardMode::Auto,
+            sharding_clusters: 8,
+            sharding_processes: 128,
         }
     }
 
@@ -81,6 +93,8 @@ impl SchedulerBenchConfig {
             densities: vec![0.3],
             policies: vec![PolicyKind::PredProtocol, PolicyKind::PredScan],
             concurrent_max_processes: 16,
+            sharding_clusters: 4,
+            sharding_processes: 16,
             ..Self::full()
         }
     }
@@ -109,12 +123,30 @@ pub struct BenchEntry {
     pub committed: u64,
     /// Aborted processes.
     pub aborted: u64,
-    /// Virtual makespan.
+    /// Makespan: virtual ticks for engine runs, wall-clock microseconds
+    /// for concurrent runs.
     pub makespan: u64,
-    /// Virtual latency p50 (engine runs).
+    /// Latency p50: virtual ticks (engine) or wall-clock µs (concurrent).
     pub latency_p50: Option<u64>,
-    /// Virtual latency p95 (engine runs).
+    /// Latency p95: virtual ticks (engine) or wall-clock µs (concurrent).
     pub latency_p95: Option<u64>,
+    /// Shard topology label (concurrent runs only).
+    pub shard_mode: Option<String>,
+    /// Scheduler shards the run used (0 for engine runs).
+    pub shards: u64,
+    /// Disjoint tenant clusters in the workload (1 = classic single pool).
+    pub clusters: usize,
+    /// Total time threads spent blocked acquiring shard locks, in
+    /// milliseconds (concurrent runs only).
+    pub lock_wait_ms: f64,
+    /// Total time threads spent holding shard locks (condvar waits
+    /// excluded), in milliseconds (concurrent runs only).
+    pub lock_hold_ms: f64,
+    /// Condvar wakeups across shards (concurrent runs only).
+    pub wakeups: u64,
+    /// Wakeups that observed no shard-state change (concurrent runs only;
+    /// with targeted notification these are fallback-timeout polls).
+    pub spurious_wakeups: u64,
     /// Total virtual time processes spent blocked (engine runs; the
     /// concurrent driver has no virtual clock and reports 0).
     pub blocked_time_total: u64,
@@ -218,13 +250,25 @@ fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) ->
         makespan: r.metrics.makespan,
         latency_p50: r.metrics.latency_percentile(0.5),
         latency_p95: r.metrics.latency_percentile(0.95),
+        shard_mode: None,
+        shards: 0,
+        clusters: w.config.clusters.max(1),
+        lock_wait_ms: 0.0,
+        lock_hold_ms: 0.0,
+        wakeups: 0,
+        spurious_wakeups: 0,
         blocked_time_total: r.metrics.blocked_total(),
         cert_failures: r.metrics.cert_failures,
         abort_reasons: r.metrics.abort_reasons,
     }
 }
 
-fn concurrent_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) -> BenchEntry {
+fn concurrent_entry(
+    cfg: &SchedulerBenchConfig,
+    w: &Workload,
+    policy: PolicyKind,
+    shards: ShardMode,
+) -> BenchEntry {
     let t = Instant::now();
     let r = run_concurrent(
         w,
@@ -232,6 +276,7 @@ fn concurrent_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind
             policy,
             seed: cfg.seed,
             certifier: cfg.certifier,
+            shards,
             ..ConcurrentConfig::default()
         },
     );
@@ -251,8 +296,15 @@ fn concurrent_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind
         committed: r.metrics.committed,
         aborted: r.metrics.aborted,
         makespan: r.metrics.makespan,
-        latency_p50: None,
-        latency_p95: None,
+        latency_p50: r.metrics.latency_percentile(0.5),
+        latency_p95: r.metrics.latency_percentile(0.95),
+        shard_mode: Some(shards.label()),
+        shards: r.metrics.shards.len() as u64,
+        clusters: w.config.clusters.max(1),
+        lock_wait_ms: r.metrics.lock_wait_total_ns() as f64 / 1e6,
+        lock_hold_ms: r.metrics.lock_hold_total_ns() as f64 / 1e6,
+        wakeups: r.metrics.wakeups_total(),
+        spurious_wakeups: r.metrics.spurious_wakeups_total(),
         blocked_time_total: r.metrics.blocked_total(),
         cert_failures: r.metrics.cert_failures,
         abort_reasons: r.metrics.abort_reasons,
@@ -419,7 +471,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             for &policy in &cfg.policies {
                 runs.push(engine_entry(cfg, &w, policy));
                 if n <= cfg.concurrent_max_processes {
-                    runs.push(concurrent_entry(cfg, &w, policy));
+                    runs.push(concurrent_entry(cfg, &w, policy, cfg.shards));
                 }
             }
         }
@@ -434,13 +486,48 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             cfg.concurrent_max_processes
         ));
     }
+    // Sharding comparison (E21 headline): the same multi-tenant workload —
+    // disjoint clusters give the partitioner real domains to find — driven
+    // once single-lock and once auto-sharded. The classic single-pool
+    // workloads above birthday-collide into one giant conflict domain, so
+    // they exercise the `shards` plumbing but cannot show parallel
+    // admission; that coverage gap is what the clustered pair closes.
+    if cfg.sharding_clusters > 1 {
+        let n = cfg.sharding_processes;
+        let density = cfg.densities.first().copied().unwrap_or(0.3);
+        let w = generate(&WorkloadConfig {
+            seed: cfg.seed,
+            processes: n,
+            clusters: cfg.sharding_clusters,
+            conflict_density: density,
+            failure_probability: cfg.failure_probability,
+            prefix_len: (2, 5),
+            tail_len: (1, 3),
+            alternative_probability: 0.5,
+            ..WorkloadConfig::default()
+        });
+        let single = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Single);
+        let auto = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Auto);
+        notes.push(format!(
+            "sharding: {} processes, density {density}, {} clusters -> {} shards; auto vs single-lock speedup {:.2}x events/sec",
+            n,
+            cfg.sharding_clusters,
+            auto.shards,
+            auto.events_per_sec / single.events_per_sec.max(1e-9),
+        ));
+        runs.push(single);
+        runs.push(auto);
+    }
     let decision = decision_bench(cfg);
     let trace_overhead = trace_overhead_bench(cfg);
     BenchReport {
-        // v2 (additive over v1): entries carry blocked_time_total,
-        // cert_failures and abort_reasons; the report carries
-        // trace_overhead. v1 readers that pick fields by name still work.
-        schema: "txproc-bench-scheduler/v2",
+        // v3 (additive over v2): entries carry shard_mode/shards/clusters,
+        // per-run lock contention totals (lock_wait_ms, lock_hold_ms) and
+        // wakeup counters, concurrent entries fill latency_p50/p95 and
+        // makespan with wall-clock µs, and the runs include the clustered
+        // single-vs-auto sharding pair. v2 readers that pick fields by name
+        // still work.
+        schema: "txproc-bench-scheduler/v3",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -463,9 +550,30 @@ mod tests {
         cfg.processes = vec![6];
         cfg.concurrent_max_processes = 6;
         let report = run_scheduler_bench(&cfg);
-        // engine + concurrent, per policy.
-        assert_eq!(report.runs.len(), 4);
+        // engine + concurrent per policy, plus the single/auto sharding pair.
+        assert_eq!(report.runs.len(), 6);
         assert!(report.runs.iter().all(|e| e.events > 0));
+        // Concurrent entries now carry wall-clock latency/makespan and
+        // shard/lock observability; engine entries stay virtual-time.
+        for e in &report.runs {
+            if e.mode == "concurrent" {
+                assert!(e.shard_mode.is_some());
+                assert!(e.shards >= 1);
+                assert!(e.makespan > 0, "wall-clock makespan missing");
+                assert!(e.latency_p50.is_some() && e.latency_p95.is_some());
+                assert!(e.wakeups >= e.spurious_wakeups);
+            } else {
+                assert!(e.shard_mode.is_none());
+                assert_eq!(e.shards, 0);
+            }
+        }
+        let pair: Vec<_> = report.runs.iter().filter(|e| e.clusters > 1).collect();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].shard_mode.as_deref(), Some("single"));
+        assert_eq!(pair[1].shard_mode.as_deref(), Some("auto"));
+        assert_eq!(pair[0].shards, 1);
+        assert!(pair[1].shards > 1, "clustered workload found no domains");
+        assert!(report.notes.iter().any(|n| n.starts_with("sharding:")));
         assert_eq!(report.decision.len(), 2);
         assert!(report
             .decision
@@ -476,8 +584,10 @@ mod tests {
         assert_eq!(sinks, vec!["none", "noop", "ring-4096", "jsonl-devnull"]);
         assert!(report.trace_overhead.iter().all(|t| t.wall_ms > 0.0));
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v2"));
+        assert!(json.contains("txproc-bench-scheduler/v3"));
         assert!(json.contains("abort_reasons"));
         assert!(json.contains("blocked_time_total"));
+        assert!(json.contains("shard_mode"));
+        assert!(json.contains("spurious_wakeups"));
     }
 }

@@ -66,6 +66,7 @@ pub mod activity;
 pub mod completion;
 pub mod compose;
 pub mod conflict;
+pub mod domains;
 pub mod dot;
 pub mod error;
 pub mod fixtures;
@@ -87,6 +88,7 @@ pub mod weak;
 
 pub use activity::{Catalog, Termination};
 pub use conflict::{ConflictMatrix, ConflictOracle};
+pub use domains::{naive_components, DomainPartition, UnionFind};
 pub use error::{ModelError, ScheduleError};
 pub use ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 pub use pred::{check_pred, is_pred};

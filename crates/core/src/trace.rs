@@ -368,19 +368,31 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Virtual time of the decision.
     pub time: u64,
-    /// History length when the decision was taken.
+    /// History length when the decision was taken. In sharded drivers this
+    /// is the *shard-local* history prefix the decision was certified
+    /// against (the global merged history interleaves shard segments).
     pub history_len: usize,
+    /// Conflict-domain shard that served the decision (`None` for
+    /// single-state drivers such as the virtual-time engine).
+    pub shard: Option<u32>,
     /// The decision.
     pub event: TraceEvent,
 }
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:>5}] t={:<6} h={:<4} {}",
-            self.seq, self.time, self.history_len, self.event
-        )
+        match self.shard {
+            Some(s) => write!(
+                f,
+                "[{:>5}] t={:<6} h={:<4} s{:<3} {}",
+                self.seq, self.time, self.history_len, s, self.event
+            ),
+            None => write!(
+                f,
+                "[{:>5}] t={:<6} h={:<4} {}",
+                self.seq, self.time, self.history_len, self.event
+            ),
+        }
     }
 }
 
@@ -823,6 +835,7 @@ mod tests {
                 seq: 0,
                 time: 1,
                 history_len: 0,
+                shard: None,
                 event: TraceEvent::RequestAdmitted {
                     gid: gid(1, 0),
                     service: ServiceId(3),
@@ -835,6 +848,7 @@ mod tests {
                 seq: 1,
                 time: 2,
                 history_len: 1,
+                shard: None,
                 event: TraceEvent::RequestBlocked {
                     gid: gid(2, 0),
                     service: ServiceId(3),
@@ -845,6 +859,7 @@ mod tests {
                 seq: 2,
                 time: 5,
                 history_len: 1,
+                shard: None,
                 event: TraceEvent::RequestAdmitted {
                     gid: gid(2, 0),
                     service: ServiceId(3),
@@ -857,6 +872,7 @@ mod tests {
                 seq: 3,
                 time: 6,
                 history_len: 2,
+                shard: None,
                 event: TraceEvent::AbortStarted {
                     pid: ProcessId(2),
                     reason: AbortReason::Cascade,
@@ -866,6 +882,7 @@ mod tests {
                 seq: 4,
                 time: 6,
                 history_len: 2,
+                shard: None,
                 event: TraceEvent::GroupAbort {
                     initiator: Some(ProcessId(1)),
                     victims: vec![ProcessId(2)],
@@ -876,6 +893,7 @@ mod tests {
                 seq: 5,
                 time: 7,
                 history_len: 3,
+                shard: None,
                 event: TraceEvent::ProcessAborted { pid: ProcessId(2) },
             },
         ]

@@ -1,0 +1,115 @@
+//! Property tests for the conflict-domain partitioner: the union-find
+//! construction over service footprints must agree exactly with a naive
+//! O(n²) pairwise-conflict + BFS connected-components oracle, and the
+//! dynamic-merge path must coarsen the partition consistently.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txproc_core::activity::Catalog;
+use txproc_core::conflict::ConflictMatrix;
+use txproc_core::domains::{naive_components, DomainPartition};
+use txproc_core::ids::{ProcessId, ServiceId};
+use txproc_core::process::ProcessBuilder;
+use txproc_core::spec::Spec;
+
+/// Builds a random world: `services` base services with a random symmetric
+/// conflict relation (including self-conflicts), and `processes` chain
+/// processes with random footprints.
+fn random_spec(seed: u64, services: usize, processes: usize, conflict_density: f64) -> Spec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let svcs: Vec<ServiceId> = (0..services)
+        .map(|i| {
+            // Mix service kinds so Catalog::base mapping is exercised.
+            if i % 3 == 0 {
+                cat.pivot(format!("s{i}"))
+            } else {
+                cat.compensatable(format!("s{i}")).0
+            }
+        })
+        .collect();
+    let mut matrix = ConflictMatrix::new(&cat);
+    for i in 0..services {
+        for j in i..services {
+            if rng.gen_bool(conflict_density) {
+                matrix.declare_conflict(&cat, svcs[i], svcs[j]).unwrap();
+            }
+        }
+    }
+    let mut spec = Spec::new(cat, matrix);
+    for p in 0..processes {
+        let mut b = ProcessBuilder::new(ProcessId(p as u32 + 1), format!("p{p}"));
+        let len = rng.gen_range(1..=4usize);
+        let acts: Vec<_> = (0..len)
+            .map(|k| {
+                let s = svcs[rng.gen_range(0..svcs.len())];
+                b.activity(format!("a{k}"), s)
+            })
+            .collect();
+        b.chain(&acts);
+        spec.add_process(b.build(&spec.catalog).unwrap());
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn partition_matches_naive_oracle(
+        seed in 0u64..1_000_000,
+        services in 1usize..10,
+        processes in 1usize..12,
+        density_pct in 0u32..=100,
+    ) {
+        let spec = random_spec(seed, services, processes, f64::from(density_pct) / 100.0);
+        let part = DomainPartition::partition(&spec);
+        let naive = naive_components(&spec);
+
+        let mut got: Vec<Vec<ProcessId>> = part.domains().to_vec();
+        got.sort();
+        prop_assert_eq!(&got, &naive, "partition disagrees with O(n²) oracle");
+
+        // Dense ids, ordered by smallest member, covering every process.
+        prop_assert_eq!(part.domain_count(), naive.len());
+        prop_assert_eq!(part.process_count(), spec.process_count());
+        let firsts: Vec<ProcessId> = part.domains().iter().map(|d| d[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(firsts, sorted, "domain ids not ordered by smallest member");
+        for p in spec.processes() {
+            let d = part.domain_of(p.id).expect("registered pid has a domain");
+            prop_assert!(part.domains()[d as usize].contains(&p.id));
+        }
+    }
+
+    #[test]
+    fn dynamic_merge_coarsens_consistently(
+        seed in 0u64..1_000_000,
+        services in 1usize..8,
+        processes in 2usize..10,
+    ) {
+        let spec = random_spec(seed, services, processes, 0.2);
+        let mut part = DomainPartition::partition(&spec);
+        let before = part.domain_count();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let a = ProcessId(rng.gen_range(0..processes) as u32 + 1);
+        let b = ProcessId(rng.gen_range(0..processes) as u32 + 1);
+        let distinct = !part.same_domain(a, b);
+        let merged = part.merge(a, b);
+        prop_assert_eq!(merged, distinct, "merge must report whether domains fused");
+        prop_assert!(part.same_domain(a, b));
+        prop_assert_eq!(
+            part.domain_count(),
+            if distinct { before - 1 } else { before }
+        );
+        // Labels stay dense and ordered by smallest member after relabel.
+        let firsts: Vec<ProcessId> = part.domains().iter().map(|d| d[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(firsts, sorted);
+        let total: usize = part.domains().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, processes);
+    }
+}

@@ -1,39 +1,130 @@
 //! Thread-per-process driver: the same scheduling protocol exercised under
-//! real concurrency.
+//! real concurrency, sharded by conflict domains.
 //!
 //! The virtual-time [`Engine`](crate::engine::Engine) is deterministic and
 //! fast — ideal for experiments. This driver runs every process on its own
-//! OS thread against a shared scheduler state (policy + history) protected
-//! by a [`parking_lot::Mutex`], with a condition variable for admission
-//! waits and deferred-commit releases. It demonstrates that the protocol is
-//! driven entirely by its decision core and needs no global event ordering:
-//! whatever interleaving the OS produces, the emitted history stays PRED
-//! (verified by the stress tests).
+//! OS thread. The paper's protocol (Lemmas 1–3) only ever orders operations
+//! that *conflict*, so processes in different connected components of the
+//! potential-conflict graph impose no ordering obligations on each other.
+//! The driver exploits that: a [`DomainPartition`] splits the workload into
+//! conflict domains, and each shard owns a complete scheduler state — its
+//! own [`Policy`] instance, incremental §3.5 certifier, history segment and
+//! condvar — so admission, certification, commit and abort decisions in
+//! disjoint domains proceed fully in parallel. A deterministic merge
+//! (events are stamped with a global atomic ticket at emission) produces
+//! one global [`Schedule`]; shard-local PRED plus the absence of
+//! cross-shard conflicts implies global PRED (see DESIGN.md
+//! "Conflict-domain sharding" for the commutation argument, and the
+//! differential stress tests for the oracle).
 //!
-//! Lock structure: the global mutex serializes scheduling decisions and the
-//! history; each subsystem agent sits behind its own mutex (lock order:
-//! global → agent, never the reverse). Work that does not touch shared
-//! scheduling state stays outside the global lock — per-thread RNG draws
-//! and simulated (failure-injected) agent invocations, whose outcome is
-//! ignored and which leave no trace in history or policy.
+//! Lock order (never acquired in reverse):
+//!
+//! | level | lock                | protects                              |
+//! |-------|---------------------|---------------------------------------|
+//! | 1     | shard mutex         | one domain's policy/certifier/history |
+//! | 2     | trace sink mutex    | global journal + dense trace seq      |
+//! | 2     | agent mutex (per subsystem) | subsystem state + key locks   |
+//!
+//! No thread ever holds two shard locks, and two level-2 locks are never
+//! nested. Agents are shared across shards, but a key lock held by a
+//! prepared invocation can only block a *conflicting* service (reads do not
+//! lock; additive writes share their lock), and conflicting services are by
+//! construction in the same domain — so cross-shard `Busy` outcomes cannot
+//! occur and shard-local condvar notification is complete. Waits still
+//! carry a short fallback timeout purely as a robustness net.
+//!
+//! Waiting is notification-driven: every history mutation bumps the shard
+//! *generation* and broadcasts the shard condvar (the pre-sharding driver
+//! polled on fixed 2/5/10 ms sleeps instead). A woken waiter whose
+//! generation did not move counts as a spurious wakeup in
+//! [`ShardMetrics`]; with targeted notification these are almost
+//! exclusively the fallback-timeout polls.
+//!
+//! Failure injection is a pure function of `(seed, activity, attempt)`, so
+//! outcome draws are independent of thread interleaving: on workloads whose
+//! processes are pairwise non-conflicting the sharded and single-lock
+//! configurations produce bit-equal commit/abort sets.
 
 use crate::policy::{CertifierKind, Policy, PolicyKind};
 use parking_lot::{Condvar, Mutex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use txproc_core::activity::Termination;
+use txproc_core::domains::DomainPartition;
 use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 use txproc_core::protocol::Admission;
-use txproc_core::schedule::Schedule;
+use txproc_core::schedule::{Event, Schedule};
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
-use txproc_sim::metrics::Metrics;
+use txproc_sim::metrics::{Metrics, ShardMetrics};
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
 use txproc_subsystem::deploy::ServiceSite;
 use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
+
+/// Fallback bound on a condvar wait. Within a shard every unblocking
+/// mutation notifies, so this only matters as a robustness net (e.g. a
+/// missed-notify bug); it also paces the no-progress deadlock escalation.
+const FALLBACK_WAIT: Duration = Duration::from_millis(3);
+
+/// How the driver maps processes onto scheduler shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// One scheduler state for all processes — the classic single-lock
+    /// driver, kept as the differential baseline.
+    Single,
+    /// One shard per conflict domain of the workload (the partition of the
+    /// potential-conflict graph computed by [`DomainPartition`]).
+    Auto,
+    /// Conflict domains grouped round-robin into at most N shards. Whole
+    /// domains only: the partition invariant (no cross-shard conflicts) is
+    /// never violated, so `Fixed(1)` is semantically the single-lock driver.
+    Fixed(u32),
+}
+
+impl ShardMode {
+    /// Parses `auto`, `single`, or a shard count.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(Self::Auto),
+            "single" => Some(Self::Single),
+            _ => s.parse::<u32>().ok().map(|n| match n {
+                1 => Self::Single,
+                n => Self::Fixed(n),
+            }),
+        }
+    }
+
+    /// Stable label for reports (`auto`, `single`, or the count).
+    pub fn label(&self) -> String {
+        match self {
+            Self::Auto => "auto".into(),
+            Self::Single => "single".into(),
+            Self::Fixed(n) => n.to_string(),
+        }
+    }
+}
+
+// Serialized as the CLI label (`auto` / `single` / a count) so bench
+// reports and the `--shards` flag speak the same vocabulary.
+impl serde::Serialize for ShardMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
+impl serde::Deserialize for ShardMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s)
+                .ok_or_else(|| serde::DeError::new(format!("invalid shard mode `{s}`"))),
+            other => Err(serde::DeError::new(format!(
+                "expected shard mode string, got {other:?}"
+            ))),
+        }
+    }
+}
 
 /// Configuration of a concurrent run.
 #[derive(Debug, Clone)]
@@ -47,6 +138,9 @@ pub struct ConcurrentConfig {
     /// Which §3.5 certifier implementation answers the per-event
     /// certification (certified policies only).
     pub certifier: CertifierKind,
+    /// Shard topology. `Auto` (the default) shards by conflict domain;
+    /// `Single` is the pre-sharding single-lock driver.
+    pub shards: ShardMode,
 }
 
 impl Default for ConcurrentConfig {
@@ -56,6 +150,7 @@ impl Default for ConcurrentConfig {
             seed: 99,
             inject_failures: true,
             certifier: CertifierKind::Incremental,
+            shards: ShardMode::Auto,
         }
     }
 }
@@ -63,26 +158,173 @@ impl Default for ConcurrentConfig {
 /// Result of a concurrent run.
 #[derive(Debug)]
 pub struct ConcurrentResult {
-    /// The emitted history (lock-serialized).
+    /// The merged global history (shard segments interleaved in ticket
+    /// order).
     pub history: Schedule,
-    /// Aggregate metrics.
+    /// Aggregate metrics; `metrics.shards` holds one entry per shard.
     pub metrics: Metrics,
 }
 
 /// Per-subsystem agents, each behind its own lock so agent work does not
-/// serialize unrelated threads on the scheduler mutex.
+/// serialize unrelated threads on a scheduler lock.
 type Agents = BTreeMap<SubsystemId, Mutex<Agent>>;
 
-struct Shared<'a> {
+/// Shared trace lane: one global journal with a dense sequence, fed by all
+/// shards. `enabled` is hoisted out of the lock (a sink's enabledness is
+/// static) so the disabled path costs one branch.
+struct TraceShared<'a> {
+    sink: Mutex<Box<dyn TraceSink + 'a>>,
+    seq: AtomicU64,
+    enabled: bool,
+}
+
+impl TraceShared<'_> {
+    fn record(&self, shard: u32, history_len: usize, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        let mut sink = self.sink.lock();
+        // Sequence assignment under the sink lock keeps journal order and
+        // seq order identical even when shards race to record.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        sink.record(TraceRecord {
+            seq,
+            time: seq,
+            history_len,
+            shard: Some(shard),
+            event,
+        });
+    }
+}
+
+/// Everything a worker needs besides its shard: immutable run-wide context.
+struct RunCtx<'r, 'a> {
+    workload: &'a Workload,
+    cfg: &'r ConcurrentConfig,
+    agents: &'r Agents,
+    /// Global event ticket counter: stamps every emitted event with its
+    /// position in the merged schedule.
+    tickets: &'r AtomicU64,
+    trace: &'r TraceShared<'a>,
+    run_start: Instant,
+}
+
+/// One conflict-domain shard: a complete scheduler state behind its own
+/// lock and condvar, plus contention counters (atomics so they survive into
+/// the merge without locking).
+struct Shard<'a> {
+    id: u32,
+    state: Mutex<ShardState<'a>>,
+    cond: Condvar,
+    lock_wait_ns: AtomicU64,
+    lock_hold_ns: AtomicU64,
+    notifies: AtomicU64,
+    wakeups: AtomicU64,
+    spurious_wakeups: AtomicU64,
+}
+
+impl<'a> Shard<'a> {
+    fn new(id: u32, state: ShardState<'a>) -> Self {
+        Self {
+            id,
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+            lock_wait_ns: AtomicU64::new(0),
+            lock_hold_ns: AtomicU64::new(0),
+            notifies: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            spurious_wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the shard lock, charging the blocked time to `lock_wait_ns`
+    /// and (via the guard's `Drop`) the held time to `lock_hold_ns`.
+    fn lock(&self) -> ShardGuard<'_, 'a> {
+        let t0 = Instant::now();
+        let guard = self.state.lock();
+        self.lock_wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        ShardGuard {
+            guard,
+            shard: self,
+            acquired: Instant::now(),
+            excluded: Duration::ZERO,
+        }
+    }
+
+    /// Broadcasts the shard condvar after a visible state change.
+    fn notify(&self) {
+        self.notifies.fetch_add(1, Ordering::Relaxed);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the shard generation moves past the value observed at
+    /// call time (or the fallback timeout elapses). Returns whether the
+    /// generation moved; a `false` return is counted as a spurious wakeup.
+    fn wait_for_change(&self, g: &mut ShardGuard<'_, 'a>) -> bool {
+        let seen = g.generation;
+        let t0 = Instant::now();
+        let _ = self.cond.wait_for(&mut g.guard, FALLBACK_WAIT);
+        g.excluded += t0.elapsed();
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        let progressed = g.generation != seen;
+        if !progressed {
+            self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+        progressed
+    }
+}
+
+/// Shard lock guard that charges hold time (minus condvar-wait time) on
+/// release.
+struct ShardGuard<'g, 'a> {
+    guard: parking_lot::MutexGuard<'g, ShardState<'a>>,
+    shard: &'g Shard<'a>,
+    acquired: Instant,
+    excluded: Duration,
+}
+
+impl<'a> std::ops::Deref for ShardGuard<'_, 'a> {
+    type Target = ShardState<'a>;
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl<'a> std::ops::DerefMut for ShardGuard<'_, 'a> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardGuard<'_, '_> {
+    fn drop(&mut self) {
+        let held = self.acquired.elapsed().saturating_sub(self.excluded);
+        self.shard
+            .lock_hold_ns
+            .fetch_add(held.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+struct ShardState<'a> {
+    shard_id: u32,
     workload: &'a Workload,
     certify: bool,
     /// The incremental §3.5 certifier (when configured). Synced lazily with
-    /// `history` inside `certified_ok`; the lock serializes history order,
-    /// so the certifier sees exactly the emitted sequence.
+    /// the shard history inside `certified_ok`; the shard lock serializes
+    /// history order, so the certifier sees exactly the emitted sequence.
+    /// Certification against the shard-local segment is sound because
+    /// events of other shards commute with every event of this one.
     incremental: Option<txproc_core::pred_incremental::IncrementalPred<'a>>,
     policy: Box<dyn Policy + Send + 'a>,
     states: BTreeMap<ProcessId, ProcessState<'a>>,
+    /// Shard-local history segment.
     history: Schedule,
+    /// Global merge ticket of each segment event (parallel to `history`).
+    event_tickets: Vec<u64>,
+    /// Bumped on every history mutation; waiters key their condvar waits on
+    /// it to tell productive wakeups from spurious ones.
+    generation: u64,
     metrics: Metrics,
     invocations: BTreeMap<GlobalActivityId, (SubsystemId, InvocationId)>,
     /// Deferred activities released by a predecessor's termination.
@@ -95,46 +337,47 @@ struct Shared<'a> {
     /// they are re-armed only once the history actually advanced — not
     /// busy-retried on every lock acquisition.
     stalled_releases: Vec<(ProcessId, usize)>,
-    /// Structured decision trace. Records are stamped with `time == seq`
-    /// (journal order): the driver has no virtual clock.
-    sink: Box<dyn TraceSink + 'a>,
-    trace_seq: u64,
-    /// Last journalled block state per process (kind, wait set). The worker
-    /// loop re-polls blocked requests every few milliseconds; one journal
-    /// record per *distinct* blocked state keeps the trace readable.
+    /// Last journalled block state per process (kind, wait set). Blocked
+    /// requests are re-polled on every wakeup; one journal record per
+    /// *distinct* blocked state keeps the trace readable.
     block_notes: BTreeMap<ProcessId, (u8, Vec<ProcessId>)>,
     /// Certification failures already journalled, stamped with the history
     /// length: the verdict is a pure function of the history, so re-polls at
     /// the same length are the same decision, not a new one.
-    cert_fail_notes: Vec<(txproc_core::schedule::Event, usize)>,
+    cert_fail_notes: Vec<(Event, usize)>,
 }
 
 /// A failure-injected ("simulated") agent invocation to run after the
-/// global lock is dropped: its outcome is ignored and it leaves no trace in
+/// shard lock is dropped: its outcome is ignored and it leaves no trace in
 /// history or policy, so only the agent's own lock is needed.
 struct SimulatedInvoke {
     svc: ServiceId,
     site: ServiceSite,
 }
 
-impl Shared<'_> {
-    #[inline]
-    fn tracing(&self) -> bool {
-        self.sink.enabled()
+/// Outcome of one worker-loop iteration.
+enum Step {
+    /// Process reached a terminal state; the worker exits.
+    Done,
+    /// Blocked on shard state; wait for the generation to move.
+    Wait,
+    /// Made progress (or must re-poll immediately); optionally runs a
+    /// simulated invocation after releasing the shard lock.
+    Yield(Option<SimulatedInvoke>),
+}
+
+impl<'a> ShardState<'a> {
+    /// Appends an event to the shard segment, stamping it with the global
+    /// merge ticket and bumping the generation.
+    fn emit(&mut self, ctx: &RunCtx<'_, 'a>, event: Event) {
+        let ticket = ctx.tickets.fetch_add(1, Ordering::Relaxed);
+        self.history.push(event);
+        self.event_tickets.push(ticket);
+        self.generation += 1;
     }
 
-    fn trace(&mut self, event: TraceEvent) {
-        if !self.sink.enabled() {
-            return;
-        }
-        let rec = TraceRecord {
-            seq: self.trace_seq,
-            time: self.trace_seq,
-            history_len: self.history.len(),
-            event,
-        };
-        self.trace_seq += 1;
-        self.sink.record(rec);
+    fn trace(&mut self, ctx: &RunCtx<'_, 'a>, event: TraceEvent) {
+        ctx.trace.record(self.shard_id, self.history.len(), event);
     }
 
     fn count_abort_reason(&mut self, reason: AbortReason) {
@@ -167,7 +410,7 @@ impl Shared<'_> {
     /// [`Self::certified_ok`] plus metrics accounting and a
     /// [`TraceEvent::CertifyOutcome`] record. Re-polls of a failed
     /// certification against an unchanged history are deduplicated.
-    fn certified_traced(&mut self, event: txproc_core::schedule::Event) -> bool {
+    fn certified_traced(&mut self, ctx: &RunCtx<'_, 'a>, event: Event) -> bool {
         if !self.certify {
             return true;
         }
@@ -185,20 +428,23 @@ impl Shared<'_> {
             self.cert_fail_notes.push((event.clone(), len));
             self.metrics.cert_failures += 1;
         }
-        if self.tracing() {
+        if ctx.trace.enabled {
             let frontier = self.history.len() + 1;
-            self.trace(TraceEvent::CertifyOutcome {
-                event,
-                ok,
-                frontier,
-            });
+            self.trace(
+                ctx,
+                TraceEvent::CertifyOutcome {
+                    event,
+                    ok,
+                    frontier,
+                },
+            );
         }
         ok
     }
 
-    /// §3.5 certification of the next effect event (see the virtual-time
-    /// engine for the rationale).
-    fn certified_ok(&mut self, event: txproc_core::schedule::Event) -> bool {
+    /// §3.5 certification of the next effect event against the shard-local
+    /// segment (see the virtual-time engine for the rationale).
+    fn certified_ok(&mut self, event: Event) -> bool {
         if !self.certify {
             return true;
         }
@@ -224,7 +470,7 @@ impl Shared<'_> {
     /// Attempts every granted-but-unapplied deferred release. Releases whose
     /// history event does not certify yet are parked in `stalled_releases`
     /// and re-armed when the history grows.
-    fn drain_ready_releases(&mut self, agents: &Agents) {
+    fn drain_ready_releases(&mut self, ctx: &RunCtx<'_, 'a>) {
         if !self.stalled_releases.is_empty() {
             let hist_len = self.history.len();
             let (rearm, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stalled_releases)
@@ -239,18 +485,18 @@ impl Shared<'_> {
             let Some(&(gid, a, sid, inv)) = self.pending_release.get(&pj) else {
                 continue;
             };
-            if !self.certified_traced(txproc_core::schedule::Event::Execute(gid)) {
+            if !self.certified_traced(ctx, Event::Execute(gid)) {
                 self.stalled_releases.push((pj, self.history.len()));
                 continue;
             }
             self.pending_release.remove(&pj);
-            agents[&sid].lock().release(inv).expect("prepared");
-            self.history.execute(gid);
+            ctx.agents[&sid].lock().release(inv).expect("prepared");
+            self.emit(ctx, Event::Execute(gid));
             self.policy.record_deferred_released(gid);
             self.metrics.activities += 1;
             self.clear_block_note(pj);
-            if self.tracing() {
-                self.trace(TraceEvent::CommitReleased { gid });
+            if ctx.trace.enabled {
+                self.trace(ctx, TraceEvent::CommitReleased { gid });
             }
             // The owner thread applies the state advance.
             self.released.insert(pj, a);
@@ -258,17 +504,42 @@ impl Shared<'_> {
     }
 }
 
-/// Runs every process of the workload on its own thread.
+/// Deterministic failure-injection coin: a pure hash of
+/// `(seed, activity, attempt)`, so the draw for a given attempt does not
+/// depend on thread interleaving or shard topology.
+fn fail_coin(seed: u64, gid: GlobalActivityId, attempt: u64) -> f64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(seed);
+    h = mix(h ^ u64::from(gid.process.0));
+    h = mix(h ^ gid.activity.index() as u64);
+    h = mix(h ^ attempt);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn p_fail(workload: &Workload) -> f64 {
+    workload.config.failure_probability.clamp(0.0, 1.0)
+}
+
+/// Runs every process of the workload on its own thread, sharded by
+/// conflict domain per `cfg.shards`.
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
     run_concurrent_traced(workload, cfg, Box::new(NoopSink))
 }
 
 /// Same as [`run_concurrent`], delivering structured [`TraceEvent`]s to
 /// `sink`. The driver has no virtual clock, so records are stamped with
-/// `time == seq` (journal order), and [`Metrics::blocked_time`] stays empty
-/// (waits here are wall-clock polls, counted in `waits`). Multi-process
+/// `time == seq` (journal order) and the shard that served the decision;
+/// `history_len` is the shard-local segment length. Multi-process
 /// interleavings are nondeterministic; a single-process run yields a
-/// bit-identical journal across repeats.
+/// bit-identical journal across repeats. [`Metrics::latencies`] holds
+/// wall-clock submit→terminal times in microseconds and
+/// [`Metrics::makespan`] the wall-clock run time in microseconds (the
+/// virtual-time engine reports virtual ticks in those fields instead).
 pub fn run_concurrent_traced<'a>(
     workload: &'a Workload,
     cfg: ConcurrentConfig,
@@ -281,314 +552,389 @@ pub fn run_concurrent_traced<'a>(
             Mutex::new(Agent::new(Subsystem::new(sid, format!("sub{}", sid.0)))),
         );
     }
-    let mut policy = cfg.policy.build(&workload.spec);
-    let mut states = BTreeMap::new();
-    for process in workload.spec.processes() {
-        policy.register(process.id);
-        states.insert(
-            process.id,
-            ProcessState::new(process, &workload.spec.catalog).expect("tree process"),
-        );
-    }
-    let shared = Mutex::new(Shared {
+
+    // Shard topology: process groups with no conflicts across groups.
+    let groups: Vec<Vec<ProcessId>> = match cfg.shards {
+        ShardMode::Single => {
+            vec![workload.spec.processes().map(|p| p.id).collect()]
+        }
+        ShardMode::Auto => DomainPartition::partition(&workload.spec)
+            .domains()
+            .to_vec(),
+        ShardMode::Fixed(n) => DomainPartition::partition(&workload.spec).shard_groups(n as usize),
+    };
+
+    let shards: Vec<Shard<'_>> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, members)| {
+            let mut policy = cfg.policy.build(&workload.spec);
+            let mut states = BTreeMap::new();
+            for &pid in members {
+                policy.register(pid);
+                states.insert(
+                    pid,
+                    ProcessState::new(
+                        workload
+                            .spec
+                            .process(pid)
+                            .expect("partitioned pid is known"),
+                        &workload.spec.catalog,
+                    )
+                    .expect("tree process"),
+                );
+            }
+            Shard::new(
+                i as u32,
+                ShardState {
+                    shard_id: i as u32,
+                    workload,
+                    certify: cfg.policy.certified(),
+                    incremental: (cfg.policy.certified()
+                        && cfg.certifier == CertifierKind::Incremental)
+                        .then(|| {
+                            txproc_core::pred_incremental::IncrementalPred::new(&workload.spec)
+                        }),
+                    policy,
+                    states,
+                    history: Schedule::new(),
+                    event_tickets: Vec::new(),
+                    generation: 0,
+                    metrics: Metrics::new(),
+                    invocations: BTreeMap::new(),
+                    released: BTreeMap::new(),
+                    pending_release: BTreeMap::new(),
+                    ready_releases: Vec::new(),
+                    stalled_releases: Vec::new(),
+                    block_notes: BTreeMap::new(),
+                    cert_fail_notes: Vec::new(),
+                },
+            )
+        })
+        .collect();
+
+    let enabled = sink.enabled();
+    let trace = TraceShared {
+        sink: Mutex::new(sink),
+        seq: AtomicU64::new(0),
+        enabled,
+    };
+    let tickets = AtomicU64::new(0);
+    let ctx = RunCtx {
         workload,
-        certify: cfg.policy.certified(),
-        incremental: (cfg.policy.certified() && cfg.certifier == CertifierKind::Incremental)
-            .then(|| txproc_core::pred_incremental::IncrementalPred::new(&workload.spec)),
-        policy,
-        states,
-        history: Schedule::new(),
-        metrics: Metrics::new(),
-        invocations: BTreeMap::new(),
-        released: BTreeMap::new(),
-        pending_release: BTreeMap::new(),
-        ready_releases: Vec::new(),
-        stalled_releases: Vec::new(),
-        sink,
-        trace_seq: 0,
-        block_notes: BTreeMap::new(),
-        cert_fail_notes: Vec::new(),
-    });
-    let cond = Condvar::new();
+        cfg: &cfg,
+        agents: &agents,
+        tickets: &tickets,
+        trace: &trace,
+        run_start: Instant::now(),
+    };
 
     std::thread::scope(|scope| {
-        for process in workload.spec.processes() {
-            let pid = process.id;
-            let shared = &shared;
-            let agents = &agents;
-            let cond = &cond;
-            let cfg = cfg.clone();
-            scope.spawn(move || worker(workload, &cfg, pid, shared, agents, cond));
+        for (si, members) in groups.iter().enumerate() {
+            for &pid in members {
+                let shard = &shards[si];
+                let ctx = &ctx;
+                scope.spawn(move || worker(ctx, shard, pid));
+            }
         }
     });
 
-    let shared = shared.into_inner();
-    ConcurrentResult {
-        history: shared.history,
-        metrics: shared.metrics,
+    // Deterministic merge: interleave shard segments in ticket order into
+    // one global schedule, and fold shard metrics into the aggregate.
+    let makespan_us = ctx.run_start.elapsed().as_micros() as u64;
+    let mut tagged: Vec<(u64, Event)> = Vec::new();
+    let mut metrics = Metrics::new();
+    for shard in shards {
+        let st = shard.state.into_inner();
+        let mut m = st.metrics;
+        m.shards.push(ShardMetrics {
+            shard: shard.id,
+            processes: st.states.len() as u64,
+            events: st.history.len() as u64,
+            lock_wait_ns: shard.lock_wait_ns.into_inner(),
+            lock_hold_ns: shard.lock_hold_ns.into_inner(),
+            notifies: shard.notifies.into_inner(),
+            wakeups: shard.wakeups.into_inner(),
+            spurious_wakeups: shard.spurious_wakeups.into_inner(),
+        });
+        metrics.merge(&m);
+        tagged.extend(
+            st.event_tickets
+                .iter()
+                .copied()
+                .zip(st.history.events().iter().cloned()),
+        );
     }
+    tagged.sort_by_key(|&(t, _)| t);
+    let mut history = Schedule::new();
+    for (_, e) in tagged {
+        history.push(e);
+    }
+    metrics.makespan = makespan_us;
+    ConcurrentResult { history, metrics }
 }
 
-fn worker<'a>(
-    workload: &'a Workload,
-    cfg: &ConcurrentConfig,
-    pid: ProcessId,
-    shared: &Mutex<Shared<'a>>,
-    agents: &Agents,
-    cond: &Condvar,
-) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(pid.0) << 32));
+fn worker<'a>(ctx: &RunCtx<'_, 'a>, shard: &Shard<'a>, pid: ProcessId) {
+    let mut attempts: BTreeMap<ActivityId, u64> = BTreeMap::new();
     // Consecutive iterations without visible progress; escalates to a
     // self-abort (always legal for an uncommitted process) so that blocked
     // situations that only an abort can resolve cannot livelock the run.
     let mut no_progress = 0u32;
     let mut last_fingerprint = None;
     loop {
-        // Pre-draw the failure-injection coin outside the lock (the driver
-        // is nondeterministic anyway; only the per-thread stream matters).
-        let coin = rng.gen_range(0.0..1.0f64);
-        let mut guard = shared.lock();
-        guard.drain_ready_releases(agents);
-        let fingerprint = (guard.history.len(), guard.states[&pid].steps().len());
-        if last_fingerprint == Some(fingerprint) {
-            no_progress += 1;
-        } else {
-            no_progress = 0;
+        let mut g = shard.lock();
+        let gen0 = g.generation;
+        let step = advance(
+            ctx,
+            &mut g,
+            pid,
+            &mut attempts,
+            &mut no_progress,
+            &mut last_fingerprint,
+        );
+        if g.generation != gen0 {
+            shard.notify();
         }
-        last_fingerprint = Some(fingerprint);
-        if no_progress > 0 && no_progress.is_multiple_of(200) && guard.states[&pid].is_active() {
-            if guard.states[&pid].abort_in_progress() {
-                // Our completion is blocked by other processes' hypothetical
-                // completions (§3.5): group-abort them so their real
-                // completions unblock ours.
-                let others: Vec<ProcessId> = guard
-                    .states
-                    .iter()
-                    .filter(|(&q, st)| q != pid && st.is_active() && !st.abort_in_progress())
-                    .map(|(&q, _)| q)
-                    .collect();
-                if guard.tracing() && !others.is_empty() {
-                    guard.trace(TraceEvent::GroupAbort {
-                        initiator: Some(pid),
-                        victims: others.iter().rev().copied().collect(),
-                        trigger: None,
-                    });
-                }
-                for q in others.into_iter().rev() {
-                    cascade_abort(&mut guard, agents, q);
-                }
-            } else {
-                // Nothing moved for a while: only an abort can resolve this.
-                guard.metrics.rejections += 1;
-                initiate_abort(
-                    workload,
-                    pid,
-                    &mut guard,
-                    agents,
-                    AbortReason::Deadlock,
-                    None,
-                );
+        match step {
+            Step::Done => return,
+            Step::Wait => {
+                shard.wait_for_change(&mut g);
+                drop(g);
             }
-            cond.notify_all();
-            continue;
-        }
-        if no_progress >= 20_000 {
-            let mut diag = String::new();
-            for (p, st) in &guard.states {
-                diag.push_str(&format!(
-                    "\n  {p}: status={:?} aborting={} next_comp={:?} next_act={:?} can_commit={}",
-                    st.status(),
-                    st.abort_in_progress(),
-                    st.next_compensation(),
-                    st.next_activity(),
-                    st.can_commit()
-                ));
-            }
-            panic!(
-                "{pid}: concurrent run livelocked\nhistory: {}{diag}",
-                txproc_core::schedule::render(&guard.history)
-            );
-        }
-        let status = guard.states[&pid].status();
-        if status != ProcessStatus::Active {
-            finalize(&mut guard, agents, pid);
-            cond.notify_all();
-            return;
-        }
-        // Deferred release arrived?
-        if let Some(a) = guard.released.remove(&pid) {
-            guard
-                .states
-                .get_mut(&pid)
-                .expect("state")
-                .apply_commit(a)
-                .expect("released frontier");
-            drop(guard);
-            std::thread::yield_now();
-            continue;
-        }
-        if guard.pending_release.contains_key(&pid) {
-            // Waiting for a predecessor to release our deferred commit.
-            cond.wait_for(&mut guard, Duration::from_millis(10));
-            continue;
-        }
-        // Pending compensation?
-        if let Some(c) = guard.states[&pid].next_compensation() {
-            let gid = GlobalActivityId::new(pid, c);
-            if !guard.certified_traced(txproc_core::schedule::Event::Compensate(gid)) {
-                cond.wait_for(&mut guard, Duration::from_millis(2));
-                continue;
-            }
-            let (sid, inv) = guard.invocations[&gid];
-            let outcome = agents[&sid].lock().compensate(inv).expect("subsystem up");
-            match outcome {
-                InvokeOutcome::Committed { .. } => {
-                    if guard.tracing() {
-                        let service = workload.spec.process(pid).expect("known").service(c);
-                        guard.trace(TraceEvent::CompensationStarted { gid, service });
-                    }
-                    guard.history.compensate(gid);
-                    guard.policy.record_compensated(gid);
-                    guard
-                        .states
-                        .get_mut(&pid)
-                        .expect("state")
-                        .apply_compensation(c)
-                        .expect("queued");
-                    guard.metrics.compensations += 1;
+            Step::Yield(simulated) => {
+                drop(g);
+                // Failure-injected invocation: agent work only, no shared
+                // scheduling state — run it without the shard lock.
+                if let Some(sim) = simulated {
+                    let _ = ctx.agents[&sim.site.subsystem].lock().invoke(
+                        sim.svc,
+                        &sim.site.program,
+                        CommitMode::Immediate,
+                        true,
+                    );
                 }
-                InvokeOutcome::Busy { .. } => {
-                    cond.wait_for(&mut guard, Duration::from_millis(5));
-                }
-                other => panic!("unexpected compensation outcome {other:?}"),
+                std::thread::yield_now();
             }
-            drop(guard);
-            std::thread::yield_now();
-            continue;
         }
-        // Next forward activity?
-        if let Some(a) = guard.states[&pid].next_activity() {
-            let simulated = step_activity(workload, cfg, pid, a, &mut guard, agents, cond, coin);
-            drop(guard);
-            // Failure-injected invocation: agent work only, no shared
-            // scheduling state — run it without the global lock.
-            if let Some(sim) = simulated {
-                let _ = agents[&sim.site.subsystem].lock().invoke(
-                    sim.svc,
-                    &sim.site.program,
-                    CommitMode::Immediate,
-                    true,
-                );
-            }
-            std::thread::yield_now();
-            continue;
-        }
-        // Commit.
-        if guard.states[&pid].can_commit() {
-            match guard.policy.can_commit(pid) {
-                Ok(()) if !guard.certified_traced(txproc_core::schedule::Event::Commit(pid)) => {
-                    cond.wait_for(&mut guard, Duration::from_millis(2));
-                    continue;
-                }
-                Ok(()) => {
-                    guard
-                        .states
-                        .get_mut(&pid)
-                        .expect("state")
-                        .apply_process_commit()
-                        .expect("finished path");
-                    guard.history.commit(pid);
-                    finalize(&mut guard, agents, pid);
-                    cond.notify_all();
-                    return;
-                }
-                Err(blockers) => {
-                    guard.metrics.waits += 1;
-                    if guard.tracing() && guard.note_blocked(pid, 1, &blockers) {
-                        guard.trace(TraceEvent::CommitBlocked {
-                            pid,
-                            wait_for: blockers,
-                        });
-                    }
-                    cond.wait_for(&mut guard, Duration::from_millis(10));
-                }
-            }
-            continue;
-        }
-        // Nothing to do right now (e.g. mid-abort with empty completion).
-        cond.wait_for(&mut guard, Duration::from_millis(5));
     }
 }
 
-/// Runs one scheduling step for the next forward activity. Returns the
-/// simulated (failure-injected) invocation to perform after the caller
-/// drops the global lock, if any.
-#[allow(clippy::too_many_arguments)]
+/// One scheduling iteration for `pid` under the shard lock.
+fn advance<'a>(
+    ctx: &RunCtx<'_, 'a>,
+    g: &mut ShardGuard<'_, 'a>,
+    pid: ProcessId,
+    attempts: &mut BTreeMap<ActivityId, u64>,
+    no_progress: &mut u32,
+    last_fingerprint: &mut Option<(usize, usize)>,
+) -> Step {
+    g.drain_ready_releases(ctx);
+    let fingerprint = (g.history.len(), g.states[&pid].steps().len());
+    if *last_fingerprint == Some(fingerprint) {
+        *no_progress += 1;
+    } else {
+        *no_progress = 0;
+    }
+    *last_fingerprint = Some(fingerprint);
+    if *no_progress > 0 && no_progress.is_multiple_of(200) && g.states[&pid].is_active() {
+        if g.states[&pid].abort_in_progress() {
+            // Our completion is blocked by other processes' hypothetical
+            // completions (§3.5): group-abort them so their real
+            // completions unblock ours. Only shard-mates can block us —
+            // cross-shard operations commute.
+            let others: Vec<ProcessId> = g
+                .states
+                .iter()
+                .filter(|(&q, st)| q != pid && st.is_active() && !st.abort_in_progress())
+                .map(|(&q, _)| q)
+                .collect();
+            if ctx.trace.enabled && !others.is_empty() {
+                g.trace(
+                    ctx,
+                    TraceEvent::GroupAbort {
+                        initiator: Some(pid),
+                        victims: others.iter().rev().copied().collect(),
+                        trigger: None,
+                    },
+                );
+            }
+            for q in others.into_iter().rev() {
+                cascade_abort(ctx, g, q);
+            }
+        } else {
+            // Nothing moved for a while: only an abort can resolve this.
+            g.metrics.rejections += 1;
+            initiate_abort(ctx, g, pid, AbortReason::Deadlock, None);
+        }
+        return Step::Yield(None);
+    }
+    if *no_progress >= 20_000 {
+        let mut diag = String::new();
+        for (p, st) in &g.states {
+            diag.push_str(&format!(
+                "\n  {p}: status={:?} aborting={} next_comp={:?} next_act={:?} can_commit={}",
+                st.status(),
+                st.abort_in_progress(),
+                st.next_compensation(),
+                st.next_activity(),
+                st.can_commit()
+            ));
+        }
+        panic!(
+            "{pid}: concurrent run livelocked (shard {})\nshard history: {}{diag}",
+            g.shard_id,
+            txproc_core::schedule::render(&g.history)
+        );
+    }
+    let status = g.states[&pid].status();
+    if status != ProcessStatus::Active {
+        finalize(ctx, g, pid);
+        return Step::Done;
+    }
+    // Deferred release arrived?
+    if let Some(a) = g.released.remove(&pid) {
+        g.states
+            .get_mut(&pid)
+            .expect("state")
+            .apply_commit(a)
+            .expect("released frontier");
+        return Step::Yield(None);
+    }
+    if g.pending_release.contains_key(&pid) {
+        // Waiting for a predecessor to release our deferred commit.
+        return Step::Wait;
+    }
+    // Pending compensation?
+    if let Some(c) = g.states[&pid].next_compensation() {
+        let gid = GlobalActivityId::new(pid, c);
+        if !g.certified_traced(ctx, Event::Compensate(gid)) {
+            return Step::Wait;
+        }
+        let (sid, inv) = g.invocations[&gid];
+        let outcome = ctx.agents[&sid]
+            .lock()
+            .compensate(inv)
+            .expect("subsystem up");
+        return match outcome {
+            InvokeOutcome::Committed { .. } => {
+                if ctx.trace.enabled {
+                    let service = ctx.workload.spec.process(pid).expect("known").service(c);
+                    g.trace(ctx, TraceEvent::CompensationStarted { gid, service });
+                }
+                g.emit(ctx, Event::Compensate(gid));
+                g.policy.record_compensated(gid);
+                g.states
+                    .get_mut(&pid)
+                    .expect("state")
+                    .apply_compensation(c)
+                    .expect("queued");
+                g.metrics.compensations += 1;
+                Step::Yield(None)
+            }
+            InvokeOutcome::Busy { .. } => Step::Wait,
+            other => panic!("unexpected compensation outcome {other:?}"),
+        };
+    }
+    // Next forward activity?
+    if let Some(a) = g.states[&pid].next_activity() {
+        return step_activity(ctx, g, pid, a, attempts);
+    }
+    // Commit.
+    if g.states[&pid].can_commit() {
+        return match g.policy.can_commit(pid) {
+            Ok(()) if !g.certified_traced(ctx, Event::Commit(pid)) => Step::Wait,
+            Ok(()) => {
+                g.states
+                    .get_mut(&pid)
+                    .expect("state")
+                    .apply_process_commit()
+                    .expect("finished path");
+                g.emit(ctx, Event::Commit(pid));
+                finalize(ctx, g, pid);
+                Step::Done
+            }
+            Err(blockers) => {
+                g.metrics.waits += 1;
+                if ctx.trace.enabled && g.note_blocked(pid, 1, &blockers) {
+                    g.trace(
+                        ctx,
+                        TraceEvent::CommitBlocked {
+                            pid,
+                            wait_for: blockers,
+                        },
+                    );
+                }
+                Step::Wait
+            }
+        };
+    }
+    // Nothing to do right now (e.g. mid-abort with empty completion).
+    Step::Wait
+}
+
+/// Runs one scheduling step for the next forward activity.
 fn step_activity<'a>(
-    workload: &'a Workload,
-    cfg: &ConcurrentConfig,
+    ctx: &RunCtx<'_, 'a>,
+    g: &mut ShardGuard<'_, 'a>,
     pid: ProcessId,
     a: ActivityId,
-    guard: &mut Shared<'a>,
-    agents: &Agents,
-    cond: &Condvar,
-    coin: f64,
-) -> Option<SimulatedInvoke> {
+    attempts: &mut BTreeMap<ActivityId, u64>,
+) -> Step {
     let gid = GlobalActivityId::new(pid, a);
-    let process = workload.spec.process(pid).expect("known");
+    let process = ctx.workload.spec.process(pid).expect("known");
     let svc = process.service(a);
-    let site = workload.deployment.site(svc).expect("deployed").clone();
-    let termination = workload.spec.catalog.termination(svc);
-    let in_completion = guard.states[&pid].abort_in_progress();
+    let site = ctx.workload.deployment.site(svc).expect("deployed").clone();
+    let termination = ctx.workload.spec.catalog.termination(svc);
+    let in_completion = g.states[&pid].abort_in_progress();
     let admission = if in_completion {
         Admission::Allow
     } else {
-        guard.policy.request(pid, gid, svc)
+        g.policy.request(pid, gid, svc)
     };
     let (mode, blockers) = match admission {
         Admission::Allow => (CommitMode::Immediate, Vec::new()),
         Admission::AllowDeferred { blockers } => (CommitMode::Deferred, blockers),
         Admission::Wait { blockers } => {
-            guard.metrics.waits += 1;
-            if guard.tracing() && guard.note_blocked(pid, 0, &blockers) {
-                guard.trace(TraceEvent::RequestBlocked {
-                    gid,
-                    service: svc,
-                    blockers,
-                });
+            g.metrics.waits += 1;
+            if ctx.trace.enabled && g.note_blocked(pid, 0, &blockers) {
+                g.trace(
+                    ctx,
+                    TraceEvent::RequestBlocked {
+                        gid,
+                        service: svc,
+                        blockers,
+                    },
+                );
             }
-            // Wait; re-evaluated on the next iteration.
-            return None;
+            // Blocked; re-evaluated when the shard state changes.
+            return Step::Wait;
         }
         Admission::Reject { conflicting } => {
-            guard.metrics.rejections += 1;
-            if guard.tracing() {
-                guard.trace(TraceEvent::RequestRejected {
-                    gid,
-                    service: svc,
-                    conflicting,
-                });
+            g.metrics.rejections += 1;
+            if ctx.trace.enabled {
+                g.trace(
+                    ctx,
+                    TraceEvent::RequestRejected {
+                        gid,
+                        service: svc,
+                        conflicting,
+                    },
+                );
             }
-            initiate_abort(
-                workload,
-                pid,
-                guard,
-                agents,
-                AbortReason::Rejected,
-                Some(gid),
-            );
-            cond.notify_all();
-            return None;
+            initiate_abort(ctx, g, pid, AbortReason::Rejected, Some(gid));
+            return Step::Yield(None);
         }
     };
-    // Failure injection (coin pre-drawn outside the lock).
-    let inject = cfg.inject_failures && coin < p_fail(workload);
+    // Failure injection: one deterministic draw per admission attempt.
+    let attempt = attempts.entry(a).and_modify(|n| *n += 1).or_insert(1);
+    let coin = fail_coin(ctx.cfg.seed, gid, *attempt);
+    let inject = ctx.cfg.inject_failures && coin < p_fail(ctx.workload);
     if inject && termination.can_fail() {
-        guard.history.fail(gid);
-        if guard.tracing() {
-            guard.trace(TraceEvent::ActivityFailed { gid, service: svc });
+        g.emit(ctx, Event::Fail(gid));
+        if ctx.trace.enabled {
+            g.trace(ctx, TraceEvent::ActivityFailed { gid, service: svc });
         }
-        let outcome = guard
+        let outcome = g
             .states
             .get_mut(&pid)
             .expect("state")
@@ -597,139 +943,152 @@ fn step_activity<'a>(
         match outcome {
             FailureOutcome::Stuck => panic!("guaranteed-termination process stuck at {gid}"),
             FailureOutcome::ProcessAbort { .. } => {
-                guard.count_abort_reason(AbortReason::Failure);
-                guard.clear_block_note(pid);
-                if guard.tracing() {
-                    guard.trace(TraceEvent::AbortStarted {
-                        pid,
-                        reason: AbortReason::Failure,
-                    });
+                g.count_abort_reason(AbortReason::Failure);
+                g.clear_block_note(pid);
+                if ctx.trace.enabled {
+                    g.trace(
+                        ctx,
+                        TraceEvent::AbortStarted {
+                            pid,
+                            reason: AbortReason::Failure,
+                        },
+                    );
                 }
             }
             FailureOutcome::Alternative { .. } => {}
         }
-        return Some(SimulatedInvoke { svc, site });
+        return Step::Yield(Some(SimulatedInvoke { svc, site }));
     }
     if inject && termination == Termination::Retriable {
-        guard.metrics.retries += 1;
-        return Some(SimulatedInvoke { svc, site });
+        g.metrics.retries += 1;
+        return Step::Yield(Some(SimulatedInvoke { svc, site }));
     }
-    if mode == CommitMode::Immediate
-        && !guard.certified_traced(txproc_core::schedule::Event::Execute(gid))
-    {
-        // Retry on the next iteration, after other completions progressed.
-        return None;
+    if mode == CommitMode::Immediate && !g.certified_traced(ctx, Event::Execute(gid)) {
+        // Certification is a function of the shard history; retry once it
+        // advances.
+        return Step::Wait;
     }
-    let outcome = agents[&site.subsystem]
+    let outcome = ctx.agents[&site.subsystem]
         .lock()
         .invoke(svc, &site.program, mode, false)
         .expect("subsystem up");
     match outcome {
         InvokeOutcome::Committed { invocation, .. } => {
-            guard.invocations.insert(gid, (site.subsystem, invocation));
-            guard.history.execute(gid);
-            let edges_added = guard.policy.record_executed(gid, false);
-            guard
-                .states
+            g.invocations.insert(gid, (site.subsystem, invocation));
+            g.emit(ctx, Event::Execute(gid));
+            let edges_added = g.policy.record_executed(gid, false);
+            g.states
                 .get_mut(&pid)
                 .expect("state")
                 .apply_commit(a)
                 .expect("frontier");
-            guard.metrics.activities += 1;
-            guard.clear_block_note(pid);
-            if guard.tracing() {
-                guard.trace(TraceEvent::RequestAdmitted {
-                    gid,
-                    service: svc,
-                    deferred: false,
-                    blockers: Vec::new(),
-                    edges_added,
-                });
+            g.metrics.activities += 1;
+            g.clear_block_note(pid);
+            if ctx.trace.enabled {
+                g.trace(
+                    ctx,
+                    TraceEvent::RequestAdmitted {
+                        gid,
+                        service: svc,
+                        deferred: false,
+                        blockers: Vec::new(),
+                        edges_added,
+                    },
+                );
             }
+            Step::Yield(None)
         }
         InvokeOutcome::Prepared { invocation, .. } => {
-            guard.invocations.insert(gid, (site.subsystem, invocation));
-            let edges_added = guard.policy.record_executed(gid, true);
-            guard
-                .pending_release
+            g.invocations.insert(gid, (site.subsystem, invocation));
+            let edges_added = g.policy.record_executed(gid, true);
+            g.pending_release
                 .insert(pid, (gid, a, site.subsystem, invocation));
-            guard.metrics.deferred_commits += 1;
-            guard.clear_block_note(pid);
-            if guard.tracing() {
-                guard.trace(TraceEvent::RequestAdmitted {
-                    gid,
-                    service: svc,
-                    deferred: true,
-                    blockers: blockers.clone(),
-                    edges_added,
-                });
-                guard.trace(TraceEvent::CommitDeferred { gid, blockers });
+            g.metrics.deferred_commits += 1;
+            g.clear_block_note(pid);
+            if ctx.trace.enabled {
+                g.trace(
+                    ctx,
+                    TraceEvent::RequestAdmitted {
+                        gid,
+                        service: svc,
+                        deferred: true,
+                        blockers: blockers.clone(),
+                        edges_added,
+                    },
+                );
+                g.trace(ctx, TraceEvent::CommitDeferred { gid, blockers });
             }
+            Step::Yield(None)
         }
-        InvokeOutcome::Busy { .. } => {
-            // Retry on the next iteration.
-        }
+        // A key lock held by a prepared invocation; holder is a shard-mate
+        // (conflicting services share a domain), so the release/abort that
+        // frees the key also bumps our generation.
+        InvokeOutcome::Busy { .. } => Step::Wait,
         InvokeOutcome::Aborted => unreachable!("no injection requested"),
     }
-    None
 }
 
-fn p_fail(workload: &Workload) -> f64 {
-    workload.config.failure_probability.clamp(0.0, 1.0)
-}
-
-fn finalize(guard: &mut Shared<'_>, agents: &Agents, pid: ProcessId) {
-    let status = guard.states[&pid].status();
+fn finalize<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, pid: ProcessId) {
+    let status = g.states[&pid].status();
     let released = match status {
         ProcessStatus::Committed => {
-            guard.metrics.committed += 1;
-            guard.clear_block_note(pid);
-            if guard.tracing() {
-                guard.trace(TraceEvent::ProcessCommitted { pid });
+            g.metrics.committed += 1;
+            g.clear_block_note(pid);
+            if ctx.trace.enabled {
+                g.trace(ctx, TraceEvent::ProcessCommitted { pid });
             }
-            guard.policy.on_commit(pid)
+            g.policy.on_commit(pid)
         }
         ProcessStatus::Aborted => {
-            guard.metrics.aborted += 1;
-            guard.clear_block_note(pid);
-            if guard.tracing() {
-                guard.trace(TraceEvent::ProcessAborted { pid });
+            g.metrics.aborted += 1;
+            g.clear_block_note(pid);
+            if ctx.trace.enabled {
+                g.trace(ctx, TraceEvent::ProcessAborted { pid });
             }
-            guard.policy.on_abort(pid)
+            g.policy.on_abort(pid)
         }
         ProcessStatus::Active => return,
     };
+    // Wall-clock submit→terminal latency (all processes are submitted at
+    // run start), in microseconds.
+    let latency = ctx.run_start.elapsed().as_micros() as u64;
+    g.metrics.latencies.push(latency);
     for (pj, _gids) in released {
-        if guard.pending_release.contains_key(&pj) {
-            guard.ready_releases.push(pj);
+        if g.pending_release.contains_key(&pj) {
+            g.ready_releases.push(pj);
         }
     }
-    guard.drain_ready_releases(agents);
+    g.drain_ready_releases(ctx);
 }
 
 /// Cascade-aborts a single process (prepared invocations dropped first).
-fn cascade_abort(guard: &mut Shared<'_>, agents: &Agents, v: ProcessId) {
-    if !guard.states[&v].is_active() || guard.states[&v].abort_in_progress() {
+fn cascade_abort<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, v: ProcessId) {
+    if !g.states[&v].is_active() || g.states[&v].abort_in_progress() {
         return;
     }
-    guard.metrics.cascaded += 1;
-    guard.count_abort_reason(AbortReason::Cascade);
-    guard.clear_block_note(v);
-    if guard.tracing() {
-        guard.trace(TraceEvent::AbortStarted {
-            pid: v,
-            reason: AbortReason::Cascade,
-        });
+    g.metrics.cascaded += 1;
+    g.count_abort_reason(AbortReason::Cascade);
+    g.clear_block_note(v);
+    if ctx.trace.enabled {
+        g.trace(
+            ctx,
+            TraceEvent::AbortStarted {
+                pid: v,
+                reason: AbortReason::Cascade,
+            },
+        );
     }
-    if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&v) {
-        agents[&sid].lock().abort_prepared(inv).expect("prepared");
-        guard.invocations.remove(&gid);
-        guard.policy.record_prepared_aborted(gid);
+    if let Some((gid, _a, sid, inv)) = g.pending_release.remove(&v) {
+        ctx.agents[&sid]
+            .lock()
+            .abort_prepared(inv)
+            .expect("prepared");
+        g.invocations.remove(&gid);
+        g.policy.record_prepared_aborted(gid);
     }
-    guard.policy.on_abort_begin(v);
-    guard.history.abort(v);
-    guard
-        .states
+    g.policy.on_abort_begin(v);
+    g.emit(ctx, Event::Abort(v));
+    g.states
         .get_mut(&v)
         .expect("state")
         .apply_process_abort()
@@ -737,54 +1096,58 @@ fn cascade_abort(guard: &mut Shared<'_>, agents: &Agents, v: ProcessId) {
 }
 
 fn initiate_abort<'a>(
-    workload: &'a Workload,
+    ctx: &RunCtx<'_, 'a>,
+    g: &mut ShardGuard<'_, 'a>,
     pid: ProcessId,
-    guard: &mut Shared<'a>,
-    agents: &Agents,
     reason: AbortReason,
     trigger: Option<GlobalActivityId>,
 ) {
-    if guard.states[&pid].abort_in_progress() || !guard.states[&pid].is_active() {
+    if g.states[&pid].abort_in_progress() || !g.states[&pid].is_active() {
         return;
     }
-    let completion = guard.states[&pid].completion();
+    let completion = g.states[&pid].completion();
     let comp_gids: Vec<GlobalActivityId> = completion
         .compensations
         .iter()
         .map(|&a| GlobalActivityId::new(pid, a))
         .collect();
-    let process = workload.spec.process(pid).expect("known");
+    let process = ctx.workload.spec.process(pid).expect("known");
     let fwd: Vec<_> = completion
         .forward
         .iter()
         .map(|&a| process.service(a))
         .collect();
-    let victims = guard.policy.plan_abort(pid, &comp_gids, &fwd);
-    if guard.tracing() && !victims.is_empty() {
-        guard.trace(TraceEvent::GroupAbort {
-            initiator: Some(pid),
-            victims: victims.clone(),
-            trigger,
-        });
+    let victims = g.policy.plan_abort(pid, &comp_gids, &fwd);
+    if ctx.trace.enabled && !victims.is_empty() {
+        g.trace(
+            ctx,
+            TraceEvent::GroupAbort {
+                initiator: Some(pid),
+                victims: victims.clone(),
+                trigger,
+            },
+        );
     }
     for v in victims {
-        cascade_abort(guard, agents, v);
+        cascade_abort(ctx, g, v);
     }
-    if guard.states[&pid].is_active() && !guard.states[&pid].abort_in_progress() {
-        if let Some((gid, _a, sid, inv)) = guard.pending_release.remove(&pid) {
-            agents[&sid].lock().abort_prepared(inv).expect("prepared");
-            guard.invocations.remove(&gid);
-            guard.policy.record_prepared_aborted(gid);
+    if g.states[&pid].is_active() && !g.states[&pid].abort_in_progress() {
+        if let Some((gid, _a, sid, inv)) = g.pending_release.remove(&pid) {
+            ctx.agents[&sid]
+                .lock()
+                .abort_prepared(inv)
+                .expect("prepared");
+            g.invocations.remove(&gid);
+            g.policy.record_prepared_aborted(gid);
         }
-        guard.count_abort_reason(reason);
-        guard.clear_block_note(pid);
-        if guard.tracing() {
-            guard.trace(TraceEvent::AbortStarted { pid, reason });
+        g.count_abort_reason(reason);
+        g.clear_block_note(pid);
+        if ctx.trace.enabled {
+            g.trace(ctx, TraceEvent::AbortStarted { pid, reason });
         }
-        guard.policy.on_abort_begin(pid);
-        guard.history.abort(pid);
-        guard
-            .states
+        g.policy.on_abort_begin(pid);
+        g.emit(ctx, Event::Abort(pid));
+        g.states
             .get_mut(&pid)
             .expect("state")
             .apply_process_abort()
@@ -795,6 +1158,7 @@ fn initiate_abort<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
     use txproc_sim::workload::{generate, WorkloadConfig};
 
     #[test]
@@ -899,5 +1263,153 @@ mod tests {
             );
             assert_eq!(result.metrics.terminated(), 6, "seed {seed}");
         }
+    }
+
+    fn outcome_sets(history: &Schedule) -> (BTreeSet<ProcessId>, BTreeSet<ProcessId>) {
+        let mut committed = BTreeSet::new();
+        let mut aborted = BTreeSet::new();
+        for e in history.events() {
+            match e {
+                Event::Commit(p) => {
+                    committed.insert(*p);
+                }
+                Event::Abort(p) => {
+                    aborted.insert(*p);
+                }
+                Event::GroupAbort(ps) => {
+                    aborted.extend(ps.iter().copied());
+                }
+                _ => {}
+            }
+        }
+        (committed, aborted)
+    }
+
+    #[test]
+    fn auto_sharding_reports_one_shard_per_domain() {
+        let w = generate(&WorkloadConfig {
+            seed: 7,
+            processes: 16,
+            clusters: 4,
+            conflict_density: 0.4,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        });
+        let domains = DomainPartition::partition(&w.spec).domain_count();
+        assert!(domains >= 4);
+        let auto = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 7,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(auto.metrics.shards.len(), domains);
+        assert_eq!(auto.metrics.terminated(), 16);
+        let total_events: u64 = auto.metrics.shards.iter().map(|s| s.events).sum();
+        assert_eq!(total_events as usize, auto.history.len());
+
+        let single = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 7,
+                shards: ShardMode::Single,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(single.metrics.shards.len(), 1);
+        assert_eq!(single.metrics.terminated(), 16);
+
+        let fixed = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 7,
+                shards: ShardMode::Fixed(2),
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(fixed.metrics.shards.len(), 2);
+        assert_eq!(fixed.metrics.terminated(), 16);
+    }
+
+    #[test]
+    fn sharded_and_single_agree_on_disjoint_workloads() {
+        // On a workload whose processes never conflict the failure coins
+        // fully determine every outcome, so the sharded and single-lock
+        // drivers must produce bit-equal commit/abort sets.
+        for seed in 0..6 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 8,
+                conflict_density: 0.0,
+                clusters: 8,
+                failure_probability: 0.2,
+                ..WorkloadConfig::default()
+            });
+            assert_eq!(
+                DomainPartition::partition(&w.spec).domain_count(),
+                8,
+                "seed {seed}: clusters of one process each"
+            );
+            let cfg = ConcurrentConfig {
+                seed,
+                ..ConcurrentConfig::default()
+            };
+            let sharded = run_concurrent(&w, cfg.clone());
+            let single = run_concurrent(
+                &w,
+                ConcurrentConfig {
+                    shards: ShardMode::Single,
+                    ..cfg
+                },
+            );
+            assert_eq!(
+                outcome_sets(&sharded.history),
+                outcome_sets(&single.history),
+                "seed {seed}: outcome sets diverge"
+            );
+            assert!(txproc_core::pred::is_pred(&w.spec, &sharded.history).unwrap());
+        }
+    }
+
+    #[test]
+    fn concurrent_run_fills_wall_clock_latency_metrics() {
+        let w = generate(&WorkloadConfig {
+            seed: 2,
+            processes: 4,
+            ..WorkloadConfig::default()
+        });
+        let result = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 2,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(result.metrics.latencies.len(), 4);
+        assert!(result.metrics.makespan > 0);
+        assert!(result.metrics.latency_percentile(0.5).is_some());
+        assert!(
+            result
+                .metrics
+                .latencies
+                .iter()
+                .all(|&l| l <= result.metrics.makespan),
+            "latency beyond makespan"
+        );
+        assert!(!result.metrics.shards.is_empty());
+        assert!(result.metrics.wakeups_total() >= result.metrics.spurious_wakeups_total());
+    }
+
+    #[test]
+    fn shard_mode_parse_and_label_round_trip() {
+        assert_eq!(ShardMode::parse("auto"), Some(ShardMode::Auto));
+        assert_eq!(ShardMode::parse("single"), Some(ShardMode::Single));
+        assert_eq!(ShardMode::parse("1"), Some(ShardMode::Single));
+        assert_eq!(ShardMode::parse("4"), Some(ShardMode::Fixed(4)));
+        assert_eq!(ShardMode::parse("bogus"), None);
+        assert_eq!(ShardMode::Auto.label(), "auto");
+        assert_eq!(ShardMode::Single.label(), "single");
+        assert_eq!(ShardMode::Fixed(4).label(), "4");
     }
 }

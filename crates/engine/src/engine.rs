@@ -294,6 +294,7 @@ impl<'a> Engine<'a> {
             seq: self.trace_seq,
             time: self.now.0,
             history_len: self.history.len(),
+            shard: None,
             event,
         };
         self.trace_seq += 1;

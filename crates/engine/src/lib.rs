@@ -26,7 +26,9 @@ pub mod engine;
 pub mod policy;
 pub mod recovery;
 
-pub use concurrent::{run_concurrent, run_concurrent_traced, ConcurrentConfig, ConcurrentResult};
+pub use concurrent::{
+    run_concurrent, run_concurrent_traced, ConcurrentConfig, ConcurrentResult, ShardMode,
+};
 pub use engine::{run, Engine, RunConfig, RunResult};
 pub use policy::{Policy, PolicyKind};
 pub use recovery::{recover, recover_traced, CrashImage, RecoveryReport};

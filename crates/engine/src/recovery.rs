@@ -90,6 +90,7 @@ impl Tracer<'_> {
             seq: self.seq,
             time: self.seq,
             history_len,
+            shard: None,
             event,
         };
         self.seq += 1;

@@ -17,5 +17,5 @@ pub mod metrics;
 pub mod workload;
 
 pub use clock::{EventQueue, SimTime};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, ShardMetrics};
 pub use workload::{generate, Workload, WorkloadConfig};

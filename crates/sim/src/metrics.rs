@@ -46,6 +46,37 @@ impl AbortReasons {
     }
 }
 
+/// Per-shard lock and wakeup observability collected by the sharded
+/// concurrent driver (one entry per conflict-domain shard; the single-lock
+/// configuration reports exactly one).
+///
+/// `wakeups` counts condvar returns in the shard's workers; a wakeup is
+/// *spurious* when the shard generation did not change while waiting (the
+/// waiter re-checked state for nothing — with targeted notification these
+/// are almost exclusively fallback-timeout polls, whereas the pre-notify
+/// driver paid one speculative wakeup per fixed-interval poll). `notifies`
+/// counts `notify_all` broadcasts after a state change.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Shard id (dense, ordered by smallest member process id).
+    pub shard: u32,
+    /// Processes scheduled by this shard.
+    pub processes: u64,
+    /// History events emitted by this shard.
+    pub events: u64,
+    /// Total wall-clock time workers spent blocked acquiring the shard lock.
+    pub lock_wait_ns: u64,
+    /// Total wall-clock time workers held the shard lock (condvar-wait time
+    /// excluded).
+    pub lock_hold_ns: u64,
+    /// Condvar broadcasts sent after a visible state change.
+    pub notifies: u64,
+    /// Condvar wait returns observed by the shard's workers.
+    pub wakeups: u64,
+    /// Wait returns that observed no state change (avoidable re-checks).
+    pub spurious_wakeups: u64,
+}
+
 /// Counters and latency samples of one scheduler run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -82,6 +113,9 @@ pub struct Metrics {
     /// Certification attempts answered "not PRED" (each forces a defer,
     /// retry or escalation).
     pub cert_failures: u64,
+    /// Per-shard lock/wakeup observability (sharded concurrent driver only;
+    /// empty for the virtual-time engine).
+    pub shards: Vec<ShardMetrics>,
 }
 
 impl Metrics {
@@ -144,11 +178,32 @@ impl Metrics {
         }
         self.abort_reasons.merge(&other.abort_reasons);
         self.cert_failures += other.cert_failures;
+        self.shards.extend_from_slice(&other.shards);
     }
 
     /// Total blocked time across all processes.
     pub fn blocked_total(&self) -> u64 {
         self.blocked_time.values().sum()
+    }
+
+    /// Total condvar wakeups across shards.
+    pub fn wakeups_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.wakeups).sum()
+    }
+
+    /// Total spurious (no-state-change) wakeups across shards.
+    pub fn spurious_wakeups_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.spurious_wakeups).sum()
+    }
+
+    /// Total wall-clock nanoseconds spent waiting for shard locks.
+    pub fn lock_wait_total_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock_wait_ns).sum()
+    }
+
+    /// Total wall-clock nanoseconds shard locks were held.
+    pub fn lock_hold_total_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock_hold_ns).sum()
     }
 }
 
@@ -204,5 +259,41 @@ mod tests {
         assert_eq!(a.terminated(), 6);
         assert_eq!(a.latencies, vec![5, 7, 9]);
         assert_eq!(a.makespan, 150);
+    }
+
+    #[test]
+    fn shard_metrics_merge_and_totals() {
+        let mut a = Metrics {
+            shards: vec![ShardMetrics {
+                shard: 0,
+                processes: 3,
+                events: 12,
+                lock_wait_ns: 100,
+                lock_hold_ns: 400,
+                notifies: 9,
+                wakeups: 20,
+                spurious_wakeups: 5,
+            }],
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            shards: vec![ShardMetrics {
+                shard: 1,
+                processes: 2,
+                events: 8,
+                lock_wait_ns: 50,
+                lock_hold_ns: 200,
+                notifies: 4,
+                wakeups: 10,
+                spurious_wakeups: 1,
+            }],
+            ..Metrics::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.shards.len(), 2);
+        assert_eq!(a.wakeups_total(), 30);
+        assert_eq!(a.spurious_wakeups_total(), 6);
+        assert_eq!(a.lock_wait_total_ns(), 150);
+        assert_eq!(a.lock_hold_total_ns(), 600);
     }
 }

@@ -45,6 +45,16 @@ pub struct WorkloadConfig {
     pub subsystems: usize,
     /// Number of hot (shared) keys per subsystem.
     pub hot_keys: u64,
+    /// Number of independent service clusters (tenants). Each cluster gets
+    /// its own service pools and its own subsystems (and therefore its own
+    /// hot-key space); process `p` draws services only from cluster
+    /// `p % clusters`. Clusters never share keys, so `conflict_density`
+    /// steers *intra*-cluster contention while the potential-conflict graph
+    /// decomposes into at least `clusters` independent parts — the
+    /// multi-tenant shape the conflict-domain sharded driver exploits.
+    /// `1` (the default) reproduces the classic single-pool workload
+    /// bit-for-bit.
+    pub clusters: usize,
     /// Probability that a service operation touches a hot key.
     pub conflict_density: f64,
     /// Probability that a failable activity fails at runtime.
@@ -65,6 +75,7 @@ impl Default for WorkloadConfig {
             services_per_kind: 16,
             subsystems: 3,
             hot_keys: 4,
+            clusters: 1,
             conflict_density: 0.3,
             failure_probability: 0.1,
             mean_duration: 10,
@@ -119,18 +130,24 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
         program
     };
 
+    // Each cluster owns disjoint subsystems (and therefore a disjoint
+    // hot-key space, since hot keys are namespaced by subsystem id), so
+    // services of different clusters never share a key.
     let mut pool = |catalog: &mut Catalog,
                     deployment: &mut Deployment,
                     rng: &mut StdRng,
-                    kind: &str|
+                    kind: &str,
+                    cluster: u32|
      -> Vec<ServiceId> {
         (0..config.services_per_kind)
             .map(|i| {
-                let subsystem = rng.gen_range(0..config.subsystems as u32);
+                let idx = cluster as usize * config.services_per_kind + i;
+                let subsystem =
+                    cluster * config.subsystems as u32 + rng.gen_range(0..config.subsystems as u32);
                 let svc = match kind {
-                    "c" => catalog.compensatable(format!("c{i}")).0,
-                    "p" => catalog.pivot(format!("p{i}")),
-                    _ => catalog.retriable(format!("r{i}")),
+                    "c" => catalog.compensatable(format!("c{idx}")).0,
+                    "p" => catalog.pivot(format!("p{idx}")),
+                    _ => catalog.retriable(format!("r{idx}")),
                 };
                 let writes = kind != "r" || rng.gen_bool(0.5);
                 let program = make_program(rng, subsystem, writes);
@@ -141,9 +158,16 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
             .collect()
     };
 
-    let comp_pool = pool(&mut catalog, &mut deployment, &mut rng, "c");
-    let pivot_pool = pool(&mut catalog, &mut deployment, &mut rng, "p");
-    let retriable_pool = pool(&mut catalog, &mut deployment, &mut rng, "r");
+    let clusters = config.clusters.max(1);
+    #[allow(clippy::type_complexity)]
+    let cluster_pools: Vec<(Vec<ServiceId>, Vec<ServiceId>, Vec<ServiceId>)> = (0..clusters)
+        .map(|k| {
+            let comp = pool(&mut catalog, &mut deployment, &mut rng, "c", k as u32);
+            let pivot = pool(&mut catalog, &mut deployment, &mut rng, "p", k as u32);
+            let retriable = pool(&mut catalog, &mut deployment, &mut rng, "r", k as u32);
+            (comp, pivot, retriable)
+        })
+        .collect();
 
     // Declare the conflict matrix from the physical programs (sound and
     // complete with respect to the deployment), then close it under perfect
@@ -167,13 +191,14 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
     for p in 0..config.processes {
         let pid = ProcessId(p as u32);
         let mut builder = ProcessBuilder::new(pid, format!("W{p}"));
+        let (comp_pool, pivot_pool, retriable_pool) = &cluster_pools[p % clusters];
         build_segment(
             &mut builder,
             &mut rng,
             config,
-            &comp_pool,
-            &pivot_pool,
-            &retriable_pool,
+            comp_pool,
+            pivot_pool,
+            retriable_pool,
             None,
             config.max_depth,
         );
@@ -364,6 +389,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn clusters_partition_the_conflict_graph() {
+        use txproc_core::domains::DomainPartition;
+        for seed in 0..3 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 32,
+                clusters: 4,
+                conflict_density: 0.9,
+                ..WorkloadConfig::default()
+            });
+            // Even at extreme density, clusters never share keys: the
+            // potential-conflict graph has at least `clusters` components,
+            // and no component mixes processes of different clusters.
+            let part = DomainPartition::partition(&w.spec);
+            assert!(part.domain_count() >= 4, "seed {seed}");
+            for members in part.domains() {
+                let cluster = members[0].0 % 4;
+                for &pid in members {
+                    assert_eq!(pid.0 % 4, cluster, "seed {seed}: mixed-cluster domain");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_reproduces_classic_workload() {
+        // `clusters: 1` must be bit-identical to the pre-cluster generator:
+        // same processes, same conflict matrix, same deployment shape.
+        let w = generate(&WorkloadConfig::default());
+        assert_eq!(w.config.clusters, 1);
+        let procs: Vec<String> = w.spec.processes().map(|p| format!("{p:?}")).collect();
+        let again = generate(&WorkloadConfig {
+            clusters: 1,
+            ..WorkloadConfig::default()
+        });
+        let procs2: Vec<String> = again.spec.processes().map(|p| format!("{p:?}")).collect();
+        assert_eq!(procs, procs2);
+        assert_eq!(
+            w.spec.conflicts.declared_pairs(),
+            again.spec.conflicts.declared_pairs()
+        );
     }
 
     #[test]
