@@ -22,6 +22,11 @@
 //!                  [--json PATH]               # JSONL event journal
 //!                  [--chrome PATH]             # chrome://tracing / Perfetto
 //!                  [--dot-dir DIR]             # per-step conflict-graph dots
+//! txproc gauntlet  [--seeds N] [--scenario NAME] [--policy …] [--certifier …]
+//!                  [--shards auto|single|N] [--json PATH]
+//!                  # run the named adversarial scenarios (engine + sharded
+//!                  # concurrent) through the PRED / Proc-REC checkers and
+//!                  # their acceptance envelopes; non-zero exit on failure
 //! ```
 
 use serde::Deserialize;
@@ -35,7 +40,7 @@ use txproc_core::spec::Spec;
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_engine::recovery::recover;
-use txproc_sim::workload::{generate, WorkloadConfig};
+use txproc_sim::workload::{try_generate, WorkloadConfig};
 
 /// Simple `--key value` argument map.
 struct Args {
@@ -101,13 +106,14 @@ fn parse_certifier(name: &str) -> Result<CertifierKind, String> {
 }
 
 fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> {
-    Ok(generate(&WorkloadConfig {
+    try_generate(&WorkloadConfig {
         seed: args.get("seed", 42u64)?,
         processes: args.get("processes", 8usize)?,
         conflict_density: args.get("density", 0.3f64)?,
         failure_probability: args.get("failures", 0.1f64)?,
         ..WorkloadConfig::default()
-    }))
+    })
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
@@ -414,6 +420,73 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the scenario gauntlet: every named scenario (or one, with
+/// `--scenario`) over `--seeds` seeds through engine and sharded-concurrent
+/// runs, each history checked for PRED and Proc-REC, the aggregate checked
+/// against the scenario's acceptance envelope. Errors (exit 1) when any
+/// scenario fails.
+fn cmd_gauntlet(args: &Args) -> Result<(), String> {
+    use txproc_bench::scenarios::{run_scenario, GauntletConfig};
+    let mut cfg = GauntletConfig::smoke();
+    cfg.seeds = args.get("seeds", cfg.seeds)?;
+    cfg.seed_base = args.get("seed-base", cfg.seed_base)?;
+    cfg.policy = parse_policy(&args.get("policy", cfg.policy.label().to_string())?)?;
+    cfg.certifier = parse_certifier(&args.get("certifier", cfg.certifier.label().to_string())?)?;
+    if let Some(raw) = args.values.get("shards") {
+        cfg.shards = txproc_engine::ShardMode::parse(raw)
+            .ok_or_else(|| format!("invalid --shards value: {raw} (want auto|single|N)"))?;
+    }
+    let scenarios =
+        match args.values.get("scenario") {
+            Some(name) => vec![txproc_sim::scenario::find(name)
+                .ok_or_else(|| format!("unknown scenario: {name}"))?],
+            None => txproc_sim::scenario::registry(),
+        };
+    let mut failed = Vec::new();
+    let mut reports = Vec::new();
+    for s in &scenarios {
+        let report = run_scenario(s, &cfg);
+        for m in &report.modes {
+            println!(
+                "{:<15} {:<10} seeds={:<4} commit-rate={:.3} p50={:?} p95={:?} pred-violations={} proc-rec-violations={} [{}] ({:.0} ms)",
+                report.name,
+                m.mode,
+                m.runs,
+                m.commit_rate,
+                m.latency_p50,
+                m.latency_p95,
+                m.pred_violations,
+                m.proc_rec_violations,
+                if m.envelope_breaches.is_empty() {
+                    "envelope ok".to_string()
+                } else {
+                    m.envelope_breaches.join("; ")
+                },
+                m.wall_ms,
+            );
+        }
+        if !report.pass {
+            failed.push(report.name.clone());
+        }
+        reports.push(report);
+    }
+    if let Some(path) = args.values.get("json") {
+        let json = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if failed.is_empty() {
+        println!(
+            "gauntlet: all {} scenario(s) passed over {} seed(s)",
+            reports.len(),
+            cfg.seeds
+        );
+        Ok(())
+    } else {
+        Err(format!("gauntlet failures: {}", failed.join(", ")))
+    }
+}
+
 fn cmd_crash(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let at = args.get("at", 8usize)?;
@@ -437,7 +510,9 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        eprintln!("usage: txproc <simulate|generate|check|demo|dot|crash|bench|trace> [options]");
+        eprintln!(
+            "usage: txproc <simulate|generate|check|demo|dot|crash|bench|trace|gauntlet> [options]"
+        );
         std::process::exit(2);
     };
     let args = match Args::parse(rest) {
@@ -456,6 +531,7 @@ fn main() {
         "crash" => cmd_crash(&args),
         "bench" => cmd_bench(&args),
         "trace" => cmd_trace(&args),
+        "gauntlet" => cmd_gauntlet(&args),
         other => Err(format!("unknown command: {other}")),
     };
     if let Err(e) = result {
@@ -517,9 +593,38 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v3"));
+        assert!(raw.contains("txproc-bench-scheduler/v4"));
         assert!(raw.contains("pred-scan"));
+        assert!(raw.contains("zipf-hotspot"));
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn gauntlet_runs_one_scenario() {
+        let out = std::env::temp_dir().join("txproc_gauntlet_cli_test.json");
+        let a = args(&[
+            "--scenario",
+            "zipf-hotspot",
+            "--seeds",
+            "2",
+            "--json",
+            out.to_str().unwrap(),
+        ]);
+        cmd_gauntlet(&a).unwrap();
+        let raw = std::fs::read_to_string(&out).unwrap();
+        assert!(raw.contains("zipf-hotspot"));
+        assert!(raw.contains("pred_violations"));
+        std::fs::remove_file(&out).ok();
+
+        let bad = args(&["--scenario", "no-such"]);
+        assert!(cmd_gauntlet(&bad).is_err());
+    }
+
+    #[test]
+    fn invalid_workload_config_is_a_cli_error() {
+        let a = args(&["--processes", "0"]);
+        let err = cmd_simulate(&a).unwrap_err();
+        assert!(err.contains("processes"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   [`Protocol`](txproc_core::protocol::Protocol) directly. This isolates
 //!   the O(degree)-vs-O(total ops) claim from engine overhead.
 
+use crate::scenarios::{run_gauntlet, GauntletConfig, ScenarioReport};
 use serde::Serialize;
 use std::time::Instant;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
@@ -58,6 +59,8 @@ pub struct SchedulerBenchConfig {
     /// general concurrent cap: the single-vs-auto contrast is the point of
     /// that pair, and it grows with scale).
     pub sharding_processes: usize,
+    /// Seeds per named scenario in the gauntlet section (0 skips it).
+    pub gauntlet_seeds: u64,
 }
 
 impl SchedulerBenchConfig {
@@ -82,6 +85,7 @@ impl SchedulerBenchConfig {
             shards: ShardMode::Auto,
             sharding_clusters: 8,
             sharding_processes: 128,
+            gauntlet_seeds: 128,
         }
     }
 
@@ -95,6 +99,7 @@ impl SchedulerBenchConfig {
             concurrent_max_processes: 16,
             sharding_clusters: 4,
             sharding_processes: 16,
+            gauntlet_seeds: 4,
             ..Self::full()
         }
     }
@@ -198,6 +203,10 @@ pub struct BenchReport {
     pub runs: Vec<BenchEntry>,
     /// Per-decision protocol cost.
     pub decision: Vec<DecisionBenchEntry>,
+    /// Named-scenario gauntlet results: every scenario over
+    /// `config.gauntlet_seeds` seeds, engine + sharded concurrent, with
+    /// PRED/Proc-REC verdicts and envelope checks.
+    pub scenarios: Vec<ScenarioReport>,
     /// Tracing overhead per sink (E20).
     pub trace_overhead: Vec<TraceOverheadEntry>,
     /// Coverage notes (anything capped or skipped, never silent).
@@ -520,14 +529,23 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
     }
     let decision = decision_bench(cfg);
     let trace_overhead = trace_overhead_bench(cfg);
+    let scenarios = if cfg.gauntlet_seeds > 0 {
+        run_gauntlet(&GauntletConfig {
+            seeds: cfg.gauntlet_seeds,
+            ..GauntletConfig::full()
+        })
+    } else {
+        notes.push("scenario gauntlet skipped (gauntlet_seeds = 0)".to_string());
+        Vec::new()
+    };
     BenchReport {
-        // v3 (additive over v2): entries carry shard_mode/shards/clusters,
-        // per-run lock contention totals (lock_wait_ms, lock_hold_ms) and
-        // wakeup counters, concurrent entries fill latency_p50/p95 and
-        // makespan with wall-clock µs, and the runs include the clustered
-        // single-vs-auto sharding pair. v2 readers that pick fields by name
-        // still work.
-        schema: "txproc-bench-scheduler/v3",
+        // v4 (additive over v3): a `scenarios` array with the named-scenario
+        // gauntlet — per scenario, aggregate engine and sharded-concurrent
+        // results over `gauntlet_seeds` seeds, the PRED/Proc-REC verdict
+        // counts and the acceptance-envelope breaches. v3 readers that pick
+        // fields by name still work. (v3 added shard_mode/shards/clusters,
+        // lock contention and wakeup counters over v2.)
+        schema: "txproc-bench-scheduler/v4",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -535,6 +553,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         config: cfg.clone(),
         runs,
         decision,
+        scenarios,
         trace_overhead,
         notes,
     }
@@ -549,6 +568,7 @@ mod tests {
         let mut cfg = SchedulerBenchConfig::smoke();
         cfg.processes = vec![6];
         cfg.concurrent_max_processes = 6;
+        cfg.gauntlet_seeds = 2;
         let report = run_scheduler_bench(&cfg);
         // engine + concurrent per policy, plus the single/auto sharding pair.
         assert_eq!(report.runs.len(), 6);
@@ -583,11 +603,25 @@ mod tests {
         let sinks: Vec<_> = report.trace_overhead.iter().map(|t| t.sink).collect();
         assert_eq!(sinks, vec!["none", "noop", "ring-4096", "jsonl-devnull"]);
         assert!(report.trace_overhead.iter().all(|t| t.wall_ms > 0.0));
+        // v4: the scenario gauntlet section covers every registered
+        // scenario in both modes with zero correctness violations.
+        assert_eq!(report.scenarios.len(), 6);
+        for s in &report.scenarios {
+            assert_eq!(s.seeds, 2);
+            let modes: Vec<_> = s.modes.iter().map(|m| m.mode).collect();
+            assert_eq!(modes, vec!["engine", "concurrent"], "{}", s.name);
+            for m in &s.modes {
+                assert_eq!(m.pred_violations, 0, "{}/{}", s.name, m.mode);
+                assert_eq!(m.proc_rec_violations, 0, "{}/{}", s.name, m.mode);
+            }
+        }
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v3"));
+        assert!(json.contains("txproc-bench-scheduler/v4"));
         assert!(json.contains("abort_reasons"));
         assert!(json.contains("blocked_time_total"));
         assert!(json.contains("shard_mode"));
         assert!(json.contains("spurious_wakeups"));
+        assert!(json.contains("zipf-hotspot"));
+        assert!(json.contains("envelope_breaches"));
     }
 }

@@ -1,11 +1,22 @@
-//! Ready-made scenarios: the paper's schedules as histories, and the CIM
-//! world of Figure 1 deployed over simulated subsystems so the engine can
-//! execute it.
+//! Ready-made scenarios: the paper's schedules as histories, the CIM world
+//! of Figure 1 deployed over simulated subsystems so the engine can execute
+//! it, and the adversarial scenario gauntlet — every named scenario from
+//! [`txproc_sim::scenario`] replayed over many seeds through the batch PRED
+//! and Proc-REC checkers with its acceptance envelope enforced.
 
+use serde::Serialize;
+use std::time::Instant;
 use txproc_core::fixtures::{cim_world, paper_world, CimWorld, PaperWorld};
 use txproc_core::ids::ProcessId;
+use txproc_core::pred_incremental::check_pred_incremental;
+use txproc_core::recoverability::proc_rec_violations;
 use txproc_core::schedule::Schedule;
-use txproc_sim::workload::{Workload, WorkloadConfig};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, ShardMode};
+use txproc_engine::engine::{run, RunConfig};
+use txproc_engine::policy::{CertifierKind, PolicyKind};
+use txproc_sim::metrics::Metrics;
+use txproc_sim::scenario::{registry, Envelope, Scenario};
+use txproc_sim::workload::{try_generate, Workload, WorkloadConfig};
 use txproc_subsystem::deploy::Deployment;
 use txproc_subsystem::kv::{Key, Program};
 use txproc_subsystem::subsystem::SubsystemId;
@@ -171,6 +182,209 @@ pub fn paper_workload(failure_probability: f64) -> (PaperWorld, Workload) {
     (fx, workload)
 }
 
+// ---------------------------------------------------------------------------
+// Scenario gauntlet
+// ---------------------------------------------------------------------------
+
+/// Configuration of a gauntlet sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct GauntletConfig {
+    /// Seeds per scenario (`seed_base..seed_base + seeds`).
+    pub seeds: u64,
+    /// First seed.
+    pub seed_base: u64,
+    /// Scheduling policy driven through the gauntlet.
+    pub policy: PolicyKind,
+    /// Certifier used by the policy.
+    pub certifier: CertifierKind,
+    /// Whether to also drive the sharded concurrent driver (engine runs
+    /// always happen).
+    pub concurrent: bool,
+    /// Shard topology for concurrent runs.
+    pub shards: ShardMode,
+}
+
+impl GauntletConfig {
+    /// The acceptance-grade sweep: 128 seeds, engine + sharded concurrent.
+    pub fn full() -> Self {
+        Self {
+            seeds: 128,
+            seed_base: 0,
+            policy: PolicyKind::Pred,
+            certifier: CertifierKind::Incremental,
+            concurrent: true,
+            shards: ShardMode::Auto,
+        }
+    }
+
+    /// CI smoke mode: the same pipeline over a handful of seeds.
+    pub fn smoke() -> Self {
+        Self {
+            seeds: 4,
+            ..Self::full()
+        }
+    }
+}
+
+/// Aggregated result of one scenario in one execution mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioModeReport {
+    /// `engine` (virtual time) or `concurrent` (thread per process,
+    /// sharded).
+    pub mode: &'static str,
+    /// Runs aggregated (one per seed).
+    pub runs: u64,
+    /// Committed processes across all runs.
+    pub committed: u64,
+    /// Aborted processes across all runs.
+    pub aborted: u64,
+    /// Compensations executed across all runs.
+    pub compensations: u64,
+    /// `committed / (processes × runs)`.
+    pub commit_rate: f64,
+    /// Pooled latency p50 (virtual ticks for engine, wall-clock µs for
+    /// concurrent).
+    pub latency_p50: Option<u64>,
+    /// Pooled latency p95.
+    pub latency_p95: Option<u64>,
+    /// Histories the batch PRED checker rejected (must be 0).
+    pub pred_violations: u64,
+    /// Histories with Proc-REC (Definition 11) violations (must be 0).
+    pub proc_rec_violations: u64,
+    /// Envelope breaches against the aggregate (empty = pass).
+    pub envelope_breaches: Vec<String>,
+    /// Wall-clock milliseconds spent on this mode's runs.
+    pub wall_ms: f64,
+}
+
+/// Gauntlet outcome of one named scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Registry name.
+    pub name: String,
+    /// One-line description.
+    pub summary: String,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// The acceptance envelope that was enforced.
+    pub envelope: Envelope,
+    /// Whether every mode passed: zero PRED / Proc-REC violations and no
+    /// envelope breach.
+    pub pass: bool,
+    /// Per-mode aggregates (engine first, then concurrent when enabled).
+    pub modes: Vec<ScenarioModeReport>,
+}
+
+impl ScenarioModeReport {
+    /// Whether this mode is clean: zero PRED / Proc-REC violations and no
+    /// envelope breach.
+    pub fn pass(&self) -> bool {
+        self.pred_violations == 0
+            && self.proc_rec_violations == 0
+            && self.envelope_breaches.is_empty()
+    }
+}
+
+fn check_history(spec: &txproc_core::spec::Spec, history: &Schedule) -> (u64, u64) {
+    let pred = match check_pred_incremental(spec, history) {
+        Ok(report) => u64::from(!report.pred),
+        Err(_) => 1,
+    };
+    let proc_rec = match proc_rec_violations(spec, history) {
+        Ok(v) => u64::from(!v.is_empty()),
+        Err(_) => 1,
+    };
+    (pred, proc_rec)
+}
+
+fn mode_report(
+    scenario: &Scenario,
+    cfg: &GauntletConfig,
+    mode: &'static str,
+    mut one_run: impl FnMut(&Workload) -> (Schedule, Metrics),
+) -> ScenarioModeReport {
+    let t = Instant::now();
+    let mut agg = Metrics::new();
+    let mut pred_bad = 0u64;
+    let mut proc_rec_bad = 0u64;
+    for seed in cfg.seed_base..cfg.seed_base + cfg.seeds {
+        let workload = try_generate(&scenario.config_for_seed(seed))
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", scenario.name));
+        let (history, metrics) = one_run(&workload);
+        let (p, r) = check_history(&workload.spec, &history);
+        pred_bad += p;
+        proc_rec_bad += r;
+        agg.merge(&metrics);
+    }
+    let processes_total = scenario.config.processes * cfg.seeds as usize;
+    let mut breaches = scenario
+        .envelope
+        .check(&agg, processes_total, mode == "engine");
+    // `Envelope::check` folds per-run violation counters in; PRED/Proc-REC
+    // history verdicts are reported separately below, so don't double-count.
+    breaches.retain(|b| !b.ends_with("correctness violations"));
+    ScenarioModeReport {
+        mode,
+        runs: cfg.seeds,
+        committed: agg.committed,
+        aborted: agg.aborted,
+        compensations: agg.compensations,
+        commit_rate: agg.committed as f64 / processes_total.max(1) as f64,
+        latency_p50: agg.latency_percentile(0.5),
+        latency_p95: agg.latency_percentile(0.95),
+        pred_violations: pred_bad + agg.violations,
+        proc_rec_violations: proc_rec_bad,
+        envelope_breaches: breaches,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs one scenario through the gauntlet: engine runs over every seed,
+/// plus sharded concurrent runs when `cfg.concurrent` is set, every history
+/// checked by the batch PRED and Proc-REC checkers.
+pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport {
+    let mut modes = vec![mode_report(scenario, cfg, "engine", |w| {
+        let r = run(
+            w,
+            RunConfig {
+                policy: cfg.policy,
+                seed: w.config.seed,
+                certifier: cfg.certifier,
+                ..RunConfig::default()
+            },
+        );
+        (r.history, r.metrics)
+    })];
+    if cfg.concurrent {
+        modes.push(mode_report(scenario, cfg, "concurrent", |w| {
+            let r = run_concurrent(
+                w,
+                ConcurrentConfig {
+                    policy: cfg.policy,
+                    seed: w.config.seed,
+                    certifier: cfg.certifier,
+                    shards: cfg.shards,
+                    ..ConcurrentConfig::default()
+                },
+            );
+            (r.history, r.metrics)
+        }));
+    }
+    ScenarioReport {
+        name: scenario.name.to_string(),
+        summary: scenario.summary.to_string(),
+        seeds: cfg.seeds,
+        envelope: scenario.envelope,
+        pass: modes.iter().all(ScenarioModeReport::pass),
+        modes,
+    }
+}
+
+/// Runs every registered scenario through the gauntlet.
+pub fn run_gauntlet(cfg: &GauntletConfig) -> Vec<ScenarioReport> {
+    registry().iter().map(|s| run_scenario(s, cfg)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +425,26 @@ mod tests {
         let pdm = fx.construction_activity("pdm_entry");
         let read = fx.production_activity("read_bom");
         assert!(w.spec.activities_conflict(pdm, read).unwrap());
+    }
+
+    #[test]
+    fn gauntlet_checks_histories_on_both_modes() {
+        let cfg = GauntletConfig {
+            seeds: 2,
+            ..GauntletConfig::smoke()
+        };
+        let s = txproc_sim::scenario::find("zipf-hotspot").expect("registered");
+        let report = run_scenario(&s, &cfg);
+        assert_eq!(report.name, "zipf-hotspot");
+        assert_eq!(report.seeds, 2);
+        let modes: Vec<&str> = report.modes.iter().map(|m| m.mode).collect();
+        assert_eq!(modes, vec!["engine", "concurrent"]);
+        for m in &report.modes {
+            assert_eq!(m.runs, 2);
+            assert_eq!(m.pred_violations, 0, "{}: non-PRED history", m.mode);
+            assert_eq!(m.proc_rec_violations, 0, "{}: Proc-REC violation", m.mode);
+            assert!(m.committed + m.aborted > 0);
+        }
     }
 
     #[test]

@@ -96,6 +96,23 @@ pub fn proc_rec_violations(
                         && !spec.catalog.termination(z.service).is_compensatable()
                 })
             };
+            // A compensating operation as the *earlier* element imposes no
+            // obligation under either condition: a compensation is itself
+            // recovery and is never undone again, so neither P_j committing
+            // first (11.1) nor P_j stabilizing first (11.2) can strand it.
+            // Definition 11 ranges over the processes' activities a_{i_k};
+            // the a⁻¹ operations enter the history only as recovery steps.
+            // E11's trace-backed triage found the scheduler legitimately
+            // emitting `a⁻¹ ≪ b` with the compensating process's next pivot
+            // one event after `b`; the crash-storm gauntlet (E22) found the
+            // commit-order analogue, where a process cancels an alternative
+            // branch (a, a⁻¹) and a conflicting activity of a process that
+            // commits earlier lands *after* the pair — the cancelled pair
+            // vanishes under reduction, the history is PRED (Theorem 1 then
+            // demands Proc-REC), and only the literal pair scan objected.
+            if x.kind == OpKind::Compensation {
+                continue;
+            }
             // 11.1: C_i must precede C_j. The definition constrains commit
             // events of S; aborted processes commit only by conversion
             // (Definition 8.2c) at a position the completion construction is
@@ -117,20 +134,6 @@ pub fn proc_rec_violations(
             // activities (executed after the process's abort) are excluded:
             // their mutual order is Definition 8.3's choice, not a
             // recovery-relevant commit decision.
-            //
-            // A compensating operation as the *earlier* element imposes no
-            // pivot obligation either: a compensation is itself recovery and
-            // is never undone again, so P_j stabilizing first cannot strand
-            // it (same rationale as the quasi-commit refinement above).
-            // Definition 11 ranges over the processes' activities a_{i_k};
-            // the a⁻¹ operations enter the history only as recovery steps.
-            // E11's trace-backed triage found the scheduler legitimately
-            // emitting `a⁻¹ ≪ b` with the compensating process's next pivot
-            // one event after `b`: the history is PRED (Theorem 1 then
-            // demands Proc-REC), only the literal pair scan objected.
-            if x.kind == OpKind::Compensation {
-                continue;
-            }
             let next_nc = |start: &Op| {
                 let abort_at = replay.abort_event.get(&start.gid.process).copied();
                 ops.iter()

@@ -207,6 +207,9 @@ struct RunCtx<'r, 'a> {
     tickets: &'r AtomicU64,
     trace: &'r TraceShared<'a>,
     run_start: Instant,
+    /// Arrival offset per process in microseconds (one virtual tick of the
+    /// workload's arrival model = 1µs here). All zeros for closed arrivals.
+    arrivals: BTreeMap<ProcessId, u64>,
 }
 
 /// One conflict-domain shard: a complete scheduler state behind its own
@@ -521,7 +524,16 @@ fn fail_coin(seed: u64, gid: GlobalActivityId, attempt: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
-fn p_fail(workload: &Workload) -> f64 {
+/// Failure probability of an activity on `subsystem`. The wall-clock driver
+/// has no virtual clock to scope a crash-storm window, so a configured storm
+/// applies to its subsystems for the whole run (documented on
+/// [`txproc_sim::workload::CrashStorm`]).
+fn p_fail(workload: &Workload, subsystem: SubsystemId) -> f64 {
+    if let Some(storm) = &workload.config.storm {
+        if subsystem.0 < storm.subsystems {
+            return storm.failure_probability.clamp(0.0, 1.0);
+        }
+    }
     workload.config.failure_probability.clamp(0.0, 1.0)
 }
 
@@ -620,6 +632,12 @@ pub fn run_concurrent_traced<'a>(
         enabled,
     };
     let tickets = AtomicU64::new(0);
+    let arrivals: BTreeMap<ProcessId, u64> = workload
+        .spec
+        .processes()
+        .map(|p| p.id)
+        .zip(txproc_sim::workload::arrival_times(&workload.config))
+        .collect();
     let ctx = RunCtx {
         workload,
         cfg: &cfg,
@@ -627,6 +645,7 @@ pub fn run_concurrent_traced<'a>(
         tickets: &tickets,
         trace: &trace,
         run_start: Instant::now(),
+        arrivals,
     };
 
     std::thread::scope(|scope| {
@@ -675,6 +694,16 @@ pub fn run_concurrent_traced<'a>(
 }
 
 fn worker<'a>(ctx: &RunCtx<'_, 'a>, shard: &Shard<'a>, pid: ProcessId) {
+    // Open-system arrival: the worker thread exists from run start but the
+    // process only enters the scheduler after its arrival offset.
+    let arrival_us = ctx.arrivals.get(&pid).copied().unwrap_or(0);
+    if arrival_us > 0 {
+        let target = std::time::Duration::from_micros(arrival_us);
+        let since_start = ctx.run_start.elapsed();
+        if since_start < target {
+            std::thread::sleep(target - since_start);
+        }
+    }
     let mut attempts: BTreeMap<ActivityId, u64> = BTreeMap::new();
     // Consecutive iterations without visible progress; escalates to a
     // self-abort (always legal for an uncommitted process) so that blocked
@@ -928,7 +957,7 @@ fn step_activity<'a>(
     // Failure injection: one deterministic draw per admission attempt.
     let attempt = attempts.entry(a).and_modify(|n| *n += 1).or_insert(1);
     let coin = fail_coin(ctx.cfg.seed, gid, *attempt);
-    let inject = ctx.cfg.inject_failures && coin < p_fail(ctx.workload);
+    let inject = ctx.cfg.inject_failures && coin < p_fail(ctx.workload, site.subsystem);
     if inject && termination.can_fail() {
         g.emit(ctx, Event::Fail(gid));
         if ctx.trace.enabled {
@@ -1049,10 +1078,13 @@ fn finalize<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, pid: ProcessId
         }
         ProcessStatus::Active => return,
     };
-    // Wall-clock submit→terminal latency (all processes are submitted at
-    // run start), in microseconds.
-    let latency = ctx.run_start.elapsed().as_micros() as u64;
+    // Wall-clock arrival→terminal latency in microseconds (arrival offset
+    // subtracted so open-system latencies measure time in system, not time
+    // since run start).
+    let arrival_us = ctx.arrivals.get(&pid).copied().unwrap_or(0);
+    let latency = (ctx.run_start.elapsed().as_micros() as u64).saturating_sub(arrival_us);
     g.metrics.latencies.push(latency);
+    g.metrics.latency_by_pid.insert(pid.0, latency);
     for (pj, _gids) in released {
         if g.pending_release.contains_key(&pj) {
             g.ready_releases.push(pj);

@@ -233,16 +233,27 @@ impl<'a> Engine<'a> {
             trace_seq: 0,
             blocked_since: BTreeMap::new(),
         };
+        // Closed arrivals keep the config's `arrival_gap` staggering; open
+        // models (Poisson / Burst) take their times from the workload.
+        let open = !matches!(
+            workload.config.arrivals,
+            txproc_sim::workload::ArrivalModel::Closed
+        );
+        let times = open.then(|| txproc_sim::workload::arrival_times(&workload.config));
         let mut at = 0u64;
-        for process in workload.spec.processes() {
+        for (idx, process) in workload.spec.processes().enumerate() {
             let pid = process.id;
             let state = ProcessState::new(process, &workload.spec.catalog)
                 .expect("workload processes are tree-structured");
             engine.states.insert(pid, state);
-            engine.arrivals.insert(pid, at);
+            let arrive = match &times {
+                Some(ts) => ts[idx],
+                None => at,
+            };
+            engine.arrivals.insert(pid, arrive);
             engine.policy.register(pid);
             engine.waiting.insert(pid, Waiting::No);
-            engine.schedule_dispatch(pid, SimTime(at));
+            engine.schedule_dispatch(pid, SimTime(arrive));
             at += cfg.arrival_gap;
         }
         engine
@@ -703,8 +714,16 @@ impl<'a> Engine<'a> {
             .clone();
         let d = site.duration;
 
-        // Failure injection (Definitions 3 and 4).
-        let p_fail = self.workload.config.failure_probability;
+        // Failure injection (Definitions 3 and 4). A crash-storm overrides
+        // the base rate on its subsystems while the virtual clock is inside
+        // the storm window.
+        let mut p_fail = self.workload.config.failure_probability;
+        if let Some(storm) = &self.workload.config.storm {
+            let in_window = self.now.0 >= storm.window.0 && self.now.0 < storm.window.1;
+            if in_window && site.subsystem.0 < storm.subsystems {
+                p_fail = storm.failure_probability;
+            }
+        }
         let inject =
             self.cfg.inject_failures && p_fail > 0.0 && self.rng.gen_bool(p_fail.clamp(0.0, 1.0));
         if inject {
@@ -938,6 +957,7 @@ impl<'a> Engine<'a> {
                 self.metrics.committed += 1;
                 let latency = self.now.0.saturating_sub(self.arrivals[&pid]);
                 self.metrics.latencies.push(latency);
+                self.metrics.latency_by_pid.insert(pid.0, latency);
                 self.trace(TraceEvent::ProcessCommitted { pid });
                 self.policy.on_commit(pid)
             }
@@ -945,6 +965,7 @@ impl<'a> Engine<'a> {
                 self.metrics.aborted += 1;
                 let latency = self.now.0.saturating_sub(self.arrivals[&pid]);
                 self.metrics.latencies.push(latency);
+                self.metrics.latency_by_pid.insert(pid.0, latency);
                 self.trace(TraceEvent::ProcessAborted { pid });
                 self.policy.on_abort(pid)
             }

@@ -102,6 +102,10 @@ pub struct Metrics {
     pub violations: u64,
     /// Virtual end-to-end latency samples, one per terminated process.
     pub latencies: Vec<u64>,
+    /// End-to-end latency keyed by process id (same samples as
+    /// [`Metrics::latencies`]; lets reports segment latency by tenant).
+    #[serde(default)]
+    pub latency_by_pid: BTreeMap<u32, u64>,
     /// Virtual makespan of the whole run.
     pub makespan: u64,
     /// Per-process time spent blocked (virtual time in the deterministic
@@ -172,6 +176,9 @@ impl Metrics {
         self.rejections += other.rejections;
         self.violations += other.violations;
         self.latencies.extend_from_slice(&other.latencies);
+        for (&pid, &lat) in &other.latency_by_pid {
+            self.latency_by_pid.entry(pid).or_insert(lat);
+        }
         self.makespan += other.makespan;
         for (&pid, &t) in &other.blocked_time {
             *self.blocked_time.entry(pid).or_insert(0) += t;

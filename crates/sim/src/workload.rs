@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use txproc_core::activity::Catalog;
 use txproc_core::conflict::ConflictMatrix;
 use txproc_core::flex::FlexAnalysis;
@@ -23,6 +24,67 @@ use txproc_core::spec::Spec;
 use txproc_subsystem::deploy::Deployment;
 use txproc_subsystem::kv::{Key, KvOp, Program};
 use txproc_subsystem::subsystem::SubsystemId;
+
+/// How processes arrive at the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalModel {
+    /// Closed system: every process is submitted at time zero (the
+    /// virtual-time engine may still stagger them via its `arrival_gap`).
+    #[default]
+    Closed,
+    /// Open system: a Poisson arrival process — exponential inter-arrival
+    /// gaps with the given mean, in virtual ticks (the wall-clock
+    /// concurrent driver maps one tick to one microsecond). Deterministic
+    /// in the workload seed.
+    Poisson {
+        /// Mean inter-arrival gap (virtual ticks; must be ≥ 1).
+        mean_gap: u64,
+    },
+    /// Flash crowd: the first `quiet` processes arrive spaced `quiet_gap`
+    /// ticks apart, then every remaining process lands in one burst at the
+    /// spike instant.
+    Burst {
+        /// Processes that arrive before the spike.
+        quiet: usize,
+        /// Inter-arrival gap of the quiet phase (ticks; must be ≥ 1).
+        quiet_gap: u64,
+    },
+}
+
+/// One tenant in a multi-tenant mix: a relative share of the processes plus
+/// optional overrides of the structural knobs. Processes are dealt to
+/// tenants by weighted round-robin over the process id, so the assignment
+/// is deterministic and independent of every other knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMix {
+    /// Label used in reports.
+    pub name: String,
+    /// Relative share of processes (≥ 1).
+    pub weight: usize,
+    /// Override of [`WorkloadConfig::prefix_len`].
+    pub prefix_len: Option<(usize, usize)>,
+    /// Override of [`WorkloadConfig::tail_len`].
+    pub tail_len: Option<(usize, usize)>,
+    /// Override of [`WorkloadConfig::alternative_probability`].
+    pub alternative_probability: Option<f64>,
+    /// Override of [`WorkloadConfig::zipf_s`].
+    pub zipf_s: Option<f64>,
+}
+
+/// A correlated subsystem crash-storm: during a virtual-time window, every
+/// failable activity on the storm subsystems fails with `failure_probability`
+/// instead of the base rate — the "half the machine room lost power mid-2PC"
+/// shape. The wall-clock concurrent driver has no virtual clock; it applies
+/// the storm probability to the storm subsystems for the whole run instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashStorm {
+    /// Number of affected subsystems (absolute ids `0..subsystems`).
+    pub subsystems: u32,
+    /// Virtual-time window `[start, end)` of the storm.
+    pub window: (u64, u64),
+    /// Failure probability on storm subsystems during the window.
+    pub failure_probability: f64,
+}
 
 /// Configuration of a synthetic workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +123,23 @@ pub struct WorkloadConfig {
     pub failure_probability: f64,
     /// Mean service duration (virtual time units).
     pub mean_duration: u64,
+    /// Zipf skew of service popularity within each pool: activity `pick`s
+    /// draw pool rank `r` with probability ∝ 1/(r+1)^s. `0.0` (the default)
+    /// is bit-identical to the classic uniform pick.
+    #[serde(default)]
+    pub zipf_s: f64,
+    /// Arrival model. [`ArrivalModel::Closed`] (the default) reproduces the
+    /// classic all-at-time-zero submission.
+    #[serde(default)]
+    pub arrivals: ArrivalModel,
+    /// Multi-tenant mix. Empty (the default) means one implicit tenant with
+    /// the base knobs; otherwise process `p` belongs to
+    /// [`tenant_of`]`(config, p)` and uses that tenant's overrides.
+    #[serde(default)]
+    pub tenants: Vec<TenantMix>,
+    /// Correlated subsystem crash-storm (none by default).
+    #[serde(default)]
+    pub storm: Option<CrashStorm>,
 }
 
 impl Default for WorkloadConfig {
@@ -79,8 +158,206 @@ impl Default for WorkloadConfig {
             conflict_density: 0.3,
             failure_probability: 0.1,
             mean_duration: 10,
+            zipf_s: 0.0,
+            arrivals: ArrivalModel::Closed,
+            tenants: Vec::new(),
+            storm: None,
         }
     }
+}
+
+/// A rejected [`WorkloadConfig`]: which knob is invalid and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError(pub String);
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload config: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+fn unit_interval(name: &str, v: f64) -> Result<(), WorkloadError> {
+    if !(0.0..=1.0).contains(&v) {
+        return Err(WorkloadError(format!("{name} must be in [0, 1], got {v}")));
+    }
+    Ok(())
+}
+
+impl WorkloadConfig {
+    /// Validates every knob. [`generate`] panics on an invalid config;
+    /// [`try_generate`] surfaces the error instead.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let err = |msg: String| Err(WorkloadError(msg));
+        if self.processes == 0 {
+            return err("processes must be >= 1".into());
+        }
+        if self.clusters == 0 {
+            return err("clusters must be >= 1 (0 is not \"one pool\")".into());
+        }
+        if self.clusters > self.processes {
+            return err(format!(
+                "clusters ({}) must not exceed processes ({}): empty clusters would \
+                 silently inflate the service catalog and the domain count",
+                self.clusters, self.processes
+            ));
+        }
+        if self.services_per_kind == 0 {
+            return err("services_per_kind must be >= 1".into());
+        }
+        if self.subsystems == 0 {
+            return err("subsystems must be >= 1".into());
+        }
+        if self.hot_keys == 0 && self.conflict_density > 0.0 {
+            return err("hot_keys must be >= 1 when conflict_density > 0".into());
+        }
+        if self.prefix_len.0 > self.prefix_len.1 {
+            return err(format!("prefix_len range is empty: {:?}", self.prefix_len));
+        }
+        if self.tail_len.0 > self.tail_len.1 {
+            return err(format!("tail_len range is empty: {:?}", self.tail_len));
+        }
+        unit_interval("conflict_density", self.conflict_density)?;
+        unit_interval("failure_probability", self.failure_probability)?;
+        unit_interval("alternative_probability", self.alternative_probability)?;
+        if !self.zipf_s.is_finite() || self.zipf_s < 0.0 {
+            return err(format!(
+                "zipf_s must be finite and >= 0, got {}",
+                self.zipf_s
+            ));
+        }
+        match self.arrivals {
+            ArrivalModel::Closed => {}
+            ArrivalModel::Poisson { mean_gap } => {
+                if mean_gap == 0 {
+                    return err("Poisson mean_gap must be >= 1".into());
+                }
+            }
+            ArrivalModel::Burst { quiet, quiet_gap } => {
+                if quiet_gap == 0 {
+                    return err("Burst quiet_gap must be >= 1".into());
+                }
+                if quiet > self.processes {
+                    return err(format!(
+                        "Burst quiet ({quiet}) exceeds processes ({})",
+                        self.processes
+                    ));
+                }
+            }
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return err(format!("tenant {i} ({}) has weight 0", t.name));
+            }
+            if let Some((lo, hi)) = t.prefix_len {
+                if lo > hi {
+                    return err(format!(
+                        "tenant {i} prefix_len range is empty: ({lo}, {hi})"
+                    ));
+                }
+            }
+            if let Some((lo, hi)) = t.tail_len {
+                if lo > hi {
+                    return err(format!("tenant {i} tail_len range is empty: ({lo}, {hi})"));
+                }
+            }
+            if let Some(p) = t.alternative_probability {
+                unit_interval("tenant alternative_probability", p)?;
+            }
+            if let Some(s) = t.zipf_s {
+                if !s.is_finite() || s < 0.0 {
+                    return err(format!(
+                        "tenant {i} zipf_s must be finite and >= 0, got {s}"
+                    ));
+                }
+            }
+        }
+        if let Some(storm) = &self.storm {
+            if storm.subsystems == 0 {
+                return err("storm.subsystems must be >= 1".into());
+            }
+            if storm.window.0 >= storm.window.1 {
+                return err(format!("storm.window is empty: {:?}", storm.window));
+            }
+            unit_interval("storm.failure_probability", storm.failure_probability)?;
+        }
+        Ok(())
+    }
+}
+
+/// Tenant index of process `p` under `config` (0 when no mix is declared):
+/// weighted round-robin over the process id.
+pub fn tenant_of(config: &WorkloadConfig, p: usize) -> usize {
+    if config.tenants.is_empty() {
+        return 0;
+    }
+    let cycle: usize = config.tenants.iter().map(|t| t.weight).sum();
+    let mut pos = p % cycle.max(1);
+    for (i, t) in config.tenants.iter().enumerate() {
+        if pos < t.weight {
+            return i;
+        }
+        pos -= t.weight;
+    }
+    config.tenants.len() - 1
+}
+
+/// Arrival time (virtual ticks) of every process under the config's
+/// [`ArrivalModel`]. Deterministic in the seed; `Closed` is all zeros.
+pub fn arrival_times(config: &WorkloadConfig) -> Vec<u64> {
+    let n = config.processes;
+    match config.arrivals {
+        ArrivalModel::Closed => vec![0; n],
+        ArrivalModel::Poisson { mean_gap } => {
+            // A dedicated RNG stream (not the generator's) so arrival draws
+            // never perturb the workload structure.
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0xa11a_17e5_0f00_ba55);
+            let mut at = 0u64;
+            (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    // Inverse-CDF exponential sample, floored at 0 ticks.
+                    let gap = (-(1.0 - u).ln() * mean_gap as f64).round() as u64;
+                    at += gap;
+                    at
+                })
+                .collect()
+        }
+        ArrivalModel::Burst { quiet, quiet_gap } => {
+            let spike_at = quiet as u64 * quiet_gap;
+            (0..n)
+                .map(|p| {
+                    if p < quiet {
+                        p as u64 * quiet_gap
+                    } else {
+                        spike_at
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Zipf(s) sample over ranks `0..n`: rank `r` with probability ∝ 1/(r+1)^s.
+/// `s == 0.0` delegates to the uniform `gen_range` draw — same RNG
+/// consumption, bit-identical stream.
+pub fn zipf_sample(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    assert!(n > 0, "cannot sample from an empty pool");
+    if s == 0.0 {
+        return rng.gen_range(0..n);
+    }
+    // n is a pool size (tens), so the linear CDF walk beats building and
+    // binary-searching a cached table.
+    let total: f64 = (0..n).map(|r| ((r + 1) as f64).powf(-s)).sum();
+    let mut u = rng.gen_range(0.0..1.0) * total;
+    for r in 0..n {
+        u -= ((r + 1) as f64).powf(-s);
+        if u < 0.0 {
+            return r;
+        }
+    }
+    n - 1
 }
 
 /// A generated workload.
@@ -94,8 +371,49 @@ pub struct Workload {
     pub config: WorkloadConfig,
 }
 
+/// Generates a workload from a configuration, or reports why the
+/// configuration is invalid. Deterministic in `seed`.
+pub fn try_generate(config: &WorkloadConfig) -> Result<Workload, WorkloadError> {
+    config.validate()?;
+    Ok(generate_unchecked(config))
+}
+
 /// Generates a workload from a configuration. Deterministic in `seed`.
+///
+/// # Panics
+/// On an invalid configuration (see [`WorkloadConfig::validate`]); use
+/// [`try_generate`] to handle the error instead.
 pub fn generate(config: &WorkloadConfig) -> Workload {
+    match try_generate(config) {
+        Ok(w) => w,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Per-process view of the knobs: the base config with the process's tenant
+/// overrides applied.
+fn effective_config(config: &WorkloadConfig, p: usize) -> WorkloadConfig {
+    let mut eff = config.clone();
+    if config.tenants.is_empty() {
+        return eff;
+    }
+    let t = &config.tenants[tenant_of(config, p)];
+    if let Some(v) = t.prefix_len {
+        eff.prefix_len = v;
+    }
+    if let Some(v) = t.tail_len {
+        eff.tail_len = v;
+    }
+    if let Some(v) = t.alternative_probability {
+        eff.alternative_probability = v;
+    }
+    if let Some(v) = t.zipf_s {
+        eff.zipf_s = v;
+    }
+    eff
+}
+
+fn generate_unchecked(config: &WorkloadConfig) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut catalog = Catalog::new();
     let mut deployment = Deployment::new();
@@ -158,7 +476,7 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
             .collect()
     };
 
-    let clusters = config.clusters.max(1);
+    let clusters = config.clusters;
     #[allow(clippy::type_complexity)]
     let cluster_pools: Vec<(Vec<ServiceId>, Vec<ServiceId>, Vec<ServiceId>)> = (0..clusters)
         .map(|k| {
@@ -192,10 +510,11 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
         let pid = ProcessId(p as u32);
         let mut builder = ProcessBuilder::new(pid, format!("W{p}"));
         let (comp_pool, pivot_pool, retriable_pool) = &cluster_pools[p % clusters];
+        let eff = effective_config(config, p);
         build_segment(
             &mut builder,
             &mut rng,
-            config,
+            &eff,
             comp_pool,
             pivot_pool,
             retriable_pool,
@@ -232,7 +551,8 @@ fn build_segment(
     attach: Option<txproc_core::ids::ActivityId>,
     depth: usize,
 ) -> txproc_core::ids::ActivityId {
-    let pick = |rng: &mut StdRng, pool: &[ServiceId]| pool[rng.gen_range(0..pool.len())];
+    let pick =
+        |rng: &mut StdRng, pool: &[ServiceId]| pool[zipf_sample(rng, pool.len(), config.zipf_s)];
     let prefix = rng
         .gen_range(config.prefix_len.0..=config.prefix_len.1)
         .max(1);
@@ -284,7 +604,8 @@ fn build_retriable_tail(
     retriable_pool: &[ServiceId],
     attach: Option<txproc_core::ids::ActivityId>,
 ) -> txproc_core::ids::ActivityId {
-    let pick = |rng: &mut StdRng, pool: &[ServiceId]| pool[rng.gen_range(0..pool.len())];
+    let pick =
+        |rng: &mut StdRng, pool: &[ServiceId]| pool[zipf_sample(rng, pool.len(), config.zipf_s)];
     let len = rng.gen_range(config.tail_len.0..=config.tail_len.1).max(1);
     let mut prev = attach;
     let mut first = None;
@@ -433,6 +754,193 @@ mod tests {
             w.spec.conflicts.declared_pairs(),
             again.spec.conflicts.declared_pairs()
         );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_not_collapsed() {
+        let bad = [
+            WorkloadConfig {
+                clusters: 0,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                clusters: 9,
+                processes: 8,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                processes: 0,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                services_per_kind: 0,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                subsystems: 0,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                hot_keys: 0,
+                conflict_density: 0.5,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                prefix_len: (3, 1),
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                failure_probability: 1.5,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                zipf_s: f64::NAN,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                arrivals: ArrivalModel::Poisson { mean_gap: 0 },
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                storm: Some(CrashStorm {
+                    subsystems: 1,
+                    window: (10, 10),
+                    failure_probability: 0.5,
+                }),
+                ..WorkloadConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                try_generate(&cfg).is_err(),
+                "accepted invalid config: {cfg:?}"
+            );
+        }
+        // hot_keys = 0 is fine when nothing ever touches a hot key.
+        assert!(try_generate(&WorkloadConfig {
+            hot_keys: 0,
+            conflict_density: 0.0,
+            ..WorkloadConfig::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload config")]
+    fn generate_panics_on_invalid_config() {
+        generate(&WorkloadConfig {
+            clusters: 0,
+            ..WorkloadConfig::default()
+        });
+    }
+
+    #[test]
+    fn zipf_zero_matches_uniform_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..2000 {
+            assert_eq!(zipf_sample(&mut a, 17, 0.0), b.gen_range(0..17));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 16];
+        for _ in 0..20_000 {
+            counts[zipf_sample(&mut rng, 16, 1.5)] += 1;
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[4], "{counts:?}");
+        // Rank 0 should dominate: > 40% of the mass at s = 1.5, n = 16.
+        assert!(counts[0] > 8_000, "{counts:?}");
+    }
+
+    #[test]
+    fn arrival_models_are_deterministic_and_shaped() {
+        let closed = WorkloadConfig::default();
+        assert_eq!(arrival_times(&closed), vec![0; 8]);
+
+        let poisson = WorkloadConfig {
+            arrivals: ArrivalModel::Poisson { mean_gap: 25 },
+            processes: 64,
+            ..WorkloadConfig::default()
+        };
+        let a1 = arrival_times(&poisson);
+        let a2 = arrival_times(&poisson);
+        assert_eq!(a1, a2);
+        assert!(a1.windows(2).all(|w| w[0] <= w[1]), "non-monotone arrivals");
+        let mean_gap = *a1.last().unwrap() as f64 / (a1.len() - 1) as f64;
+        assert!(
+            (5.0..125.0).contains(&mean_gap),
+            "mean inter-arrival gap way off: {mean_gap}"
+        );
+
+        let burst = WorkloadConfig {
+            arrivals: ArrivalModel::Burst {
+                quiet: 3,
+                quiet_gap: 50,
+            },
+            processes: 8,
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(
+            arrival_times(&burst),
+            vec![0, 50, 100, 150, 150, 150, 150, 150]
+        );
+    }
+
+    #[test]
+    fn tenants_deal_processes_by_weight() {
+        let cfg = WorkloadConfig {
+            tenants: vec![
+                TenantMix {
+                    name: "heavy".into(),
+                    weight: 1,
+                    prefix_len: Some((6, 8)),
+                    tail_len: None,
+                    alternative_probability: None,
+                    zipf_s: None,
+                },
+                TenantMix {
+                    name: "light".into(),
+                    weight: 3,
+                    prefix_len: None,
+                    tail_len: None,
+                    alternative_probability: None,
+                    zipf_s: None,
+                },
+            ],
+            ..WorkloadConfig::default()
+        };
+        let assigned: Vec<usize> = (0..8).map(|p| tenant_of(&cfg, p)).collect();
+        assert_eq!(assigned, vec![0, 1, 1, 1, 0, 1, 1, 1]);
+        // Heavy-tenant processes (prefix >= 6 compensatable steps before the
+        // pivot) must be visibly longer than light ones (prefix <= 3).
+        let w = generate(&cfg);
+        let sizes: Vec<usize> = w.spec.processes().map(|p| p.iter().count()).collect();
+        for (p, &size) in sizes.iter().enumerate() {
+            if tenant_of(&cfg, p) == 0 {
+                assert!(size >= 8, "heavy process {p} too small: {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_tenants_is_bit_identical_to_base_config() {
+        let base = generate(&WorkloadConfig::default());
+        let with_empty = generate(&WorkloadConfig {
+            tenants: Vec::new(),
+            zipf_s: 0.0,
+            ..WorkloadConfig::default()
+        });
+        let p1: Vec<String> = base.spec.processes().map(|p| format!("{p:?}")).collect();
+        let p2: Vec<String> = with_empty
+            .spec
+            .processes()
+            .map(|p| format!("{p:?}"))
+            .collect();
+        assert_eq!(p1, p2);
     }
 
     #[test]

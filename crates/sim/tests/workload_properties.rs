@@ -2,8 +2,10 @@
 //! under arbitrary configurations.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use txproc_core::flex::FlexAnalysis;
-use txproc_sim::workload::{generate, WorkloadConfig};
+use txproc_sim::workload::{generate, zipf_sample, WorkloadConfig};
 
 fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
     (
@@ -70,5 +72,48 @@ proptest! {
         let s1: Vec<_> = w1.deployment.services().map(|(s, site)| (s, site.clone())).collect();
         let s2: Vec<_> = w2.deployment.services().map(|(s, site)| (s, site.clone())).collect();
         prop_assert_eq!(s1, s2);
+    }
+
+    /// The Zipf sampler's empirical rank frequencies track the theoretical
+    /// law `P(r) ∝ 1/(r+1)^s` within tolerance, across seeds, pool sizes
+    /// and skews.
+    #[test]
+    fn zipf_empirical_matches_law(
+        seed in 0u64..10_000,
+        n in 2usize..24,
+        s in 0.2f64..2.5,
+    ) {
+        const DRAWS: usize = 30_000;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..DRAWS {
+            counts[zipf_sample(&mut rng, n, s)] += 1;
+        }
+        let total: f64 = (0..n).map(|r| ((r + 1) as f64).powf(-s)).sum();
+        for (r, &c) in counts.iter().enumerate() {
+            let expected = ((r + 1) as f64).powf(-s) / total * DRAWS as f64;
+            // Binomial std dev ≈ sqrt(expected); allow 6 sigma plus an
+            // absolute slack for tiny tail probabilities.
+            let slack = 6.0 * expected.sqrt() + 25.0;
+            prop_assert!(
+                (c as f64 - expected).abs() <= slack,
+                "rank {r}: observed {c}, expected {expected:.1} ± {slack:.1} (n={n}, s={s})"
+            );
+        }
+        // Skew really skews: rank 0 must strictly dominate the last rank.
+        prop_assert!(counts[0] > counts[n - 1]);
+    }
+
+    /// `s = 0` consumes the RNG exactly like the uniform generator: the
+    /// streams stay bit-identical draw after draw.
+    #[test]
+    fn zipf_zero_is_uniform_bit_identical(seed in 0u64..10_000, n in 1usize..64) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            prop_assert_eq!(zipf_sample(&mut a, n, 0.0), b.gen_range(0..n));
+        }
+        // And the generators themselves are left in identical states.
+        prop_assert_eq!(a.next_u64(), b.next_u64());
     }
 }

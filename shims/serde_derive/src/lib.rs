@@ -5,14 +5,22 @@
 //! (no syn/quote available offline) and emits impls against the shim's
 //! `Value` tree model. Supported shapes — which cover every derived type in
 //! this workspace — are non-generic structs (named, tuple, unit) and enums
-//! whose variants are unit, tuple, or struct-like. `#[serde(...)]`
-//! attributes are not supported and are rejected loudly.
+//! whose variants are unit, tuple, or struct-like. The only `#[serde(...)]`
+//! attribute honoured is `#[serde(default)]` on named fields (a missing map
+//! entry deserializes to `Default::default()`); every other serde attribute
+//! is rejected loudly.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named field plus whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// A parsed field list.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -29,7 +37,7 @@ enum Item {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -39,7 +47,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -100,18 +108,30 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Skips `#[...]` attributes, rejecting `#[serde(...)]` which the shim
-/// cannot honour.
-fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+/// Skips `#[...]` attributes. Returns whether a `#[serde(default)]` was
+/// among them; any other `#[serde(...)]` attribute is rejected.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-            let body = g.stream().to_string();
-            if body.starts_with("serde") {
-                panic!("#[serde(...)] attributes are not supported by the offline shim");
+            let body: String = g
+                .stream()
+                .to_string()
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if body == "serde(default)" {
+                has_default = true;
+            } else if body.starts_with("serde") {
+                panic!(
+                    "unsupported #[serde(...)] attribute (the offline shim \
+                     only honours #[serde(default)]): #[{body}]"
+                );
             }
         }
         *i += 2;
     }
+    has_default
 }
 
 fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -151,16 +171,20 @@ fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Extracts field names from a named-fields body.
-fn named_fields(stream: TokenStream) -> Vec<String> {
+/// Extracts field names (and their `#[serde(default)]` marker) from a
+/// named-fields body.
+fn named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_commas(stream)
         .iter()
         .map(|seg| {
             let mut i = 0;
-            skip_attributes(seg, &mut i);
+            let default = skip_attributes(seg, &mut i);
             skip_visibility(seg, &mut i);
             match seg.get(i) {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    default,
+                },
                 other => panic!("expected field name, found {other:?}"),
             }
         })
@@ -198,6 +222,7 @@ fn struct_serialize(name: &str, fields: &Fields) -> String {
             let entries: Vec<String> = fs
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -222,18 +247,29 @@ fn struct_serialize(name: &str, fields: &Fields) -> String {
     )
 }
 
+/// Deserialization initializer of one named field: a `#[serde(default)]`
+/// field falls back to `Default::default()` when the map entry is missing.
+fn named_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::map_field(__m, \"{name}\") {{\n\
+             ::std::result::Result::Ok(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::map_field(__m, \"{name}\")?)?"
+        )
+    }
+}
+
 fn struct_deserialize(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Named(fs) => {
-            let inits: Vec<String> = fs
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::map_field(__m, \"{f}\")?)?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fs.iter().map(named_field_init).collect();
             format!(
                 "let __m = __v.as_map().ok_or_else(|| \
                  ::serde::DeError::new(\"expected map for {name}\"))?;\n\
@@ -293,10 +329,15 @@ fn enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
                 )
             }
             Fields::Named(fs) => {
-                let binds = fs.join(", ");
+                let binds = fs
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let entries: Vec<String> = fs
                     .iter()
                     .map(|f| {
+                        let f = &f.name;
                         format!(
                             "(::std::string::String::from(\"{f}\"), \
                              ::serde::Serialize::to_value({f}))"
@@ -349,15 +390,7 @@ fn enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
                 ))
             }
             Fields::Named(fs) => {
-                let inits: Vec<String> = fs
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "{f}: ::serde::Deserialize::from_value(\
-                             ::serde::map_field(__m, \"{f}\")?)?"
-                        )
-                    })
-                    .collect();
+                let inits: Vec<String> = fs.iter().map(named_field_init).collect();
                 Some(format!(
                     "\"{v}\" => {{\n\
                      let __m = __inner.as_map().ok_or_else(|| \
