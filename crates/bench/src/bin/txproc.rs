@@ -5,6 +5,8 @@
 //! txproc simulate  [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy pred|pred-wait|pred-protocol|serial|conservative|unsafe-cc]
 //!                  [--arrival-gap N] [--check]
+//!                  [--runtime events|threads] [--workers N] [--shards auto|single|N]
+//!                  # --runtime switches to the wall-clock concurrent driver
 //! txproc generate  [--seed N] [--processes N] [--density F] [--json PATH]
 //! txproc check     --scenario PATH.json        # {"spec": …, "history": …}
 //! txproc demo      fig4a|fig4b|fig7|fig9       # PRED-check a paper schedule
@@ -15,6 +17,8 @@
 //!                  [--arrival-gap N]           # perf trajectory → BENCH_scheduler.json
 //!                  [--shards auto|single|N]    # concurrent-driver shard topology
 //!                  [--clusters N]              # tenants in the sharding comparison
+//!                  [--runtime events|threads] [--workers N]
+//!                  [--open-processes CSV] [--open-gap US]  # Poisson open-arrival sweep
 //! txproc trace     [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy …] [--certifier …] [--arrival-gap N]
 //!                  [--pid N] [--kind SUBSTR]   # filter the printed journal
@@ -23,7 +27,8 @@
 //!                  [--chrome PATH]             # chrome://tracing / Perfetto
 //!                  [--dot-dir DIR]             # per-step conflict-graph dots
 //! txproc gauntlet  [--seeds N] [--scenario NAME] [--policy …] [--certifier …]
-//!                  [--shards auto|single|N] [--json PATH]
+//!                  [--shards auto|single|N] [--runtime events|threads]
+//!                  [--workers N] [--json PATH]
 //!                  # run the named adversarial scenarios (engine + sharded
 //!                  # concurrent) through the PRED / Proc-REC checkers and
 //!                  # their acceptance envelopes; non-zero exit on failure
@@ -37,6 +42,7 @@ use txproc_core::ids::ProcessId;
 use txproc_core::pred::check_pred;
 use txproc_core::schedule::{render, Schedule};
 use txproc_core::spec::Spec;
+use txproc_engine::concurrent::{try_run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_engine::recovery::recover;
@@ -105,6 +111,26 @@ fn parse_certifier(name: &str) -> Result<CertifierKind, String> {
         .ok_or_else(|| format!("unknown certifier: {name} (expected batch|incremental)"))
 }
 
+fn parse_runtime(raw: &str) -> Result<RuntimeKind, String> {
+    RuntimeKind::parse(raw)
+        .ok_or_else(|| format!("invalid --runtime value: {raw} (want events|threads)"))
+}
+
+fn parse_shards(raw: &str) -> Result<ShardMode, String> {
+    ShardMode::parse(raw)
+        .ok_or_else(|| format!("invalid --shards value: {raw} (want auto|single|N)"))
+}
+
+fn parse_workers(args: &Args) -> Result<Option<usize>, String> {
+    match args.values.get("workers") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid --workers value: {raw}")),
+    }
+}
+
 fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> {
     try_generate(&WorkloadConfig {
         seed: args.get("seed", 42u64)?,
@@ -116,10 +142,75 @@ fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> 
     .map_err(|e| e.to_string())
 }
 
+/// `simulate --runtime events|threads`: the wall-clock concurrent driver
+/// instead of the virtual-time engine. Config errors (e.g. a workload past
+/// the thread runtime's cap) surface as CLI errors naming the knob to turn.
+fn simulate_concurrent(
+    args: &Args,
+    w: &txproc_sim::workload::Workload,
+    policy: PolicyKind,
+    certifier: CertifierKind,
+    runtime: RuntimeKind,
+) -> Result<(), String> {
+    let shards = match args.values.get("shards") {
+        Some(raw) => parse_shards(raw)?,
+        None => ShardMode::Auto,
+    };
+    let r = try_run_concurrent(
+        w,
+        ConcurrentConfig {
+            policy,
+            seed: args.get("seed", 42u64)?,
+            certifier,
+            shards,
+            runtime,
+            workers: parse_workers(args)?,
+            ..ConcurrentConfig::default()
+        },
+    )?;
+    println!("policy:            {}", policy.label());
+    println!("runtime:           {}", runtime.label());
+    println!("shards:            {}", r.metrics.shards.len());
+    println!(
+        "committed/aborted: {}/{}",
+        r.metrics.committed, r.metrics.aborted
+    );
+    println!("activities:        {}", r.metrics.activities);
+    println!("compensations:     {}", r.metrics.compensations);
+    println!(
+        "latency p50/p95:   {:?}/{:?} µs",
+        r.metrics.latency_percentile(0.5),
+        r.metrics.latency_percentile(0.95)
+    );
+    if let Some(rt) = &r.metrics.runtime {
+        println!("workers:           {}", rt.workers);
+        println!("steps/repolls:     {}/{}", rt.steps, rt.repolls);
+        println!("run-queue peak:    {}", rt.run_queue_peak);
+        println!("in-flight peak:    {}", rt.in_flight_peak);
+        println!(
+            "sched delay p50/p95: {:?}/{:?} ns",
+            rt.delay_percentile_ns(0.5),
+            rt.delay_percentile_ns(0.95)
+        );
+        println!("worker utilization: {:.1}%", rt.utilization() * 100.0);
+    }
+    if args.flag("check") {
+        let ok = txproc_core::pred::is_pred(&w.spec, &r.history).map_err(|e| e.to_string())?;
+        println!("history PRED:      {ok}");
+        if !ok {
+            return Err("concurrent history is not PRED".to_string());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
     let certifier = parse_certifier(&args.get("certifier", "incremental".to_string())?)?;
+    if let Some(raw) = args.values.get("runtime") {
+        return simulate_concurrent(args, &w, policy, certifier, parse_runtime(raw)?);
+    }
     let cfg = RunConfig {
         policy,
         seed: args.get("seed", 42u64)?,
@@ -295,20 +386,53 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         cfg.certifier = parse_certifier(raw)?;
     }
     if let Some(raw) = args.values.get("shards") {
-        cfg.shards = txproc_engine::ShardMode::parse(raw)
-            .ok_or_else(|| format!("invalid --shards value: {raw} (want auto|single|N)"))?;
+        cfg.shards = parse_shards(raw)?;
     }
+    if let Some(raw) = args.values.get("runtime") {
+        cfg.runtime = parse_runtime(raw)?;
+    }
+    cfg.workers = parse_workers(args)?.or(cfg.workers);
+    if let Some(raw) = args.values.get("open-processes") {
+        cfg.open_processes = parse_csv(raw, "--open-processes")?;
+    }
+    cfg.open_mean_gap_us = args.get("open-gap", cfg.open_mean_gap_us)?;
     cfg.sharding_clusters = args.get("clusters", cfg.sharding_clusters)?;
     let report = run_scheduler_bench(&cfg);
     for e in &report.runs {
         let shard = match &e.shard_mode {
-            Some(m) => format!(" shards={m}/{}", e.shards),
+            Some(m) => format!(
+                " shards={m}/{} runtime={}",
+                e.shards,
+                e.runtime.as_deref().unwrap_or("?")
+            ),
             None => String::new(),
         };
         println!(
             "{:<10} {:<14} n={:<4} d={:<4} {:>10.2} ms  {:>12.0} events/s  ({} committed, {} aborted){shard}",
             e.mode, e.policy, e.processes, e.density, e.wall_ms, e.events_per_sec,
             e.committed, e.aborted
+        );
+    }
+    for p in &report.runtime_ratio {
+        println!(
+            "ratio      n={:<5} d={:<4} events {:>12.0} ev/s  threads {:>12.0} ev/s  {:>5.2}x",
+            p.processes, p.density, p.events_per_sec_events, p.events_per_sec_threads, p.ratio
+        );
+    }
+    for o in &report.open_runs {
+        println!(
+            "open       n={:<6} gap={}µs shards={} workers={} {:>10.2} ms  {:>12.0} events/s  \
+             in-flight-peak={} pred-violations={} proc-rec-violations={} (verify {:.0} ms)",
+            o.processes,
+            o.mean_gap_us,
+            o.shards,
+            o.workers,
+            o.wall_ms,
+            o.events_per_sec,
+            o.in_flight_peak,
+            o.pred_violations,
+            o.proc_rec_violations,
+            o.verify_ms,
         );
     }
     for d in &report.decision {
@@ -433,9 +557,12 @@ fn cmd_gauntlet(args: &Args) -> Result<(), String> {
     cfg.policy = parse_policy(&args.get("policy", cfg.policy.label().to_string())?)?;
     cfg.certifier = parse_certifier(&args.get("certifier", cfg.certifier.label().to_string())?)?;
     if let Some(raw) = args.values.get("shards") {
-        cfg.shards = txproc_engine::ShardMode::parse(raw)
-            .ok_or_else(|| format!("invalid --shards value: {raw} (want auto|single|N)"))?;
+        cfg.shards = parse_shards(raw)?;
     }
+    if let Some(raw) = args.values.get("runtime") {
+        cfg.runtime = parse_runtime(raw)?;
+    }
+    cfg.workers = parse_workers(args)?.or(cfg.workers);
     let scenarios =
         match args.values.get("scenario") {
             Some(name) => vec![txproc_sim::scenario::find(name)
@@ -447,10 +574,14 @@ fn cmd_gauntlet(args: &Args) -> Result<(), String> {
     for s in &scenarios {
         let report = run_scenario(s, &cfg);
         for m in &report.modes {
+            let mode_label = match &m.runtime {
+                Some(rt) => format!("{}/{rt}", m.mode),
+                None => m.mode.to_string(),
+            };
             println!(
-                "{:<15} {:<10} seeds={:<4} commit-rate={:.3} p50={:?} p95={:?} pred-violations={} proc-rec-violations={} [{}] ({:.0} ms)",
+                "{:<15} {:<16} seeds={:<4} commit-rate={:.3} p50={:?} p95={:?} pred-violations={} proc-rec-violations={} [{}] ({:.0} ms)",
                 report.name,
-                m.mode,
+                mode_label,
                 m.runs,
                 m.commit_rate,
                 m.latency_p50,
@@ -593,10 +724,44 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v4"));
+        assert!(raw.contains("txproc-bench-scheduler/v5"));
         assert!(raw.contains("pred-scan"));
         assert!(raw.contains("zipf-hotspot"));
+        assert!(raw.contains("runtime_ratio"));
+        assert!(raw.contains("open_runs"));
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn simulate_concurrent_runtimes() {
+        let events = args(&[
+            "--seed",
+            "3",
+            "--processes",
+            "6",
+            "--runtime",
+            "events",
+            "--check",
+        ]);
+        cmd_simulate(&events).unwrap();
+        let threads = args(&[
+            "--seed",
+            "3",
+            "--processes",
+            "6",
+            "--runtime",
+            "threads",
+            "--workers",
+            "2",
+        ]);
+        cmd_simulate(&threads).unwrap();
+        let bad = args(&["--runtime", "fibers"]);
+        assert!(cmd_simulate(&bad).is_err());
+        // The thread runtime's process cap surfaces as a CLI error naming
+        // the knob that lifts it.
+        let capped = args(&["--processes", "600", "--runtime", "threads"]);
+        let err = cmd_simulate(&capped).unwrap_err();
+        assert!(err.contains("--runtime events"), "{err}");
     }
 
     #[test]

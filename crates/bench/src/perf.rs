@@ -17,15 +17,21 @@
 
 use crate::scenarios::{run_gauntlet, GauntletConfig, ScenarioReport};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::time::Instant;
+use txproc_core::domains::DomainPartition;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
+use txproc_core::pred_incremental::check_pred_incremental;
 use txproc_core::protocol::{DeferPolicy, Protocol};
+use txproc_core::recoverability::proc_rec_violations;
+use txproc_core::schedule::{Event, Schedule};
+use txproc_core::spec::Spec;
 use txproc_core::trace::{JsonlSink, NoopSink, RingSink, TraceSink};
-use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, ShardMode};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_sim::metrics::AbortReasons;
-use txproc_sim::workload::{generate, Workload, WorkloadConfig};
+use txproc_sim::workload::{generate, ArrivalModel, Workload, WorkloadConfig};
 
 /// Configuration of a scheduler bench run.
 #[derive(Debug, Clone, Serialize)]
@@ -46,10 +52,25 @@ pub struct SchedulerBenchConfig {
     pub arrival_gap: u64,
     /// Failure-injection probability.
     pub failure_probability: f64,
-    /// Largest process count driven through the concurrent (thread-per-
-    /// process) driver; larger sweep points run the engine only. Recorded
-    /// in the report so the cap is never silent.
+    /// Runtime of the concurrent closed-sweep entries (`events` by
+    /// default). The thread-per-process baseline is additionally driven at
+    /// every closed point for the events-vs-threads ratio pairs.
+    pub runtime: RuntimeKind,
+    /// Worker-pool override for the events runtime (`None` = auto:
+    /// `min(cores, shards)`).
+    pub workers: Option<usize>,
+    /// Largest process count driven through the **thread-per-process
+    /// baseline** (a time-box: each process is one 2 MB-stack OS thread);
+    /// the events runtime runs every sweep point. Recorded in the report so
+    /// the cap is never silent.
     pub concurrent_max_processes: usize,
+    /// In-flight process counts of the open-arrival sweep (events runtime,
+    /// Poisson arrivals; empty disables it). These exceed the thread
+    /// runtime's hard cap by design — the open sweep is the workload shape
+    /// thread-per-process cannot run.
+    pub open_processes: Vec<usize>,
+    /// Mean Poisson inter-arrival gap of the open sweep, in microseconds.
+    pub open_mean_gap_us: u64,
     /// Shard topology for concurrent sweep entries.
     pub shards: ShardMode,
     /// Cluster count (disjoint tenants) of the dedicated sharding
@@ -81,7 +102,11 @@ impl SchedulerBenchConfig {
             certifier: CertifierKind::Incremental,
             arrival_gap: 0,
             failure_probability: 0.1,
-            concurrent_max_processes: 64,
+            runtime: RuntimeKind::Events,
+            workers: None,
+            concurrent_max_processes: 256,
+            open_processes: vec![1_000, 10_000, 100_000],
+            open_mean_gap_us: 20,
             shards: ShardMode::Auto,
             sharding_clusters: 8,
             sharding_processes: 128,
@@ -89,14 +114,19 @@ impl SchedulerBenchConfig {
         }
     }
 
-    /// CI smoke mode: the same pipeline at token sizes.
+    /// CI smoke mode: the same pipeline at token sizes. Keeps one 1k-process
+    /// open-arrival point: that size is beyond the thread runtime's cap, so
+    /// it is the cheapest regression guard for the events runtime's whole
+    /// reason to exist.
     pub fn smoke() -> Self {
         Self {
             smoke: true,
             processes: vec![8, 32],
             densities: vec![0.3],
             policies: vec![PolicyKind::PredProtocol, PolicyKind::PredScan],
-            concurrent_max_processes: 16,
+            concurrent_max_processes: 32,
+            open_processes: vec![1_000],
+            open_mean_gap_us: 50,
             sharding_clusters: 4,
             sharding_processes: 16,
             gauntlet_seeds: 4,
@@ -152,6 +182,21 @@ pub struct BenchEntry {
     /// Wakeups that observed no shard-state change (concurrent runs only;
     /// with targeted notification these are fallback-timeout polls).
     pub spurious_wakeups: u64,
+    /// Execution runtime of concurrent entries (`events` or `threads`);
+    /// `None` for engine entries.
+    pub runtime: Option<String>,
+    /// Worker threads the runtime used (thread runtime: one per process;
+    /// 0 for engine entries).
+    pub workers: u64,
+    /// Peak single-shard run-queue depth (events runtime; 0 elsewhere).
+    pub run_queue_peak: u64,
+    /// Peak concurrently in-flight processes (concurrent runs; 0 for
+    /// engine entries).
+    pub in_flight_peak: u64,
+    /// Scheduling-delay p50 upper bucket edge, ns (events runtime).
+    pub sched_delay_p50_ns: Option<u64>,
+    /// Scheduling-delay p95 upper bucket edge, ns (events runtime).
+    pub sched_delay_p95_ns: Option<u64>,
     /// Total virtual time processes spent blocked (engine runs; the
     /// concurrent driver has no virtual clock and reports 0).
     pub blocked_time_total: u64,
@@ -159,6 +204,73 @@ pub struct BenchEntry {
     pub cert_failures: u64,
     /// Abort initiations broken down by first cause.
     pub abort_reasons: AbortReasons,
+}
+
+/// One events-vs-threads throughput pair at a closed sweep point (Pred
+/// policy, best of 3 repetitions per runtime). The acceptance floor is
+/// `ratio >= 0.9` at every point: the worker-pool runtime must not regress
+/// the closed workloads thread-per-process handles comfortably.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeRatioEntry {
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Events/second of the events (worker-pool) runtime.
+    pub events_per_sec_events: f64,
+    /// Events/second of the thread-per-process baseline.
+    pub events_per_sec_threads: f64,
+    /// `events_per_sec_events / events_per_sec_threads`.
+    pub ratio: f64,
+}
+
+/// One open-arrival (Poisson) sweep point: the events runtime carrying an
+/// in-flight population the thread runtime's cap forbids, with the merged
+/// history verified domain by domain (E23).
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenRunEntry {
+    /// Runtime label (always `events`; recorded for self-description).
+    pub runtime: String,
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Disjoint tenant clusters of the workload.
+    pub clusters: usize,
+    /// Mean Poisson inter-arrival gap, µs.
+    pub mean_gap_us: u64,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Scheduler shards the run used.
+    pub shards: u64,
+    /// Worker threads of the pool.
+    pub workers: u64,
+    /// Wall-clock milliseconds for the run (excludes verification).
+    pub wall_ms: f64,
+    /// Emitted history events.
+    pub events: usize,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Committed processes.
+    pub committed: u64,
+    /// Aborted processes.
+    pub aborted: u64,
+    /// Peak concurrently in-flight (arrived, not terminated) processes.
+    pub in_flight_peak: u64,
+    /// Peak single-shard run-queue depth.
+    pub run_queue_peak: u64,
+    /// Scheduling-delay p50 upper bucket edge, ns.
+    pub sched_delay_p50_ns: Option<u64>,
+    /// Scheduling-delay p95 upper bucket edge, ns.
+    pub sched_delay_p95_ns: Option<u64>,
+    /// Fraction of worker wall-time spent stepping state machines.
+    pub worker_utilization: f64,
+    /// Conflict domains the history was verified over.
+    pub domains_verified: usize,
+    /// Domains whose projected history failed the PRED check (must be 0).
+    pub pred_violations: u64,
+    /// Domains whose projected history had Proc-REC violations (must be 0).
+    pub proc_rec_violations: u64,
+    /// Wall-clock milliseconds spent on the per-domain verification.
+    pub verify_ms: f64,
 }
 
 /// One tracing-overhead measurement (E20): the same engine run driven with
@@ -201,6 +313,10 @@ pub struct BenchReport {
     pub config: SchedulerBenchConfig,
     /// End-to-end entries (engine + concurrent driver).
     pub runs: Vec<BenchEntry>,
+    /// Events-vs-threads throughput pairs at the closed sweep points.
+    pub runtime_ratio: Vec<RuntimeRatioEntry>,
+    /// Open-arrival sweep (events runtime; sizes beyond the thread cap).
+    pub open_runs: Vec<OpenRunEntry>,
     /// Per-decision protocol cost.
     pub decision: Vec<DecisionBenchEntry>,
     /// Named-scenario gauntlet results: every scenario over
@@ -269,14 +385,21 @@ fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) ->
         blocked_time_total: r.metrics.blocked_total(),
         cert_failures: r.metrics.cert_failures,
         abort_reasons: r.metrics.abort_reasons,
+        runtime: None,
+        workers: 0,
+        run_queue_peak: 0,
+        in_flight_peak: 0,
+        sched_delay_p50_ns: None,
+        sched_delay_p95_ns: None,
     }
 }
 
-fn concurrent_entry(
+pub(crate) fn concurrent_entry(
     cfg: &SchedulerBenchConfig,
     w: &Workload,
     policy: PolicyKind,
     shards: ShardMode,
+    runtime: RuntimeKind,
 ) -> BenchEntry {
     let t = Instant::now();
     let r = run_concurrent(
@@ -286,11 +409,14 @@ fn concurrent_entry(
             seed: cfg.seed,
             certifier: cfg.certifier,
             shards,
+            runtime,
+            workers: cfg.workers,
             ..ConcurrentConfig::default()
         },
     );
     let wall = t.elapsed();
     let events = r.history.events().len();
+    let rt = r.metrics.runtime.as_ref();
     BenchEntry {
         mode: "concurrent",
         policy: policy.label().to_string(),
@@ -317,6 +443,132 @@ fn concurrent_entry(
         blocked_time_total: r.metrics.blocked_total(),
         cert_failures: r.metrics.cert_failures,
         abort_reasons: r.metrics.abort_reasons,
+        runtime: Some(runtime.label().to_string()),
+        workers: rt.map_or(0, |m| m.workers),
+        run_queue_peak: rt.map_or(0, |m| m.run_queue_peak),
+        in_flight_peak: rt.map_or(0, |m| m.in_flight_peak),
+        sched_delay_p50_ns: rt.and_then(|m| m.delay_percentile_ns(0.5)),
+        sched_delay_p95_ns: rt.and_then(|m| m.delay_percentile_ns(0.95)),
+    }
+}
+
+/// Verifies a concurrent history **domain by domain**: events are projected
+/// onto the conflict domain of their process and each projection is checked
+/// for PRED and Proc-REC separately. Sound and complete for these
+/// workloads: the domain partition guarantees operations of different
+/// domains never conflict, so cross-domain events commute freely — the full
+/// history is PRED iff every domain projection is, and Proc-REC obligations
+/// only ever relate conflicting (hence same-domain) pairs. The projection
+/// turns the batch checkers' superlinear cost in history length into a sum
+/// of small per-domain checks, which is what makes verifying a
+/// 100k-process history feasible at all.
+fn verify_by_domain(spec: &Spec, history: &Schedule) -> (u64, u64, usize) {
+    let partition = DomainPartition::partition(spec);
+    let mut per: BTreeMap<u32, Schedule> = BTreeMap::new();
+    for e in history.events() {
+        match e {
+            Event::Execute(g) | Event::Fail(g) | Event::Compensate(g) => {
+                if let Some(d) = partition.domain_of(g.process) {
+                    per.entry(d).or_default().push(e.clone());
+                }
+            }
+            Event::Commit(p) | Event::Abort(p) => {
+                if let Some(d) = partition.domain_of(*p) {
+                    per.entry(d).or_default().push(e.clone());
+                }
+            }
+            // Group aborts are always domain-local (cascades follow
+            // conflict edges), but split defensively all the same.
+            Event::GroupAbort(ps) => {
+                let mut by_domain: BTreeMap<u32, Vec<ProcessId>> = BTreeMap::new();
+                for p in ps {
+                    if let Some(d) = partition.domain_of(*p) {
+                        by_domain.entry(d).or_default().push(*p);
+                    }
+                }
+                for (d, members) in by_domain {
+                    per.entry(d).or_default().group_abort(members);
+                }
+            }
+        }
+    }
+    let mut pred_bad = 0u64;
+    let mut proc_rec_bad = 0u64;
+    let domains = per.len();
+    for s in per.values() {
+        pred_bad += match check_pred_incremental(spec, s) {
+            Ok(report) => u64::from(!report.pred),
+            Err(_) => 1,
+        };
+        proc_rec_bad += match proc_rec_violations(spec, s) {
+            Ok(v) => u64::from(!v.is_empty()),
+            Err(_) => 1,
+        };
+    }
+    (pred_bad, proc_rec_bad, domains)
+}
+
+/// One open-arrival sweep point: Poisson arrivals at `cfg.open_mean_gap_us`
+/// mean gap, clusters scaled as ≈ n/96 so the catalog (and the dense
+/// conflict bitmap behind it) grows linearly while each conflict domain
+/// stays small enough for per-domain verification.
+pub(crate) fn open_run_entry(cfg: &SchedulerBenchConfig, n: usize) -> OpenRunEntry {
+    let clusters = (n / 96).max(1);
+    let density = cfg.densities.first().copied().unwrap_or(0.3);
+    let w = generate(&WorkloadConfig {
+        seed: cfg.seed,
+        processes: n,
+        clusters,
+        services_per_kind: 4,
+        subsystems: 2,
+        conflict_density: density,
+        failure_probability: cfg.failure_probability,
+        arrivals: ArrivalModel::Poisson {
+            mean_gap: cfg.open_mean_gap_us.max(1),
+        },
+        ..WorkloadConfig::default()
+    });
+    let t = Instant::now();
+    let r = run_concurrent(
+        &w,
+        ConcurrentConfig {
+            policy: PolicyKind::Pred,
+            seed: cfg.seed,
+            certifier: cfg.certifier,
+            shards: cfg.shards,
+            runtime: RuntimeKind::Events,
+            workers: cfg.workers,
+            ..ConcurrentConfig::default()
+        },
+    );
+    let wall = t.elapsed();
+    let events = r.history.events().len();
+    let tv = Instant::now();
+    let (pred_bad, proc_rec_bad, domains) = verify_by_domain(&w.spec, &r.history);
+    let verify_ms = tv.elapsed().as_secs_f64() * 1e3;
+    let rt = r.metrics.runtime.as_ref();
+    OpenRunEntry {
+        runtime: RuntimeKind::Events.label().to_string(),
+        processes: n,
+        clusters,
+        mean_gap_us: cfg.open_mean_gap_us.max(1),
+        density,
+        shards: r.metrics.shards.len() as u64,
+        workers: rt.map_or(0, |m| m.workers),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        committed: r.metrics.committed,
+        aborted: r.metrics.aborted,
+        in_flight_peak: rt.map_or(0, |m| m.in_flight_peak),
+        run_queue_peak: rt.map_or(0, |m| m.run_queue_peak),
+        sched_delay_p50_ns: rt.and_then(|m| m.delay_percentile_ns(0.5)),
+        sched_delay_p95_ns: rt.and_then(|m| m.delay_percentile_ns(0.95)),
+        worker_utilization: rt.map_or(0.0, |m| m.utilization()),
+        domains_verified: domains,
+        pred_violations: pred_bad,
+        proc_rec_violations: proc_rec_bad,
+        verify_ms,
     }
 }
 
@@ -473,15 +725,36 @@ fn decision_bench(cfg: &SchedulerBenchConfig) -> Vec<DecisionBenchEntry> {
 /// Runs the full scheduler bench and assembles the report.
 pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
     let mut runs = Vec::new();
+    let mut runtime_ratio = Vec::new();
     let mut notes = Vec::new();
     for &density in &cfg.densities {
         for &n in &cfg.processes {
             let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
             for &policy in &cfg.policies {
                 runs.push(engine_entry(cfg, &w, policy));
-                if n <= cfg.concurrent_max_processes {
-                    runs.push(concurrent_entry(cfg, &w, policy, cfg.shards));
-                }
+                runs.push(concurrent_entry(cfg, &w, policy, cfg.shards, cfg.runtime));
+            }
+            // Events-vs-threads ratio pair (Pred policy). Best of 3 per
+            // runtime: one-shot wall clocks at these sizes are dominated by
+            // spawn noise, and the minimum is the robust estimator for a
+            // CPU-bound run.
+            if n <= cfg.concurrent_max_processes {
+                let best = |rt: RuntimeKind| {
+                    (0..3)
+                        .map(|_| concurrent_entry(cfg, &w, PolicyKind::Pred, cfg.shards, rt))
+                        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+                        .expect("three repetitions")
+                };
+                let ev = best(RuntimeKind::Events);
+                let th = best(RuntimeKind::Threads);
+                runtime_ratio.push(RuntimeRatioEntry {
+                    processes: n,
+                    density,
+                    events_per_sec_events: ev.events_per_sec,
+                    events_per_sec_threads: th.events_per_sec,
+                    ratio: ev.events_per_sec / th.events_per_sec.max(1e-9),
+                });
+                runs.push(th);
             }
         }
     }
@@ -491,8 +764,17 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         .any(|&n| n > cfg.concurrent_max_processes)
     {
         notes.push(format!(
-            "concurrent driver capped at {} processes (thread-per-process); larger sweep points are engine-only",
+            "thread-per-process baseline time-boxed at {} processes; larger closed points run the events runtime only",
             cfg.concurrent_max_processes
+        ));
+    }
+    if let Some(worst) = runtime_ratio
+        .iter()
+        .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
+    {
+        notes.push(format!(
+            "events-vs-threads closed-sweep throughput ratio: worst {:.2}x at n={} d={} (acceptance floor 0.9x)",
+            worst.ratio, worst.processes, worst.density
         ));
     }
     // Sharding comparison (E21 headline): the same multi-tenant workload —
@@ -515,8 +797,8 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             alternative_probability: 0.5,
             ..WorkloadConfig::default()
         });
-        let single = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Single);
-        let auto = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Auto);
+        let single = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Single, cfg.runtime);
+        let auto = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Auto, cfg.runtime);
         notes.push(format!(
             "sharding: {} processes, density {density}, {} clusters -> {} shards; auto vs single-lock speedup {:.2}x events/sec",
             n,
@@ -527,11 +809,27 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         runs.push(single);
         runs.push(auto);
     }
+    let open_runs: Vec<OpenRunEntry> = cfg
+        .open_processes
+        .iter()
+        .map(|&n| open_run_entry(cfg, n))
+        .collect();
+    if !cfg.open_processes.is_empty() {
+        let thread_cap = RuntimeKind::Threads
+            .max_processes()
+            .expect("thread runtime is capped");
+        notes.push(format!(
+            "open-arrival sweep runs the events runtime only: the thread-per-process \
+             runtime is hard-capped at {thread_cap} processes"
+        ));
+    }
     let decision = decision_bench(cfg);
     let trace_overhead = trace_overhead_bench(cfg);
     let scenarios = if cfg.gauntlet_seeds > 0 {
         run_gauntlet(&GauntletConfig {
             seeds: cfg.gauntlet_seeds,
+            runtime: cfg.runtime,
+            workers: cfg.workers,
             ..GauntletConfig::full()
         })
     } else {
@@ -539,19 +837,22 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         Vec::new()
     };
     BenchReport {
-        // v4 (additive over v3): a `scenarios` array with the named-scenario
-        // gauntlet — per scenario, aggregate engine and sharded-concurrent
-        // results over `gauntlet_seeds` seeds, the PRED/Proc-REC verdict
-        // counts and the acceptance-envelope breaches. v3 readers that pick
-        // fields by name still work. (v3 added shard_mode/shards/clusters,
+        // v5 (additive over v4): per-entry runtime/worker/run-queue/
+        // scheduling-delay fields, the `runtime_ratio` events-vs-threads
+        // pairs at the closed points, and the `open_runs` Poisson
+        // open-arrival sweep with per-domain PRED/Proc-REC verdicts. v4
+        // readers that pick fields by name still work. (v4 added the
+        // `scenarios` gauntlet array; v3 added shard_mode/shards/clusters,
         // lock contention and wakeup counters over v2.)
-        schema: "txproc-bench-scheduler/v4",
+        schema: "txproc-bench-scheduler/v5",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
         config: cfg.clone(),
         runs,
+        runtime_ratio,
+        open_runs,
         decision,
         scenarios,
         trace_overhead,
@@ -569,12 +870,16 @@ mod tests {
         cfg.processes = vec![6];
         cfg.concurrent_max_processes = 6;
         cfg.gauntlet_seeds = 2;
+        cfg.open_processes = vec![40];
         let report = run_scheduler_bench(&cfg);
-        // engine + concurrent per policy, plus the single/auto sharding pair.
-        assert_eq!(report.runs.len(), 6);
+        // Per (density, n) point: engine + events-concurrent per policy,
+        // plus the threads ratio baseline; then the single/auto sharding
+        // pair.
+        assert_eq!(report.runs.len(), 7);
         assert!(report.runs.iter().all(|e| e.events > 0));
-        // Concurrent entries now carry wall-clock latency/makespan and
-        // shard/lock observability; engine entries stay virtual-time.
+        // Concurrent entries now carry wall-clock latency/makespan,
+        // shard/lock observability and the runtime lane; engine entries
+        // stay virtual-time.
         for e in &report.runs {
             if e.mode == "concurrent" {
                 assert!(e.shard_mode.is_some());
@@ -582,11 +887,35 @@ mod tests {
                 assert!(e.makespan > 0, "wall-clock makespan missing");
                 assert!(e.latency_p50.is_some() && e.latency_p95.is_some());
                 assert!(e.wakeups >= e.spurious_wakeups);
+                assert!(e.runtime.is_some());
+                assert!(e.workers >= 1);
+                assert!(e.in_flight_peak >= 1);
             } else {
                 assert!(e.shard_mode.is_none());
                 assert_eq!(e.shards, 0);
+                assert!(e.runtime.is_none());
             }
         }
+        // The ratio pair measured both runtimes at the one closed point.
+        assert_eq!(report.runtime_ratio.len(), 1);
+        let pair = &report.runtime_ratio[0];
+        assert_eq!(pair.processes, 6);
+        assert!(pair.events_per_sec_events > 0.0 && pair.events_per_sec_threads > 0.0);
+        assert!(report
+            .runs
+            .iter()
+            .any(|e| e.runtime.as_deref() == Some("threads")));
+        // Open-arrival point: events runtime, Poisson arrivals, verified
+        // per conflict domain with zero violations.
+        assert_eq!(report.open_runs.len(), 1);
+        let open = &report.open_runs[0];
+        assert_eq!(open.runtime, "events");
+        assert_eq!(open.processes, 40);
+        assert_eq!(open.committed + open.aborted, 40);
+        assert!(open.domains_verified >= 1);
+        assert_eq!(open.pred_violations, 0);
+        assert_eq!(open.proc_rec_violations, 0);
+        assert!(open.in_flight_peak >= 1);
         let pair: Vec<_> = report.runs.iter().filter(|e| e.clusters > 1).collect();
         assert_eq!(pair.len(), 2);
         assert_eq!(pair[0].shard_mode.as_deref(), Some("single"));
@@ -616,12 +945,15 @@ mod tests {
             }
         }
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v4"));
+        assert!(json.contains("txproc-bench-scheduler/v5"));
         assert!(json.contains("abort_reasons"));
         assert!(json.contains("blocked_time_total"));
         assert!(json.contains("shard_mode"));
         assert!(json.contains("spurious_wakeups"));
         assert!(json.contains("zipf-hotspot"));
         assert!(json.contains("envelope_breaches"));
+        assert!(json.contains("runtime_ratio"));
+        assert!(json.contains("open_runs"));
+        assert!(json.contains("sched_delay_p95_ns"));
     }
 }

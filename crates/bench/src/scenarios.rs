@@ -11,7 +11,7 @@ use txproc_core::ids::ProcessId;
 use txproc_core::pred_incremental::check_pred_incremental;
 use txproc_core::recoverability::proc_rec_violations;
 use txproc_core::schedule::Schedule;
-use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, ShardMode};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
 use txproc_engine::engine::{run, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_sim::metrics::Metrics;
@@ -202,6 +202,10 @@ pub struct GauntletConfig {
     pub concurrent: bool,
     /// Shard topology for concurrent runs.
     pub shards: ShardMode,
+    /// Execution runtime of the concurrent runs (`events` by default).
+    pub runtime: RuntimeKind,
+    /// Worker-pool override for the events runtime (`None` = auto).
+    pub workers: Option<usize>,
 }
 
 impl GauntletConfig {
@@ -214,6 +218,8 @@ impl GauntletConfig {
             certifier: CertifierKind::Incremental,
             concurrent: true,
             shards: ShardMode::Auto,
+            runtime: RuntimeKind::Events,
+            workers: None,
         }
     }
 
@@ -229,9 +235,11 @@ impl GauntletConfig {
 /// Aggregated result of one scenario in one execution mode.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScenarioModeReport {
-    /// `engine` (virtual time) or `concurrent` (thread per process,
-    /// sharded).
+    /// `engine` (virtual time) or `concurrent` (sharded wall-clock driver).
     pub mode: &'static str,
+    /// Execution runtime of concurrent modes (`events` or `threads`);
+    /// `None` for engine modes, which have no runtime to pick.
+    pub runtime: Option<String>,
     /// Runs aggregated (one per seed).
     pub runs: u64,
     /// Committed processes across all runs.
@@ -301,6 +309,7 @@ fn mode_report(
     scenario: &Scenario,
     cfg: &GauntletConfig,
     mode: &'static str,
+    runtime: Option<String>,
     mut one_run: impl FnMut(&Workload) -> (Schedule, Metrics),
 ) -> ScenarioModeReport {
     let t = Instant::now();
@@ -325,6 +334,7 @@ fn mode_report(
     breaches.retain(|b| !b.ends_with("correctness violations"));
     ScenarioModeReport {
         mode,
+        runtime,
         runs: cfg.seeds,
         committed: agg.committed,
         aborted: agg.aborted,
@@ -343,7 +353,7 @@ fn mode_report(
 /// plus sharded concurrent runs when `cfg.concurrent` is set, every history
 /// checked by the batch PRED and Proc-REC checkers.
 pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport {
-    let mut modes = vec![mode_report(scenario, cfg, "engine", |w| {
+    let mut modes = vec![mode_report(scenario, cfg, "engine", None, |w| {
         let r = run(
             w,
             RunConfig {
@@ -356,7 +366,8 @@ pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport
         (r.history, r.metrics)
     })];
     if cfg.concurrent {
-        modes.push(mode_report(scenario, cfg, "concurrent", |w| {
+        let runtime = Some(cfg.runtime.label().to_string());
+        modes.push(mode_report(scenario, cfg, "concurrent", runtime, |w| {
             let r = run_concurrent(
                 w,
                 ConcurrentConfig {
@@ -364,6 +375,8 @@ pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport
                     seed: w.config.seed,
                     certifier: cfg.certifier,
                     shards: cfg.shards,
+                    runtime: cfg.runtime,
+                    workers: cfg.workers,
                     ..ConcurrentConfig::default()
                 },
             );
@@ -439,6 +452,8 @@ mod tests {
         assert_eq!(report.seeds, 2);
         let modes: Vec<&str> = report.modes.iter().map(|m| m.mode).collect();
         assert_eq!(modes, vec!["engine", "concurrent"]);
+        assert_eq!(report.modes[0].runtime, None);
+        assert_eq!(report.modes[1].runtime.as_deref(), Some("events"));
         for m in &report.modes {
             assert_eq!(m.runs, 2);
             assert_eq!(m.pred_violations, 0, "{}: non-PRED history", m.mode);

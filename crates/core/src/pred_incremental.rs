@@ -40,7 +40,6 @@ use crate::error::ScheduleError;
 use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
 use crate::pred::PredReport;
 use crate::schedule::{Event, OpKind, Schedule};
-use crate::serializability::ProcessGraph;
 use crate::spec::Spec;
 use crate::state::{Completion, FailureOutcome, ProcessState};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -69,12 +68,150 @@ fn or_into(dst: &mut Vec<u64>, src: &[u64]) {
     }
 }
 
+/// Dense process graph over a fixed, sorted pid universe. `plan` builds two
+/// throwaway graphs per event over tens of thousands of pair entries; with
+/// [`crate::serializability::ProcessGraph`] every edge costs a `BTreeSet`
+/// insert, which dominated the per-event budget on long commit-heavy
+/// histories. Here an edge is one bit. The Kahn traversal reproduces
+/// `ProcessGraph::topological_order` exactly — FIFO queue seeded in
+/// ascending pid order, successors visited in ascending pid order — because
+/// the 8.3(d)/(f) ranks feed order-sensitive tie-breaks downstream.
+struct DenseGraph {
+    /// Sorted node universe; local index = position.
+    pids: Vec<ProcessId>,
+    words: usize,
+    /// Row-major adjacency bitmap (`np × words`).
+    adj: Vec<u64>,
+    indeg: Vec<u32>,
+}
+
+impl DenseGraph {
+    fn new(pids: Vec<ProcessId>) -> Self {
+        debug_assert!(pids.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        let np = pids.len();
+        let words = words_for(np);
+        DenseGraph {
+            pids,
+            words,
+            adj: vec![0u64; np * words],
+            indeg: vec![0u32; np],
+        }
+    }
+
+    /// Adds an edge by local node index (position in the sorted universe);
+    /// the hot loops pre-resolve indices once instead of binary-searching
+    /// per edge.
+    fn add_edge_idx(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let w = &mut self.adj[a * self.words + b / 64];
+        let bit = 1u64 << (b % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.indeg[b] += 1;
+        }
+    }
+
+    /// Topological order (FIFO Kahn in ascending-pid order, matching
+    /// `ProcessGraph::topological_order`), or `None` if cyclic.
+    fn topological_order(&self) -> Option<Vec<ProcessId>> {
+        let np = self.pids.len();
+        let mut indeg = self.indeg.clone();
+        let mut queue: VecDeque<usize> = (0..np).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(np);
+        while let Some(i) = queue.pop_front() {
+            out.push(self.pids[i]);
+            let row = &self.adj[i * self.words..(i + 1) * self.words];
+            for (wi, &w) in row.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let j = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        (out.len() == np).then_some(out)
+    }
+
+    fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+}
+
+/// Dense matrix of cross-process pair counters, keyed by the *dense
+/// process index* assigned to each process when its first operation is
+/// recorded ([`OrigOp::pidx`]). `counts[a * np + b]` counts pairs whose
+/// earlier operation belongs to dense process `a` and later to `b`.
+///
+/// The certifier clones its pair counters on every planned event; as a
+/// `BTreeMap<(ProcessId, ProcessId), u32>` that clone (plus the per-pair
+/// lookups of the adjustment loops) dominated the whole certify budget on
+/// commit-heavy 256-process histories. Here a clone is one `memcpy` and an
+/// adjustment is one indexed add.
+#[derive(Debug, Clone)]
+struct PairCounts {
+    np: usize,
+    counts: Vec<u32>,
+}
+
+impl PairCounts {
+    fn new(np: usize) -> Self {
+        PairCounts {
+            np,
+            counts: vec![0u32; np * np],
+        }
+    }
+
+    /// Clone with capacity for `np` processes (row re-layout only on the
+    /// at-most-once-per-process growth step).
+    fn grown(&self, np: usize) -> Self {
+        if np == self.np {
+            return self.clone();
+        }
+        debug_assert!(np > self.np);
+        let mut counts = vec![0u32; np * np];
+        for a in 0..self.np {
+            counts[a * np..a * np + self.np]
+                .copy_from_slice(&self.counts[a * self.np..(a + 1) * self.np]);
+        }
+        PairCounts { np, counts }
+    }
+
+    #[inline]
+    fn inc(&mut self, a: u32, b: u32) {
+        self.counts[a as usize * self.np + b as usize] += 1;
+    }
+
+    #[inline]
+    fn dec(&mut self, a: u32, b: u32) {
+        let e = &mut self.counts[a as usize * self.np + b as usize];
+        debug_assert!(*e > 0, "pair count underflow");
+        *e -= 1;
+    }
+
+    /// Dense-index pairs with a non-zero count.
+    fn nonzero(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| ((i / self.np) as u32, (i % self.np) as u32))
+    }
+}
+
 /// One operation of the recorded (original) history.
 #[derive(Debug, Clone, Copy)]
 struct OrigOp {
     gid: GlobalActivityId,
     service: ServiceId,
     kind: OpKind,
+    /// Dense index of `gid.process` (see [`PairCounts`]).
+    pidx: u32,
 }
 
 /// The operation a planned event appends to the original history.
@@ -84,6 +221,9 @@ struct NewOp {
     service: ServiceId,
     kind: OpKind,
     eff_free: bool,
+    /// Dense index of `gid.process` — the existing one, or the tentative
+    /// next index if this op introduces the process (made real by `apply`).
+    pidx: u32,
     /// `≪̃`-predecessor closure over the original operations.
     row: Vec<u64>,
 }
@@ -112,8 +252,8 @@ struct StepDelta<'a> {
     will_comp: BTreeSet<GlobalActivityId>,
     perm: Vec<bool>,
     live_base: Vec<bool>,
-    m: BTreeMap<(ProcessId, ProcessId), u32>,
-    m2: BTreeMap<(ProcessId, ProcessId), u32>,
+    m: PairCounts,
+    m2: PairCounts,
 }
 
 /// Verdict for one planned or recorded event.
@@ -152,12 +292,16 @@ pub struct IncrementalPred<'a> {
     perm: Vec<bool>,
     will_comp: BTreeSet<GlobalActivityId>,
     completion_cache: BTreeMap<ProcessId, Completion>,
+    /// Dense index of every process with at least one operation, in
+    /// first-operation order (index ↔ [`OrigOp::pidx`]).
+    dense_pids: Vec<ProcessId>,
+    pid_dense: BTreeMap<ProcessId, u32>,
     /// Permanent conflicting cross-process original pairs, keyed in history
     /// order (feeds the 8.3(d)/(f) mandatory-rank graph).
-    m2: BTreeMap<(ProcessId, ProcessId), u32>,
+    m2: PairCounts,
     /// Rule-3-live conflicting cross-process original pairs, keyed in
     /// history order (feeds the final serializability graph).
-    m: BTreeMap<(ProcessId, ProcessId), u32>,
+    m: PairCounts,
     live_base: Vec<bool>,
     // -- report --
     prefix_reducible: Vec<bool>,
@@ -213,8 +357,10 @@ impl<'a> IncrementalPred<'a> {
             perm: Vec::new(),
             will_comp: BTreeSet::new(),
             completion_cache: BTreeMap::new(),
-            m2: BTreeMap::new(),
-            m: BTreeMap::new(),
+            dense_pids: Vec::new(),
+            pid_dense: BTreeMap::new(),
+            m2: PairCounts::new(0),
+            m: PairCounts::new(0),
             live_base: Vec::new(),
             prefix_reducible: vec![true],
             first_violation: None,
@@ -348,9 +494,20 @@ impl<'a> IncrementalPred<'a> {
                 service,
                 kind,
                 eff_free: spec.catalog.is_effect_free(service),
+                pidx: self
+                    .pid_dense
+                    .get(&gid.process)
+                    .copied()
+                    .unwrap_or(self.dense_pids.len() as u32),
                 row,
             }
         });
+        // Pair-matrix dimension for this plan: every process with recorded
+        // ops, plus the new op's process if it is introducing one.
+        let np_plan = self
+            .dense_pids
+            .len()
+            .max(new_op.as_ref().map_or(0, |o| o.pidx as usize + 1));
         let n_new = n_old + usize::from(new_op.is_some());
         let idx_new = n_old;
         let committed_now = |p: ProcessId| self.committed.contains(&p) || commit == Some(p);
@@ -387,7 +544,7 @@ impl<'a> IncrementalPred<'a> {
             |g: &GlobalActivityId| self.comp_gids.contains(g) || compensated.as_ref() == Some(g);
 
         // 4. Permanence flips and the mandatory-pair counters (m2).
-        let mut m2 = self.m2.clone();
+        let mut m2 = self.m2.grown(np_plan);
         let mut perm = self.perm.clone();
         for g in &changed_gids {
             for &i in self.gid_ops.get(g).map(Vec::as_slice).unwrap_or(&[]) {
@@ -396,23 +553,21 @@ impl<'a> IncrementalPred<'a> {
                 if target == perm[i] {
                     continue;
                 }
-                let pi = self.ops[i].gid.process;
+                let pi = self.ops[i].pidx;
                 for (s, bucket) in &self.buckets {
                     if !oracle.conflict(self.ops[i].service, *s) {
                         continue;
                     }
                     for &j in bucket {
-                        if j == i || !perm[j] || self.ops[j].gid.process == pi {
+                        if j == i || !perm[j] || self.ops[j].pidx == pi {
                             continue;
                         }
-                        let pj = self.ops[j].gid.process;
-                        let key = if i < j { (pi, pj) } else { (pj, pi) };
-                        let e = m2.entry(key).or_insert(0);
+                        let pj = self.ops[j].pidx;
+                        let (a, b) = if i < j { (pi, pj) } else { (pj, pi) };
                         if target {
-                            *e += 1;
+                            m2.inc(a, b);
                         } else {
-                            debug_assert!(*e > 0, "m2 pair underflow");
-                            *e -= 1;
+                            m2.dec(a, b);
                         }
                     }
                 }
@@ -429,9 +584,8 @@ impl<'a> IncrementalPred<'a> {
                         continue;
                     }
                     for &j in bucket {
-                        if perm[j] && self.ops[j].gid.process != o.gid.process {
-                            *m2.entry((self.ops[j].gid.process, o.gid.process))
-                                .or_insert(0) += 1;
+                        if perm[j] && self.ops[j].pidx != o.pidx {
+                            m2.inc(self.ops[j].pidx, o.pidx);
                         }
                     }
                 }
@@ -475,22 +629,46 @@ impl<'a> IncrementalPred<'a> {
 
         // 6. Mandatory ranks (8.3d/8.3f): permanent original pairs (m2) plus
         //    the forced 8.3e edges into permanent completion activities.
-        let mut rg = ProcessGraph::new();
-        for &p in &self.procs_with_ops {
-            rg.add_node(p);
-        }
-        if let Some(o) = &new_op {
-            rg.add_node(o.gid.process);
-        }
-        for c in &cops {
-            rg.add_node(c.pid);
-        }
-        for (&(a, b), &cnt) in &m2 {
-            if cnt > 0 {
-                rg.add_edge(a, b);
+        //    Both process graphs of this step and step 10 share one node
+        //    universe; extra isolated nodes cannot affect acyclicity, and the
+        //    rank graph's node set is exactly this universe.
+        let universe: Vec<ProcessId> = {
+            let mut u: Vec<ProcessId> = self.procs_with_ops.iter().copied().collect();
+            if let Some(o) = &new_op {
+                u.push(o.gid.process);
             }
+            u.extend(cops.iter().map(|c| c.pid));
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        // Pre-resolved universe indices: dense process index → universe
+        // index, and one index per overlay op. The graph loops below add
+        // thousands of edges per plan; resolving each endpoint by binary
+        // search there dominated the graph budget.
+        let gidx_of: Vec<usize> = (0..np_plan)
+            .map(|px| {
+                let pid = if px < self.dense_pids.len() {
+                    self.dense_pids[px]
+                } else {
+                    new_op
+                        .as_ref()
+                        .expect("tentative index only exists with a new op")
+                        .gid
+                        .process
+                };
+                universe.binary_search(&pid).expect("pid in universe")
+            })
+            .collect();
+        let cop_gidx: Vec<usize> = cops
+            .iter()
+            .map(|c| universe.binary_search(&c.pid).expect("pid in universe"))
+            .collect();
+        let mut rg = DenseGraph::new(universe.clone());
+        for (a, b) in m2.nonzero() {
+            rg.add_edge_idx(gidx_of[a as usize], gidx_of[b as usize]);
         }
-        for c in &cops {
+        for (ci, c) in cops.iter().enumerate() {
             if !perm_cop(c) {
                 continue;
             }
@@ -500,19 +678,27 @@ impl<'a> IncrementalPred<'a> {
                 }
                 for &i in bucket {
                     if perm[i] && self.ops[i].gid.process != c.pid {
-                        rg.add_edge(self.ops[i].gid.process, c.pid);
+                        rg.add_edge_idx(gidx_of[self.ops[i].pidx as usize], cop_gidx[ci]);
                     }
                 }
             }
             if let Some(o) = &new_op {
                 if perm_push && o.gid.process != c.pid && oracle.conflict(o.service, c.service) {
-                    rg.add_edge(o.gid.process, c.pid);
+                    rg.add_edge_idx(gidx_of[o.pidx as usize], cop_gidx[ci]);
                 }
             }
         }
-        let ranks: BTreeMap<ProcessId, usize> = match rg.topological_order() {
-            Some(order) => order.into_iter().enumerate().map(|(r, p)| (p, r)).collect(),
-            None => rg.nodes().enumerate().map(|(r, p)| (p, r)).collect(),
+        // Rank per universe index (8.3d/8.3f). Relative order is all the
+        // step-7 tie-breaks consume, so isolated universe nodes are harmless.
+        let ranks_by_gidx: Vec<usize> = match rg.topological_order() {
+            Some(order) => {
+                let mut r = vec![0usize; universe.len()];
+                for (rank, p) in order.iter().enumerate() {
+                    r[universe.binary_search(p).expect("pid in universe")] = rank;
+                }
+                r
+            }
+            None => (0..universe.len()).collect(),
         };
 
         // 7. Order edges among the overlay operations (8.3b/c chains plus
@@ -548,8 +734,8 @@ impl<'a> IncrementalPred<'a> {
                         }
                     }
                     (OpKind::Forward, OpKind::Forward) => {
-                        let rx = ranks.get(&x.pid).copied().unwrap_or(usize::MAX);
-                        let ry = ranks.get(&y.pid).copied().unwrap_or(usize::MAX);
+                        let rx = ranks_by_gidx[cop_gidx[i]];
+                        let ry = ranks_by_gidx[cop_gidx[j]];
                         if (rx, x.pid) <= (ry, y.pid) {
                             (i, j)
                         } else {
@@ -694,13 +880,19 @@ impl<'a> IncrementalPred<'a> {
             }
             out
         };
+        // The candidate list only depends on the service, and the fixpoint
+        // revisits the same pairs every round — memoize per service rather
+        // than rebuilding an O(history) vector per pair per round.
+        let mut cw_cache: BTreeMap<ServiceId, Vec<usize>> = BTreeMap::new();
         loop {
             let mut changed = false;
             for &(f, c) in &pairs {
                 if !live[f] || !live[c] {
                     continue;
                 }
-                let candidates = conflicting_with(service_at(f));
+                let candidates = cw_cache
+                    .entry(service_at(f))
+                    .or_insert_with_key(|&s| conflicting_with(s));
                 let blocked = candidates
                     .iter()
                     .any(|&k| k != f && k != c && live[k] && lt(f, k) && lt(k, c));
@@ -718,25 +910,25 @@ impl<'a> IncrementalPred<'a> {
         // 10. Serializability of the remainder: rule-3 pair counters (m)
         //     adjusted for commit flips and the new operation, then with the
         //     cancelled operations subtracted, plus the overlay edges.
-        let mut m = self.m.clone();
+        let mut m = self.m.grown(np_plan);
         let mut live_base = self.live_base.clone();
         if let Some(p) = commit {
             for &i in self.proc_ops.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
                 if live_base[i] {
                     continue;
                 }
-                let pi = self.ops[i].gid.process;
+                let pi = self.ops[i].pidx;
                 for (s, bucket) in &self.buckets {
                     if !oracle.conflict(self.ops[i].service, *s) {
                         continue;
                     }
                     for &j in bucket {
-                        if j == i || !live_base[j] || self.ops[j].gid.process == pi {
+                        if j == i || !live_base[j] || self.ops[j].pidx == pi {
                             continue;
                         }
-                        let pj = self.ops[j].gid.process;
-                        let key = if i < j { (pi, pj) } else { (pj, pi) };
-                        *m.entry(key).or_insert(0) += 1;
+                        let pj = self.ops[j].pidx;
+                        let (a, b) = if i < j { (pi, pj) } else { (pj, pi) };
+                        m.inc(a, b);
                     }
                 }
                 live_base[i] = true;
@@ -752,9 +944,8 @@ impl<'a> IncrementalPred<'a> {
                         continue;
                     }
                     for &j in bucket {
-                        if live_base[j] && self.ops[j].gid.process != o.gid.process {
-                            *m.entry((self.ops[j].gid.process, o.gid.process))
-                                .or_insert(0) += 1;
+                        if live_base[j] && self.ops[j].pidx != o.pidx {
+                            m.inc(self.ops[j].pidx, o.pidx);
                         }
                     }
                 }
@@ -762,74 +953,47 @@ impl<'a> IncrementalPred<'a> {
         }
 
         let mut m_adj = m.clone();
-        let mut removed: BTreeSet<usize> = BTreeSet::new();
+        let mut removed = vec![false; n_new];
         for x in 0..n_new {
             let blx = if x < n_old { live_base[x] } else { bl_new };
             if !blx || live[x] {
                 continue;
             }
             let (px, sx) = if x < n_old {
-                (self.ops[x].gid.process, self.ops[x].service)
+                (self.ops[x].pidx, self.ops[x].service)
             } else {
                 let o = new_op.as_ref().expect("new op");
-                (o.gid.process, o.service)
+                (o.pidx, o.service)
             };
             for (s, bucket) in &self.buckets {
                 if !oracle.conflict(sx, *s) {
                     continue;
                 }
                 for &j in bucket {
-                    if j == x || removed.contains(&j) || !live_base[j] {
+                    if j == x || removed[j] || !live_base[j] {
                         continue;
                     }
-                    let pj = self.ops[j].gid.process;
+                    let pj = self.ops[j].pidx;
                     if pj == px {
                         continue;
                     }
-                    let key = if x < j { (px, pj) } else { (pj, px) };
-                    let e = m_adj.get_mut(&key).expect("pair was counted");
-                    debug_assert!(*e > 0, "m pair underflow");
-                    *e -= 1;
+                    let (a, b) = if x < j { (px, pj) } else { (pj, px) };
+                    m_adj.dec(a, b);
                 }
             }
             if let Some(o) = &new_op {
                 let j = idx_new;
-                if j != x
-                    && !removed.contains(&j)
-                    && bl_new
-                    && o.gid.process != px
-                    && oracle.conflict(sx, o.service)
+                if j != x && !removed[j] && bl_new && o.pidx != px && oracle.conflict(sx, o.service)
                 {
-                    let e = m_adj
-                        .get_mut(&(px, o.gid.process))
-                        .expect("pair was counted");
-                    debug_assert!(*e > 0, "m pair underflow");
-                    *e -= 1;
+                    m_adj.dec(px, o.pidx);
                 }
             }
-            removed.insert(x);
+            removed[x] = true;
         }
 
-        let mut pg = ProcessGraph::new();
-        for (lv, op) in live.iter().zip(&self.ops) {
-            if *lv {
-                pg.add_node(op.gid.process);
-            }
-        }
-        if let Some(o) = &new_op {
-            if live[idx_new] {
-                pg.add_node(o.gid.process);
-            }
-        }
-        for (ci, c) in cops.iter().enumerate() {
-            if live[n_new + ci] {
-                pg.add_node(c.pid);
-            }
-        }
-        for (&(a, b), &cnt) in &m_adj {
-            if cnt > 0 {
-                pg.add_edge(a, b);
-            }
+        let mut pg = DenseGraph::new(universe);
+        for (a, b) in m_adj.nonzero() {
+            pg.add_edge_idx(gidx_of[a as usize], gidx_of[b as usize]);
         }
         for (ci, c) in cops.iter().enumerate() {
             if !live[n_new + ci] {
@@ -841,20 +1005,20 @@ impl<'a> IncrementalPred<'a> {
                 }
                 for &i in bucket {
                     if live[i] && self.ops[i].gid.process != c.pid {
-                        pg.add_edge(self.ops[i].gid.process, c.pid);
+                        pg.add_edge_idx(gidx_of[self.ops[i].pidx as usize], cop_gidx[ci]);
                     }
                 }
             }
             if let Some(o) = &new_op {
                 if live[idx_new] && o.gid.process != c.pid && oracle.conflict(o.service, c.service)
                 {
-                    pg.add_edge(o.gid.process, c.pid);
+                    pg.add_edge_idx(gidx_of[o.pidx as usize], cop_gidx[ci]);
                 }
             }
         }
         for &(a, b) in &cedges {
             if cops[a].pid != cops[b].pid && live[n_new + a] && live[n_new + b] {
-                pg.add_edge(cops[a].pid, cops[b].pid);
+                pg.add_edge_idx(cop_gidx[a], cop_gidx[b]);
             }
         }
         let reducible = pg.is_acyclic();
@@ -921,12 +1085,20 @@ impl<'a> IncrementalPred<'a> {
                 self.orig_comps.push(idx);
             }
             self.procs_with_ops.insert(o.gid.process);
+            // Make the tentative dense index real if this op introduced its
+            // process (the planned matrices were sized for it already).
+            if o.pidx as usize == self.dense_pids.len() {
+                self.dense_pids.push(o.gid.process);
+                self.pid_dense.insert(o.gid.process, o.pidx);
+            }
+            debug_assert_eq!(self.pid_dense.get(&o.gid.process), Some(&o.pidx));
             self.rows.push(o.row);
             self.eff_free.push(o.eff_free);
             self.ops.push(OrigOp {
                 gid: o.gid,
                 service: o.service,
                 kind: o.kind,
+                pidx: o.pidx,
             });
         }
         self.prefix_reducible.push(delta.reducible);

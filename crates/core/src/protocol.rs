@@ -54,7 +54,9 @@
 use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
 use crate::spec::Spec;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How the scheduler handles a non-compensatable activity that conflicts
 /// with an active predecessor (Lemma 1).
@@ -207,11 +209,14 @@ pub struct Protocol<'a> {
     /// Processes currently executing their completion (abort in progress).
     aborting: BTreeSet<ProcessId>,
     // ---- maintained indexes (derived from the state above) ----
-    /// Per service: the base services it conflicts with (precomputed from
-    /// the conflict matrix at construction; queried via `base(service)`).
-    conflict_adj: Vec<Vec<ServiceId>>,
+    /// Per service: the base services it conflicts with. Filled lazily on
+    /// first touch and memoised — a process footprint visits a handful of
+    /// services, so eager O(catalog²) precomputation is wasted work (and
+    /// memory) at the large catalogs the open-arrival sweeps use.
+    conflict_adj: RefCell<BTreeMap<u32, Arc<[ServiceId]>>>,
     /// Per base service: live conflicting operations (inverted index).
-    buckets: Vec<Bucket>,
+    /// Sparse: only services that ever held a live operation have an entry.
+    buckets: BTreeMap<ServiceId, Bucket>,
     /// Per process: indices of its operation records, in execution order.
     ops_by_process: BTreeMap<ProcessId, Vec<usize>>,
     /// Per activity: indices of its operation records, in execution order
@@ -230,19 +235,6 @@ pub struct Protocol<'a> {
 impl<'a> Protocol<'a> {
     /// Creates an empty protocol state.
     pub fn new(spec: &'a Spec, policy: DeferPolicy) -> Self {
-        let n = spec.catalog.len();
-        let oracle = spec.oracle();
-        let mut conflict_adj = vec![Vec::new(); n];
-        for (s, adj) in conflict_adj.iter_mut().enumerate() {
-            let sid = ServiceId(s as u32);
-            for t in 0..n {
-                let tid = ServiceId(t as u32);
-                // Only base services appear as record services / bucket keys.
-                if spec.catalog.base(tid) == tid && oracle.conflict(sid, tid) {
-                    adj.push(tid);
-                }
-            }
-        }
         Self {
             spec,
             policy,
@@ -251,8 +243,8 @@ impl<'a> Protocol<'a> {
             status: BTreeMap::new(),
             deferred: BTreeMap::new(),
             aborting: BTreeSet::new(),
-            conflict_adj,
-            buckets: vec![Bucket::default(); n],
+            conflict_adj: RefCell::new(BTreeMap::new()),
+            buckets: BTreeMap::new(),
             ops_by_process: BTreeMap::new(),
             op_index: BTreeMap::new(),
             dense: BTreeMap::new(),
@@ -288,6 +280,29 @@ impl<'a> Protocol<'a> {
     }
 
     // ---- index maintenance ----------------------------------------------
+
+    /// Conflicting base services of `service`, computed on first touch and
+    /// memoised. Only base services appear as record services / bucket
+    /// keys, so the row is restricted to them.
+    fn conflict_row(&self, service: ServiceId) -> Arc<[ServiceId]> {
+        if let Some(row) = self.conflict_adj.borrow().get(&service.0) {
+            return Arc::clone(row);
+        }
+        let oracle = self.spec.oracle();
+        let n = self.spec.catalog.len();
+        let mut adj = Vec::new();
+        for t in 0..n {
+            let tid = ServiceId(t as u32);
+            if self.spec.catalog.base(tid) == tid && oracle.conflict(service, tid) {
+                adj.push(tid);
+            }
+        }
+        let row: Arc<[ServiceId]> = adj.into();
+        self.conflict_adj
+            .borrow_mut()
+            .insert(service.0, Arc::clone(&row));
+        row
+    }
 
     /// Dense index of a process, allocated on first use.
     fn densify(&mut self, pid: ProcessId) -> usize {
@@ -340,7 +355,7 @@ impl<'a> Protocol<'a> {
         if old_c == compensated && old_s == stable {
             return;
         }
-        let bucket = &mut self.buckets[svc.index()];
+        let bucket = self.buckets.entry(svc).or_default();
         let (was_live, is_live) = (!old_c, !compensated);
         if was_live && !is_live {
             let n = bucket.live.get_mut(&pid).expect("live count tracked");
@@ -372,7 +387,7 @@ impl<'a> Protocol<'a> {
         self.ops_by_process.entry(pid).or_default().push(idx);
         self.op_index.entry(rec.gid).or_default().push(idx);
         if !rec.compensated {
-            let bucket = &mut self.buckets[rec.service.index()];
+            let bucket = self.buckets.entry(rec.service).or_default();
             *bucket.live.entry(pid).or_insert(0) += 1;
             if !rec.stable {
                 bucket.nonstable.entry(pid).or_default().insert(idx);
@@ -385,11 +400,13 @@ impl<'a> Protocol<'a> {
     /// (test support; called explicitly by the differential tests).
     #[doc(hidden)]
     pub fn check_index_invariants(&self) {
-        for (s, bucket) in self.buckets.iter().enumerate() {
+        let mut services: BTreeSet<ServiceId> = self.buckets.keys().copied().collect();
+        services.extend(self.ops.iter().map(|r| r.service));
+        for s in services {
             let mut live: BTreeMap<ProcessId, u32> = BTreeMap::new();
             let mut nonstable: BTreeMap<ProcessId, BTreeSet<usize>> = BTreeMap::new();
             for (i, r) in self.ops.iter().enumerate() {
-                if r.service.index() != s || r.compensated {
+                if r.service != s || r.compensated {
                     continue;
                 }
                 *live.entry(r.gid.process).or_insert(0) += 1;
@@ -397,6 +414,7 @@ impl<'a> Protocol<'a> {
                     nonstable.entry(r.gid.process).or_default().insert(i);
                 }
             }
+            let bucket = self.buckets.get(&s).cloned().unwrap_or_default();
             assert_eq!(bucket.live, live, "live index diverged for service {s}");
             assert_eq!(
                 bucket.nonstable, nonstable,
@@ -490,8 +508,10 @@ impl<'a> Protocol<'a> {
     ) -> BTreeMap<ProcessId, bool> {
         let base = self.spec.catalog.base(service);
         let mut preds: BTreeMap<ProcessId, bool> = BTreeMap::new();
-        for &s in &self.conflict_adj[base.index()] {
-            let bucket = &self.buckets[s.index()];
+        for &s in self.conflict_row(base).iter() {
+            let Some(bucket) = self.buckets.get(&s) else {
+                continue;
+            };
             for &p in bucket.live.keys() {
                 if p == pid {
                     continue;
@@ -549,8 +569,11 @@ impl<'a> Protocol<'a> {
         // the Example 8 cycle. Wait until the compensation ran.
         let base = self.spec.catalog.base(service);
         let mut due_compensation: BTreeSet<ProcessId> = BTreeSet::new();
-        for &s in &self.conflict_adj[base.index()] {
-            for &p in self.buckets[s.index()].nonstable.keys() {
+        for &s in self.conflict_row(base).iter() {
+            let Some(bucket) = self.buckets.get(&s) else {
+                continue;
+            };
+            for &p in bucket.nonstable.keys() {
                 if p != pid && self.aborting.contains(&p) {
                     due_compensation.insert(p);
                 }
@@ -1079,8 +1102,11 @@ impl<'a> Protocol<'a> {
         let service = self.ops[pos].service;
         let mut wait: BTreeSet<ProcessId> = BTreeSet::new();
         let mut cascade: BTreeSet<ProcessId> = BTreeSet::new();
-        for &s in &self.conflict_adj[service.index()] {
-            for (&p, set) in &self.buckets[s.index()].nonstable {
+        for &s in self.conflict_row(service).iter() {
+            let Some(bucket) = self.buckets.get(&s) else {
+                continue;
+            };
+            for (&p, set) in &bucket.nonstable {
                 // Only operations strictly *after* the compensated one gate
                 // its compensation; `set` is ordered, so the max index
                 // decides.
@@ -1139,8 +1165,11 @@ impl<'a> Protocol<'a> {
         let base = self.spec.catalog.base(service);
         let mut wait: BTreeSet<ProcessId> = BTreeSet::new();
         let mut cascade: BTreeSet<ProcessId> = BTreeSet::new();
-        for &s in &self.conflict_adj[base.index()] {
-            for &p in self.buckets[s.index()].nonstable.keys() {
+        for &s in self.conflict_row(base).iter() {
+            let Some(bucket) = self.buckets.get(&s) else {
+                continue;
+            };
+            for &p in bucket.nonstable.keys() {
                 if p == pid {
                     continue;
                 }

@@ -375,6 +375,11 @@ pub struct TraceRecord {
     /// Conflict-domain shard that served the decision (`None` for
     /// single-state drivers such as the virtual-time engine).
     pub shard: Option<u32>,
+    /// Worker that stepped the process (event-driven concurrent runtime
+    /// only; `None` elsewhere). Additive in trace schema v5 — absent in
+    /// v4 JSONL and defaulted on read.
+    #[serde(default)]
+    pub worker: Option<u32>,
     /// The decision.
     pub event: TraceEvent,
 }
@@ -836,6 +841,7 @@ mod tests {
                 time: 1,
                 history_len: 0,
                 shard: None,
+                worker: None,
                 event: TraceEvent::RequestAdmitted {
                     gid: gid(1, 0),
                     service: ServiceId(3),
@@ -849,6 +855,7 @@ mod tests {
                 time: 2,
                 history_len: 1,
                 shard: None,
+                worker: None,
                 event: TraceEvent::RequestBlocked {
                     gid: gid(2, 0),
                     service: ServiceId(3),
@@ -860,6 +867,7 @@ mod tests {
                 time: 5,
                 history_len: 1,
                 shard: None,
+                worker: None,
                 event: TraceEvent::RequestAdmitted {
                     gid: gid(2, 0),
                     service: ServiceId(3),
@@ -873,6 +881,7 @@ mod tests {
                 time: 6,
                 history_len: 2,
                 shard: None,
+                worker: None,
                 event: TraceEvent::AbortStarted {
                     pid: ProcessId(2),
                     reason: AbortReason::Cascade,
@@ -883,6 +892,7 @@ mod tests {
                 time: 6,
                 history_len: 2,
                 shard: None,
+                worker: None,
                 event: TraceEvent::GroupAbort {
                     initiator: Some(ProcessId(1)),
                     victims: vec![ProcessId(2)],
@@ -894,6 +904,7 @@ mod tests {
                 time: 7,
                 history_len: 3,
                 shard: None,
+                worker: None,
                 event: TraceEvent::ProcessAborted { pid: ProcessId(2) },
             },
         ]

@@ -1,21 +1,41 @@
-//! Thread-per-process driver: the same scheduling protocol exercised under
-//! real concurrency, sharded by conflict domains.
+//! Concurrent driver: the same scheduling protocol exercised under real
+//! concurrency, sharded by conflict domains, with two runtimes.
 //!
 //! The virtual-time [`Engine`](crate::engine::Engine) is deterministic and
-//! fast — ideal for experiments. This driver runs every process on its own
-//! OS thread. The paper's protocol (Lemmas 1–3) only ever orders operations
-//! that *conflict*, so processes in different connected components of the
-//! potential-conflict graph impose no ordering obligations on each other.
-//! The driver exploits that: a [`DomainPartition`] splits the workload into
-//! conflict domains, and each shard owns a complete scheduler state — its
-//! own [`Policy`] instance, incremental §3.5 certifier, history segment and
-//! condvar — so admission, certification, commit and abort decisions in
-//! disjoint domains proceed fully in parallel. A deterministic merge
-//! (events are stamped with a global atomic ticket at emission) produces
-//! one global [`Schedule`]; shard-local PRED plus the absence of
-//! cross-shard conflicts implies global PRED (see DESIGN.md
-//! "Conflict-domain sharding" for the commutation argument, and the
-//! differential stress tests for the oracle).
+//! fast — ideal for experiments. This driver runs the workload under real
+//! OS concurrency. The paper's protocol (Lemmas 1–3) only ever orders
+//! operations that *conflict*, so processes in different connected
+//! components of the potential-conflict graph impose no ordering
+//! obligations on each other. The driver exploits that: a
+//! [`DomainPartition`] splits the workload into conflict domains, and each
+//! shard owns a complete scheduler state — its own [`Policy`] instance,
+//! incremental §3.5 certifier and history segment — so admission,
+//! certification, commit and abort decisions in disjoint domains proceed
+//! fully in parallel. A deterministic merge (events are stamped with a
+//! global atomic ticket at emission) produces one global [`Schedule`];
+//! shard-local PRED plus the absence of cross-shard conflicts implies
+//! global PRED (see DESIGN.md "Conflict-domain sharding" for the
+//! commutation argument, and the differential stress tests for the oracle).
+//!
+//! # Runtimes
+//!
+//! Both runtimes drive the same non-blocking state-machine step
+//! ([`advance`]); they differ only in *who* calls it and what a blocked
+//! process costs:
+//!
+//! * [`RuntimeKind::Events`] (default) — a fixed worker pool (default
+//!   `min(cores, shards)`). Each worker owns a disjoint set of shards;
+//!   per shard it keeps a run queue of runnable processes and a waiting
+//!   set of blocked ones. A blocked process costs a queue entry, not a
+//!   parked 2 MB thread stack, so the runtime scales to 100k+ in-flight
+//!   processes. Any step that bumps the shard generation re-queues the
+//!   shard's waiters (notification-completeness is unchanged from the
+//!   thread runtime: a blocker is always a shard-mate, and every
+//!   unblocking mutation bumps the generation).
+//! * [`RuntimeKind::Threads`] — one OS thread per process, condvar-parked
+//!   while blocked. Kept as the differential baseline for the events
+//!   runtime (bit-equal outcomes on disjoint workloads); capped at
+//!   [`RuntimeKind::max_processes`] threads.
 //!
 //! Lock order (never acquired in reverse):
 //!
@@ -30,24 +50,27 @@
 //! prepared invocation can only block a *conflicting* service (reads do not
 //! lock; additive writes share their lock), and conflicting services are by
 //! construction in the same domain — so cross-shard `Busy` outcomes cannot
-//! occur and shard-local condvar notification is complete. Waits still
-//! carry a short fallback timeout purely as a robustness net.
+//! occur and shard-local notification is complete.
 //!
-//! Waiting is notification-driven: every history mutation bumps the shard
-//! *generation* and broadcasts the shard condvar (the pre-sharding driver
-//! polled on fixed 2/5/10 ms sleeps instead). A woken waiter whose
-//! generation did not move counts as a spurious wakeup in
-//! [`ShardMetrics`]; with targeted notification these are almost
-//! exclusively the fallback-timeout polls.
+//! In the thread runtime, waiting is notification-driven: every history
+//! mutation bumps the shard *generation* and broadcasts the shard condvar
+//! (the pre-sharding driver polled on fixed 2/5/10 ms sleeps instead). A
+//! woken waiter whose generation did not move counts as a spurious wakeup
+//! in [`ShardMetrics`]. Waits carry no timeout: when every live worker of
+//! a shard would be parked, the last one re-polls instead of sleeping, so
+//! deadlock escalation needs no timer (the historical 3 ms fallback wait
+//! only masked lost-notify bugs; it can be restored for debugging with
+//! [`ConcurrentConfig::fallback_wait`]).
 //!
 //! Failure injection is a pure function of `(seed, activity, attempt)`, so
 //! outcome draws are independent of thread interleaving: on workloads whose
 //! processes are pairwise non-conflicting the sharded and single-lock
-//! configurations produce bit-equal commit/abort sets.
+//! configurations — and the two runtimes — produce bit-equal commit/abort
+//! sets.
 
 use crate::policy::{CertifierKind, Policy, PolicyKind};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use txproc_core::activity::Termination;
@@ -57,16 +80,38 @@ use txproc_core::protocol::Admission;
 use txproc_core::schedule::{Event, Schedule};
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
-use txproc_sim::metrics::{Metrics, ShardMetrics};
+use txproc_sim::metrics::{Metrics, RuntimeMetrics, ShardMetrics};
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
 use txproc_subsystem::deploy::ServiceSite;
 use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
 
-/// Fallback bound on a condvar wait. Within a shard every unblocking
-/// mutation notifies, so this only matters as a robustness net (e.g. a
-/// missed-notify bug); it also paces the no-progress deadlock escalation.
+/// Debug-only bound on a condvar wait, restored by
+/// [`ConcurrentConfig::fallback_wait`]. Within a shard every unblocking
+/// mutation notifies, so in normal operation waits carry no timeout — a
+/// timeout only masks lost-notify bugs (see the lost-wakeup stress test).
 const FALLBACK_WAIT: Duration = Duration::from_millis(3);
+
+/// Consecutive state-machine steps one event worker runs on a shard before
+/// moving to its next shard (bounds cross-shard starvation on a worker
+/// that owns several).
+const STEP_BUDGET: u32 = 128;
+
+/// Longest nap an idle event worker takes while waiting for the next
+/// open-system arrival on one of its shards (a bound, not a poll period:
+/// the nap targets the exact arrival offset).
+const MAX_IDLE_NAP: Duration = Duration::from_millis(100);
+
+/// Per-shard admission cap of the events runtime: a due arrival is deferred
+/// while the shard already has this many live processes. Certification cost
+/// grows superlinearly with the concurrently-active set (the §3.5 overlay
+/// pairs every pending completion activity against every other), so
+/// throttling admission keeps the certifier frontier small and raises both
+/// throughput and commit rate on dense workloads — the same reason a real
+/// TP monitor runs with a bounded multiprogramming level. Deferred
+/// processes cost a queue entry, not a stack, so the cap bounds *churn*,
+/// not capacity.
+const ADMIT_CAP: usize = 32;
 
 /// How the driver maps processes onto scheduler shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +171,68 @@ impl serde::Deserialize for ShardMode {
     }
 }
 
+/// How processes are executed: parked threads or worker-pool state
+/// machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// One OS thread per process, condvar-parked while blocked. The
+    /// differential baseline; capped at [`RuntimeKind::max_processes`].
+    Threads,
+    /// Event-driven worker pool (the default): processes are state
+    /// machines on per-shard run queues, stepped by `min(cores, shards)`
+    /// workers. No per-process cap.
+    Events,
+}
+
+impl RuntimeKind {
+    /// Parses `threads` or `events`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(Self::Threads),
+            "events" => Some(Self::Events),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports and the `--runtime` flag.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Threads => "threads",
+            Self::Events => "events",
+        }
+    }
+
+    /// In-flight process ceiling of the runtime, if any. The thread
+    /// runtime spawns one OS thread (≈2 MB of stack) per process, so it is
+    /// capped; the events runtime holds a blocked process as a run-queue
+    /// entry and has no ceiling.
+    pub fn max_processes(&self) -> Option<usize> {
+        match self {
+            Self::Threads => Some(512),
+            Self::Events => None,
+        }
+    }
+}
+
+// Serialized as the CLI label so bench reports and `--runtime` agree.
+impl serde::Serialize for RuntimeKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl serde::Deserialize for RuntimeKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s)
+                .ok_or_else(|| serde::DeError::new(format!("invalid runtime kind `{s}`"))),
+            other => Err(serde::DeError::new(format!(
+                "expected runtime kind string, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Configuration of a concurrent run.
 #[derive(Debug, Clone)]
 pub struct ConcurrentConfig {
@@ -141,6 +248,17 @@ pub struct ConcurrentConfig {
     /// Shard topology. `Auto` (the default) shards by conflict domain;
     /// `Single` is the pre-sharding single-lock driver.
     pub shards: ShardMode,
+    /// Execution runtime. `Events` (the default) steps processes with a
+    /// fixed worker pool; `Threads` is the thread-per-process baseline.
+    pub runtime: RuntimeKind,
+    /// Worker-pool size for the events runtime. `None` (the default)
+    /// resolves to `min(available cores, shard count)`. Ignored by the
+    /// thread runtime.
+    pub workers: Option<usize>,
+    /// Debug flag: restore the historical 3 ms fallback timeout on thread-
+    /// runtime condvar waits. Off by default — the timeout only masks
+    /// lost-notify bugs.
+    pub fallback_wait: bool,
 }
 
 impl Default for ConcurrentConfig {
@@ -151,7 +269,46 @@ impl Default for ConcurrentConfig {
             inject_failures: true,
             certifier: CertifierKind::Incremental,
             shards: ShardMode::Auto,
+            runtime: RuntimeKind::Events,
+            workers: None,
+            fallback_wait: false,
         }
+    }
+}
+
+impl ConcurrentConfig {
+    /// Checks the configuration against a workload size. The in-flight
+    /// limit is derived from the runtime kind, not a hardcoded ceiling:
+    /// the error names the knob that lifts it.
+    pub fn validate(&self, processes: usize) -> Result<(), String> {
+        if let Some(cap) = self.runtime.max_processes() {
+            if processes > cap {
+                return Err(format!(
+                    "workload has {processes} processes but the `{}` runtime spawns one OS \
+                     thread per process and is capped at {cap}; select the event-driven \
+                     runtime (`--runtime events` / `ConcurrentConfig::runtime = \
+                     RuntimeKind::Events`) to lift the cap",
+                    self.runtime.label()
+                ));
+            }
+        }
+        if self.workers == Some(0) {
+            return Err("worker pool must have at least 1 worker (`--workers` / \
+                 `ConcurrentConfig::workers`)"
+                .to_string());
+        }
+        Ok(())
+    }
+
+    /// Worker-pool size the events runtime will use for a given shard
+    /// count.
+    pub fn resolved_workers(&self, shard_count: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.workers
+            .unwrap_or_else(|| cores.min(shard_count.max(1)))
+            .max(1)
     }
 }
 
@@ -176,6 +333,9 @@ struct TraceShared<'a> {
     sink: Mutex<Box<dyn TraceSink + 'a>>,
     seq: AtomicU64,
     enabled: bool,
+    /// Static shard→worker assignment of the events runtime (`None` under
+    /// the thread runtime, which has no worker lane).
+    worker_of_shard: Option<Vec<u32>>,
 }
 
 impl TraceShared<'_> {
@@ -183,6 +343,7 @@ impl TraceShared<'_> {
         if !self.enabled {
             return;
         }
+        let worker = self.worker_of_shard.as_ref().map(|map| map[shard as usize]);
         let mut sink = self.sink.lock();
         // Sequence assignment under the sink lock keeps journal order and
         // seq order identical even when shards race to record.
@@ -192,6 +353,7 @@ impl TraceShared<'_> {
             time: seq,
             history_len,
             shard: Some(shard),
+            worker,
             event,
         });
     }
@@ -210,6 +372,21 @@ struct RunCtx<'r, 'a> {
     /// Arrival offset per process in microseconds (one virtual tick of the
     /// workload's arrival model = 1µs here). All zeros for closed arrivals.
     arrivals: BTreeMap<ProcessId, u64>,
+    /// Processes currently in flight (arrived, not yet terminated) and the
+    /// peak observed — the open-system concurrency level actually reached.
+    live_now: AtomicU64,
+    live_peak: AtomicU64,
+}
+
+impl RunCtx<'_, '_> {
+    fn process_arrived(&self) {
+        let now = 1 + self.live_now.fetch_add(1, Ordering::Relaxed);
+        self.live_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn process_terminated(&self) {
+        self.live_now.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// One conflict-domain shard: a complete scheduler state behind its own
@@ -262,12 +439,32 @@ impl<'a> Shard<'a> {
     }
 
     /// Blocks until the shard generation moves past the value observed at
-    /// call time (or the fallback timeout elapses). Returns whether the
-    /// generation moved; a `false` return is counted as a spurious wakeup.
-    fn wait_for_change(&self, g: &mut ShardGuard<'_, 'a>) -> bool {
+    /// call time. Returns whether the generation moved; a `false` return is
+    /// counted as a spurious wakeup.
+    ///
+    /// Waits carry no timeout. A parked waiter can only be unblocked by a
+    /// shard-mate's mutation, and every mutation notifies — so if every
+    /// other live worker of the shard is already parked, nobody is left to
+    /// notify us and the wait would be forever. In that case the last
+    /// waiter returns immediately (an intentional re-poll) so the
+    /// no-progress escalation in [`advance`] can abort a deadlock victim.
+    /// With `fallback` (debug flag) the historical 3 ms timeout is used
+    /// instead.
+    fn wait_for_change(&self, g: &mut ShardGuard<'_, 'a>, fallback: bool) -> bool {
         let seen = g.generation;
         let t0 = Instant::now();
-        let _ = self.cond.wait_for(&mut g.guard, FALLBACK_WAIT);
+        if fallback {
+            let _ = self.cond.wait_for(&mut g.guard, FALLBACK_WAIT);
+        } else if g.waiting_workers + 1 >= g.live_workers {
+            // Last non-parked worker: re-poll instead of sleeping.
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+            return false;
+        } else {
+            g.waiting_workers += 1;
+            self.cond.wait(&mut g.guard);
+            g.waiting_workers -= 1;
+        }
         g.excluded += t0.elapsed();
         self.wakeups.fetch_add(1, Ordering::Relaxed);
         let progressed = g.generation != seen;
@@ -325,9 +522,17 @@ struct ShardState<'a> {
     history: Schedule,
     /// Global merge ticket of each segment event (parallel to `history`).
     event_tickets: Vec<u64>,
-    /// Bumped on every history mutation; waiters key their condvar waits on
-    /// it to tell productive wakeups from spurious ones.
+    /// Bumped on every scheduler-visible mutation (history events, policy
+    /// live-op removal at finalize, worker exit); waiters key their condvar
+    /// waits on it to tell productive wakeups from spurious ones, and the
+    /// events runtime re-queues a shard's waiters when it moves.
     generation: u64,
+    /// Thread runtime only: worker threads of this shard that have arrived
+    /// and not yet exited, and how many of them are parked on the condvar.
+    /// The last unparked worker re-polls instead of parking (see
+    /// [`Shard::wait_for_change`]).
+    live_workers: usize,
+    waiting_workers: usize,
     metrics: Metrics,
     invocations: BTreeMap<GlobalActivityId, (SubsystemId, InvocationId)>,
     /// Deferred activities released by a predecessor's termination.
@@ -417,17 +622,21 @@ impl<'a> ShardState<'a> {
         if !self.certify {
             return true;
         }
+        let len = self.history.len();
+        self.cert_fail_notes.retain(|&(_, stamp)| stamp >= len);
+        if self
+            .cert_fail_notes
+            .iter()
+            .any(|(e, stamp)| *stamp == len && *e == event)
+        {
+            // The verdict is a pure function of the history: a re-poll at
+            // the same length is the same failed decision, so skip the
+            // O(closure) certify preview entirely — deadlock-escalation
+            // spins repeat this call hundreds of times per abort.
+            return false;
+        }
         let ok = self.certified_ok(event.clone());
         if !ok {
-            let len = self.history.len();
-            self.cert_fail_notes.retain(|&(_, stamp)| stamp >= len);
-            if self
-                .cert_fail_notes
-                .iter()
-                .any(|(e, stamp)| *stamp == len && *e == event)
-            {
-                return false;
-            }
             self.cert_fail_notes.push((event.clone(), len));
             self.metrics.cert_failures += 1;
         }
@@ -451,6 +660,7 @@ impl<'a> ShardState<'a> {
         if !self.certify {
             return true;
         }
+
         if let Some(inc) = &mut self.incremental {
             for e in &self.history.events()[inc.len()..] {
                 inc.record(e).expect("emitted history event is legal");
@@ -537,17 +747,30 @@ fn p_fail(workload: &Workload, subsystem: SubsystemId) -> f64 {
     workload.config.failure_probability.clamp(0.0, 1.0)
 }
 
-/// Runs every process of the workload on its own thread, sharded by
-/// conflict domain per `cfg.shards`.
+/// Runs the workload under the configured runtime, sharded by conflict
+/// domain per `cfg.shards`. Panics on an invalid configuration (e.g. more
+/// processes than the thread runtime supports); use
+/// [`try_run_concurrent`] for a `Result`.
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
     run_concurrent_traced(workload, cfg, Box::new(NoopSink))
+}
+
+/// Fallible variant of [`run_concurrent`]: returns the configuration
+/// error (naming the knob to change) instead of panicking.
+pub fn try_run_concurrent(
+    workload: &Workload,
+    cfg: ConcurrentConfig,
+) -> Result<ConcurrentResult, String> {
+    cfg.validate(workload.spec.processes().count())?;
+    Ok(run_concurrent_traced(workload, cfg, Box::new(NoopSink)))
 }
 
 /// Same as [`run_concurrent`], delivering structured [`TraceEvent`]s to
 /// `sink`. The driver has no virtual clock, so records are stamped with
 /// `time == seq` (journal order) and the shard that served the decision;
 /// `history_len` is the shard-local segment length. Multi-process
-/// interleavings are nondeterministic; a single-process run yields a
+/// interleavings are nondeterministic (except under the events runtime
+/// with one worker and closed arrivals); a single-process run yields a
 /// bit-identical journal across repeats. [`Metrics::latencies`] holds
 /// wall-clock submit→terminal times in microseconds and
 /// [`Metrics::makespan`] the wall-clock run time in microseconds (the
@@ -557,6 +780,9 @@ pub fn run_concurrent_traced<'a>(
     cfg: ConcurrentConfig,
     sink: Box<dyn TraceSink + 'a>,
 ) -> ConcurrentResult {
+    if let Err(msg) = cfg.validate(workload.spec.processes().count()) {
+        panic!("invalid concurrent configuration: {msg}");
+    }
     let mut agents: Agents = BTreeMap::new();
     for sid in workload.deployment.subsystems() {
         agents.insert(
@@ -612,6 +838,8 @@ pub fn run_concurrent_traced<'a>(
                     history: Schedule::new(),
                     event_tickets: Vec::new(),
                     generation: 0,
+                    live_workers: 0,
+                    waiting_workers: 0,
                     metrics: Metrics::new(),
                     invocations: BTreeMap::new(),
                     released: BTreeMap::new(),
@@ -625,11 +853,20 @@ pub fn run_concurrent_traced<'a>(
         })
         .collect();
 
+    let worker_count = cfg.resolved_workers(shards.len());
+    // Static shard→worker ownership: shard i belongs to worker i mod W.
+    // Disjoint ownership means shard locks are uncontended in the events
+    // runtime; they are kept for code reuse with the thread runtime and
+    // for the lock metrics.
+    let worker_of_shard: Vec<u32> = (0..shards.len())
+        .map(|si| (si % worker_count) as u32)
+        .collect();
     let enabled = sink.enabled();
     let trace = TraceShared {
         sink: Mutex::new(sink),
         seq: AtomicU64::new(0),
         enabled,
+        worker_of_shard: (cfg.runtime == RuntimeKind::Events).then(|| worker_of_shard.clone()),
     };
     let tickets = AtomicU64::new(0);
     let arrivals: BTreeMap<ProcessId, u64> = workload
@@ -646,17 +883,52 @@ pub fn run_concurrent_traced<'a>(
         trace: &trace,
         run_start: Instant::now(),
         arrivals,
+        live_now: AtomicU64::new(0),
+        live_peak: AtomicU64::new(0),
     };
 
-    std::thread::scope(|scope| {
-        for (si, members) in groups.iter().enumerate() {
-            for &pid in members {
-                let shard = &shards[si];
-                let ctx = &ctx;
-                scope.spawn(move || worker(ctx, shard, pid));
-            }
+    let mut runtime_metrics = match cfg.runtime {
+        RuntimeKind::Threads => {
+            std::thread::scope(|scope| {
+                for (si, members) in groups.iter().enumerate() {
+                    for &pid in members {
+                        let shard = &shards[si];
+                        let ctx = &ctx;
+                        scope.spawn(move || worker(ctx, shard, pid));
+                    }
+                }
+            });
+            let processes: usize = groups.iter().map(Vec::len).sum();
+            RuntimeMetrics::new(RuntimeKind::Threads.label(), processes as u64)
         }
-    });
+        RuntimeKind::Events => {
+            // Build each worker's shard schedulers up front (run queues,
+            // waiting sets, per-process machine bookkeeping).
+            let mut per_worker: Vec<Vec<ShardSched>> =
+                (0..worker_count).map(|_| Vec::new()).collect();
+            for (si, members) in groups.iter().enumerate() {
+                per_worker[worker_of_shard[si] as usize].push(ShardSched::new(si, members, &ctx));
+            }
+            let mut collected =
+                RuntimeMetrics::new(RuntimeKind::Events.label(), worker_count as u64);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = per_worker
+                    .into_iter()
+                    .map(|owned| {
+                        let shards = &shards;
+                        let ctx = &ctx;
+                        scope.spawn(move || event_worker(ctx, shards, owned))
+                    })
+                    .collect();
+                for h in handles {
+                    collected.merge(&h.join().expect("event worker panicked"));
+                }
+            });
+            collected.workers = worker_count as u64;
+            collected
+        }
+    };
+    runtime_metrics.in_flight_peak = ctx.live_peak.load(Ordering::Relaxed);
 
     // Deterministic merge: interleave shard segments in ticket order into
     // one global schedule, and fold shard metrics into the aggregate.
@@ -690,7 +962,270 @@ pub fn run_concurrent_traced<'a>(
         history.push(e);
     }
     metrics.makespan = makespan_us;
+    metrics.runtime = Some(runtime_metrics);
     ConcurrentResult { history, metrics }
+}
+
+/// Per-process state-machine bookkeeping the thread runtime kept in
+/// thread-local variables: admission attempt counters and the no-progress
+/// escalation state.
+struct ProcSM {
+    attempts: BTreeMap<ActivityId, u64>,
+    no_progress: u32,
+    last_fingerprint: Option<(usize, usize)>,
+}
+
+impl ProcSM {
+    fn new() -> Self {
+        Self {
+            attempts: BTreeMap::new(),
+            no_progress: 0,
+            last_fingerprint: None,
+        }
+    }
+}
+
+/// One shard's scheduler as seen by its owning event worker: the run queue
+/// of runnable processes, the waiting set of blocked ones, pending
+/// open-system arrivals and the per-process state machines. Owned by
+/// exactly one worker, so no lock guards it.
+struct ShardSched {
+    /// Index into the shard slice.
+    index: usize,
+    /// Runnable processes with their enqueue instant (scheduling delay is
+    /// measured from it).
+    run_queue: VecDeque<(ProcessId, Instant)>,
+    /// Blocked processes; re-queued when the run queue drains after one or
+    /// more generation moves.
+    waiting: BTreeSet<ProcessId>,
+    /// Not-yet-arrived processes, ordered by arrival offset (µs).
+    arrivals: VecDeque<(u64, ProcessId)>,
+    sm: BTreeMap<ProcessId, ProcSM>,
+    /// Arrived and not yet terminated.
+    live: usize,
+    /// The shard generation moved since waiters were last re-queued. Moves
+    /// are *coalesced*: re-queuing every waiter on every move would cost an
+    /// O(waiters) futile-poll round per event, where draining the runnable
+    /// work first folds a whole burst of moves into one round — the same
+    /// effect the thread runtime gets from waiters sleeping through a burst
+    /// of notifies.
+    dirty: bool,
+}
+
+impl ShardSched {
+    fn new(index: usize, members: &[ProcessId], ctx: &RunCtx<'_, '_>) -> Self {
+        let mut arrivals: Vec<(u64, ProcessId)> = members
+            .iter()
+            .map(|&pid| (ctx.arrivals.get(&pid).copied().unwrap_or(0), pid))
+            .collect();
+        // Deterministic admission order: by arrival offset, ties by pid.
+        arrivals.sort();
+        Self {
+            index,
+            run_queue: VecDeque::new(),
+            waiting: BTreeSet::new(),
+            arrivals: arrivals.into(),
+            sm: members.iter().map(|&pid| (pid, ProcSM::new())).collect(),
+            live: 0,
+            dirty: false,
+        }
+    }
+
+    /// Moves every waiter back onto the run queue (the shard generation
+    /// moved, so any of them may now be unblocked).
+    fn requeue_waiters(&mut self) {
+        for pid in std::mem::take(&mut self.waiting) {
+            self.run_queue.push_back((pid, Instant::now()));
+        }
+    }
+
+    /// Moves one waiter (smallest pid, for determinism) back onto the run
+    /// queue. Used when the run queue drains *without* a generation move:
+    /// everyone is deadlocked, so stepping all of them is pure futile work
+    /// under a certified policy — a single probe accumulates no-progress
+    /// toward the escalation in `advance` (mirroring the thread runtime,
+    /// where only the last unparked waiter spins), and the moment its abort
+    /// moves the generation the full requeue path wakes the rest.
+    fn requeue_one_waiter(&mut self) {
+        if let Some(&pid) = self.waiting.iter().next() {
+            self.waiting.remove(&pid);
+            self.run_queue.push_back((pid, Instant::now()));
+        }
+    }
+}
+
+/// Event-worker loop: round-robins over the worker's owned shards, spending
+/// up to [`STEP_BUDGET`] `advance` steps per shard per pass, run-to-block
+/// within each dequeued process. Returns the worker's share of the runtime
+/// metrics.
+///
+/// Invariants (see DESIGN.md "Event-driven runtime"):
+///
+/// * every live process is in exactly one of `run_queue` / `waiting` /
+///   mid-step;
+/// * waiters are re-queued whenever the shard generation has moved and the
+///   runnable work has drained (moves are coalesced via the `dirty` flag) —
+///   and a blocker is always a shard-mate (domain invariant), so no wakeup
+///   is ever missed;
+/// * when a shard's run queue drains with waiters left, every live process
+///   of the shard is blocked. A future arrival only *adds* conflicts and
+///   can never unblock an existing waiter, so this is a genuine deadlock
+///   among the arrived: one waiter is re-queued as a probe (a counted
+///   re-poll round) to drive the no-progress escalation in [`advance`]
+///   instead of sleeping on a timeout — stepping *all* waiters would only
+///   multiply futile certify attempts, since nothing short of a generation
+///   move (which re-queues everyone) can unblock them.
+fn event_worker<'a>(
+    ctx: &RunCtx<'_, 'a>,
+    shards: &[Shard<'a>],
+    mut owned: Vec<ShardSched>,
+) -> RuntimeMetrics {
+    let mut rt = RuntimeMetrics::new(RuntimeKind::Events.label(), 1);
+    loop {
+        let mut all_done = true;
+        let mut progressed = false;
+        let mut next_arrival: Option<u64> = None;
+        for sched in owned.iter_mut() {
+            let shard = &shards[sched.index];
+            // Admit arrivals that are due (1 workload tick = 1 µs).
+            if !sched.arrivals.is_empty() {
+                let now_us = ctx.run_start.elapsed().as_micros() as u64;
+                while let Some(&(at, pid)) = sched.arrivals.front() {
+                    if at > now_us {
+                        next_arrival = Some(next_arrival.map_or(at, |m| m.min(at)));
+                        break;
+                    }
+                    if sched.live >= ADMIT_CAP {
+                        // Due but deferred: admission control. The process
+                        // is admitted as soon as a live slot frees up.
+                        break;
+                    }
+                    sched.arrivals.pop_front();
+                    sched.live += 1;
+                    ctx.process_arrived();
+                    sched.run_queue.push_back((pid, Instant::now()));
+                    progressed = true;
+                }
+            }
+            if sched.live > 0 || !sched.arrivals.is_empty() {
+                all_done = false;
+            }
+            let mut budget = STEP_BUDGET;
+            while budget > 0 {
+                let Some((pid, enqueued)) = sched.run_queue.pop_front() else {
+                    if sched.waiting.is_empty() {
+                        break;
+                    }
+                    if sched.dirty {
+                        // Generation moved while the runnable work drained:
+                        // any waiter may be unblocked, so re-queue them all
+                        // (one coalesced round for the whole burst).
+                        sched.dirty = false;
+                        sched.requeue_waiters();
+                        continue;
+                    }
+                    // Run queue drained with live waiters and no generation
+                    // move: a genuine deadlock among the arrived. Probe one
+                    // waiter instead of spinning all of them through futile
+                    // certify attempts.
+                    rt.repolls += 1;
+                    sched.requeue_one_waiter();
+                    continue;
+                };
+                rt.record_delay_ns(enqueued.elapsed().as_nanos() as u64);
+                // Run-to-block: keep stepping the dequeued process until it
+                // waits, terminates, or exhausts the pass budget. Rotating
+                // after every step would interleave all live processes
+                // uniformly, keeping a maximal unreduced frontier alive in
+                // the certifier for the whole run; running each process as
+                // deep as it can go completes (and reduces away) processes
+                // early, which is also how OS timeslices make the thread
+                // runtime behave.
+                loop {
+                    budget -= 1;
+                    rt.steps += 1;
+                    let t0 = Instant::now();
+                    let mut g = shard.lock();
+                    let gen0 = g.generation;
+                    let sm = sched
+                        .sm
+                        .get_mut(&pid)
+                        .expect("live process has a state machine");
+                    let step = advance(
+                        ctx,
+                        &mut g,
+                        pid,
+                        &mut sm.attempts,
+                        &mut sm.no_progress,
+                        &mut sm.last_fingerprint,
+                    );
+                    let moved = g.generation != gen0;
+                    drop(g);
+                    rt.worker_busy_ns += t0.elapsed().as_nanos() as u64;
+                    if moved {
+                        progressed = true;
+                        sched.dirty = true;
+                    }
+                    match step {
+                        Step::Done => {
+                            sched.live -= 1;
+                            sched.sm.remove(&pid);
+                            ctx.process_terminated();
+                            progressed = true;
+                            break;
+                        }
+                        Step::Wait => {
+                            sched.waiting.insert(pid);
+                            break;
+                        }
+                        Step::Yield(simulated) => {
+                            // Failure-injected invocation: agent work only,
+                            // no shared scheduling state — run it off the
+                            // shard lock, then the process is immediately
+                            // runnable again.
+                            if let Some(sim) = simulated {
+                                let _ = ctx.agents[&sim.site.subsystem].lock().invoke(
+                                    sim.svc,
+                                    &sim.site.program,
+                                    CommitMode::Immediate,
+                                    true,
+                                );
+                            }
+                            if budget == 0 {
+                                // Budget exhausted mid-process: stay at the
+                                // queue front so the next pass resumes the
+                                // same process (depth-first across passes).
+                                sched.run_queue.push_front((pid, Instant::now()));
+                                break;
+                            }
+                        }
+                    }
+                }
+                rt.run_queue_peak = rt
+                    .run_queue_peak
+                    .max((sched.run_queue.len() + sched.waiting.len()) as u64);
+            }
+            if !sched.run_queue.is_empty() {
+                progressed = true;
+            }
+        }
+        if all_done {
+            return rt;
+        }
+        if !progressed {
+            if let Some(at) = next_arrival {
+                // Everything runnable is drained and the next event on any
+                // owned shard is an arrival: nap until it is due.
+                let target = Duration::from_micros(at);
+                let since = ctx.run_start.elapsed();
+                if target > since {
+                    let nap = (target - since).min(MAX_IDLE_NAP);
+                    rt.worker_idle_ns += nap.as_nanos() as u64;
+                    std::thread::sleep(nap);
+                }
+            }
+        }
+    }
 }
 
 fn worker<'a>(ctx: &RunCtx<'_, 'a>, shard: &Shard<'a>, pid: ProcessId) {
@@ -704,12 +1239,14 @@ fn worker<'a>(ctx: &RunCtx<'_, 'a>, shard: &Shard<'a>, pid: ProcessId) {
             std::thread::sleep(target - since_start);
         }
     }
-    let mut attempts: BTreeMap<ActivityId, u64> = BTreeMap::new();
-    // Consecutive iterations without visible progress; escalates to a
-    // self-abort (always legal for an uncommitted process) so that blocked
-    // situations that only an abort can resolve cannot livelock the run.
-    let mut no_progress = 0u32;
-    let mut last_fingerprint = None;
+    // Register as a live worker of the shard: the timeout-free wait logic
+    // parks a waiter only while some other live worker can still notify it.
+    {
+        let mut g = shard.lock();
+        g.live_workers += 1;
+    }
+    ctx.process_arrived();
+    let mut sm = ProcSM::new();
     loop {
         let mut g = shard.lock();
         let gen0 = g.generation;
@@ -717,18 +1254,33 @@ fn worker<'a>(ctx: &RunCtx<'_, 'a>, shard: &Shard<'a>, pid: ProcessId) {
             ctx,
             &mut g,
             pid,
-            &mut attempts,
-            &mut no_progress,
-            &mut last_fingerprint,
+            &mut sm.attempts,
+            &mut sm.no_progress,
+            &mut sm.last_fingerprint,
         );
         if g.generation != gen0 {
             shard.notify();
         }
         match step {
-            Step::Done => return,
-            Step::Wait => {
-                shard.wait_for_change(&mut g);
+            Step::Done => {
+                // Leaving changes the live-worker arithmetic the parked
+                // waiters depend on: bump the generation and notify so the
+                // last-waiter check re-evaluates.
+                g.live_workers -= 1;
+                g.generation += 1;
+                shard.notify();
                 drop(g);
+                ctx.process_terminated();
+                return;
+            }
+            Step::Wait => {
+                let progressed = shard.wait_for_change(&mut g, ctx.cfg.fallback_wait);
+                drop(g);
+                if !progressed {
+                    // Re-poll path (last unparked waiter): let shard-mates
+                    // that hold no lock run before re-acquiring.
+                    std::thread::yield_now();
+                }
             }
             Step::Yield(simulated) => {
                 drop(g);
@@ -1091,6 +1643,13 @@ fn finalize<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, pid: ProcessId
         }
     }
     g.drain_ready_releases(ctx);
+    // `on_commit`/`on_abort` above removed the process's live operations
+    // from the policy — a scheduler-visible change that can unblock a
+    // waiter even when no history event was emitted here. Bump the
+    // generation so waiters re-poll (without this, the removal was only
+    // observed via the historical fallback-timeout wait — the lost-notify
+    // bug the lost-wakeup stress test pins).
+    g.generation += 1;
 }
 
 /// Cascade-aborts a single process (prepared invocations dropped first).
@@ -1431,6 +1990,115 @@ mod tests {
         );
         assert!(!result.metrics.shards.is_empty());
         assert!(result.metrics.wakeups_total() >= result.metrics.spurious_wakeups_total());
+    }
+
+    #[test]
+    fn runtime_kind_parse_label_and_caps() {
+        assert_eq!(RuntimeKind::parse("threads"), Some(RuntimeKind::Threads));
+        assert_eq!(RuntimeKind::parse("events"), Some(RuntimeKind::Events));
+        assert_eq!(RuntimeKind::parse("bogus"), None);
+        assert_eq!(RuntimeKind::Threads.label(), "threads");
+        assert_eq!(RuntimeKind::Events.label(), "events");
+        assert!(RuntimeKind::Threads.max_processes().is_some());
+        assert_eq!(RuntimeKind::Events.max_processes(), None);
+    }
+
+    #[test]
+    fn validate_derives_cap_from_runtime_and_names_the_knob() {
+        let threads = ConcurrentConfig {
+            runtime: RuntimeKind::Threads,
+            ..ConcurrentConfig::default()
+        };
+        let cap = RuntimeKind::Threads.max_processes().unwrap();
+        assert!(threads.validate(cap).is_ok());
+        let err = threads.validate(cap + 1).unwrap_err();
+        assert!(
+            err.contains("--runtime events"),
+            "error names the knob: {err}"
+        );
+        assert!(
+            err.contains(&cap.to_string()),
+            "error states the cap: {err}"
+        );
+        // The events runtime has no ceiling.
+        let events = ConcurrentConfig::default();
+        assert!(events.validate(1_000_000).is_ok());
+        // A zero-sized worker pool is rejected, naming its knob.
+        let zero = ConcurrentConfig {
+            workers: Some(0),
+            ..ConcurrentConfig::default()
+        };
+        assert!(zero.validate(4).unwrap_err().contains("--workers"));
+    }
+
+    #[test]
+    fn threads_runtime_still_terminates_without_fallback_wait() {
+        let w = generate(&WorkloadConfig {
+            seed: 3,
+            processes: 6,
+            conflict_density: 0.5,
+            failure_probability: 0.2,
+            ..WorkloadConfig::default()
+        });
+        let result = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 3,
+                runtime: RuntimeKind::Threads,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(result.metrics.terminated(), 6);
+        let rt = result.metrics.runtime.expect("runtime metrics populated");
+        assert_eq!(rt.runtime, "threads");
+        assert_eq!(rt.workers, 6);
+        assert!(rt.in_flight_peak >= 1);
+    }
+
+    #[test]
+    fn events_runtime_populates_runtime_metrics() {
+        let w = generate(&WorkloadConfig {
+            seed: 5,
+            processes: 8,
+            conflict_density: 0.4,
+            failure_probability: 0.1,
+            ..WorkloadConfig::default()
+        });
+        let result = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                seed: 5,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(result.metrics.terminated(), 8);
+        let rt = result.metrics.runtime.expect("runtime metrics populated");
+        assert_eq!(rt.runtime, "events");
+        assert!(rt.workers >= 1);
+        assert!(rt.steps >= 8, "at least one step per process");
+        assert_eq!(rt.in_flight_peak, 8, "closed arrivals: all in flight");
+        assert!(rt.sched_delay_ns.iter().sum::<u64>() > 0);
+        assert!(rt.delay_percentile_ns(0.95).is_some());
+    }
+
+    #[test]
+    fn try_run_concurrent_reports_config_errors() {
+        let w = generate(&WorkloadConfig {
+            seed: 1,
+            processes: 4,
+            ..WorkloadConfig::default()
+        });
+        let err = try_run_concurrent(
+            &w,
+            ConcurrentConfig {
+                workers: Some(0),
+                ..ConcurrentConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--workers"));
+        let ok = try_run_concurrent(&w, ConcurrentConfig::default()).unwrap();
+        assert_eq!(ok.metrics.terminated(), 4);
     }
 
     #[test]

@@ -306,6 +306,7 @@ impl<'a> Engine<'a> {
             time: self.now.0,
             history_len: self.history.len(),
             shard: None,
+            worker: None,
             event,
         };
         self.trace_seq += 1;

@@ -13,8 +13,9 @@
 //! * [`engine`] — the deterministic virtual-time executor: admission
 //!   control, failure injection, alternative execution paths, compensation,
 //!   deferred 2PC commits, cascading aborts, metrics,
-//! * [`concurrent`] — the same protocol driven by one OS thread per process
-//!   (realistic concurrency; stress-tested for PRED),
+//! * [`concurrent`] — the same protocol under realistic concurrency
+//!   (event-driven worker pool by default, thread-per-process as the
+//!   differential baseline; stress-tested for PRED),
 //! * [`recovery`] — scheduler crash recovery by group abort and completion
 //!   replay from the durable logs (§3.3, Definition 8).
 
@@ -27,7 +28,8 @@ pub mod policy;
 pub mod recovery;
 
 pub use concurrent::{
-    run_concurrent, run_concurrent_traced, ConcurrentConfig, ConcurrentResult, ShardMode,
+    run_concurrent, run_concurrent_traced, try_run_concurrent, ConcurrentConfig, ConcurrentResult,
+    RuntimeKind, ShardMode,
 };
 pub use engine::{run, Engine, RunConfig, RunResult};
 pub use policy::{Policy, PolicyKind};

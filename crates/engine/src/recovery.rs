@@ -91,6 +91,7 @@ impl Tracer<'_> {
             time: self.seq,
             history_len,
             shard: None,
+            worker: None,
             event,
         };
         self.seq += 1;

@@ -1,0 +1,171 @@
+//! Differential stress tests pinning the event-driven runtime to the
+//! thread-per-process baseline.
+//!
+//! Three oracles:
+//!
+//! 1. On workloads whose processes are pairwise non-conflicting,
+//!    scheduling decisions degenerate to the deterministic failure coins,
+//!    so the events and thread runtimes must produce bit-equal
+//!    commit/abort sets over 256 seeds.
+//! 2. With a single worker and closed arrivals the events runtime has no
+//!    scheduling nondeterminism left: repeated runs must produce
+//!    bit-identical merged histories.
+//! 3. Lost-wakeup stress: the thread runtime with the fallback timeout
+//!    removed must still terminate on conflict-heavy, abort-heavy
+//!    workloads — a missed notify (e.g. the historical finalize
+//!    lost-notify bug) hangs it, which a watchdog converts into a test
+//!    failure.
+
+use std::collections::BTreeSet;
+use txproc_core::domains::DomainPartition;
+use txproc_core::ids::ProcessId;
+use txproc_core::schedule::{Event, Schedule};
+use txproc_engine::{run_concurrent, ConcurrentConfig, RuntimeKind};
+use txproc_sim::workload::{generate, WorkloadConfig};
+
+fn outcome_sets(history: &Schedule) -> (BTreeSet<ProcessId>, BTreeSet<ProcessId>) {
+    let mut committed = BTreeSet::new();
+    let mut aborted = BTreeSet::new();
+    for e in history.events() {
+        match e {
+            Event::Commit(p) => {
+                committed.insert(*p);
+            }
+            Event::Abort(p) => {
+                aborted.insert(*p);
+            }
+            Event::GroupAbort(ps) => {
+                aborted.extend(ps.iter().copied());
+            }
+            _ => {}
+        }
+    }
+    (committed, aborted)
+}
+
+/// Oracle 1: events and threads runtimes commit and abort exactly the same
+/// processes on disjoint workloads, over 256 seeds.
+#[test]
+fn events_matches_threads_on_disjoint_workloads_over_256_seeds() {
+    for seed in 0..256u64 {
+        let processes = 3 + (seed % 4) as usize;
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes,
+            clusters: processes, // one cluster per process: fully disjoint
+            conflict_density: 0.0,
+            failure_probability: 0.25,
+            ..WorkloadConfig::default()
+        });
+        assert_eq!(
+            DomainPartition::partition(&w.spec).domain_count(),
+            processes,
+            "seed {seed}: workload not fully disjoint"
+        );
+        let cfg = ConcurrentConfig {
+            seed,
+            runtime: RuntimeKind::Events,
+            ..ConcurrentConfig::default()
+        };
+        let events = run_concurrent(&w, cfg.clone());
+        let threads = run_concurrent(
+            &w,
+            ConcurrentConfig {
+                runtime: RuntimeKind::Threads,
+                ..cfg
+            },
+        );
+        assert_eq!(
+            outcome_sets(&events.history),
+            outcome_sets(&threads.history),
+            "seed {seed}: events vs threads outcome sets diverge"
+        );
+        assert_eq!(
+            events.metrics.committed, threads.metrics.committed,
+            "seed {seed}: committed counts diverge"
+        );
+        assert_eq!(
+            events.metrics.aborted, threads.metrics.aborted,
+            "seed {seed}: aborted counts diverge"
+        );
+        assert!(
+            txproc_core::pred::is_pred(&w.spec, &events.history).unwrap(),
+            "seed {seed}: events history not PRED"
+        );
+    }
+}
+
+/// Oracle 2: one worker + closed arrivals ⇒ the events runtime is fully
+/// deterministic — bit-identical histories across repeated runs, including
+/// on conflict-heavy multi-domain workloads.
+#[test]
+fn single_worker_events_runtime_is_deterministic() {
+    for seed in [0u64, 7, 21, 42] {
+        let w = generate(&WorkloadConfig {
+            seed,
+            processes: 10,
+            clusters: 3,
+            conflict_density: 0.5,
+            failure_probability: 0.2,
+            ..WorkloadConfig::default()
+        });
+        let cfg = ConcurrentConfig {
+            seed,
+            runtime: RuntimeKind::Events,
+            workers: Some(1),
+            ..ConcurrentConfig::default()
+        };
+        let first = run_concurrent(&w, cfg.clone());
+        assert_eq!(first.metrics.terminated(), 10, "seed {seed}");
+        for rep in 0..3 {
+            let again = run_concurrent(&w, cfg.clone());
+            assert_eq!(
+                first.history.events(),
+                again.history.events(),
+                "seed {seed} rep {rep}: single-worker histories diverge"
+            );
+            assert_eq!(
+                first.metrics.committed, again.metrics.committed,
+                "seed {seed} rep {rep}"
+            );
+        }
+    }
+}
+
+/// Oracle 3: the thread runtime without any fallback timeout terminates on
+/// abort-heavy contended workloads. Runs under a watchdog: a lost wakeup
+/// deadlocks the run, and the harness reports it instead of hanging.
+#[test]
+fn threads_runtime_survives_lost_wakeup_stress() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        for seed in 0..24u64 {
+            let w = generate(&WorkloadConfig {
+                seed,
+                processes: 8,
+                clusters: 2,
+                conflict_density: 0.7,
+                failure_probability: 0.3,
+                ..WorkloadConfig::default()
+            });
+            let result = run_concurrent(
+                &w,
+                ConcurrentConfig {
+                    seed,
+                    runtime: RuntimeKind::Threads,
+                    fallback_wait: false,
+                    ..ConcurrentConfig::default()
+                },
+            );
+            assert_eq!(result.metrics.terminated(), 8, "seed {seed}");
+        }
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(120)) {
+        Ok(()) => handle.join().expect("stress runs clean"),
+        Err(_) => panic!(
+            "thread runtime hung without the fallback timeout: a wait was \
+             never notified (lost-wakeup bug)"
+        ),
+    }
+}

@@ -20,6 +20,6 @@ pub mod scenario;
 pub mod workload;
 
 pub use clock::{EventQueue, SimTime};
-pub use metrics::{Metrics, ShardMetrics};
+pub use metrics::{Metrics, RuntimeMetrics, ShardMetrics};
 pub use scenario::{Envelope, Scenario};
 pub use workload::{generate, try_generate, Workload, WorkloadConfig, WorkloadError};

@@ -77,6 +77,115 @@ pub struct ShardMetrics {
     pub spurious_wakeups: u64,
 }
 
+/// Number of log₂ buckets in the scheduling-delay histogram (bucket `i`
+/// holds delays in `[2^i, 2^(i+1))` ns; bucket 0 also holds 0).
+pub const SCHED_DELAY_BUCKETS: usize = 40;
+
+/// Runtime-level observability collected by the concurrent driver: worker
+/// utilization, run-queue depth and scheduling delay (time a runnable
+/// process sat in a run queue before its next step). Populated by both
+/// runtimes; queue/delay fields are meaningful for the event-driven one
+/// (the thread runtime has no run queues — a runnable process is a ready
+/// thread).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeMetrics {
+    /// Runtime kind label (`"threads"` or `"events"`).
+    pub runtime: String,
+    /// Worker threads used (thread runtime: one per process).
+    pub workers: u64,
+    /// State-machine steps executed (one `advance` call each).
+    pub steps: u64,
+    /// Re-poll rounds: all runnable work drained with waiters left, so the
+    /// waiters were re-queued to drive deadlock escalation (the event
+    /// runtime's replacement for the removed fallback-timeout poll).
+    pub repolls: u64,
+    /// Peak run-queue depth observed on any single shard queue.
+    pub run_queue_peak: u64,
+    /// Peak number of concurrently in-flight (arrived, not terminated)
+    /// processes across the whole run.
+    pub in_flight_peak: u64,
+    /// Wall-clock nanoseconds workers spent stepping state machines.
+    pub worker_busy_ns: u64,
+    /// Wall-clock nanoseconds workers spent idle (napping for arrivals).
+    pub worker_idle_ns: u64,
+    /// Log₂ histogram of scheduling delays in nanoseconds: bucket `i`
+    /// counts delays in `[2^i, 2^(i+1))`.
+    pub sched_delay_ns: Vec<u64>,
+}
+
+impl RuntimeMetrics {
+    /// Creates zeroed metrics for a runtime label.
+    pub fn new(runtime: &str, workers: u64) -> Self {
+        Self {
+            runtime: runtime.to_string(),
+            workers,
+            sched_delay_ns: vec![0; SCHED_DELAY_BUCKETS],
+            ..Self::default()
+        }
+    }
+
+    /// Records one scheduling-delay sample.
+    pub fn record_delay_ns(&mut self, ns: u64) {
+        if self.sched_delay_ns.is_empty() {
+            self.sched_delay_ns = vec![0; SCHED_DELAY_BUCKETS];
+        }
+        let bucket = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(SCHED_DELAY_BUCKETS - 1)
+        };
+        self.sched_delay_ns[bucket] += 1;
+    }
+
+    /// Scheduling-delay percentile (0.0..=1.0) in nanoseconds, resolved to
+    /// the upper edge of the histogram bucket containing the quantile.
+    pub fn delay_percentile_ns(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.sched_delay_ns.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.sched_delay_ns.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        None
+    }
+
+    /// Fraction of worker wall-clock time spent stepping state machines.
+    pub fn utilization(&self) -> f64 {
+        let total = self.worker_busy_ns + self.worker_idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.worker_busy_ns as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another run's (or worker's) counters.
+    pub fn merge(&mut self, other: &RuntimeMetrics) {
+        if self.runtime.is_empty() {
+            self.runtime = other.runtime.clone();
+        }
+        self.workers = self.workers.max(other.workers);
+        self.steps += other.steps;
+        self.repolls += other.repolls;
+        self.run_queue_peak = self.run_queue_peak.max(other.run_queue_peak);
+        self.in_flight_peak = self.in_flight_peak.max(other.in_flight_peak);
+        self.worker_busy_ns += other.worker_busy_ns;
+        self.worker_idle_ns += other.worker_idle_ns;
+        if self.sched_delay_ns.len() < other.sched_delay_ns.len() {
+            self.sched_delay_ns.resize(other.sched_delay_ns.len(), 0);
+        }
+        for (i, &n) in other.sched_delay_ns.iter().enumerate() {
+            self.sched_delay_ns[i] += n;
+        }
+    }
+}
+
 /// Counters and latency samples of one scheduler run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -120,6 +229,10 @@ pub struct Metrics {
     /// Per-shard lock/wakeup observability (sharded concurrent driver only;
     /// empty for the virtual-time engine).
     pub shards: Vec<ShardMetrics>,
+    /// Runtime-level observability (concurrent driver only; `None` for the
+    /// virtual-time engine).
+    #[serde(default)]
+    pub runtime: Option<RuntimeMetrics>,
 }
 
 impl Metrics {
@@ -186,6 +299,12 @@ impl Metrics {
         self.abort_reasons.merge(&other.abort_reasons);
         self.cert_failures += other.cert_failures;
         self.shards.extend_from_slice(&other.shards);
+        if let Some(rt) = &other.runtime {
+            match &mut self.runtime {
+                Some(mine) => mine.merge(rt),
+                None => self.runtime = Some(rt.clone()),
+            }
+        }
     }
 
     /// Total blocked time across all processes.
@@ -266,6 +385,45 @@ mod tests {
         assert_eq!(a.terminated(), 6);
         assert_eq!(a.latencies, vec![5, 7, 9]);
         assert_eq!(a.makespan, 150);
+    }
+
+    #[test]
+    fn runtime_metrics_delay_histogram_and_merge() {
+        let mut a = RuntimeMetrics::new("events", 4);
+        for ns in [0, 1, 3, 1000, 1_000_000] {
+            a.record_delay_ns(ns);
+        }
+        assert_eq!(a.sched_delay_ns.iter().sum::<u64>(), 5);
+        // p0 resolves to the smallest non-empty bucket's upper edge.
+        assert_eq!(a.delay_percentile_ns(0.0), Some(2));
+        assert!(a.delay_percentile_ns(1.0).unwrap() >= 1_000_000);
+        assert_eq!(
+            RuntimeMetrics::new("events", 1).delay_percentile_ns(0.5),
+            None
+        );
+
+        let mut b = RuntimeMetrics::new("events", 2);
+        b.steps = 10;
+        b.run_queue_peak = 7;
+        b.in_flight_peak = 3;
+        b.worker_busy_ns = 30;
+        b.worker_idle_ns = 10;
+        b.record_delay_ns(5);
+        a.merge(&b);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.steps, 10);
+        assert_eq!(a.run_queue_peak, 7);
+        assert_eq!(a.sched_delay_ns.iter().sum::<u64>(), 6);
+        assert!((b.utilization() - 0.75).abs() < 1e-9);
+
+        let mut m = Metrics::new();
+        let other = Metrics {
+            runtime: Some(b.clone()),
+            ..Metrics::new()
+        };
+        m.merge(&other);
+        m.merge(&other);
+        assert_eq!(m.runtime.as_ref().unwrap().steps, 20);
     }
 
     #[test]
