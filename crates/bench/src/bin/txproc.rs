@@ -26,6 +26,24 @@
 //!                  [--json PATH]               # JSONL event journal
 //!                  [--chrome PATH]             # chrome://tracing / Perfetto
 //!                  [--dot-dir DIR]             # per-step conflict-graph dots
+//!                  [--trace-sample N]          # keep every Nth process chain
+//! txproc stats     [--seed N] [--processes N] [--density F] [--failures F]
+//!                  [--policy …] [--certifier …] [--arrival-gap N]
+//!                  [--runtime events|threads] [--shards …] [--workers N]
+//!                  [--prom PATH]               # Prometheus text (default: stdout)
+//!                  [--timeseries PATH]         # sampled series as JSON
+//!                  [--samples N]               # time-series ring capacity
+//!                  [--sample-ms N]             # wall sampler period (concurrent)
+//!                  [--sample-events N]         # virtual-time period (engine)
+//! txproc top       [--seed N] [--processes N] [--density F] [--failures F]
+//!                  [--policy …] [--certifier …] [--runtime events|threads]
+//!                  [--shards …] [--workers N] [--refresh-ms N]
+//!                  # live per-shard/per-worker metrics while the
+//!                  # concurrent driver runs the workload
+//! txproc regression [--baseline PATH] [--current PATH]
+//!                  # perf-regression gate: diff a fresh BENCH_scheduler.json
+//!                  # against the committed BENCH_baseline.json; exit 1 on
+//!                  # per-point throughput/latency deviations past the gate
 //! txproc gauntlet  [--seeds N] [--scenario NAME] [--policy …] [--certifier …]
 //!                  [--shards auto|single|N] [--runtime events|threads]
 //!                  [--workers N] [--json PATH]
@@ -466,7 +484,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
 /// journal, as a Chrome-trace timeline, as per-step conflict-graph dot
 /// snapshots, or as an `--explain` decision chain for one process.
 fn cmd_trace(args: &Args) -> Result<(), String> {
-    use txproc_core::trace::{chrome_trace, explain_process, to_jsonl, Journal};
+    use txproc_core::trace::{
+        chrome_trace, explain_process, to_jsonl, Journal, SampleSink, TraceSink,
+    };
     let w = workload_from(args)?;
     let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
     let certifier = parse_certifier(&args.get("certifier", "incremental".to_string())?)?;
@@ -477,9 +497,24 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         certifier,
         ..RunConfig::default()
     };
+    let sample_n: u32 = args.get("trace-sample", 1u32)?;
+    if sample_n == 0 {
+        return Err("--trace-sample must be ≥ 1".to_string());
+    }
     let journal = Journal::new();
-    let r = Engine::with_sink(&w, cfg, Box::new(journal.clone())).run();
+    let sink: Box<dyn TraceSink> = if sample_n > 1 {
+        Box::new(SampleSink::new(journal.clone(), sample_n))
+    } else {
+        Box::new(journal.clone())
+    };
+    let r = Engine::with_sink(&w, cfg, sink).run();
     let records = journal.snapshot();
+    if sample_n > 1 {
+        println!(
+            "sampling 1-in-{sample_n} process chains: kept {} records",
+            records.len()
+        );
+    }
 
     if let Some(path) = args.values.get("json") {
         std::fs::write(path, to_jsonl(&records)).map_err(|e| e.to_string())?;
@@ -542,6 +577,257 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         r.metrics.aborted
     );
     Ok(())
+}
+
+/// `txproc stats`: run one workload with the telemetry registry enabled and
+/// export the result two ways — Prometheus text (stdout, or `--prom PATH`)
+/// and the sampled time-series ring as a `txproc-timeseries/v1` JSON
+/// document (`--timeseries PATH`). Engine runs sample on virtual time every
+/// `--sample-events`; concurrent runs (`--runtime events|threads`) attach a
+/// wall-clock sampler thread ticking every `--sample-ms`.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    use txproc_core::telemetry::{prometheus_text, Telemetry};
+    use txproc_core::trace::NoopSink;
+    use txproc_engine::concurrent::run_concurrent_instrumented;
+    use txproc_sim::timeseries::{Sampler, TimeSeries};
+
+    let w = workload_from(args)?;
+    let policy = parse_policy(&args.get("policy", "pred".to_string())?)?;
+    let certifier = parse_certifier(&args.get("certifier", "incremental".to_string())?)?;
+    let tele = Telemetry::on();
+    let series = TimeSeries::new(args.get("samples", 1024usize)?.max(1));
+    let (committed, aborted) = if let Some(raw) = args.values.get("runtime") {
+        let cfg = ConcurrentConfig {
+            policy,
+            seed: args.get("seed", 42u64)?,
+            certifier,
+            shards: match args.values.get("shards") {
+                Some(raw) => parse_shards(raw)?,
+                None => ShardMode::Auto,
+            },
+            runtime: parse_runtime(raw)?,
+            workers: parse_workers(args)?,
+            ..ConcurrentConfig::default()
+        };
+        cfg.validate(w.spec.processes().count())?;
+        let every = std::time::Duration::from_millis(args.get("sample-ms", 1u64)?.max(1));
+        let sampler = Sampler::spawn(tele.clone(), every, series.clone());
+        let r = run_concurrent_instrumented(&w, cfg, Box::new(NoopSink), tele.clone());
+        sampler.stop();
+        (r.metrics.committed, r.metrics.aborted)
+    } else {
+        let cfg = RunConfig {
+            policy,
+            seed: args.get("seed", 42u64)?,
+            arrival_gap: args.get("arrival-gap", 0u64)?,
+            certifier,
+            ..RunConfig::default()
+        };
+        let r = Engine::new(&w, cfg)
+            .with_telemetry(tele.clone())
+            .with_sampling(args.get("sample-events", 64u64)?, series.clone())
+            .run();
+        (r.metrics.committed, r.metrics.aborted)
+    };
+    let snap = tele
+        .snapshot()
+        .ok_or("telemetry registry produced no snapshot")?;
+    match args.values.get("prom") {
+        Some(path) => {
+            std::fs::write(path, prometheus_text(&snap)).map_err(|e| e.to_string())?;
+            println!("wrote Prometheus metrics to {path}");
+        }
+        None => print!("{}", prometheus_text(&snap)),
+    }
+    if let Some(path) = args.values.get("timeseries") {
+        std::fs::write(path, series.to_json()).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} time-series sample(s) to {path} ({} evicted by the ring)",
+            series.len(),
+            series.dropped()
+        );
+    }
+    eprintln!("run: {committed} committed, {aborted} aborted");
+    Ok(())
+}
+
+/// One frame of the `txproc top` display: phase totals plus the per-shard
+/// and per-worker instrument tables, derived purely from a registry
+/// snapshot so it can be unit-tested without a terminal.
+fn render_top(snap: &txproc_core::telemetry::Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "txproc top — registry age {:.1} ms",
+        snap.wall_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>10}",
+        "phase", "count", "total µs", "p95 ns"
+    );
+    for p in snap.phases.iter().filter(|p| p.count > 0) {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12.1} {:>10}",
+            p.phase,
+            p.count,
+            p.total_ns as f64 / 1e3,
+            p.p95_ns
+        );
+    }
+    // Pivot the flat instrument list into one row per shard / per worker.
+    let mut shards: std::collections::BTreeMap<u64, [u64; 4]> = Default::default();
+    let mut workers: std::collections::BTreeMap<u64, u64> = Default::default();
+    for ins in &snap.instruments {
+        let lane = |key: &str| {
+            ins.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        };
+        if let Some(s) = lane("shard") {
+            let row = shards.entry(s).or_default();
+            match ins.name.as_str() {
+                "events_total" => row[0] = ins.value,
+                "committed_total" => row[1] = ins.value,
+                "run_queue_depth" => row[2] = ins.value,
+                "lock_wait_ns_total" => row[3] = ins.value,
+                _ => {}
+            }
+        } else if let (Some(widx), "worker_steps_total") = (lane("worker"), ins.name.as_str()) {
+            workers.insert(widx, ins.value);
+        }
+    }
+    if !shards.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8} {:>10} {:>7} {:>14}",
+            "shard", "events", "committed", "queue", "lock-wait µs"
+        );
+        for (s, [events, committed, depth, wait_ns]) in &shards {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>10} {:>7} {:>14.1}",
+                s,
+                events,
+                committed,
+                depth,
+                *wait_ns as f64 / 1e3
+            );
+        }
+    }
+    if !workers.is_empty() {
+        let steps: Vec<String> = workers
+            .iter()
+            .map(|(widx, steps)| format!("w{widx}:{steps}"))
+            .collect();
+        let _ = writeln!(out, "worker steps: {}", steps.join(" "));
+    }
+    out
+}
+
+/// `txproc top`: run the concurrent driver with telemetry on and repaint a
+/// per-shard/per-worker metrics table every `--refresh-ms` until the run
+/// finishes. Uses ANSI clear-screen when stdout is a terminal, plain
+/// appended frames otherwise (pipes, CI logs).
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use std::io::IsTerminal;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use txproc_core::telemetry::Telemetry;
+    use txproc_core::trace::NoopSink;
+    use txproc_engine::concurrent::run_concurrent_instrumented;
+
+    let w = workload_from(args)?;
+    let cfg = ConcurrentConfig {
+        policy: parse_policy(&args.get("policy", "pred".to_string())?)?,
+        seed: args.get("seed", 42u64)?,
+        certifier: parse_certifier(&args.get("certifier", "incremental".to_string())?)?,
+        shards: match args.values.get("shards") {
+            Some(raw) => parse_shards(raw)?,
+            None => ShardMode::Auto,
+        },
+        runtime: match args.values.get("runtime") {
+            Some(raw) => parse_runtime(raw)?,
+            None => RuntimeKind::Events,
+        },
+        workers: parse_workers(args)?,
+        ..ConcurrentConfig::default()
+    };
+    cfg.validate(w.spec.processes().count())?;
+    let refresh = std::time::Duration::from_millis(args.get("refresh-ms", 200u64)?.max(10));
+    let ansi = std::io::stdout().is_terminal();
+    let tele = Telemetry::on();
+    let done = AtomicBool::new(false);
+    let result = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let r = run_concurrent_instrumented(&w, cfg, Box::new(NoopSink), tele.clone());
+            *result.lock().expect("result mutex") = Some(r);
+            done.store(true, Ordering::Release);
+        });
+        while !done.load(Ordering::Acquire) {
+            if let Some(snap) = tele.snapshot() {
+                if ansi {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_top(&snap));
+            }
+            std::thread::sleep(refresh);
+        }
+    });
+    let r = result
+        .into_inner()
+        .expect("result mutex")
+        .expect("run thread stores its result before setting done");
+    if let Some(snap) = tele.snapshot() {
+        if ansi {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&snap));
+    }
+    println!(
+        "done: {} committed, {} aborted, {} activities, {} compensations",
+        r.metrics.committed, r.metrics.aborted, r.metrics.activities, r.metrics.compensations
+    );
+    Ok(())
+}
+
+/// `txproc regression`: the perf-regression gate. Reads the committed
+/// baseline (`--baseline`, default `BENCH_baseline.json`) and a freshly
+/// produced report (`--current`, default `BENCH_scheduler.json`), prints
+/// the per-point diff, and exits non-zero when any matched sweep point
+/// regresses past the gate (throughput −20% / p95 +30%, both relative to
+/// the run-wide median ratio so a uniformly slower host cancels out).
+fn cmd_regression(args: &Args) -> Result<(), String> {
+    use txproc_bench::regression::compare;
+    let baseline_path = args
+        .values
+        .get("baseline")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let current_path = args
+        .values
+        .get("current")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let current = std::fs::read_to_string(&current_path)
+        .map_err(|e| format!("cannot read current report {current_path}: {e}"))?;
+    let report = compare(&baseline, &current).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if report.passed() {
+        println!("regression gate: pass ({baseline_path} vs {current_path})");
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression gate failed ({baseline_path} vs {current_path}); \
+             see the violating points above — refresh the baseline only for \
+             intentional perf changes (see CONTRIBUTING.md)"
+        ))
+    }
 }
 
 /// Runs the scenario gauntlet: every named scenario (or one, with
@@ -642,7 +928,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
         eprintln!(
-            "usage: txproc <simulate|generate|check|demo|dot|crash|bench|trace|gauntlet> [options]"
+            "usage: txproc <simulate|generate|check|demo|dot|crash|bench|trace|stats|top|regression|gauntlet> [options]"
         );
         std::process::exit(2);
     };
@@ -662,6 +948,9 @@ fn main() {
         "crash" => cmd_crash(&args),
         "bench" => cmd_bench(&args),
         "trace" => cmd_trace(&args),
+        "stats" => cmd_stats(&args),
+        "top" => cmd_top(&args),
+        "regression" => cmd_regression(&args),
         "gauntlet" => cmd_gauntlet(&args),
         other => Err(format!("unknown command: {other}")),
     };
@@ -724,12 +1013,180 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v5"));
+        assert!(raw.contains("txproc-bench-scheduler/v6"));
         assert!(raw.contains("pred-scan"));
         assert!(raw.contains("zipf-hotspot"));
         assert!(raw.contains("runtime_ratio"));
         assert!(raw.contains("open_runs"));
+        assert!(raw.contains("\"phases\""));
+        assert!(raw.contains("telemetry_overhead"));
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn stats_exports_prometheus_and_timeseries() {
+        let dir = std::env::temp_dir().join("txproc_stats_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("metrics.prom");
+        let series = dir.join("series.json");
+
+        // Engine run: virtual-time sampling.
+        let a = args(&[
+            "--seed",
+            "4",
+            "--processes",
+            "6",
+            "--density",
+            "0.4",
+            "--sample-events",
+            "8",
+            "--prom",
+            prom.to_str().unwrap(),
+            "--timeseries",
+            series.to_str().unwrap(),
+        ]);
+        cmd_stats(&a).unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            text.contains("txproc_phase_duration_ns_count{phase=\"certify\"}"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE"), "{text}");
+        let doc =
+            txproc_sim::timeseries::from_json(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        assert!(!doc.samples.is_empty());
+
+        // Concurrent run: wall-clock sampler.
+        let b = args(&[
+            "--seed",
+            "4",
+            "--processes",
+            "6",
+            "--runtime",
+            "events",
+            "--prom",
+            prom.to_str().unwrap(),
+            "--timeseries",
+            series.to_str().unwrap(),
+        ]);
+        cmd_stats(&b).unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("txproc_events_total"), "{text}");
+        let doc =
+            txproc_sim::timeseries::from_json(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        assert!(!doc.samples.is_empty(), "final sample on sampler stop");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_runs_and_renders() {
+        let a = args(&["--seed", "4", "--processes", "6", "--refresh-ms", "10"]);
+        cmd_top(&a).unwrap();
+
+        // The frame renderer pivots instruments into per-shard rows.
+        use txproc_core::telemetry::{InstrumentSnapshot, Snapshot};
+        let snap = Snapshot {
+            wall_ns: 2_000_000,
+            phases: Vec::new(),
+            instruments: vec![
+                InstrumentSnapshot {
+                    name: "events_total".into(),
+                    labels: vec![("shard".into(), "0".into())],
+                    kind: "counter".into(),
+                    value: 17,
+                },
+                InstrumentSnapshot {
+                    name: "worker_steps_total".into(),
+                    labels: vec![("worker".into(), "1".into())],
+                    kind: "counter".into(),
+                    value: 9,
+                },
+            ],
+        };
+        let frame = render_top(&snap);
+        assert!(frame.contains("shard"), "{frame}");
+        assert!(frame.contains("17"), "{frame}");
+        assert!(frame.contains("w1:9"), "{frame}");
+    }
+
+    #[test]
+    fn trace_sampling_drops_chains() {
+        let dir = std::env::temp_dir().join("txproc_trace_sample_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.jsonl");
+        let sampled = dir.join("sampled.jsonl");
+        let base = ["--seed", "4", "--processes", "8", "--density", "0.5"];
+        let mut a = base.to_vec();
+        a.extend(["--json", full.to_str().unwrap()]);
+        cmd_trace(&args(&a)).unwrap();
+        let mut b = base.to_vec();
+        b.extend(["--json", sampled.to_str().unwrap(), "--trace-sample", "4"]);
+        cmd_trace(&args(&b)).unwrap();
+        let full_lines = std::fs::read_to_string(&full).unwrap().lines().count();
+        let sampled_lines = std::fs::read_to_string(&sampled).unwrap().lines().count();
+        assert!(
+            sampled_lines > 0 && sampled_lines < full_lines,
+            "sampling kept {sampled_lines} of {full_lines}"
+        );
+        assert!(cmd_trace(&args(&["--trace-sample", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn regression_gate_passes_self_and_fails_doctored() {
+        let dir = std::env::temp_dir().join("txproc_regression_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let a = args(&[
+            "--smoke",
+            "--processes",
+            "5",
+            "--out",
+            baseline.to_str().unwrap(),
+        ]);
+        cmd_bench(&a).unwrap();
+
+        let self_check = args(&[
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            baseline.to_str().unwrap(),
+        ]);
+        cmd_regression(&self_check).unwrap();
+
+        // Halve one point's throughput: it now sits far below the median
+        // ratio and must trip the gate.
+        let raw = std::fs::read_to_string(&baseline).unwrap();
+        let mut doc: serde::Value = serde_json::from_str(&raw).unwrap();
+        let mut halved = false;
+        if let serde::Value::Map(fields) = &mut doc {
+            if let Some((_, serde::Value::Seq(runs))) = fields.iter_mut().find(|(k, _)| k == "runs")
+            {
+                if let Some(serde::Value::Map(run)) = runs.first_mut() {
+                    if let Some((_, v)) = run.iter_mut().find(|(k, _)| k == "events_per_sec") {
+                        match v {
+                            serde::Value::F64(e) => *e /= 2.0,
+                            serde::Value::U64(e) => *e /= 2,
+                            serde::Value::I64(e) => *e /= 2,
+                            other => panic!("unexpected events_per_sec shape: {other:?}"),
+                        }
+                        halved = true;
+                    }
+                }
+            }
+        }
+        assert!(halved, "baseline report carries runs[0].events_per_sec");
+        let doctored = dir.join("doctored.json");
+        std::fs::write(&doctored, serde_json::to_string(&doc).unwrap()).unwrap();
+        let fail_check = args(&[
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            doctored.to_str().unwrap(),
+        ]);
+        let err = cmd_regression(&fail_check).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

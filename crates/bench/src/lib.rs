@@ -11,7 +11,10 @@
 //! * [`tables`] — text-table rendering for the `report` binary,
 //! * [`perf`] — the scheduler perf trajectory (`txproc bench`): scalability
 //!   runs plus per-decision protocol cost, written to
-//!   `BENCH_scheduler.json` (E19).
+//!   `BENCH_scheduler.json` (E19),
+//! * [`regression`] — the perf-regression gate (`txproc regression`): diffs
+//!   a fresh bench report against the committed `BENCH_baseline.json`,
+//!   failing on per-point throughput/latency deviations beyond the gate.
 //!
 //! Run `cargo run -p txproc-bench --bin report` for the full report, or
 //! `cargo bench` for the Criterion microbenchmarks (one per figure plus the
@@ -22,6 +25,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod regression;
 pub mod scenarios;
 pub mod tables;
 

@@ -26,8 +26,11 @@ use txproc_core::protocol::{DeferPolicy, Protocol};
 use txproc_core::recoverability::proc_rec_violations;
 use txproc_core::schedule::{Event, Schedule};
 use txproc_core::spec::Spec;
+use txproc_core::telemetry::Telemetry;
 use txproc_core::trace::{JsonlSink, NoopSink, RingSink, TraceSink};
-use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
+use txproc_engine::concurrent::{
+    run_concurrent, run_concurrent_instrumented, ConcurrentConfig, RuntimeKind, ShardMode,
+};
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
 use txproc_sim::metrics::AbortReasons;
@@ -289,6 +292,51 @@ pub struct TraceOverheadEntry {
     pub overhead_pct: f64,
 }
 
+/// One per-phase wall-time row of an instrumented run (schema v6): where a
+/// driver's wall clock goes, split into the telemetry phases (certify, lock
+/// wait/hold, queue delay, 2PC prepare→decide, compensation, policy).
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseBreakdownEntry {
+    /// `engine` (virtual time) or `concurrent` (events runtime).
+    pub mode: &'static str,
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Phase name (snake_case, matches the Prometheus metric names).
+    pub phase: String,
+    /// Recorded intervals.
+    pub count: u64,
+    /// Total wall milliseconds across all intervals.
+    pub total_ms: f64,
+    /// p50 upper bucket edge, ns (log₂ resolution; 0 when empty).
+    pub p50_ns: u64,
+    /// p95 upper bucket edge, ns.
+    pub p95_ns: u64,
+    /// Max upper bucket edge, ns.
+    pub max_ns: u64,
+}
+
+/// One telemetry-overhead measurement (E24): the same run driven with the
+/// registry disabled vs enabled, min-of-N wall clock (same estimator as the
+/// E20 trace-overhead rows). Acceptance: `overhead_pct <= 3.0` on the
+/// closed sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryOverheadEntry {
+    /// `engine` or `concurrent`.
+    pub mode: &'static str,
+    /// Processes in the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Min-of-N wall milliseconds with telemetry disabled.
+    pub wall_ms_off: f64,
+    /// Min-of-N wall milliseconds with telemetry enabled.
+    pub wall_ms_on: f64,
+    /// `(on - off) / off`, percent.
+    pub overhead_pct: f64,
+}
+
 /// One per-decision measurement point.
 #[derive(Debug, Clone, Serialize)]
 pub struct DecisionBenchEntry {
@@ -325,6 +373,11 @@ pub struct BenchReport {
     pub scenarios: Vec<ScenarioReport>,
     /// Tracing overhead per sink (E20).
     pub trace_overhead: Vec<TraceOverheadEntry>,
+    /// Per-phase wall-time breakdown of an instrumented run per driver
+    /// (schema v6).
+    pub phases: Vec<PhaseBreakdownEntry>,
+    /// Telemetry on-vs-off overhead per driver (E24; schema v6).
+    pub telemetry_overhead: Vec<TelemetryOverheadEntry>,
     /// Coverage notes (anything capped or skipped, never silent).
     pub notes: Vec<String>,
 }
@@ -636,6 +689,140 @@ pub fn trace_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TraceOverheadEntr
     out
 }
 
+/// The per-phase breakdown of one instrumented run per driver, at the
+/// largest closed sweep point: engine (virtual-time) and concurrent (events
+/// runtime), Pred policy. The phase clocks are wall time in both drivers.
+pub fn phase_breakdown_bench(cfg: &SchedulerBenchConfig) -> Vec<PhaseBreakdownEntry> {
+    let density = cfg.densities.first().copied().unwrap_or(0.3);
+    let n = cfg.processes.iter().copied().max().unwrap_or(8);
+    let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+    let mut out = Vec::new();
+    let mut push = |mode: &'static str, tele: &Telemetry| {
+        let Some(snap) = tele.snapshot() else { return };
+        for p in &snap.phases {
+            out.push(PhaseBreakdownEntry {
+                mode,
+                processes: n,
+                density,
+                phase: p.phase.clone(),
+                count: p.count,
+                total_ms: p.total_ns as f64 / 1e6,
+                p50_ns: p.p50_ns,
+                p95_ns: p.p95_ns,
+                max_ns: p.max_ns,
+            });
+        }
+    };
+    let tele = Telemetry::on();
+    let _ = Engine::new(
+        &w,
+        RunConfig {
+            policy: PolicyKind::Pred,
+            seed: cfg.seed,
+            arrival_gap: cfg.arrival_gap,
+            certifier: cfg.certifier,
+            ..RunConfig::default()
+        },
+    )
+    .with_telemetry(tele.clone())
+    .run();
+    push("engine", &tele);
+    let tele = Telemetry::on();
+    let _ = run_concurrent_instrumented(
+        &w,
+        ConcurrentConfig {
+            policy: PolicyKind::Pred,
+            seed: cfg.seed,
+            certifier: cfg.certifier,
+            shards: cfg.shards,
+            runtime: RuntimeKind::Events,
+            workers: cfg.workers,
+            ..ConcurrentConfig::default()
+        },
+        Box::new(NoopSink),
+        tele.clone(),
+    );
+    push("concurrent", &tele);
+    out
+}
+
+/// E24: telemetry on-vs-off wall clock per driver at the largest closed
+/// sweep point, min-of-N (the minimum is the noise floor for a CPU-bound
+/// run — see [`trace_overhead_bench`]).
+pub fn telemetry_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TelemetryOverheadEntry> {
+    let density = cfg.densities.first().copied().unwrap_or(0.3);
+    let n = cfg.processes.iter().copied().max().unwrap_or(8);
+    let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+    let reps = if cfg.smoke { 7 } else { 9 };
+    let run_cfg = RunConfig {
+        policy: PolicyKind::Pred,
+        seed: cfg.seed,
+        arrival_gap: cfg.arrival_gap,
+        certifier: cfg.certifier,
+        ..RunConfig::default()
+    };
+    let conc_cfg = ConcurrentConfig {
+        policy: PolicyKind::Pred,
+        seed: cfg.seed,
+        certifier: cfg.certifier,
+        shards: cfg.shards,
+        runtime: RuntimeKind::Events,
+        workers: cfg.workers,
+        ..ConcurrentConfig::default()
+    };
+    let min_ms = |f: &dyn Fn()| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut out = Vec::new();
+    for (mode, off, on) in [
+        (
+            "engine",
+            &(|| {
+                let _ = std::hint::black_box(run(&w, run_cfg.clone()));
+            }) as &dyn Fn(),
+            &(|| {
+                let _ = std::hint::black_box(
+                    Engine::new(&w, run_cfg.clone())
+                        .with_telemetry(Telemetry::on())
+                        .run(),
+                );
+            }) as &dyn Fn(),
+        ),
+        (
+            "concurrent",
+            &(|| {
+                let _ = std::hint::black_box(run_concurrent(&w, conc_cfg.clone()));
+            }) as &dyn Fn(),
+            &(|| {
+                let _ = std::hint::black_box(run_concurrent_instrumented(
+                    &w,
+                    conc_cfg.clone(),
+                    Box::new(NoopSink),
+                    Telemetry::on(),
+                ));
+            }) as &dyn Fn(),
+        ),
+    ] {
+        let wall_off = min_ms(off);
+        let wall_on = min_ms(on);
+        out.push(TelemetryOverheadEntry {
+            mode,
+            processes: n,
+            density,
+            wall_ms_off: wall_off,
+            wall_ms_on: wall_on,
+            overhead_pct: (wall_on - wall_off) / wall_off.max(1e-9) * 100.0,
+        });
+    }
+    out
+}
+
 /// Times `f` adaptively: batches until one batch exceeds ~2ms, then takes
 /// the median of a few batch samples. Returns nanoseconds per call.
 fn time_ns(mut f: impl FnMut()) -> f64 {
@@ -825,6 +1012,17 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
     }
     let decision = decision_bench(cfg);
     let trace_overhead = trace_overhead_bench(cfg);
+    let phases = phase_breakdown_bench(cfg);
+    let telemetry_overhead = telemetry_overhead_bench(cfg);
+    if let Some(worst) = telemetry_overhead
+        .iter()
+        .max_by(|a, b| a.overhead_pct.total_cmp(&b.overhead_pct))
+    {
+        notes.push(format!(
+            "telemetry overhead (E24): worst {:+.2}% ({}) at n={} d={} (budget 3%)",
+            worst.overhead_pct, worst.mode, worst.processes, worst.density
+        ));
+    }
     let scenarios = if cfg.gauntlet_seeds > 0 {
         run_gauntlet(&GauntletConfig {
             seeds: cfg.gauntlet_seeds,
@@ -837,14 +1035,15 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         Vec::new()
     };
     BenchReport {
-        // v5 (additive over v4): per-entry runtime/worker/run-queue/
-        // scheduling-delay fields, the `runtime_ratio` events-vs-threads
-        // pairs at the closed points, and the `open_runs` Poisson
-        // open-arrival sweep with per-domain PRED/Proc-REC verdicts. v4
-        // readers that pick fields by name still work. (v4 added the
-        // `scenarios` gauntlet array; v3 added shard_mode/shards/clusters,
-        // lock contention and wakeup counters over v2.)
-        schema: "txproc-bench-scheduler/v5",
+        // v6 (additive over v5): the `phases` per-phase wall-time breakdown
+        // per driver and the `telemetry_overhead` on-vs-off rows (E24). v5
+        // readers that pick fields by name still work. (v5 added per-entry
+        // runtime/worker/run-queue/scheduling-delay fields, the
+        // `runtime_ratio` events-vs-threads pairs and the `open_runs`
+        // Poisson sweep; v4 added the `scenarios` gauntlet array; v3 added
+        // shard_mode/shards/clusters, lock contention and wakeup counters
+        // over v2.)
+        schema: "txproc-bench-scheduler/v6",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -856,6 +1055,8 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         decision,
         scenarios,
         trace_overhead,
+        phases,
+        telemetry_overhead,
         notes,
     }
 }
@@ -944,8 +1145,32 @@ mod tests {
                 assert_eq!(m.proc_rec_violations, 0, "{}/{}", s.name, m.mode);
             }
         }
+        // v6: per-phase breakdown for both drivers and the E24 telemetry
+        // on-vs-off rows.
+        let modes: Vec<_> = report
+            .phases
+            .iter()
+            .map(|p| p.mode)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(modes, vec!["concurrent", "engine"]);
+        assert!(report
+            .phases
+            .iter()
+            .any(|p| p.mode == "engine" && p.phase == "certify" && p.count > 0));
+        for p in &report.phases {
+            assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.max_ns, "{:?}", p);
+        }
+        assert_eq!(report.telemetry_overhead.len(), 2);
+        assert!(report
+            .telemetry_overhead
+            .iter()
+            .all(|t| t.wall_ms_off > 0.0 && t.wall_ms_on > 0.0));
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v5"));
+        assert!(json.contains("txproc-bench-scheduler/v6"));
+        assert!(json.contains("telemetry_overhead"));
+        assert!(json.contains("\"phases\""));
         assert!(json.contains("abort_reasons"));
         assert!(json.contains("blocked_time_total"));
         assert!(json.contains("shard_mode"));

@@ -1,0 +1,361 @@
+//! The perf-regression gate: diffs a fresh scheduler bench report against a
+//! committed baseline (`BENCH_baseline.json`), failing on per-point
+//! throughput or latency deviations beyond the gate.
+//!
+//! ## Host-speed normalization
+//!
+//! CI machines differ in clock speed from the machine that recorded the
+//! baseline, and a raw `current / baseline` comparison would fail on any
+//! slower host. The gate therefore compares each run's ratio against the
+//! **median ratio across all matched runs**: a uniformly slower (or faster)
+//! host shifts every ratio by the same factor and cancels out, while a real
+//! regression shows up as one or a few points deviating from the rest. A
+//! change that slows *every* point uniformly is indistinguishable from a
+//! slower host by construction — that case is covered by E24's absolute
+//! overhead budget and by eyeballing the trend, not by this gate.
+//!
+//! Runs are keyed by `(mode, policy, processes, density, shards label,
+//! runtime)`, so sweep-point sets may differ between baseline and current
+//! (smoke vs full): only the intersection is compared, and the report says
+//! how many points matched. The parser works on the loosely-typed
+//! [`Value`] tree, so it reads both v5 and v6 reports.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Per-point throughput floor: a run's throughput ratio may fall at most
+/// 20% below the cross-run median ratio.
+pub const THROUGHPUT_FLOOR: f64 = 0.8;
+
+/// Per-point latency ceiling: a run's p95 ratio may rise at most 30% above
+/// the cross-run median ratio.
+pub const P95_CEILING: f64 = 1.3;
+
+/// One matched run with its normalized ratios.
+#[derive(Debug, Clone)]
+pub struct PointDiff {
+    /// The run key (mode/policy/processes/density/shards/runtime).
+    pub key: String,
+    /// `current events_per_sec / baseline events_per_sec`.
+    pub throughput_ratio: f64,
+    /// `current latency_p95 / baseline latency_p95` (`None` when either
+    /// side has no p95).
+    pub p95_ratio: Option<f64>,
+    /// Violation description, when the point breaches the gate.
+    pub violation: Option<String>,
+}
+
+/// Outcome of one comparison.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// Matched (key-intersected) runs.
+    pub points: Vec<PointDiff>,
+    /// Keys present in the baseline but absent in the current report.
+    pub unmatched_baseline: usize,
+    /// Keys present in the current report but absent in the baseline.
+    pub unmatched_current: usize,
+    /// Median throughput ratio across matched runs (the host-speed factor).
+    pub median_throughput_ratio: f64,
+    /// Median p95 ratio across matched runs with latency on both sides.
+    pub median_p95_ratio: Option<f64>,
+}
+
+impl RegressionReport {
+    /// The gate verdict: true when no matched point breaches it.
+    pub fn passed(&self) -> bool {
+        self.points.iter().all(|p| p.violation.is_none())
+    }
+
+    /// Human-readable summary (one line per matched point plus a verdict).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "regression gate: {} matched runs (baseline-only {}, current-only {}), \
+             median throughput ratio {:.3}\n",
+            self.points.len(),
+            self.unmatched_baseline,
+            self.unmatched_current,
+            self.median_throughput_ratio,
+        ));
+        for p in &self.points {
+            let p95 = p
+                .p95_ratio
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "  {} {} throughput x{:.3} p95 x{}\n",
+                if p.violation.is_some() {
+                    "FAIL"
+                } else {
+                    "ok  "
+                },
+                p.key,
+                p.throughput_ratio,
+                p95,
+            ));
+            if let Some(v) = &p.violation {
+                out.push_str(&format!("       {v}\n"));
+            }
+        }
+        out.push_str(if self.passed() {
+            "verdict: PASS\n"
+        } else {
+            "verdict: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Comparison error: unparseable input or no overlapping runs.
+#[derive(Debug)]
+pub struct RegressionError(pub String);
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regression comparison failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+#[derive(Debug, Clone)]
+struct RunPoint {
+    events_per_sec: f64,
+    latency_p95: Option<f64>,
+}
+
+fn field<'a>(map: &'a Value, name: &str) -> Option<&'a Value> {
+    map.as_map()?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(f) => Some(*f),
+        Value::I64(i) => Some(*i as f64),
+        Value::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Extracts the keyed end-to-end runs of a bench report. Duplicate keys
+/// (repeated measurements of the same point, e.g. the ratio-pair reps) keep
+/// the highest-throughput run, matching the bench's min-of-N/best-of-N
+/// estimator discipline.
+fn index_runs(report: &Value) -> Result<BTreeMap<String, RunPoint>, RegressionError> {
+    let runs = field(report, "runs")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| RegressionError("report has no `runs` array".into()))?;
+    let mut out: BTreeMap<String, RunPoint> = BTreeMap::new();
+    for run in runs {
+        let mode = field(run, "mode").and_then(Value::as_str).unwrap_or("?");
+        let policy = field(run, "policy").and_then(Value::as_str).unwrap_or("?");
+        let processes = field(run, "processes").and_then(as_f64).unwrap_or(0.0);
+        let density = field(run, "density").and_then(as_f64).unwrap_or(0.0);
+        let shards = field(run, "shard_mode")
+            .and_then(Value::as_str)
+            .unwrap_or("-");
+        let runtime = field(run, "runtime").and_then(Value::as_str).unwrap_or("-");
+        let Some(eps) = field(run, "events_per_sec").and_then(as_f64) else {
+            continue;
+        };
+        let key = format!("{mode}/{policy}/n{processes}/d{density}/{shards}/{runtime}");
+        let point = RunPoint {
+            events_per_sec: eps,
+            latency_p95: field(run, "latency_p95").and_then(as_f64),
+        };
+        match out.get(&key) {
+            Some(prev) if prev.events_per_sec >= point.events_per_sec => {}
+            _ => {
+                out.insert(key, point);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(RegressionError("report has no usable runs".into()));
+    }
+    Ok(out)
+}
+
+fn median(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    Some(xs[xs.len() / 2])
+}
+
+/// Compares two bench-report JSON documents (baseline, current).
+pub fn compare(baseline: &str, current: &str) -> Result<RegressionReport, RegressionError> {
+    let base: Value = serde_json::from_str(baseline)
+        .map_err(|e| RegressionError(format!("baseline does not parse: {e}")))?;
+    let curr: Value = serde_json::from_str(current)
+        .map_err(|e| RegressionError(format!("current report does not parse: {e}")))?;
+    let base_runs = index_runs(&base)?;
+    let curr_runs = index_runs(&curr)?;
+
+    let mut matched: Vec<(String, f64, Option<f64>)> = Vec::new();
+    for (key, b) in &base_runs {
+        let Some(c) = curr_runs.get(key) else {
+            continue;
+        };
+        let tput = c.events_per_sec / b.events_per_sec.max(1e-9);
+        let p95 = match (b.latency_p95, c.latency_p95) {
+            (Some(b95), Some(c95)) if b95 > 0.0 => Some(c95 / b95),
+            _ => None,
+        };
+        matched.push((key.clone(), tput, p95));
+    }
+    if matched.is_empty() {
+        return Err(RegressionError(
+            "no runs with matching keys between baseline and current".into(),
+        ));
+    }
+    let unmatched_baseline = base_runs.len() - matched.len();
+    let unmatched_current = curr_runs.len() - matched.len();
+    let med_tput =
+        median(matched.iter().map(|(_, t, _)| *t).collect()).expect("matched is non-empty");
+    let med_p95 = median(matched.iter().filter_map(|(_, _, p)| *p).collect());
+
+    let points = matched
+        .into_iter()
+        .map(|(key, tput, p95)| {
+            let mut violation = None;
+            if tput < med_tput * THROUGHPUT_FLOOR {
+                violation = Some(format!(
+                    "throughput ratio {tput:.3} below {THROUGHPUT_FLOOR} x median ({:.3})",
+                    med_tput * THROUGHPUT_FLOOR
+                ));
+            } else if let (Some(p95), Some(med)) = (p95, med_p95) {
+                if p95 > med * P95_CEILING {
+                    violation = Some(format!(
+                        "p95 ratio {p95:.3} above {P95_CEILING} x median ({:.3})",
+                        med * P95_CEILING
+                    ));
+                }
+            }
+            PointDiff {
+                key,
+                throughput_ratio: tput,
+                p95_ratio: p95,
+                violation,
+            }
+        })
+        .collect();
+    Ok(RegressionReport {
+        points,
+        unmatched_baseline,
+        unmatched_current,
+        median_throughput_ratio: med_tput,
+        median_p95_ratio: med_p95,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(points: &[(&str, usize, f64, f64, f64)]) -> String {
+        // (policy, processes, density, events_per_sec, latency_p95)
+        let runs: Vec<String> = points
+            .iter()
+            .map(|(policy, n, d, eps, p95)| {
+                format!(
+                    "{{\"mode\":\"concurrent\",\"policy\":\"{policy}\",\"processes\":{n},\
+                     \"density\":{d},\"shard_mode\":\"auto\",\"runtime\":\"events\",\
+                     \"events_per_sec\":{eps},\"latency_p95\":{p95}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"txproc-bench-scheduler/v6\",\"runs\":[{}]}}",
+            runs.join(",")
+        )
+    }
+
+    const BASE: &[(&str, usize, f64, f64, f64)] = &[
+        ("pred", 8, 0.3, 10_000.0, 500.0),
+        ("pred", 32, 0.3, 8_000.0, 900.0),
+        ("pred", 128, 0.3, 6_000.0, 2_000.0),
+        ("serial", 32, 0.3, 2_000.0, 4_000.0),
+        ("pred", 32, 0.6, 5_000.0, 1_500.0),
+    ];
+
+    #[test]
+    fn baseline_vs_itself_passes() {
+        let b = report(BASE);
+        let r = compare(&b, &b).expect("comparable");
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.points.len(), BASE.len());
+        assert!((r.median_throughput_ratio - 1.0).abs() < 1e-9);
+        assert!(r
+            .points
+            .iter()
+            .all(|p| (p.throughput_ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn injected_single_point_slowdown_fails() {
+        let b = report(BASE);
+        // One point 25% slower; the rest unchanged → its ratio (0.75)
+        // deviates beyond 0.8 x median (1.0).
+        let mut worse = BASE.to_vec();
+        worse[1].3 *= 0.75;
+        let r = compare(&b, &report(&worse)).expect("comparable");
+        assert!(!r.passed(), "{}", r.render());
+        let bad: Vec<_> = r.points.iter().filter(|p| p.violation.is_some()).collect();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].key.contains("n32"), "{}", bad[0].key);
+        assert!(bad[0].key.contains("d0.3"), "{}", bad[0].key);
+    }
+
+    #[test]
+    fn uniform_host_slowdown_cancels_out() {
+        // Every point 40% slower — a slower CI host, not a regression.
+        let b = report(BASE);
+        let scaled: Vec<_> = BASE
+            .iter()
+            .map(|&(p, n, d, eps, p95)| (p, n, d, eps * 0.6, p95 / 0.6))
+            .collect();
+        let r = compare(&b, &report(&scaled)).expect("comparable");
+        assert!(r.passed(), "{}", r.render());
+        assert!((r.median_throughput_ratio - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_p95_inflation_fails() {
+        let b = report(BASE);
+        let mut worse = BASE.to_vec();
+        worse[2].4 *= 1.5; // one point's p95 50% up, throughput unchanged
+        let r = compare(&b, &report(&worse)).expect("comparable");
+        assert!(!r.passed(), "{}", r.render());
+        let bad: Vec<_> = r.points.iter().filter(|p| p.violation.is_some()).collect();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].violation.as_ref().unwrap().contains("p95"));
+    }
+
+    #[test]
+    fn disjoint_sweeps_compare_on_intersection() {
+        let b = report(BASE);
+        let mut extended = BASE.to_vec();
+        extended.push(("pred", 256, 0.3, 5_000.0, 3_000.0));
+        let r = compare(&b, &report(&extended)).expect("comparable");
+        assert!(r.passed());
+        assert_eq!(r.points.len(), BASE.len());
+        assert_eq!(r.unmatched_current, 1);
+        assert_eq!(r.unmatched_baseline, 0);
+    }
+
+    #[test]
+    fn unparseable_or_disjoint_reports_error() {
+        assert!(compare("not json", "{}").is_err());
+        let b = report(BASE);
+        let other = report(&[("conservative", 999, 0.9, 1.0, 1.0)]);
+        assert!(compare(&b, &other).is_err() || !compare(&b, &other).unwrap().points.is_empty());
+        // Fully disjoint keys: explicit error, not a silent pass.
+        let r = compare(&b, &other);
+        assert!(r.is_err(), "disjoint reports must not pass silently");
+    }
+}

@@ -33,6 +33,7 @@
 //! | [`recoverability`] | Proc-REC (Def 11), Theorem 1, SOT discussion |
 //! | [`protocol`] | the online scheduling protocol (Lemmas 1–3, §3.5) |
 //! | [`trace`] | structured decision tracing (event journal, sinks, explain) |
+//! | [`telemetry`] | metrics registry, phase timers, Prometheus/JSON export |
 //! | [`weak`] | strong vs. weak orders (§3.6) |
 //! | [`fixtures`] | the paper's running examples, ready made |
 //!
@@ -83,6 +84,7 @@ pub mod schedule;
 pub mod serializability;
 pub mod spec;
 pub mod state;
+pub mod telemetry;
 pub mod trace;
 pub mod weak;
 
@@ -96,4 +98,5 @@ pub use pred_incremental::{check_pred_incremental, IncrementalPred, StepVerdict}
 pub use process::{Process, ProcessBuilder};
 pub use schedule::{Event, Schedule};
 pub use spec::Spec;
+pub use telemetry::{Phase, Registry, Snapshot, Telemetry};
 pub use trace::{Journal, JsonlSink, NoopSink, RingSink, TraceEvent, TraceRecord, TraceSink};

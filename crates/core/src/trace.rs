@@ -17,9 +17,14 @@
 //!
 //! On top of the raw journal sit three pure exporters: a pretty-printer
 //! (`Display` on [`TraceRecord`]), a Chrome-trace JSON exporter
-//! ([`chrome_trace`]) with one lane per process and explicit blocked spans,
-//! and an explainer ([`explain_process`]) that walks the event chain
+//! ([`chrome_trace`]) with one lane per process (plus shard and worker lane
+//! groups for records stamped by the sharded runtimes) and explicit blocked
+//! spans, and an explainer ([`explain_process`]) that walks the event chain
 //! backwards from a process's fate to the decisions that produced it.
+//!
+//! For long runs a sink can be wrapped in a [`SampleSink`], which keeps the
+//! records of 1-in-N processes (selected by pid, so a kept process's record
+//! chain stays complete) and drops the rest.
 
 use crate::ids::{GlobalActivityId, ProcessId, ServiceId};
 use crate::schedule::Event;
@@ -557,6 +562,51 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 }
 
+/// A sampling wrapper around any sink: keeps the records of 1-in-N
+/// processes (those with `pid % n == 0`) plus every record that names no
+/// process (group aborts initiated by recovery). Selecting by pid rather
+/// than by record keeps a sampled process's decision chain complete, so
+/// `explain_process` still works on the sampled journal.
+pub struct SampleSink<S> {
+    inner: S,
+    n: u32,
+    dropped: u64,
+}
+
+impl<S: TraceSink> SampleSink<S> {
+    /// Keep 1-in-`n` processes' records (`n` ≥ 1; `n == 1` keeps all).
+    pub fn new(inner: S, n: u32) -> Self {
+        Self {
+            inner,
+            n: n.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Number of records dropped by sampling.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Unwrap the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for SampleSink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, rec: TraceRecord) {
+        match rec.event.pid() {
+            Some(pid) if pid.0 % self.n != 0 => self.dropped += 1,
+            _ => self.inner.record(rec),
+        }
+    }
+}
+
 /// Serialize a journal to JSON-lines (one record per line).
 pub fn to_jsonl(records: &[TraceRecord]) -> String {
     let mut out = String::new();
@@ -589,23 +639,57 @@ fn map(fields: Vec<(&str, Value)>) -> Value {
 /// Export a journal as Chrome-trace JSON (the `chrome://tracing` /
 /// [Perfetto] "traceEvents" array format).
 ///
-/// Each process gets its own lane (`tid`); every decision is an instant
-/// event, and every blocked interval — from a `RequestBlocked` to the next
-/// decision the same process makes — becomes a complete (`ph:"X"`) span so
-/// wait time is visible at a glance. Timestamps are the journal's virtual
-/// times, interpreted as microseconds.
+/// Each process gets its own lane (`tid`) in the "processes" group
+/// (`pid:1`); every decision is an instant event, and every blocked
+/// interval — from a `RequestBlocked` to the next decision the same process
+/// makes — becomes a complete (`ph:"X"`) span so wait time is visible at a
+/// glance. Records stamped by the sharded runtimes additionally appear in a
+/// "shards" group (`pid:2`, one lane per conflict-domain shard) and — for
+/// the event-driven runtime — a "workers" group (`pid:3`, one lane per
+/// worker), so per-shard contention and per-worker load are visible
+/// side-by-side with the per-process view. Timestamps are the journal's
+/// virtual times, interpreted as microseconds.
 ///
 /// [Perfetto]: https://ui.perfetto.dev
 pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    const PROCESS_GROUP: u64 = 1;
+    const SHARD_GROUP: u64 = 2;
+    const WORKER_GROUP: u64 = 3;
     let mut events: Vec<Value> = Vec::new();
+    let mut shards: Vec<u32> = Vec::new();
+    let mut workers: Vec<u32> = Vec::new();
     for rec in records {
         let Some(pid) = rec.event.pid() else { continue };
+        // Mirror the decision into the shard / worker lane groups.
+        for (group, lane, lanes) in [
+            (SHARD_GROUP, rec.shard, &mut shards),
+            (WORKER_GROUP, rec.worker, &mut workers),
+        ] {
+            let Some(lane) = lane else { continue };
+            lanes.push(lane);
+            events.push(map(vec![
+                ("name", Value::Str(rec.event.kind().to_string())),
+                ("ph", Value::Str("i".into())),
+                ("s", Value::Str("t".into())),
+                ("ts", Value::U64(rec.time)),
+                ("pid", Value::U64(group)),
+                ("tid", Value::U64(lane as u64)),
+                (
+                    "args",
+                    map(vec![
+                        ("seq", Value::U64(rec.seq)),
+                        ("process", Value::U64(pid.0 as u64)),
+                        ("detail", Value::Str(rec.event.to_string())),
+                    ]),
+                ),
+            ]));
+        }
         events.push(map(vec![
             ("name", Value::Str(rec.event.kind().to_string())),
             ("ph", Value::Str("i".into())),
             ("s", Value::Str("t".into())),
             ("ts", Value::U64(rec.time)),
-            ("pid", Value::U64(1)),
+            ("pid", Value::U64(PROCESS_GROUP)),
             ("tid", Value::U64(pid.0 as u64)),
             (
                 "args",
@@ -629,7 +713,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
                 ("ph", Value::Str("X".into())),
                 ("ts", Value::U64(rec.time)),
                 ("dur", Value::U64(end.saturating_sub(rec.time).max(1))),
-                ("pid", Value::U64(1)),
+                ("pid", Value::U64(PROCESS_GROUP)),
                 ("tid", Value::U64(pid.0 as u64)),
                 (
                     "args",
@@ -659,10 +743,43 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
         events.push(map(vec![
             ("name", Value::Str("thread_name".into())),
             ("ph", Value::Str("M".into())),
-            ("pid", Value::U64(1)),
+            ("pid", Value::U64(PROCESS_GROUP)),
             ("tid", Value::U64(p as u64)),
             ("args", map(vec![("name", Value::Str(format!("P{p}")))])),
         ]));
+    }
+    // Shard / worker lane groups: a process_name per group and a
+    // thread_name per lane, emitted only when any record used the group.
+    for (group, group_name, lane_prefix, mut lanes) in [
+        (SHARD_GROUP, "shards", "shard", shards),
+        (WORKER_GROUP, "workers", "worker", workers),
+    ] {
+        lanes.sort_unstable();
+        lanes.dedup();
+        if lanes.is_empty() {
+            continue;
+        }
+        events.push(map(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(group)),
+            (
+                "args",
+                map(vec![("name", Value::Str(group_name.to_string()))]),
+            ),
+        ]));
+        for lane in lanes {
+            events.push(map(vec![
+                ("name", Value::Str("thread_name".into())),
+                ("ph", Value::Str("M".into())),
+                ("pid", Value::U64(group)),
+                ("tid", Value::U64(lane as u64)),
+                (
+                    "args",
+                    map(vec![("name", Value::Str(format!("{lane_prefix} {lane}")))]),
+                ),
+            ]));
+        }
     }
     let root = map(vec![
         ("traceEvents", Value::Seq(events)),
@@ -959,6 +1076,55 @@ mod tests {
         assert!(out.contains("blocked a2_0"));
         assert!(out.contains("\"ph\":\"X\""));
         assert!(out.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn chrome_trace_mirrors_shard_and_worker_lanes() {
+        let mut recs = fixture();
+        recs[0].shard = Some(0);
+        recs[0].worker = Some(1);
+        recs[2].shard = Some(3);
+        let out = chrome_trace(&recs);
+        // Group names and lane names for the stamped records.
+        assert!(out.contains("\"shards\""));
+        assert!(out.contains("\"workers\""));
+        assert!(out.contains("shard 0"));
+        assert!(out.contains("shard 3"));
+        assert!(out.contains("worker 1"));
+        // Mirrored instant events land in the group pids.
+        assert!(out.contains("\"pid\":2"));
+        assert!(out.contains("\"pid\":3"));
+        // Unstamped journals emit no extra groups.
+        let plain = chrome_trace(&fixture());
+        assert!(!plain.contains("\"shards\""));
+        assert!(!plain.contains("\"workers\""));
+    }
+
+    #[test]
+    fn sample_sink_keeps_whole_process_chains() {
+        // Keep 1-in-2 processes: P2's records (2 % 2 == 0) survive, P1's
+        // are dropped — but the recovery-initiated GroupAbort (no actor)
+        // would always be kept.
+        let journal = Journal::new();
+        let mut sink = SampleSink::new(journal.clone(), 2);
+        for rec in fixture() {
+            sink.record(rec);
+        }
+        let kept = journal.snapshot();
+        assert!(!kept.is_empty());
+        assert!(kept
+            .iter()
+            .all(|r| r.event.pid().map(|p| p.0 % 2 == 0).unwrap_or(true)));
+        // P2's full chain survived: blocked, admitted, aborted.
+        assert!(kept.len() >= 4);
+        assert_eq!(sink.dropped() as usize, fixture().len() - kept.len());
+        // n == 1 keeps everything.
+        let all = Journal::new();
+        let mut keep_all = SampleSink::new(all.clone(), 1);
+        for rec in fixture() {
+            keep_all.record(rec);
+        }
+        assert_eq!(all.len(), fixture().len());
     }
 
     #[test]

@@ -79,6 +79,7 @@ use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId, ServiceId};
 use txproc_core::protocol::Admission;
 use txproc_core::schedule::{Event, Schedule};
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
+use txproc_core::telemetry::{Counter, Gauge, Phase, Telemetry};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
 use txproc_sim::metrics::{Metrics, RuntimeMetrics, ShardMetrics};
 use txproc_sim::workload::Workload;
@@ -368,6 +369,9 @@ struct RunCtx<'r, 'a> {
     /// position in the merged schedule.
     tickets: &'r AtomicU64,
     trace: &'r TraceShared<'a>,
+    /// Telemetry handle shared by all workers (run-queue delay phase and
+    /// per-worker instruments).
+    tele: Telemetry,
     run_start: Instant,
     /// Arrival offset per process in microseconds (one virtual tick of the
     /// workload's arrival model = 1µs here). All zeros for closed arrivals.
@@ -401,10 +405,16 @@ struct Shard<'a> {
     notifies: AtomicU64,
     wakeups: AtomicU64,
     spurious_wakeups: AtomicU64,
+    /// Telemetry handle for the lock-wait / lock-hold phase timers (off by
+    /// default: one branch per lock operation).
+    tele: Telemetry,
+    /// Per-shard lock-wait counter for the live view (`txproc top`).
+    tele_lock_wait: Counter,
 }
 
 impl<'a> Shard<'a> {
-    fn new(id: u32, state: ShardState<'a>) -> Self {
+    fn new(id: u32, state: ShardState<'a>, tele: Telemetry) -> Self {
+        let tele_lock_wait = tele.counter("lock_wait_ns_total", &[("shard", id.to_string())]);
         Self {
             id,
             state: Mutex::new(state),
@@ -414,6 +424,8 @@ impl<'a> Shard<'a> {
             notifies: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
             spurious_wakeups: AtomicU64::new(0),
+            tele,
+            tele_lock_wait,
         }
     }
 
@@ -422,8 +434,10 @@ impl<'a> Shard<'a> {
     fn lock(&self) -> ShardGuard<'_, 'a> {
         let t0 = Instant::now();
         let guard = self.state.lock();
-        self.lock_wait_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let waited = t0.elapsed().as_nanos() as u64;
+        self.lock_wait_ns.fetch_add(waited, Ordering::Relaxed);
+        self.tele.phase_ns(Phase::LockWait, waited);
+        self.tele_lock_wait.add(waited);
         ShardGuard {
             guard,
             shard: self,
@@ -503,6 +517,9 @@ impl Drop for ShardGuard<'_, '_> {
         self.shard
             .lock_hold_ns
             .fetch_add(held.as_nanos() as u64, Ordering::Relaxed);
+        self.shard
+            .tele
+            .phase_ns(Phase::LockHold, held.as_nanos() as u64);
     }
 }
 
@@ -553,6 +570,17 @@ struct ShardState<'a> {
     /// length: the verdict is a pure function of the history, so re-polls at
     /// the same length are the same decision, not a new one.
     cert_fail_notes: Vec<(Event, usize)>,
+    /// Telemetry handle for the certify / policy / 2PC / compensation phase
+    /// timers (off by default).
+    tele: Telemetry,
+    /// Per-shard instruments for the live view: emitted history events and
+    /// committed processes.
+    tele_events: Counter,
+    tele_committed: Counter,
+    /// Prepare instants of in-flight deferred commits, populated only while
+    /// telemetry is enabled (so the disabled path stays byte-identical):
+    /// feeds the 2PC prepare→decide phase histogram.
+    prepared_at: BTreeMap<ProcessId, Instant>,
 }
 
 /// A failure-injected ("simulated") agent invocation to run after the
@@ -582,6 +610,7 @@ impl<'a> ShardState<'a> {
         self.history.push(event);
         self.event_tickets.push(ticket);
         self.generation += 1;
+        self.tele_events.inc();
     }
 
     fn trace(&mut self, ctx: &RunCtx<'_, 'a>, event: TraceEvent) {
@@ -660,24 +689,27 @@ impl<'a> ShardState<'a> {
         if !self.certify {
             return true;
         }
-
-        if let Some(inc) = &mut self.incremental {
+        let t0 = self.tele.phase_start();
+        let ok = if let Some(inc) = &mut self.incremental {
             for e in &self.history.events()[inc.len()..] {
                 inc.record(e).expect("emitted history event is legal");
             }
-            return match inc.certify(&event) {
+            match inc.certify(&event) {
                 Ok(verdict) => verdict.reducible,
                 Err(_) => false,
-            };
-        }
-        let mut candidate = self.history.clone();
-        candidate.push(event);
-        match txproc_core::completion::complete(&self.workload.spec, &candidate) {
-            Ok(completed) => {
-                txproc_core::reduction::reduce(&self.workload.spec, &completed).reducible
             }
-            Err(_) => false,
-        }
+        } else {
+            let mut candidate = self.history.clone();
+            candidate.push(event);
+            match txproc_core::completion::complete(&self.workload.spec, &candidate) {
+                Ok(completed) => {
+                    txproc_core::reduction::reduce(&self.workload.spec, &completed).reducible
+                }
+                Err(_) => false,
+            }
+        };
+        self.tele.phase_end(Phase::Certify, t0);
+        ok
     }
 
     /// Attempts every granted-but-unapplied deferred release. Releases whose
@@ -703,6 +735,10 @@ impl<'a> ShardState<'a> {
                 continue;
             }
             self.pending_release.remove(&pj);
+            if let Some(t0) = self.prepared_at.remove(&pj) {
+                self.tele
+                    .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
+            }
             ctx.agents[&sid].lock().release(inv).expect("prepared");
             self.emit(ctx, Event::Execute(gid));
             self.policy.record_deferred_released(gid);
@@ -780,6 +816,22 @@ pub fn run_concurrent_traced<'a>(
     cfg: ConcurrentConfig,
     sink: Box<dyn TraceSink + 'a>,
 ) -> ConcurrentResult {
+    run_concurrent_instrumented(workload, cfg, sink, Telemetry::off())
+}
+
+/// Same as [`run_concurrent_traced`], additionally feeding the telemetry
+/// registry behind `tele`: scoped phase timers (certify / policy / lock wait
+/// / lock hold / queue delay / 2PC / compensation) and per-shard/per-worker
+/// instruments. A disabled handle ([`Telemetry::off`]) makes this identical
+/// to `run_concurrent_traced` — no clock reads, no allocation, one branch
+/// per instrumented site (the `NoopSink` discipline), and bit-identical
+/// histories and metrics.
+pub fn run_concurrent_instrumented<'a>(
+    workload: &'a Workload,
+    cfg: ConcurrentConfig,
+    sink: Box<dyn TraceSink + 'a>,
+    tele: Telemetry,
+) -> ConcurrentResult {
     if let Err(msg) = cfg.validate(workload.spec.processes().count()) {
         panic!("invalid concurrent configuration: {msg}");
     }
@@ -848,7 +900,12 @@ pub fn run_concurrent_traced<'a>(
                     stalled_releases: Vec::new(),
                     block_notes: BTreeMap::new(),
                     cert_fail_notes: Vec::new(),
+                    tele: tele.clone(),
+                    tele_events: tele.counter("events_total", &[("shard", i.to_string())]),
+                    tele_committed: tele.counter("committed_total", &[("shard", i.to_string())]),
+                    prepared_at: BTreeMap::new(),
                 },
+                tele.clone(),
             )
         })
         .collect();
@@ -881,6 +938,7 @@ pub fn run_concurrent_traced<'a>(
         agents: &agents,
         tickets: &tickets,
         trace: &trace,
+        tele: tele.clone(),
         run_start: Instant::now(),
         arrivals,
         live_now: AtomicU64::new(0),
@@ -914,10 +972,11 @@ pub fn run_concurrent_traced<'a>(
             std::thread::scope(|scope| {
                 let handles: Vec<_> = per_worker
                     .into_iter()
-                    .map(|owned| {
+                    .enumerate()
+                    .map(|(widx, owned)| {
                         let shards = &shards;
                         let ctx = &ctx;
-                        scope.spawn(move || event_worker(ctx, shards, owned))
+                        scope.spawn(move || event_worker(ctx, shards, owned, widx))
                     })
                     .collect();
                 for h in handles {
@@ -962,6 +1021,13 @@ pub fn run_concurrent_traced<'a>(
         history.push(e);
     }
     metrics.makespan = makespan_us;
+    debug_assert!(
+        runtime_metrics
+            .invariant_violations(Some(makespan_us.saturating_mul(1000)))
+            .is_empty(),
+        "runtime metrics invariants violated: {:?}",
+        runtime_metrics.invariant_violations(Some(makespan_us.saturating_mul(1000)))
+    );
     metrics.runtime = Some(runtime_metrics);
     ConcurrentResult { history, metrics }
 }
@@ -1010,6 +1076,9 @@ struct ShardSched {
     /// effect the thread runtime gets from waiters sleeping through a burst
     /// of notifies.
     dirty: bool,
+    /// Live telemetry gauge mirroring `run_queue.len() + waiting.len()`
+    /// (no-op when telemetry is disabled).
+    depth: Gauge,
 }
 
 impl ShardSched {
@@ -1028,6 +1097,9 @@ impl ShardSched {
             sm: members.iter().map(|&pid| (pid, ProcSM::new())).collect(),
             live: 0,
             dirty: false,
+            depth: ctx
+                .tele
+                .gauge("run_queue_depth", &[("shard", index.to_string())]),
         }
     }
 
@@ -1079,8 +1151,12 @@ fn event_worker<'a>(
     ctx: &RunCtx<'_, 'a>,
     shards: &[Shard<'a>],
     mut owned: Vec<ShardSched>,
+    widx: usize,
 ) -> RuntimeMetrics {
     let mut rt = RuntimeMetrics::new(RuntimeKind::Events.label(), 1);
+    let worker_steps = ctx
+        .tele
+        .counter("worker_steps_total", &[("worker", widx.to_string())]);
     loop {
         let mut all_done = true;
         let mut progressed = false;
@@ -1132,7 +1208,9 @@ fn event_worker<'a>(
                     sched.requeue_one_waiter();
                     continue;
                 };
-                rt.record_delay_ns(enqueued.elapsed().as_nanos() as u64);
+                let delay_ns = enqueued.elapsed().as_nanos() as u64;
+                rt.record_delay_ns(delay_ns);
+                ctx.tele.phase_ns(Phase::QueueDelay, delay_ns);
                 // Run-to-block: keep stepping the dequeued process until it
                 // waits, terminates, or exhausts the pass budget. Rotating
                 // after every step would interleave all live processes
@@ -1144,6 +1222,7 @@ fn event_worker<'a>(
                 loop {
                     budget -= 1;
                     rt.steps += 1;
+                    worker_steps.inc();
                     let t0 = Instant::now();
                     let mut g = shard.lock();
                     let gen0 = g.generation;
@@ -1201,9 +1280,9 @@ fn event_worker<'a>(
                         }
                     }
                 }
-                rt.run_queue_peak = rt
-                    .run_queue_peak
-                    .max((sched.run_queue.len() + sched.waiting.len()) as u64);
+                let depth = (sched.run_queue.len() + sched.waiting.len()) as u64;
+                rt.run_queue_peak = rt.run_queue_peak.max(depth);
+                sched.depth.set(depth);
             }
             if !sched.run_queue.is_empty() {
                 progressed = true;
@@ -1392,10 +1471,12 @@ fn advance<'a>(
             return Step::Wait;
         }
         let (sid, inv) = g.invocations[&gid];
+        let t0 = g.tele.phase_start();
         let outcome = ctx.agents[&sid]
             .lock()
             .compensate(inv)
             .expect("subsystem up");
+        g.tele.phase_end(Phase::Compensation, t0);
         return match outcome {
             InvokeOutcome::Committed { .. } => {
                 if ctx.trace.enabled {
@@ -1422,7 +1503,10 @@ fn advance<'a>(
     }
     // Commit.
     if g.states[&pid].can_commit() {
-        return match g.policy.can_commit(pid) {
+        let t0 = g.tele.phase_start();
+        let verdict = g.policy.can_commit(pid);
+        g.tele.phase_end(Phase::Policy, t0);
+        return match verdict {
             Ok(()) if !g.certified_traced(ctx, Event::Commit(pid)) => Step::Wait,
             Ok(()) => {
                 g.states
@@ -1470,7 +1554,10 @@ fn step_activity<'a>(
     let admission = if in_completion {
         Admission::Allow
     } else {
-        g.policy.request(pid, gid, svc)
+        let t0 = g.tele.phase_start();
+        let admission = g.policy.request(pid, gid, svc);
+        g.tele.phase_end(Phase::Policy, t0);
+        admission
     };
     let (mode, blockers) = match admission {
         Admission::Allow => (CommitMode::Immediate, Vec::new()),
@@ -1584,6 +1671,9 @@ fn step_activity<'a>(
             let edges_added = g.policy.record_executed(gid, true);
             g.pending_release
                 .insert(pid, (gid, a, site.subsystem, invocation));
+            if g.tele.enabled() {
+                g.prepared_at.insert(pid, Instant::now());
+            }
             g.metrics.deferred_commits += 1;
             g.clear_block_note(pid);
             if ctx.trace.enabled {
@@ -1614,6 +1704,7 @@ fn finalize<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, pid: ProcessId
     let released = match status {
         ProcessStatus::Committed => {
             g.metrics.committed += 1;
+            g.tele_committed.inc();
             g.clear_block_note(pid);
             if ctx.trace.enabled {
                 g.trace(ctx, TraceEvent::ProcessCommitted { pid });
@@ -1670,6 +1761,10 @@ fn cascade_abort<'a>(ctx: &RunCtx<'_, 'a>, g: &mut ShardGuard<'_, 'a>, v: Proces
         );
     }
     if let Some((gid, _a, sid, inv)) = g.pending_release.remove(&v) {
+        if let Some(t0) = g.prepared_at.remove(&v) {
+            g.tele
+                .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
+        }
         ctx.agents[&sid]
             .lock()
             .abort_prepared(inv)
@@ -1724,6 +1819,10 @@ fn initiate_abort<'a>(
     }
     if g.states[&pid].is_active() && !g.states[&pid].abort_in_progress() {
         if let Some((gid, _a, sid, inv)) = g.pending_release.remove(&pid) {
+            if let Some(t0) = g.prepared_at.remove(&pid) {
+                g.tele
+                    .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
+            }
             ctx.agents[&sid]
                 .lock()
                 .abort_prepared(inv)

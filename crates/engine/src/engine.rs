@@ -18,14 +18,17 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 use txproc_core::activity::Termination;
 use txproc_core::ids::{ActivityId, GlobalActivityId, ProcessId};
 use txproc_core::protocol::Admission;
 use txproc_core::schedule::Schedule;
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
+use txproc_core::telemetry::{Phase, Telemetry};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
 use txproc_sim::clock::{EventQueue, SimTime};
 use txproc_sim::metrics::Metrics;
+use txproc_sim::timeseries::TimeSeries;
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
 use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
@@ -153,6 +156,20 @@ pub struct Engine<'a> {
     /// Virtual time at which each currently blocked process entered its
     /// wait, for the per-process blocked-time metric.
     blocked_since: BTreeMap<ProcessId, u64>,
+    /// Telemetry registry handle (disabled unless installed via
+    /// [`Engine::with_telemetry`]). Phase timers consult `tele.enabled()`
+    /// before reading the clock, so the disabled handle costs one branch —
+    /// the same discipline as the [`NoopSink`] trace path.
+    tele: Telemetry,
+    /// Wall instant at which each process's deferred invocation prepared;
+    /// populated only while telemetry is enabled (disabled runs stay
+    /// byte-identical). Drives the [`Phase::TwoPc`] prepare→decide gap.
+    prepared_at: BTreeMap<ProcessId, Instant>,
+    /// Virtual-time sampling: every `K` processed events, snapshot the
+    /// registry into the ring (installed via [`Engine::with_sampling`]).
+    sampling: Option<(u64, TimeSeries)>,
+    /// Processed (non-stale) dispatch events, for the sampling cadence.
+    events_processed: u64,
 }
 
 /// One durable invocation-log entry: enough to find the subsystem
@@ -232,6 +249,10 @@ impl<'a> Engine<'a> {
             sink,
             trace_seq: 0,
             blocked_since: BTreeMap::new(),
+            tele: Telemetry::off(),
+            prepared_at: BTreeMap::new(),
+            sampling: None,
+            events_processed: 0,
         };
         // Closed arrivals keep the config's `arrival_gap` staggering; open
         // models (Poisson / Burst) take their times from the workload.
@@ -257,6 +278,22 @@ impl<'a> Engine<'a> {
             at += cfg.arrival_gap;
         }
         engine
+    }
+
+    /// Installs a telemetry handle: phase timers (certify / policy /
+    /// compensation / 2PC prepare→decide) feed its registry. With a
+    /// disabled handle the hot paths cost one branch and read no clocks.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
+    }
+
+    /// Samples the telemetry registry into `series` every `every_events`
+    /// processed dispatch events, stamped with the virtual clock. No-op
+    /// while telemetry is disabled.
+    pub fn with_sampling(mut self, every_events: u64, series: TimeSeries) -> Self {
+        self.sampling = Some((every_events.max(1), series));
+        self
     }
 
     /// The emitted history so far.
@@ -392,6 +429,14 @@ impl<'a> Engine<'a> {
                 continue; // stale
             }
             self.now = time;
+            self.events_processed += 1;
+            if let Some((every, series)) = &self.sampling {
+                if self.events_processed.is_multiple_of(*every) {
+                    if let Some(snap) = self.tele.snapshot() {
+                        series.push_virtual(self.now.0, snap);
+                    }
+                }
+            }
             let before = (
                 self.history.len(),
                 self.invocation_log.len(),
@@ -484,6 +529,13 @@ impl<'a> Engine<'a> {
         if !self.certify {
             return true;
         }
+        let t0 = self.tele.phase_start();
+        let ok = self.certified_ok_inner(event);
+        self.tele.phase_end(Phase::Certify, t0);
+        ok
+    }
+
+    fn certified_ok_inner(&self, event: txproc_core::schedule::Event) -> bool {
         if let Some(cell) = &self.incremental {
             let mut inc = cell.borrow_mut();
             // Absorb history events emitted since the last certification;
@@ -595,7 +647,10 @@ impl<'a> Engine<'a> {
             panic!("compensating an unknown invocation {gid}");
         };
         let agent = self.agents.get_mut(&sid).expect("agent exists");
-        match agent.compensate(invocation).expect("subsystem up") {
+        let t0 = self.tele.phase_start();
+        let outcome = agent.compensate(invocation).expect("subsystem up");
+        self.tele.phase_end(Phase::Compensation, t0);
+        match outcome {
             InvokeOutcome::Committed { .. } => {
                 if self.tracing() {
                     let service = self.workload.spec.process(pid).expect("known").service(a);
@@ -657,7 +712,10 @@ impl<'a> Engine<'a> {
                 }
             }
         } else {
-            self.policy.request(pid, gid, svc)
+            let t0 = self.tele.phase_start();
+            let admission = self.policy.request(pid, gid, svc);
+            self.tele.phase_end(Phase::Policy, t0);
+            admission
         };
         match admission {
             Admission::Allow => self.execute_forward(pid, a, CommitMode::Immediate, Vec::new()),
@@ -828,6 +886,9 @@ impl<'a> Engine<'a> {
                     },
                 );
                 self.metrics.deferred_commits += 1;
+                if self.tele.enabled() {
+                    self.prepared_at.insert(pid, Instant::now());
+                }
                 self.mark_blocked(pid);
                 self.waiting.insert(pid, Waiting::OnRelease);
             }
@@ -918,7 +979,10 @@ impl<'a> Engine<'a> {
     }
 
     fn try_commit(&mut self, pid: ProcessId) {
-        match self.policy.can_commit(pid) {
+        let t0 = self.tele.phase_start();
+        let verdict = self.policy.can_commit(pid);
+        self.tele.phase_end(Phase::Policy, t0);
+        match verdict {
             Ok(()) if !self.certified_traced(txproc_core::schedule::Event::Commit(pid)) => {
                 self.cert_failure_backoff(pid);
             }
@@ -990,6 +1054,10 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let pending = self.pending_release.remove(&pj).expect("checked");
+            if let Some(t0) = self.prepared_at.remove(&pj) {
+                self.tele
+                    .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
+            }
             debug_assert!(gids.contains(&pending.gid));
             let participants = vec![Participant {
                 subsystem: pending.subsystem,
@@ -1138,6 +1206,10 @@ impl<'a> Engine<'a> {
         // Abort a prepared (deferred) invocation first: it vanishes
         // atomically, leaving the process backward-recoverable.
         if let Some(pending) = self.pending_release.remove(&pid) {
+            if let Some(t0) = self.prepared_at.remove(&pid) {
+                self.tele
+                    .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
+            }
             let agent = self.agents.get_mut(&pending.subsystem).expect("agent");
             agent
                 .abort_prepared(pending.invocation)

@@ -1,0 +1,169 @@
+//! Telemetry-subsystem contracts against real driver runs: a disabled
+//! registry is observationally free (bit-identical schedules and metrics),
+//! an enabled one captures every hot-path phase, and the exports
+//! (Prometheus text, time-series JSON) round-trip on live output.
+
+use txproc_core::schedule::render;
+use txproc_core::telemetry::{prometheus_text, Phase, Telemetry};
+use txproc_core::trace::NoopSink;
+use txproc_engine::concurrent::{run_concurrent_instrumented, ConcurrentConfig};
+use txproc_engine::engine::{Engine, RunConfig};
+use txproc_sim::timeseries::{from_json, TimeSeries};
+use txproc_sim::workload::{generate, Workload, WorkloadConfig};
+
+fn workload(seed: u64, processes: usize) -> Workload {
+    generate(&WorkloadConfig {
+        seed,
+        processes,
+        conflict_density: 0.4,
+        failure_probability: 0.15,
+        ..WorkloadConfig::default()
+    })
+}
+
+#[test]
+fn disabled_telemetry_is_bit_identical_on_engine() {
+    for seed in [4u64, 11] {
+        let w = workload(seed, 6);
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let plain = Engine::new(&w, cfg.clone()).run();
+        let off = Engine::new(&w, cfg).with_telemetry(Telemetry::off()).run();
+        assert_eq!(
+            render(&plain.history),
+            render(&off.history),
+            "seed {seed}: a disabled registry perturbed the schedule"
+        );
+        assert_eq!(
+            plain.metrics, off.metrics,
+            "seed {seed}: a disabled registry perturbed the metrics"
+        );
+    }
+}
+
+#[test]
+fn enabled_telemetry_does_not_perturb_engine_outcome() {
+    // Phase timers read clocks but must not change scheduling decisions:
+    // the virtual-time engine is deterministic, so history and metrics
+    // stay bit-identical even with the registry live.
+    for seed in [4u64, 11] {
+        let w = workload(seed, 6);
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let plain = Engine::new(&w, cfg.clone()).run();
+        let tele = Telemetry::on();
+        let on = Engine::new(&w, cfg).with_telemetry(tele.clone()).run();
+        assert_eq!(render(&plain.history), render(&on.history), "seed {seed}");
+        assert_eq!(plain.metrics, on.metrics, "seed {seed}");
+        let snap = tele.snapshot().expect("enabled registry snapshots");
+        let certify = snap.phase(Phase::Certify).expect("certify phase present");
+        assert!(certify.count > 0, "seed {seed}: no certify intervals");
+    }
+}
+
+#[test]
+fn disabled_telemetry_is_bit_identical_on_single_process_concurrent() {
+    // The concurrent driver is only deterministic with one process; that is
+    // enough to pin the disabled path to zero observable effect.
+    let w = workload(5, 1);
+    let run = |tele: Telemetry| {
+        let r = run_concurrent_instrumented(
+            &w,
+            ConcurrentConfig {
+                seed: 5,
+                ..ConcurrentConfig::default()
+            },
+            Box::new(NoopSink),
+            tele,
+        );
+        (render(&r.history), r.metrics.committed, r.metrics.aborted)
+    };
+    assert_eq!(
+        run(Telemetry::off()),
+        run(Telemetry::off()),
+        "disabled concurrent runs diverge"
+    );
+}
+
+#[test]
+fn enabled_telemetry_captures_concurrent_phases() {
+    let w = workload(3, 8);
+    let tele = Telemetry::on();
+    let r = run_concurrent_instrumented(
+        &w,
+        ConcurrentConfig {
+            seed: 3,
+            ..ConcurrentConfig::default()
+        },
+        Box::new(NoopSink),
+        tele.clone(),
+    );
+    assert!(r.metrics.committed + r.metrics.aborted > 0);
+    let snap = tele.snapshot().expect("enabled registry snapshots");
+    for phase in [
+        Phase::Certify,
+        Phase::Policy,
+        Phase::LockWait,
+        Phase::LockHold,
+    ] {
+        let p = snap.phase(phase).expect("phase accumulator present");
+        assert!(p.count > 0, "{}: no intervals recorded", p.phase);
+        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.max_ns, "{}", p.phase);
+    }
+    // Per-shard instruments agree with the run's own metrics.
+    let committed: u64 = snap
+        .instruments
+        .iter()
+        .filter(|i| i.name == "committed_total")
+        .map(|i| i.value)
+        .sum();
+    assert_eq!(committed, r.metrics.committed);
+    let events: u64 = snap
+        .instruments
+        .iter()
+        .filter(|i| i.name == "events_total")
+        .map(|i| i.value)
+        .sum();
+    assert_eq!(events, r.history.len() as u64);
+}
+
+#[test]
+fn exports_round_trip_on_live_run() {
+    let w = workload(4, 6);
+    let tele = Telemetry::on();
+    let series = TimeSeries::new(64);
+    let _ = Engine::new(
+        &w,
+        RunConfig {
+            seed: 4,
+            ..RunConfig::default()
+        },
+    )
+    .with_telemetry(tele.clone())
+    .with_sampling(8, series.clone())
+    .run();
+
+    let snap = tele.snapshot().expect("snapshot");
+    let prom = prometheus_text(&snap);
+    assert!(prom.contains("# TYPE txproc_phase_duration_ns histogram"));
+    assert!(prom.contains("txproc_phase_duration_ns_count{phase=\"certify\"}"));
+    assert!(prom.contains("txproc_uptime_ns"));
+
+    assert!(!series.is_empty(), "virtual-time sampling recorded nothing");
+    let doc = from_json(&series.to_json()).expect("series JSON parses back");
+    assert_eq!(doc.schema, "txproc-timeseries/v1");
+    assert_eq!(doc.samples.len(), series.len());
+    // Virtual timestamps are monotone non-decreasing along the ring.
+    let stamps: Vec<Option<u64>> = doc.samples.iter().map(|s| s.virtual_time).collect();
+    assert!(
+        stamps.iter().all(Option::is_some),
+        "engine samples carry vt"
+    );
+    let mut sorted = stamps.clone();
+    sorted.sort_unstable();
+    assert_eq!(stamps, sorted, "sample timestamps out of order");
+}

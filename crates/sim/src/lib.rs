@@ -9,7 +9,9 @@
 //!   structure controlled by `conflict_density`,
 //! * [`metrics`] — counters and latency statistics collected per run,
 //! * [`scenario`] — named adversarial workload shapes with machine-checked
-//!   acceptance envelopes, shared by the benchmark and the gauntlet.
+//!   acceptance envelopes, shared by the benchmark and the gauntlet,
+//! * [`timeseries`] — bounded sample ring + background sampler over the
+//!   `txproc_core::telemetry` registry, with JSON export.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -17,9 +19,11 @@
 pub mod clock;
 pub mod metrics;
 pub mod scenario;
+pub mod timeseries;
 pub mod workload;
 
 pub use clock::{EventQueue, SimTime};
 pub use metrics::{Metrics, RuntimeMetrics, ShardMetrics};
 pub use scenario::{Envelope, Scenario};
+pub use timeseries::{Sample, Sampler, TimeSeries};
 pub use workload::{generate, try_generate, Workload, WorkloadConfig, WorkloadError};

@@ -111,6 +111,11 @@ pub struct RuntimeMetrics {
     /// Log₂ histogram of scheduling delays in nanoseconds: bucket `i`
     /// counts delays in `[2^i, 2^(i+1))`.
     pub sched_delay_ns: Vec<u64>,
+    /// Number of scheduling-delay samples recorded. Kept explicitly so the
+    /// invariant *histogram mass = sample count* is checkable after merges
+    /// (absent in pre-v6 reports and defaulted on read).
+    #[serde(default)]
+    pub sched_delay_samples: u64,
 }
 
 impl RuntimeMetrics {
@@ -135,6 +140,7 @@ impl RuntimeMetrics {
             (63 - ns.leading_zeros() as usize).min(SCHED_DELAY_BUCKETS - 1)
         };
         self.sched_delay_ns[bucket] += 1;
+        self.sched_delay_samples += 1;
     }
 
     /// Scheduling-delay percentile (0.0..=1.0) in nanoseconds, resolved to
@@ -152,7 +158,62 @@ impl RuntimeMetrics {
                 return Some(1u64 << (i + 1).min(63));
             }
         }
-        None
+        // Unreachable when rank < total, but resolve to the top non-empty
+        // bucket rather than pretending the histogram was empty.
+        self.delay_max_ns()
+    }
+
+    /// Upper edge of the highest non-empty delay bucket (the histogram's
+    /// resolution of the maximum sample), `None` when no samples exist.
+    pub fn delay_max_ns(&self) -> Option<u64> {
+        self.sched_delay_ns
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| 1u64 << (i + 1).min(63))
+    }
+
+    /// Checks the aggregation invariants this structure promises and returns
+    /// a human-readable description of each violation (empty = all hold):
+    ///
+    /// 1. histogram mass = sample count (`sched_delay_samples`);
+    /// 2. quantile monotonicity: p50 ≤ p95 ≤ max;
+    /// 3. when the run's wall-clock duration is known: busy + idle time does
+    ///    not exceed `workers × wall` (5% slack for timer skew — idle only
+    ///    counts intentional naps, so the sum is one-sided).
+    ///
+    /// Drivers `debug_assert!` on this after merging per-worker metrics.
+    pub fn invariant_violations(&self, wall_ns: Option<u64>) -> Vec<String> {
+        let mut bad = Vec::new();
+        let mass: u64 = self.sched_delay_ns.iter().sum();
+        if mass != self.sched_delay_samples {
+            bad.push(format!(
+                "histogram mass {mass} != sample count {}",
+                self.sched_delay_samples
+            ));
+        }
+        if let (Some(p50), Some(p95), Some(max)) = (
+            self.delay_percentile_ns(0.50),
+            self.delay_percentile_ns(0.95),
+            self.delay_max_ns(),
+        ) {
+            if p50 > p95 || p95 > max {
+                bad.push(format!(
+                    "delay quantiles not monotone: p50 {p50} / p95 {p95} / max {max}"
+                ));
+            }
+        }
+        if let Some(wall) = wall_ns {
+            let accounted = self.worker_busy_ns + self.worker_idle_ns;
+            let budget = self.workers.saturating_mul(wall);
+            if accounted as f64 > budget as f64 * 1.05 + 1_000_000.0 {
+                bad.push(format!(
+                    "busy+idle {accounted}ns exceeds workers×wall {budget}ns \
+                     ({} workers × {wall}ns)",
+                    self.workers
+                ));
+            }
+        }
+        bad
     }
 
     /// Fraction of worker wall-clock time spent stepping state machines.
@@ -183,6 +244,12 @@ impl RuntimeMetrics {
         for (i, &n) in other.sched_delay_ns.iter().enumerate() {
             self.sched_delay_ns[i] += n;
         }
+        self.sched_delay_samples += other.sched_delay_samples;
+        debug_assert_eq!(
+            self.sched_delay_ns.iter().sum::<u64>(),
+            self.sched_delay_samples,
+            "merge broke histogram mass = sample count"
+        );
     }
 }
 

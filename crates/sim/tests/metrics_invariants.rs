@@ -1,0 +1,116 @@
+//! Property tests for the metrics aggregation invariants: histogram mass =
+//! sample count, quantile monotonicity (p50 ≤ p95 ≤ max), worker time
+//! accounting (busy + idle ≤ workers × wall), and merge additivity across
+//! per-worker and per-shard partitions.
+
+use proptest::prelude::*;
+use txproc_sim::metrics::{Metrics, RuntimeMetrics, ShardMetrics, SCHED_DELAY_BUCKETS};
+
+proptest! {
+    #[test]
+    fn histogram_mass_equals_sample_count(samples in proptest::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let mut rt = RuntimeMetrics::new("events", 4);
+        for ns in &samples {
+            rt.record_delay_ns(*ns);
+        }
+        prop_assert_eq!(rt.sched_delay_ns.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(rt.sched_delay_samples, samples.len() as u64);
+        prop_assert!(rt.invariant_violations(None).is_empty(),
+            "violations: {:?}", rt.invariant_violations(None));
+    }
+
+    #[test]
+    fn delay_quantiles_are_monotone(samples in proptest::collection::vec(0u64..1u64 << 40, 1..200)) {
+        let mut rt = RuntimeMetrics::new("events", 1);
+        for ns in &samples {
+            rt.record_delay_ns(*ns);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let resolved: Vec<u64> = qs
+            .iter()
+            .map(|&q| rt.delay_percentile_ns(q).expect("non-empty histogram"))
+            .collect();
+        for w in resolved.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", resolved);
+        }
+        let max = rt.delay_max_ns().unwrap();
+        prop_assert!(*resolved.last().unwrap() <= max);
+        // The resolved max is the true max at log2-bucket resolution: within
+        // one power of two above the largest sample.
+        let true_max = *samples.iter().max().unwrap();
+        prop_assert!(max >= true_max.min(1u64 << (SCHED_DELAY_BUCKETS as u32)),
+            "max edge {} below true max {}", max, true_max);
+    }
+
+    #[test]
+    fn merge_preserves_mass_and_monotone_quantiles(
+        a in proptest::collection::vec(0u64..1u64 << 30, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 30, 0..100),
+    ) {
+        let mut ra = RuntimeMetrics::new("events", 2);
+        let mut rb = RuntimeMetrics::new("events", 3);
+        for ns in &a { ra.record_delay_ns(*ns); }
+        for ns in &b { rb.record_delay_ns(*ns); }
+        ra.merge(&rb);
+        prop_assert_eq!(ra.sched_delay_samples, (a.len() + b.len()) as u64);
+        prop_assert_eq!(ra.sched_delay_ns.iter().sum::<u64>(), ra.sched_delay_samples);
+        prop_assert!(ra.invariant_violations(None).is_empty());
+    }
+
+    #[test]
+    fn worker_time_accounting_holds_within_wall_budget(
+        workers in 1u64..16,
+        wall_ns in 1u64..1u64 << 40,
+        busy_frac in 0.0f64..1.0,
+        idle_frac in 0.0f64..1.0,
+    ) {
+        // Partition each worker's wall into busy/idle/untimed; the recorded
+        // busy+idle can never exceed workers × wall.
+        let split = busy_frac.min(idle_frac);
+        let busy = (wall_ns as f64 * split) as u64;
+        let idle = (wall_ns as f64 * (busy_frac.max(idle_frac) - split)) as u64;
+        let mut rt = RuntimeMetrics::new("events", workers);
+        rt.worker_busy_ns = busy * workers;
+        rt.worker_idle_ns = idle * workers;
+        prop_assert!(rt.invariant_violations(Some(wall_ns)).is_empty(),
+            "violations: {:?}", rt.invariant_violations(Some(wall_ns)));
+        // And the check actually fires when accounting is broken.
+        let mut broken = rt.clone();
+        broken.worker_busy_ns = workers * wall_ns * 2 + 10_000_000;
+        prop_assert!(!broken.invariant_violations(Some(wall_ns)).is_empty());
+    }
+
+    #[test]
+    fn shard_merge_totals_are_additive(
+        shards_a in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000), 0..8),
+        shards_b in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000), 0..8),
+    ) {
+        let build = |specs: &[(u64, u64, u64, u64)], base: u32| Metrics {
+            shards: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(wait, hold, wake, spurious))| ShardMetrics {
+                    shard: base + i as u32,
+                    lock_wait_ns: wait,
+                    lock_hold_ns: hold,
+                    wakeups: wake,
+                    spurious_wakeups: spurious,
+                    ..ShardMetrics::default()
+                })
+                .collect(),
+            ..Metrics::new()
+        };
+        let mut a = build(&shards_a, 0);
+        let b = build(&shards_b, shards_a.len() as u32);
+        let expect_wait = a.lock_wait_total_ns() + b.lock_wait_total_ns();
+        let expect_hold = a.lock_hold_total_ns() + b.lock_hold_total_ns();
+        let expect_wake = a.wakeups_total() + b.wakeups_total();
+        let expect_spurious = a.spurious_wakeups_total() + b.spurious_wakeups_total();
+        a.merge(&b);
+        prop_assert_eq!(a.shards.len(), shards_a.len() + shards_b.len());
+        prop_assert_eq!(a.lock_wait_total_ns(), expect_wait);
+        prop_assert_eq!(a.lock_hold_total_ns(), expect_hold);
+        prop_assert_eq!(a.wakeups_total(), expect_wake);
+        prop_assert_eq!(a.spurious_wakeups_total(), expect_spurious);
+    }
+}
