@@ -4,9 +4,11 @@
 //! ```text
 //! txproc simulate  [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy pred|pred-wait|pred-protocol|serial|conservative|unsafe-cc]
-//!                  [--arrival-gap N] [--check]
+//!                  [--arrival-gap N] [--check] [--epoch N]
 //!                  [--runtime events|threads] [--workers N] [--shards auto|single|N]
 //!                  # --runtime switches to the wall-clock concurrent driver
+//!                  # --epoch N batches certification/commit in N-event
+//!                  # epochs (0 = per-event path, the default)
 //! txproc generate  [--seed N] [--processes N] [--density F] [--json PATH]
 //! txproc check     --scenario PATH.json        # {"spec": …, "history": …}
 //! txproc demo      fig4a|fig4b|fig7|fig9       # PRED-check a paper schedule
@@ -19,6 +21,7 @@
 //!                  [--clusters N]              # tenants in the sharding comparison
 //!                  [--runtime events|threads] [--workers N]
 //!                  [--open-processes CSV] [--open-gap US]  # Poisson open-arrival sweep
+//!                  [--epoch N]                 # epoch size of the epoch sweep entries
 //! txproc trace     [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy …] [--certifier …] [--arrival-gap N]
 //!                  [--pid N] [--kind SUBSTR]   # filter the printed journal
@@ -46,7 +49,7 @@
 //!                  # per-point throughput/latency deviations past the gate
 //! txproc gauntlet  [--seeds N] [--scenario NAME] [--policy …] [--certifier …]
 //!                  [--shards auto|single|N] [--runtime events|threads]
-//!                  [--workers N] [--json PATH]
+//!                  [--workers N] [--epoch N] [--json PATH]
 //!                  # run the named adversarial scenarios (engine + sharded
 //!                  # concurrent) through the PRED / Proc-REC checkers and
 //!                  # their acceptance envelopes; non-zero exit on failure
@@ -183,12 +186,19 @@ fn simulate_concurrent(
             shards,
             runtime,
             workers: parse_workers(args)?,
+            epoch: args.get("epoch", 0usize)?,
             ..ConcurrentConfig::default()
         },
     )?;
     println!("policy:            {}", policy.label());
     println!("runtime:           {}", runtime.label());
     println!("shards:            {}", r.metrics.shards.len());
+    if r.metrics.epoch_batches > 0 {
+        println!(
+            "epoch batches:     {} ({} events)",
+            r.metrics.epoch_batches, r.metrics.epoch_events
+        );
+    }
     println!(
         "committed/aborted: {}/{}",
         r.metrics.committed, r.metrics.aborted
@@ -235,6 +245,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         arrival_gap: args.get("arrival-gap", 0u64)?,
         check_pred: args.flag("check"),
         certifier,
+        epoch: args.get("epoch", 0usize)?,
         ..RunConfig::default()
     };
     let r = run(&w, cfg);
@@ -251,6 +262,12 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     println!("compensations:     {}", r.metrics.compensations);
     println!("retries:           {}", r.metrics.retries);
     println!("deferred commits:  {}", r.metrics.deferred_commits);
+    if r.metrics.epoch_batches > 0 {
+        println!(
+            "epoch batches:     {} ({} events)",
+            r.metrics.epoch_batches, r.metrics.epoch_events
+        );
+    }
     println!(
         "waits/rejections:  {}/{}",
         r.metrics.waits, r.metrics.rejections
@@ -415,6 +432,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     }
     cfg.open_mean_gap_us = args.get("open-gap", cfg.open_mean_gap_us)?;
     cfg.sharding_clusters = args.get("clusters", cfg.sharding_clusters)?;
+    cfg.epoch = args.get("epoch", cfg.epoch)?;
     let report = run_scheduler_bench(&cfg);
     for e in &report.runs {
         let shard = match &e.shard_mode {
@@ -849,6 +867,7 @@ fn cmd_gauntlet(args: &Args) -> Result<(), String> {
         cfg.runtime = parse_runtime(raw)?;
     }
     cfg.workers = parse_workers(args)?.or(cfg.workers);
+    cfg.epoch = args.get("epoch", cfg.epoch)?;
     let scenarios =
         match args.values.get("scenario") {
             Some(name) => vec![txproc_sim::scenario::find(name)
@@ -1013,13 +1032,15 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v6"));
+        assert!(raw.contains("txproc-bench-scheduler/v7"));
         assert!(raw.contains("pred-scan"));
         assert!(raw.contains("zipf-hotspot"));
         assert!(raw.contains("runtime_ratio"));
         assert!(raw.contains("open_runs"));
         assert!(raw.contains("\"phases\""));
         assert!(raw.contains("telemetry_overhead"));
+        assert!(raw.contains("epoch_decision"));
+        assert!(raw.contains("\"epoch\": 16"));
         std::fs::remove_file(&out).ok();
     }
 
@@ -1198,6 +1219,8 @@ mod tests {
             "6",
             "--runtime",
             "events",
+            "--epoch",
+            "8",
             "--check",
         ]);
         cmd_simulate(&events).unwrap();
@@ -1229,6 +1252,8 @@ mod tests {
             "zipf-hotspot",
             "--seeds",
             "2",
+            "--epoch",
+            "16",
             "--json",
             out.to_str().unwrap(),
         ]);
@@ -1317,6 +1342,8 @@ mod tests {
     fn simulate_and_crash_run() {
         let a = args(&["--seed", "3", "--processes", "4", "--check"]);
         cmd_simulate(&a).unwrap();
+        let epoch = args(&["--seed", "3", "--processes", "4", "--check", "--epoch", "4"]);
+        cmd_simulate(&epoch).unwrap();
         cmd_crash(&a).unwrap();
         cmd_generate(&a).unwrap();
     }

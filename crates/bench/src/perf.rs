@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 use txproc_core::domains::DomainPartition;
 use txproc_core::ids::{GlobalActivityId, ProcessId};
-use txproc_core::pred_incremental::check_pred_incremental;
+use txproc_core::pred_incremental::{check_pred_incremental, IncrementalPred};
 use txproc_core::protocol::{DeferPolicy, Protocol};
 use txproc_core::recoverability::proc_rec_violations;
 use txproc_core::schedule::{Event, Schedule};
@@ -85,6 +85,11 @@ pub struct SchedulerBenchConfig {
     pub sharding_processes: usize,
     /// Seeds per named scenario in the gauntlet section (0 skips it).
     pub gauntlet_seeds: u64,
+    /// Epoch size of the dedicated epoch sweep (group certification and
+    /// batch commit): the highest density is re-driven with this epoch under
+    /// the Pred policy on both drivers, next to per-event baselines. 0
+    /// disables the sweep.
+    pub epoch: usize,
 }
 
 impl SchedulerBenchConfig {
@@ -114,6 +119,7 @@ impl SchedulerBenchConfig {
             sharding_clusters: 8,
             sharding_processes: 128,
             gauntlet_seeds: 128,
+            epoch: 16,
         }
     }
 
@@ -207,6 +213,8 @@ pub struct BenchEntry {
     pub cert_failures: u64,
     /// Abort initiations broken down by first cause.
     pub abort_reasons: AbortReasons,
+    /// Epoch size the run used (0 = per-event path).
+    pub epoch: usize,
 }
 
 /// One events-vs-threads throughput pair at a closed sweep point (Pred
@@ -337,6 +345,31 @@ pub struct TelemetryOverheadEntry {
     pub overhead_pct: f64,
 }
 
+/// One epoch-certification amortization point (E25, schema v7): amortized
+/// per-event cost of [`certify_epoch`](txproc_core::pred_incremental::IncrementalPred::certify_epoch)
+/// over a batch of N consecutive history events, against a certifier warmed
+/// with a long high-conflict committed prefix. One scratch clone of the
+/// certifier serves the whole batch, so the clone — whose cost grows with
+/// accumulated state — amortizes over N while the per-event plan work does
+/// not.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochDecisionEntry {
+    /// Processes of the recorded workload.
+    pub processes: usize,
+    /// Conflict density of the recorded workload.
+    pub density: f64,
+    /// Events already recorded into the certifier when probed.
+    pub prefix_events: usize,
+    /// Batch size N.
+    pub epoch: usize,
+    /// Nanoseconds for one `certify_epoch` call over the batch.
+    pub ns_per_batch: f64,
+    /// Amortized nanoseconds per event (`ns_per_batch / epoch`).
+    pub ns_per_event: f64,
+    /// `ns_per_event(N = 1) / ns_per_event(N)`.
+    pub speedup_vs_single: f64,
+}
+
 /// One per-decision measurement point.
 #[derive(Debug, Clone, Serialize)]
 pub struct DecisionBenchEntry {
@@ -367,6 +400,8 @@ pub struct BenchReport {
     pub open_runs: Vec<OpenRunEntry>,
     /// Per-decision protocol cost.
     pub decision: Vec<DecisionBenchEntry>,
+    /// Epoch-certification amortization sweep (E25; schema v7).
+    pub epoch_decision: Vec<EpochDecisionEntry>,
     /// Named-scenario gauntlet results: every scenario over
     /// `config.gauntlet_seeds` seeds, engine + sharded concurrent, with
     /// PRED/Proc-REC verdicts and envelope checks.
@@ -398,7 +433,12 @@ fn bench_workload(seed: u64, processes: usize, density: f64, failures: f64) -> W
     })
 }
 
-fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) -> BenchEntry {
+fn engine_entry(
+    cfg: &SchedulerBenchConfig,
+    w: &Workload,
+    policy: PolicyKind,
+    epoch: usize,
+) -> BenchEntry {
     let t = Instant::now();
     let r = run(
         w,
@@ -407,6 +447,7 @@ fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) ->
             seed: cfg.seed,
             arrival_gap: cfg.arrival_gap,
             certifier: cfg.certifier,
+            epoch,
             ..RunConfig::default()
         },
     );
@@ -444,6 +485,7 @@ fn engine_entry(cfg: &SchedulerBenchConfig, w: &Workload, policy: PolicyKind) ->
         in_flight_peak: 0,
         sched_delay_p50_ns: None,
         sched_delay_p95_ns: None,
+        epoch,
     }
 }
 
@@ -453,6 +495,7 @@ pub(crate) fn concurrent_entry(
     policy: PolicyKind,
     shards: ShardMode,
     runtime: RuntimeKind,
+    epoch: usize,
 ) -> BenchEntry {
     let t = Instant::now();
     let r = run_concurrent(
@@ -464,6 +507,7 @@ pub(crate) fn concurrent_entry(
             shards,
             runtime,
             workers: cfg.workers,
+            epoch,
             ..ConcurrentConfig::default()
         },
     );
@@ -502,6 +546,7 @@ pub(crate) fn concurrent_entry(
         in_flight_peak: rt.map_or(0, |m| m.in_flight_peak),
         sched_delay_p50_ns: rt.and_then(|m| m.delay_percentile_ns(0.5)),
         sched_delay_p95_ns: rt.and_then(|m| m.delay_percentile_ns(0.95)),
+        epoch,
     }
 }
 
@@ -909,6 +954,74 @@ fn decision_bench(cfg: &SchedulerBenchConfig) -> Vec<DecisionBenchEntry> {
     out
 }
 
+/// E25 microbench: amortized group-certification cost. Records a
+/// failure-free high-conflict (d = 0.6) history into an [`IncrementalPred`]
+/// up to a cut near the end — committed-heavy, so the certifier's
+/// accumulated state (conflict rows, pair counts, commit bookkeeping) is
+/// large — then times `certify_epoch` on the next N consecutive history
+/// events for N ∈ {1, 4, 16, 64}. One scratch clone of the certifier serves
+/// the whole batch, so the clone cost amortizes over N while the per-event
+/// plan work does not; the amortized ns/event ratio between N = 1 and
+/// larger N is the group-certification win in isolation. The window is
+/// all-accepted by construction: the engine kept the failure-free history
+/// PRED, so every prefix is reducible and no batch is cut short.
+pub fn epoch_decision_bench(cfg: &SchedulerBenchConfig) -> Vec<EpochDecisionEntry> {
+    const BATCHES: [usize; 4] = [1, 4, 16, 64];
+    let max_batch = *BATCHES.last().expect("non-empty");
+    let processes = if cfg.smoke { 64 } else { 256 };
+    let density = 0.6;
+    let w = bench_workload(cfg.seed, processes, density, 0.0);
+    let r = run(
+        &w,
+        RunConfig {
+            policy: PolicyKind::Pred,
+            seed: cfg.seed,
+            certifier: cfg.certifier,
+            ..RunConfig::default()
+        },
+    );
+    let events = r.history.events();
+    assert!(
+        events.len() >= 2 * max_batch,
+        "epoch microbench history too short ({} events)",
+        events.len()
+    );
+    // A 7/8 cut: most processes committed (large accumulated state), with
+    // the largest batch still inside the history.
+    let cut = (events.len() - events.len() / 8).min(events.len() - max_batch);
+    let mut cert = IncrementalPred::new(&w.spec);
+    for e in &events[..cut] {
+        cert.record(e).expect("engine history prefix is legal");
+    }
+    assert!(
+        cert.certify_epoch(&events[cut..cut + max_batch])
+            .accepted_all(),
+        "failure-free PRED history window must be fully accepted"
+    );
+    let mut out = Vec::new();
+    let mut single_ns = f64::NAN;
+    for &n in &BATCHES {
+        let batch = &events[cut..cut + n];
+        let ns_per_batch = time_ns(|| {
+            std::hint::black_box(cert.certify_epoch(std::hint::black_box(batch)));
+        });
+        let ns_per_event = ns_per_batch / n as f64;
+        if n == 1 {
+            single_ns = ns_per_event;
+        }
+        out.push(EpochDecisionEntry {
+            processes,
+            density,
+            prefix_events: cut,
+            epoch: n,
+            ns_per_batch,
+            ns_per_event,
+            speedup_vs_single: single_ns / ns_per_event.max(1e-9),
+        });
+    }
+    out
+}
+
 /// Runs the full scheduler bench and assembles the report.
 pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
     let mut runs = Vec::new();
@@ -918,8 +1031,15 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         for &n in &cfg.processes {
             let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
             for &policy in &cfg.policies {
-                runs.push(engine_entry(cfg, &w, policy));
-                runs.push(concurrent_entry(cfg, &w, policy, cfg.shards, cfg.runtime));
+                runs.push(engine_entry(cfg, &w, policy, 0));
+                runs.push(concurrent_entry(
+                    cfg,
+                    &w,
+                    policy,
+                    cfg.shards,
+                    cfg.runtime,
+                    0,
+                ));
             }
             // Events-vs-threads ratio pair (Pred policy). Best of 3 per
             // runtime: one-shot wall clocks at these sizes are dominated by
@@ -928,7 +1048,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             if n <= cfg.concurrent_max_processes {
                 let best = |rt: RuntimeKind| {
                     (0..3)
-                        .map(|_| concurrent_entry(cfg, &w, PolicyKind::Pred, cfg.shards, rt))
+                        .map(|_| concurrent_entry(cfg, &w, PolicyKind::Pred, cfg.shards, rt, 0))
                         .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
                         .expect("three repetitions")
                 };
@@ -984,8 +1104,8 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             alternative_probability: 0.5,
             ..WorkloadConfig::default()
         });
-        let single = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Single, cfg.runtime);
-        let auto = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Auto, cfg.runtime);
+        let single = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Single, cfg.runtime, 0);
+        let auto = concurrent_entry(cfg, &w, PolicyKind::Pred, ShardMode::Auto, cfg.runtime, 0);
         notes.push(format!(
             "sharding: {} processes, density {density}, {} clusters -> {} shards; auto vs single-lock speedup {:.2}x events/sec",
             n,
@@ -995,6 +1115,64 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         ));
         runs.push(single);
         runs.push(auto);
+    }
+    // Epoch group-certification sweep (E25 headline): the highest-density
+    // points re-driven with `cfg.epoch`-sized epochs under the Pred policy
+    // on both drivers. When the main sweep's policy list did not already
+    // produce per-event Pred baselines at those points (smoke mode), they
+    // are driven here so the comparison is always in the report.
+    if cfg.epoch > 0 {
+        let density = cfg.densities.iter().copied().fold(0.0, f64::max);
+        let is_pred_point = |e: &BenchEntry, mode: &str, n: usize, epoch: usize| {
+            e.mode == mode
+                && e.policy == PolicyKind::Pred.label()
+                && e.processes == n
+                && e.density == density
+                && e.epoch == epoch
+                && (mode != "concurrent" || e.runtime.as_deref() == Some(cfg.runtime.label()))
+        };
+        for &n in &cfg.processes {
+            let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+            if !runs.iter().any(|e| is_pred_point(e, "engine", n, 0)) {
+                runs.push(engine_entry(cfg, &w, PolicyKind::Pred, 0));
+            }
+            if !runs.iter().any(|e| is_pred_point(e, "concurrent", n, 0)) {
+                runs.push(concurrent_entry(
+                    cfg,
+                    &w,
+                    PolicyKind::Pred,
+                    cfg.shards,
+                    cfg.runtime,
+                    0,
+                ));
+            }
+            runs.push(engine_entry(cfg, &w, PolicyKind::Pred, cfg.epoch));
+            runs.push(concurrent_entry(
+                cfg,
+                &w,
+                PolicyKind::Pred,
+                cfg.shards,
+                cfg.runtime,
+                cfg.epoch,
+            ));
+        }
+        for &n in &cfg.processes {
+            let eps = |mode: &str, epoch: usize| {
+                runs.iter()
+                    .filter(|e| is_pred_point(e, mode, n, epoch))
+                    .map(|e| e.events_per_sec)
+                    .fold(f64::NAN, f64::max)
+            };
+            let eng = eps("engine", cfg.epoch) / eps("engine", 0);
+            let conc = eps("concurrent", cfg.epoch) / eps("concurrent", 0);
+            if eng.is_finite() && conc.is_finite() {
+                notes.push(format!(
+                    "epoch {}: d={density} n={n} pred events/sec vs per-event — \
+                     engine {eng:.2}x, concurrent {conc:.2}x",
+                    cfg.epoch
+                ));
+            }
+        }
     }
     let open_runs: Vec<OpenRunEntry> = cfg
         .open_processes
@@ -1011,6 +1189,18 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         ));
     }
     let decision = decision_bench(cfg);
+    let epoch_decision = epoch_decision_bench(cfg);
+    if let Some(e16) = epoch_decision.iter().find(|e| e.epoch == 16) {
+        notes.push(format!(
+            "epoch certification (E25): amortized {:.0} ns/event at N=16 vs {:.0} at N=1 — \
+             {:.2}x cheaper ({} processes, d={})",
+            e16.ns_per_event,
+            e16.ns_per_event * e16.speedup_vs_single,
+            e16.speedup_vs_single,
+            e16.processes,
+            e16.density
+        ));
+    }
     let trace_overhead = trace_overhead_bench(cfg);
     let phases = phase_breakdown_bench(cfg);
     let telemetry_overhead = telemetry_overhead_bench(cfg);
@@ -1035,15 +1225,17 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         Vec::new()
     };
     BenchReport {
-        // v6 (additive over v5): the `phases` per-phase wall-time breakdown
-        // per driver and the `telemetry_overhead` on-vs-off rows (E24). v5
-        // readers that pick fields by name still work. (v5 added per-entry
-        // runtime/worker/run-queue/scheduling-delay fields, the
-        // `runtime_ratio` events-vs-threads pairs and the `open_runs`
-        // Poisson sweep; v4 added the `scenarios` gauntlet array; v3 added
-        // shard_mode/shards/clusters, lock contention and wakeup counters
-        // over v2.)
-        schema: "txproc-bench-scheduler/v6",
+        // v7 (additive over v6): the per-run `epoch` field, the epoch
+        // group-certification sweep entries at the highest density, and the
+        // `epoch_decision` amortization microbench (E25). v6 readers that
+        // pick fields by name still work. (v6 added the `phases` per-phase
+        // wall-time breakdown per driver and the `telemetry_overhead`
+        // on-vs-off rows; v5 added per-entry runtime/worker/run-queue/
+        // scheduling-delay fields, the `runtime_ratio` events-vs-threads
+        // pairs and the `open_runs` Poisson sweep; v4 added the `scenarios`
+        // gauntlet array; v3 added shard_mode/shards/clusters, lock
+        // contention and wakeup counters over v2.)
+        schema: "txproc-bench-scheduler/v7",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -1053,6 +1245,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         runtime_ratio,
         open_runs,
         decision,
+        epoch_decision,
         scenarios,
         trace_overhead,
         phases,
@@ -1075,9 +1268,24 @@ mod tests {
         let report = run_scheduler_bench(&cfg);
         // Per (density, n) point: engine + events-concurrent per policy,
         // plus the threads ratio baseline; then the single/auto sharding
-        // pair.
-        assert_eq!(report.runs.len(), 7);
+        // pair; then the epoch sweep (per-event Pred baseline pair — smoke
+        // policies don't include Pred — plus the epoch-16 pair).
+        assert_eq!(report.runs.len(), 11);
         assert!(report.runs.iter().all(|e| e.events > 0));
+        // v7: the epoch sweep drove both drivers at epoch 16 under Pred,
+        // next to per-event baselines at the same point.
+        let epoch_runs: Vec<_> = report.runs.iter().filter(|e| e.epoch > 0).collect();
+        assert_eq!(epoch_runs.len(), 2);
+        let epoch_modes: Vec<_> = epoch_runs.iter().map(|e| e.mode).collect();
+        assert_eq!(epoch_modes, vec!["engine", "concurrent"]);
+        assert!(epoch_runs
+            .iter()
+            .all(|e| e.epoch == 16 && e.policy == "pred"));
+        assert!(report
+            .runs
+            .iter()
+            .any(|e| e.mode == "engine" && e.policy == "pred" && e.epoch == 0));
+        assert!(report.notes.iter().any(|n| n.starts_with("epoch 16:")));
         // Concurrent entries now carry wall-clock latency/makespan,
         // shard/lock observability and the runtime lane; engine entries
         // stay virtual-time.
@@ -1129,6 +1337,15 @@ mod tests {
             .decision
             .iter()
             .all(|d| d.ns_per_request_indexed > 0.0 && d.ns_per_request_scan > 0.0));
+        // E25: the amortization microbench probes N ∈ {1, 4, 16, 64} and
+        // normalizes speedups against its own N = 1 point.
+        let ns: Vec<_> = report.epoch_decision.iter().map(|e| e.epoch).collect();
+        assert_eq!(ns, vec![1, 4, 16, 64]);
+        assert!(report
+            .epoch_decision
+            .iter()
+            .all(|e| e.ns_per_event > 0.0 && e.ns_per_batch > 0.0 && e.prefix_events > 0));
+        assert!((report.epoch_decision[0].speedup_vs_single - 1.0).abs() < 1e-9);
         // E20 sinks: untraced baseline plus the three sink variants.
         let sinks: Vec<_> = report.trace_overhead.iter().map(|t| t.sink).collect();
         assert_eq!(sinks, vec!["none", "noop", "ring-4096", "jsonl-devnull"]);
@@ -1168,7 +1385,9 @@ mod tests {
             .iter()
             .all(|t| t.wall_ms_off > 0.0 && t.wall_ms_on > 0.0));
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v6"));
+        assert!(json.contains("txproc-bench-scheduler/v7"));
+        assert!(json.contains("epoch_decision"));
+        assert!(json.contains("speedup_vs_single"));
         assert!(json.contains("telemetry_overhead"));
         assert!(json.contains("\"phases\""));
         assert!(json.contains("abort_reasons"));

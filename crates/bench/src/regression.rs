@@ -15,10 +15,13 @@
 //! overhead budget and by eyeballing the trend, not by this gate.
 //!
 //! Runs are keyed by `(mode, policy, processes, density, shards label,
-//! runtime)`, so sweep-point sets may differ between baseline and current
-//! (smoke vs full): only the intersection is compared, and the report says
-//! how many points matched. The parser works on the loosely-typed
-//! [`Value`] tree, so it reads both v5 and v6 reports.
+//! runtime)` — plus an `/e{N}` suffix for epoch-mode runs (schema v7),
+//! additively: per-event runs keep their old keys, so v7 reports still
+//! match v5/v6 baselines on the per-event intersection. Sweep-point sets
+//! may differ between baseline and current (smoke vs full): only the
+//! intersection is compared, and the report says how many points matched.
+//! The parser works on the loosely-typed [`Value`] tree, so it reads v5
+//! through v7 reports.
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -161,7 +164,14 @@ fn index_runs(report: &Value) -> Result<BTreeMap<String, RunPoint>, RegressionEr
         let Some(eps) = field(run, "events_per_sec").and_then(as_f64) else {
             continue;
         };
-        let key = format!("{mode}/{policy}/n{processes}/d{density}/{shards}/{runtime}");
+        // Epoch-mode runs (schema v7) get their own keys; the field is
+        // absent in older reports and 0 on per-event runs, both of which
+        // keep the unsuffixed key.
+        let epoch = field(run, "epoch").and_then(as_f64).unwrap_or(0.0);
+        let mut key = format!("{mode}/{policy}/n{processes}/d{density}/{shards}/{runtime}");
+        if epoch > 0.0 {
+            key.push_str(&format!("/e{epoch}"));
+        }
         let point = RunPoint {
             events_per_sec: eps,
             latency_p95: field(run, "latency_p95").and_then(as_f64),
@@ -346,6 +356,28 @@ mod tests {
         assert_eq!(r.points.len(), BASE.len());
         assert_eq!(r.unmatched_current, 1);
         assert_eq!(r.unmatched_baseline, 0);
+    }
+
+    #[test]
+    fn epoch_runs_get_distinct_keys() {
+        // The same sweep point per-event (no epoch field, as in pre-v7
+        // reports) and in epoch mode must not collide: the epoch run gets
+        // an `/e16`-suffixed key of its own.
+        let doc = "{\"runs\":[\
+            {\"mode\":\"engine\",\"policy\":\"pred\",\"processes\":32,\
+             \"density\":0.6,\"events_per_sec\":1000.0,\"latency_p95\":500.0},\
+            {\"mode\":\"engine\",\"policy\":\"pred\",\"processes\":32,\
+             \"density\":0.6,\"epoch\":16,\"events_per_sec\":1500.0,\
+             \"latency_p95\":400.0}]}";
+        let r = compare(doc, doc).expect("comparable");
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.points.len(), 2);
+        assert!(
+            r.points.iter().any(|p| p.key.ends_with("/e16")),
+            "epoch run key missing suffix: {:?}",
+            r.points.iter().map(|p| &p.key).collect::<Vec<_>>()
+        );
+        assert!(r.points.iter().any(|p| !p.key.contains("/e")));
     }
 
     #[test]

@@ -206,6 +206,9 @@ pub struct GauntletConfig {
     pub runtime: RuntimeKind,
     /// Worker-pool override for the events runtime (`None` = auto).
     pub workers: Option<usize>,
+    /// Epoch size for group certification and batch commit on both drivers
+    /// (0 = per-event path).
+    pub epoch: usize,
 }
 
 impl GauntletConfig {
@@ -220,6 +223,7 @@ impl GauntletConfig {
             shards: ShardMode::Auto,
             runtime: RuntimeKind::Events,
             workers: None,
+            epoch: 0,
         }
     }
 
@@ -360,6 +364,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport
                 policy: cfg.policy,
                 seed: w.config.seed,
                 certifier: cfg.certifier,
+                epoch: cfg.epoch,
                 ..RunConfig::default()
             },
         );
@@ -377,6 +382,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &GauntletConfig) -> ScenarioReport
                     shards: cfg.shards,
                     runtime: cfg.runtime,
                     workers: cfg.workers,
+                    epoch: cfg.epoch,
                     ..ConcurrentConfig::default()
                 },
             );
@@ -457,6 +463,22 @@ mod tests {
         for m in &report.modes {
             assert_eq!(m.runs, 2);
             assert_eq!(m.pred_violations, 0, "{}: non-PRED history", m.mode);
+            assert_eq!(m.proc_rec_violations, 0, "{}: Proc-REC violation", m.mode);
+            assert!(m.committed + m.aborted > 0);
+        }
+    }
+
+    #[test]
+    fn gauntlet_epoch_runs_stay_clean() {
+        let cfg = GauntletConfig {
+            seeds: 2,
+            epoch: 16,
+            ..GauntletConfig::smoke()
+        };
+        let s = txproc_sim::scenario::find("zipf-hotspot").expect("registered");
+        let report = run_scenario(&s, &cfg);
+        for m in &report.modes {
+            assert_eq!(m.pred_violations, 0, "{}: non-PRED epoch history", m.mode);
             assert_eq!(m.proc_rec_violations, 0, "{}: Proc-REC violation", m.mode);
             assert!(m.committed + m.aborted > 0);
         }

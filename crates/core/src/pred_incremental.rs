@@ -242,6 +242,7 @@ struct Cop {
 /// Everything [`IncrementalPred::plan`] derives for one event: the verdict
 /// plus the state updates [`IncrementalPred::apply`] folds in. Planning is
 /// pure — a rejected event leaves the certifier untouched.
+#[derive(Clone)]
 struct StepDelta<'a> {
     reducible: bool,
     states: BTreeMap<ProcessId, ProcessState<'a>>,
@@ -265,9 +266,66 @@ pub struct StepVerdict {
     pub reducible: bool,
 }
 
+/// Per-event outcome inside an epoch batch (see
+/// [`IncrementalPred::record_epoch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochStep {
+    /// Applied: the prefix extended by this event stays reducible.
+    Accepted(StepVerdict),
+    /// Planned but *not* applied: extending the accepted prefix by this
+    /// event would break reducibility. Poisons the rest of the epoch.
+    Rejected(StepVerdict),
+    /// Illegal under the process state machines (the per-event API would
+    /// return the matching [`ScheduleError`]); not applied, poisons the
+    /// rest of the epoch.
+    Illegal,
+    /// Never examined: an earlier step poisoned the epoch. The caller
+    /// degrades to per-event retry for skipped events.
+    Skipped,
+}
+
+/// Verdict for a candidate epoch: per-event accept/reject plus the length
+/// of the accepted prefix that was (or would be) folded in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochVerdict {
+    /// One entry per submitted event, in submission order.
+    pub steps: Vec<EpochStep>,
+    /// Events of the accepted prefix (`steps[..accepted]` are all
+    /// [`EpochStep::Accepted`]).
+    pub accepted: usize,
+    /// Whether a rejection or illegal event cut the epoch short. A poisoned
+    /// epoch is not an error: the accepted prefix is valid, and the caller
+    /// retries the remainder event by event.
+    pub poisoned: bool,
+}
+
+impl EpochVerdict {
+    /// Whether every submitted event was accepted.
+    pub fn accepted_all(&self) -> bool {
+        !self.poisoned
+    }
+}
+
+/// A plan retained by [`IncrementalPred::certify_keep`]: the next
+/// [`IncrementalPred::record`] (or [`IncrementalPred::record_epoch`]) of
+/// the *same* event at the *same* prefix length folds the cached delta in
+/// instead of re-planning, so an admitted event costs one closure /
+/// `PairCounts` update instead of two (certify-then-lazy-record).
+#[derive(Clone)]
+struct CachedPlan<'a> {
+    at_len: usize,
+    event: Event,
+    delta: StepDelta<'a>,
+}
+
 /// Incremental PRED certifier: answers "is this extended prefix still
 /// reducible?" per appended event, maintaining the serialization/weak-order
 /// closure, compensation-pair state and completion obligations across events.
+///
+/// `Clone` snapshots the whole certification state; [`Self::certify_epoch`]
+/// uses one such snapshot per candidate batch so trial-applying `N` events
+/// amortizes the closure/`PairCounts` copy across the epoch.
+#[derive(Clone)]
 pub struct IncrementalPred<'a> {
     spec: &'a Spec,
     len: usize,
@@ -306,6 +364,10 @@ pub struct IncrementalPred<'a> {
     // -- report --
     prefix_reducible: Vec<bool>,
     first_violation: Option<usize>,
+    /// Plan retained by `certify_keep` for the matching `record` (pure
+    /// optimization: `apply(plan(e))` either way; invalidated by length or
+    /// event mismatch).
+    cache: Option<CachedPlan<'a>>,
 }
 
 fn touch<'a, 'b>(
@@ -364,6 +426,7 @@ impl<'a> IncrementalPred<'a> {
             live_base: Vec::new(),
             prefix_reducible: vec![true],
             first_violation: None,
+            cache: None,
         }
     }
 
@@ -412,16 +475,115 @@ impl<'a> IncrementalPred<'a> {
         })
     }
 
+    /// Like [`Self::certify`], but retains the planned delta: if the very
+    /// next mutation records the same event at the same prefix length, the
+    /// cached delta is folded in instead of re-planned. Admitting an event
+    /// through `certify_keep` + `record` costs one closure/`PairCounts`
+    /// update total, where `certify` + `record` pays two. Decisions are
+    /// identical either way (`record` = `apply(plan(event))`, and planning
+    /// is pure).
+    pub fn certify_keep(&mut self, event: &Event) -> Result<StepVerdict, ScheduleError> {
+        let delta = self.plan(event)?;
+        let verdict = StepVerdict {
+            prefix_len: self.len + 1,
+            reducible: delta.reducible,
+        };
+        self.cache = Some(CachedPlan {
+            at_len: self.len,
+            event: event.clone(),
+            delta,
+        });
+        Ok(verdict)
+    }
+
+    /// Takes the cached plan if it matches `event` at the current length.
+    fn take_cached(&mut self, event: &Event) -> Option<StepDelta<'a>> {
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.at_len == self.len && c.event == *event);
+        if hit {
+            self.cache.take().map(|c| c.delta)
+        } else {
+            None
+        }
+    }
+
     /// Records `event` as appended to the history and returns the verdict
     /// for the extended prefix.
     pub fn record(&mut self, event: &Event) -> Result<StepVerdict, ScheduleError> {
-        let delta = self.plan(event)?;
+        let delta = match self.take_cached(event) {
+            Some(delta) => delta,
+            None => self.plan(event)?,
+        };
         let reducible = delta.reducible;
         self.apply(delta);
         Ok(StepVerdict {
             prefix_len: self.len,
             reducible,
         })
+    }
+
+    /// Records a candidate epoch: events are folded in, in submission
+    /// order, until the first one whose extended prefix would not be
+    /// reducible (or that is illegal). That event is *not* applied — it
+    /// poisons the epoch, the remainder is skipped, and the caller degrades
+    /// to per-event retry for the tail. PRED (Definition 10) is a property
+    /// of *every* prefix, so each event still gets its own frontier
+    /// verdict; the batch amortizes the bookkeeping around those verdicts,
+    /// it never weakens them. The accepted deltas merge into the live dense
+    /// matrices in one pass with no intermediate snapshots.
+    pub fn record_epoch(&mut self, events: &[Event]) -> EpochVerdict {
+        let mut steps = Vec::with_capacity(events.len());
+        let mut accepted = 0usize;
+        let mut poisoned = false;
+        for event in events {
+            if poisoned {
+                steps.push(EpochStep::Skipped);
+                continue;
+            }
+            let planned = match self.take_cached(event) {
+                Some(delta) => Ok(delta),
+                None => self.plan(event),
+            };
+            let delta = match planned {
+                Ok(delta) => delta,
+                Err(_) => {
+                    poisoned = true;
+                    steps.push(EpochStep::Illegal);
+                    continue;
+                }
+            };
+            let verdict = StepVerdict {
+                prefix_len: self.len + 1,
+                reducible: delta.reducible,
+            };
+            if delta.reducible {
+                self.apply(delta);
+                accepted += 1;
+                steps.push(EpochStep::Accepted(verdict));
+            } else {
+                poisoned = true;
+                steps.push(EpochStep::Rejected(verdict));
+            }
+        }
+        EpochVerdict {
+            steps,
+            accepted,
+            poisoned,
+        }
+    }
+
+    /// Pure what-if over a candidate batch: validates the epoch on one
+    /// scratch snapshot of the certification state — a single
+    /// closure/`PairCounts` copy amortized over the whole batch, instead of
+    /// one copy per candidate — and reports per-event accept/reject without
+    /// changing the certifier. `certify_epoch(&[e])` agrees with
+    /// [`Self::certify`] on `e`, and the accepted prefix is exactly what
+    /// [`Self::record_epoch`] would fold in.
+    pub fn certify_epoch(&self, events: &[Event]) -> EpochVerdict {
+        let mut scratch = self.clone();
+        scratch.record_epoch(events)
     }
 
     /// Derives the verdict and state updates for one event without mutating
@@ -1315,5 +1477,138 @@ mod tests {
         assert!(certifier.prefix_reducible().last().copied().unwrap());
         // … but the violation at prefix 4 is remembered.
         assert!(!certifier.prefix_reducible()[4]);
+    }
+
+    #[test]
+    fn record_epoch_matches_sequential_record() {
+        let fx = fixtures::paper_world();
+        let s = figure7(&fx);
+        let mut seq = IncrementalPred::new(&fx.spec);
+        for e in s.events() {
+            seq.record(e).unwrap();
+        }
+        let mut epoch = IncrementalPred::new(&fx.spec);
+        let verdict = epoch.record_epoch(s.events());
+        assert!(verdict.accepted_all());
+        assert_eq!(verdict.accepted, s.events().len());
+        for (i, step) in verdict.steps.iter().enumerate() {
+            assert_eq!(
+                *step,
+                EpochStep::Accepted(StepVerdict {
+                    prefix_len: i + 1,
+                    reducible: true,
+                })
+            );
+        }
+        assert_eq!(epoch.report(), seq.report());
+        assert_eq!(epoch.len(), seq.len());
+    }
+
+    #[test]
+    fn poisoned_epoch_applies_accepted_prefix_only() {
+        let fx = fixtures::paper_world();
+        let s = st2(&fx); // prefix 4 is the first non-reducible one
+        let mut epoch = IncrementalPred::new(&fx.spec);
+        let verdict = epoch.record_epoch(s.events());
+        assert!(verdict.poisoned);
+        assert_eq!(verdict.accepted, 3);
+        assert!(matches!(
+            verdict.steps[3],
+            EpochStep::Rejected(StepVerdict {
+                prefix_len: 4,
+                reducible: false,
+            })
+        ));
+        assert!(verdict.steps[4..].iter().all(|s| *s == EpochStep::Skipped));
+        // The certifier holds exactly the accepted prefix.
+        let mut expect = IncrementalPred::new(&fx.spec);
+        for e in &s.events()[..3] {
+            expect.record(e).unwrap();
+        }
+        assert_eq!(epoch.len(), 3);
+        assert_eq!(epoch.report(), expect.report());
+        // Degradation: per-event retry of the rejected event still rejects
+        // (certify sees the same state) — the driver keeps it blocked.
+        assert!(!epoch.certify(&s.events()[3]).unwrap().reducible);
+    }
+
+    #[test]
+    fn certify_epoch_is_pure_and_matches_record_epoch() {
+        let fx = fixtures::paper_world();
+        let s = st2(&fx);
+        let mut base = IncrementalPred::new(&fx.spec);
+        base.record(&s.events()[0]).unwrap();
+        let before = base.report();
+        let what_if = base.certify_epoch(&s.events()[1..]);
+        assert_eq!(base.report(), before, "certify_epoch must not mutate");
+        assert_eq!(base.len(), 1);
+        let recorded = base.record_epoch(&s.events()[1..]);
+        assert_eq!(what_if, recorded);
+    }
+
+    #[test]
+    fn illegal_event_poisons_epoch_and_leaves_accepted_prefix() {
+        let fx = fixtures::paper_world();
+        let mut epoch = IncrementalPred::new(&fx.spec);
+        // a1_3 after a1_1 skips a1_2: illegal under the precedence order.
+        let batch = vec![
+            Event::Execute(fx.a(1, 1)),
+            Event::Execute(fx.a(1, 3)),
+            Event::Execute(fx.a(1, 2)),
+        ];
+        let verdict = epoch.record_epoch(&batch);
+        assert!(verdict.poisoned);
+        assert_eq!(verdict.accepted, 1);
+        assert_eq!(verdict.steps[1], EpochStep::Illegal);
+        assert_eq!(verdict.steps[2], EpochStep::Skipped);
+        assert_eq!(epoch.len(), 1);
+        // The certifier still works afterwards.
+        epoch.record(&Event::Execute(fx.a(1, 2))).unwrap();
+        assert_eq!(epoch.len(), 2);
+    }
+
+    #[test]
+    fn empty_epoch_is_accepted() {
+        let fx = fixtures::paper_world();
+        let mut certifier = IncrementalPred::new(&fx.spec);
+        let verdict = certifier.record_epoch(&[]);
+        assert!(verdict.accepted_all());
+        assert!(verdict.steps.is_empty());
+        assert_eq!(certifier.len(), 0);
+    }
+
+    #[test]
+    fn certify_keep_then_record_matches_plain_record() {
+        let fx = fixtures::paper_world();
+        for s in [st2(&fx), figure7(&fx)] {
+            let mut plain = IncrementalPred::new(&fx.spec);
+            let mut kept = IncrementalPred::new(&fx.spec);
+            for e in s.events() {
+                let what_if = kept.certify_keep(e).unwrap();
+                assert_eq!(what_if, plain.certify(e).unwrap());
+                assert_eq!(kept.record(e).unwrap(), plain.record(e).unwrap());
+                assert_eq!(kept.report(), plain.report());
+            }
+        }
+    }
+
+    #[test]
+    fn stale_certify_keep_cache_is_ignored() {
+        let fx = fixtures::paper_world();
+        let a11 = Event::Execute(fx.a(1, 1));
+        let a21 = Event::Execute(fx.a(2, 1));
+        let a22 = Event::Execute(fx.a(2, 2));
+        let mut kept = IncrementalPred::new(&fx.spec);
+        let mut plain = IncrementalPred::new(&fx.spec);
+        // Keep a plan for one event, then record a *different* one (the
+        // certified candidate was never emitted): the cache must miss.
+        kept.certify_keep(&a11).unwrap();
+        assert_eq!(kept.record(&a21).unwrap(), plain.record(&a21).unwrap());
+        // Keep again, record another event, then record the kept event at a
+        // *later* length: the length check must reject the stale plan.
+        kept.certify_keep(&a11).unwrap();
+        assert_eq!(kept.record(&a22).unwrap(), plain.record(&a22).unwrap());
+        assert_eq!(kept.record(&a11).unwrap(), plain.record(&a11).unwrap());
+        assert_eq!(kept.report(), plain.report());
     }
 }

@@ -420,6 +420,10 @@ pub trait TraceSink: Send {
     }
     /// Deliver one record.
     fn record(&mut self, rec: TraceRecord);
+    /// Epoch boundary: a buffering sink pushes everything it holds to its
+    /// backing store. Drivers call this when an epoch closes; the default is
+    /// a no-op because most sinks deliver on `record`.
+    fn flush(&mut self) {}
 }
 
 /// The default sink: disabled, discards everything, costs nothing.
@@ -526,15 +530,41 @@ impl TraceSink for RingSink {
 /// A streaming JSON-lines writer: one JSON object per record per line.
 /// Records that fail to serialize or write are counted, not propagated —
 /// tracing must never fail the traced run.
+///
+/// Records are serialized into an internal buffer and written out `batch`
+/// records at a time (one syscall per batch instead of one per record — the
+/// old per-record `writeln!` dominated traced runs on buffered files).
+/// Drivers additionally flush at epoch boundaries via [`TraceSink::flush`],
+/// and the sink flushes on drop, so early termination loses nothing.
 pub struct JsonlSink<W: Write + Send> {
-    w: W,
+    /// `Some` until `into_inner`; the `Option` lets `Drop` and `into_inner`
+    /// coexist (drop of a hollowed-out sink is a no-op).
+    w: Option<W>,
+    buf: String,
+    pending: u64,
+    batch: usize,
     errors: u64,
 }
 
+/// Default record batch per write for [`JsonlSink`].
+pub const JSONL_BATCH: usize = 64;
+
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wrap a writer.
+    /// Wrap a writer, flushing every [`JSONL_BATCH`] records.
     pub fn new(w: W) -> Self {
-        Self { w, errors: 0 }
+        Self::with_batch(w, JSONL_BATCH)
+    }
+
+    /// Wrap a writer, flushing every `batch` records (`batch` ≥ 1; 1
+    /// restores the old write-per-record behaviour).
+    pub fn with_batch(w: W, batch: usize) -> Self {
+        Self {
+            w: Some(w),
+            buf: String::new(),
+            pending: 0,
+            batch: batch.max(1),
+            errors: 0,
+        }
     }
 
     /// Number of records lost to serialization or I/O errors.
@@ -542,10 +572,29 @@ impl<W: Write + Send> JsonlSink<W> {
         self.errors
     }
 
+    /// Buffered records not yet handed to the writer.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let w = self.w.as_mut().expect("writer taken only by into_inner");
+        if w.write_all(self.buf.as_bytes()).is_err() {
+            self.errors += self.pending;
+        }
+        self.buf.clear();
+        self.pending = 0;
+    }
+
     /// Flush and return the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.w.flush();
-        self.w
+        self.flush_buf();
+        let mut w = self.w.take().expect("writer taken only by into_inner");
+        let _ = w.flush();
+        w
     }
 }
 
@@ -553,11 +602,32 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, rec: TraceRecord) {
         match serde_json::to_string(&rec) {
             Ok(line) => {
-                if writeln!(self.w, "{line}").is_err() {
-                    self.errors += 1;
+                self.buf.push_str(&line);
+                self.buf.push('\n');
+                self.pending += 1;
+                if self.pending >= self.batch as u64 {
+                    self.flush_buf();
                 }
             }
             Err(_) => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.flush_buf();
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if self.w.is_some() {
+            self.flush_buf();
+            if let Some(w) = self.w.as_mut() {
+                let _ = w.flush();
+            }
         }
     }
 }
@@ -604,6 +674,10 @@ impl<S: TraceSink> TraceSink for SampleSink<S> {
             Some(pid) if pid.0 % self.n != 0 => self.dropped += 1,
             _ => self.inner.record(rec),
         }
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
     }
 }
 
@@ -1034,6 +1108,84 @@ mod tests {
         assert_eq!(jsonl.lines().count(), recs.len());
         let back = from_jsonl(&jsonl).unwrap();
         assert_eq!(back, recs);
+    }
+
+    /// A writer whose bytes stay observable after the sink is gone.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_batches_writes() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::with_batch(buf.clone(), 4);
+        let recs = fixture();
+        for rec in &recs[..3] {
+            sink.record(rec.clone());
+        }
+        // Below the batch size: nothing written yet, records held.
+        assert_eq!(buf.0.lock().unwrap().len(), 0);
+        assert_eq!(sink.pending(), 3);
+        sink.record(recs[3].clone());
+        // Fourth record closes the batch: one write for all four.
+        assert_eq!(sink.pending(), 0);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(from_jsonl(&text).unwrap(), recs[..4]);
+        assert_eq!(sink.errors(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_flush_drains_partial_epoch() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::with_batch(buf.clone(), 1024);
+        let recs = fixture();
+        for rec in &recs {
+            sink.record(rec.clone());
+        }
+        assert_eq!(buf.0.lock().unwrap().len(), 0);
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(from_jsonl(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn jsonl_sink_loses_nothing_on_early_termination() {
+        // Drop the sink with a partially filled batch — the moral equivalent
+        // of a run ending (or unwinding) mid-epoch — and round-trip the
+        // bytes: every record must be on disk.
+        let buf = SharedBuf::default();
+        let recs = fixture();
+        {
+            let mut sink = JsonlSink::with_batch(buf.clone(), 1024);
+            for rec in &recs {
+                sink.record(rec.clone());
+            }
+            assert_eq!(sink.pending(), recs.len() as u64);
+            // No into_inner, no flush: the sink is simply dropped.
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(from_jsonl(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn jsonl_sink_into_inner_flushes_once() {
+        let recs = fixture();
+        let mut sink = JsonlSink::new(Vec::new());
+        for rec in &recs {
+            sink.record(rec.clone());
+        }
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(from_jsonl(&text).unwrap(), recs);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property tests pinning the epoch batch API (`certify_epoch` /
+//! `record_epoch`) against the sequential `certify` / `record` pair on
+//! random batches: the batch must accept exactly the prefix a per-event
+//! driver would have admitted, reject where it would reject, and leave the
+//! certifier in the identical state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txproc_core::fixtures::{paper_world, PaperWorld};
+use txproc_core::ids::GlobalActivityId;
+use txproc_core::pred_incremental::{EpochStep, EpochVerdict, IncrementalPred};
+use txproc_core::schedule::Schedule;
+use txproc_core::state::{FailureOutcome, ProcessState};
+
+/// Random legal history over the paper world (same construction as the
+/// root-level property suite, duplicated here because integration tests of
+/// different crates cannot share helpers).
+fn random_history(fx: &PaperWorld, seed: u64, max_events: usize) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schedule = Schedule::new();
+    let processes: Vec<_> = fx.spec.processes().collect();
+    let mut states: Vec<ProcessState<'_>> = processes
+        .iter()
+        .map(|p| ProcessState::new(p, &fx.spec.catalog).expect("tree process"))
+        .collect();
+    for _ in 0..max_events {
+        let live: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_active())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let i = live[rng.gen_range(0..live.len())];
+        let pid = processes[i].id;
+        let st = &mut states[i];
+        if let Some(c) = st.next_compensation() {
+            st.apply_compensation(c).expect("queued");
+            schedule.compensate(GlobalActivityId::new(pid, c));
+        } else if let Some(a) = st.next_activity() {
+            let gid = GlobalActivityId::new(pid, a);
+            let t = fx.spec.catalog.termination(processes[i].service(a));
+            if t.can_fail() && rng.gen_bool(0.25) {
+                match st.apply_failure(a).expect("failable") {
+                    FailureOutcome::Stuck => unreachable!(),
+                    _ => {
+                        schedule.fail(gid);
+                    }
+                }
+            } else {
+                st.apply_commit(a).expect("frontier");
+                schedule.execute(gid);
+            }
+        } else if st.can_commit() && rng.gen_bool(0.5) {
+            st.apply_process_commit().expect("finished");
+            schedule.commit(pid);
+        }
+    }
+    schedule
+}
+
+/// Reference semantics: drive the per-event API the way a driver degrades —
+/// certify each event, record it only while everything stays reducible, and
+/// stop (skipping the rest) at the first rejection or illegal event.
+fn sequential_reference(
+    certifier: &mut IncrementalPred<'_>,
+    events: &[txproc_core::schedule::Event],
+) -> EpochVerdict {
+    let mut steps = Vec::with_capacity(events.len());
+    let mut accepted = 0usize;
+    let mut poisoned = false;
+    for event in events {
+        if poisoned {
+            steps.push(EpochStep::Skipped);
+            continue;
+        }
+        match certifier.certify(event) {
+            Err(_) => {
+                poisoned = true;
+                steps.push(EpochStep::Illegal);
+            }
+            Ok(verdict) if verdict.reducible => {
+                let recorded = certifier.record(event).expect("certified event is legal");
+                assert_eq!(recorded, verdict);
+                accepted += 1;
+                steps.push(EpochStep::Accepted(verdict));
+            }
+            Ok(verdict) => {
+                poisoned = true;
+                steps.push(EpochStep::Rejected(verdict));
+            }
+        }
+    }
+    EpochVerdict {
+        steps,
+        accepted,
+        poisoned,
+    }
+}
+
+fn check_batch(
+    fx: &PaperWorld,
+    prefix: &[txproc_core::schedule::Event],
+    batch: &[txproc_core::schedule::Event],
+) {
+    let mut seq = IncrementalPred::new(&fx.spec);
+    let mut epo = IncrementalPred::new(&fx.spec);
+    for e in prefix {
+        // Drivers sync emitted history unconditionally (aborts and friends
+        // are recorded even when a prefix is not reducible).
+        seq.record(e).expect("prefix event is legal");
+        epo.record(e).expect("prefix event is legal");
+    }
+    let pure = epo.certify_epoch(batch);
+    assert_eq!(epo.len(), prefix.len(), "certify_epoch must not mutate");
+    let batched = epo.record_epoch(batch);
+    let reference = sequential_reference(&mut seq, batch);
+    assert_eq!(
+        batched, reference,
+        "record_epoch diverges from certify/record"
+    );
+    assert_eq!(
+        pure, reference,
+        "certify_epoch diverges from certify/record"
+    );
+    assert_eq!(epo.len(), seq.len());
+    assert_eq!(epo.report(), seq.report());
+    assert_eq!(epo.pred(), seq.pred());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// In-order continuation batches: every event is legal, so the epoch
+    /// exercises Accepted/Rejected and the accepted-prefix cut.
+    #[test]
+    fn epoch_matches_sequential_on_history_batches(
+        seed in 0u64..10_000,
+        cut_frac in 0.0f64..1.0,
+        batch_len in 1usize..24,
+    ) {
+        let fx = paper_world();
+        let s = random_history(&fx, seed, 60);
+        let events = s.events();
+        let cut = ((events.len() as f64) * cut_frac) as usize;
+        let end = (cut + batch_len).min(events.len());
+        check_batch(&fx, &events[..cut], &events[cut..end]);
+    }
+
+    /// Shuffled continuation batches: out-of-order events hit the Illegal
+    /// arm (state-machine violations) as well as rejections.
+    #[test]
+    fn epoch_matches_sequential_on_shuffled_batches(
+        seed in 0u64..10_000,
+        shuffle_seed in 0u64..1_000,
+        cut_frac in 0.0f64..1.0,
+        batch_len in 2usize..24,
+    ) {
+        let fx = paper_world();
+        let s = random_history(&fx, seed, 60);
+        let events = s.events();
+        let cut = ((events.len() as f64) * cut_frac) as usize;
+        let end = (cut + batch_len).min(events.len());
+        let mut batch: Vec<_> = events[cut..end].to_vec();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..batch.len()).rev() {
+            batch.swap(i, rng.gen_range(0..=i));
+        }
+        check_batch(&fx, &events[..cut], &batch);
+    }
+}

@@ -260,6 +260,17 @@ pub struct ConcurrentConfig {
     /// runtime condvar waits. Off by default — the timeout only masks
     /// lost-notify bugs.
     pub fallback_wait: bool,
+    /// Epoch size for group certification and batch commit. `0` keeps the
+    /// per-event path bit-identical to earlier releases. With `N > 0` each
+    /// shard retains certified plans for their matching `record` (one
+    /// closure computation per admitted event instead of two), buffers its
+    /// trace records and appends them to the global journal one batch — one
+    /// sink lock acquisition — at a time, and groups deferred-commit
+    /// releases into per-subsystem rounds of at most `N`. Epochs close on
+    /// fill, on certification failure (conflict pressure) and at run end.
+    /// `N = 1` closes an epoch per event and stays bit-identical — history
+    /// *and* metrics — to `N = 0`.
+    pub epoch: usize,
 }
 
 impl Default for ConcurrentConfig {
@@ -273,6 +284,7 @@ impl Default for ConcurrentConfig {
             runtime: RuntimeKind::Events,
             workers: None,
             fallback_wait: false,
+            epoch: 0,
         }
     }
 }
@@ -357,6 +369,31 @@ impl TraceShared<'_> {
             worker,
             event,
         });
+    }
+
+    /// Appends a whole epoch of one shard's trace records under a single
+    /// sink-lock acquisition. Sequence numbers are assigned at flush time
+    /// (still under the lock), so journal order and seq order stay
+    /// identical; the flush lets a buffering sink write the batch as one
+    /// I/O operation.
+    fn record_batch(&self, shard: u32, entries: Vec<(usize, TraceEvent)>) {
+        if !self.enabled || entries.is_empty() {
+            return;
+        }
+        let worker = self.worker_of_shard.as_ref().map(|map| map[shard as usize]);
+        let mut sink = self.sink.lock();
+        for (history_len, event) in entries {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            sink.record(TraceRecord {
+                seq,
+                time: seq,
+                history_len,
+                shard: Some(shard),
+                worker,
+                event,
+            });
+        }
+        sink.flush();
     }
 }
 
@@ -581,6 +618,15 @@ struct ShardState<'a> {
     /// telemetry is enabled (so the disabled path stays byte-identical):
     /// feeds the 2PC prepare→decide phase histogram.
     prepared_at: BTreeMap<ProcessId, Instant>,
+    /// Epoch size (from [`ConcurrentConfig::epoch`]); `0` is the per-event
+    /// path.
+    epoch: usize,
+    /// History events emitted since the last epoch close (`epoch > 0`
+    /// only).
+    epoch_pending: usize,
+    /// Buffered trace records of the current epoch (`epoch > 0` and
+    /// tracing enabled only), flushed to the global journal as one batch.
+    trace_buf: Vec<(usize, TraceEvent)>,
 }
 
 /// A failure-injected ("simulated") agent invocation to run after the
@@ -611,10 +657,53 @@ impl<'a> ShardState<'a> {
         self.event_tickets.push(ticket);
         self.generation += 1;
         self.tele_events.inc();
+        if self.epoch > 0 {
+            self.epoch_pending += 1;
+            if self.epoch_pending >= self.epoch {
+                self.close_epoch(ctx);
+            }
+        }
     }
 
     fn trace(&mut self, ctx: &RunCtx<'_, 'a>, event: TraceEvent) {
+        if self.epoch > 0 {
+            if !ctx.trace.enabled {
+                return;
+            }
+            self.trace_buf.push((self.history.len(), event));
+            // Bound the buffer even when no history event closes the epoch
+            // (e.g. a run of blocked-note records).
+            if self.trace_buf.len() >= self.epoch {
+                self.close_epoch(ctx);
+            }
+            return;
+        }
         ctx.trace.record(self.shard_id, self.history.len(), event);
+    }
+
+    /// Closes the current epoch: counts the batch, samples the epoch-fill
+    /// histogram, and flushes the buffered trace records to the global
+    /// journal under one sink-lock acquisition (sampling the flush
+    /// latency). The metrics counters require `epoch >= 2` — an epoch of
+    /// one *is* the per-event path, and counting it would break the
+    /// `epoch=1 ≡ per-event` metrics identity the differential oracle pins.
+    fn close_epoch(&mut self, ctx: &RunCtx<'_, 'a>) {
+        if self.epoch_pending > 0 {
+            let fill = self.epoch_pending as u64;
+            self.epoch_pending = 0;
+            if self.epoch >= 2 {
+                self.metrics.epoch_batches += 1;
+                self.metrics.epoch_events += fill;
+            }
+            self.tele.phase_ns(Phase::EpochFill, fill);
+        }
+        if self.trace_buf.is_empty() {
+            return;
+        }
+        let t0 = self.tele.phase_start();
+        let buf = std::mem::take(&mut self.trace_buf);
+        ctx.trace.record_batch(self.shard_id, buf);
+        self.tele.phase_end(Phase::EpochFlush, t0);
     }
 
     fn count_abort_reason(&mut self, reason: AbortReason) {
@@ -680,6 +769,12 @@ impl<'a> ShardState<'a> {
                 },
             );
         }
+        if !ok && self.epoch > 0 {
+            // Conflict pressure: the shard is about to stall-and-retry, so
+            // get the current epoch's decision trace (including the refusal
+            // just recorded) out now.
+            self.close_epoch(ctx);
+        }
         ok
     }
 
@@ -691,10 +786,21 @@ impl<'a> ShardState<'a> {
         }
         let t0 = self.tele.phase_start();
         let ok = if let Some(inc) = &mut self.incremental {
+            // Per-event sync (not `record_epoch`): emitted history may hold
+            // forcibly recorded non-reducible events (aborts), which a
+            // batch verdict would refuse to apply.
             for e in &self.history.events()[inc.len()..] {
                 inc.record(e).expect("emitted history event is legal");
             }
-            match inc.certify(&event) {
+            // Epoch mode retains the certified plan so the admitting
+            // `record` above replays it instead of re-planning — a pure
+            // amortization, bit-identical answers.
+            let verdict = if self.epoch > 0 {
+                inc.certify_keep(&event)
+            } else {
+                inc.certify(&event)
+            };
+            match verdict {
                 Ok(verdict) => verdict.reducible,
                 Err(_) => false,
             }
@@ -726,6 +832,13 @@ impl<'a> ShardState<'a> {
                 .extend(rearm.into_iter().map(|(pj, _)| pj));
         }
         let ready = std::mem::take(&mut self.ready_releases);
+        // Epoch mode groups the agent-side releases: each chunk of at most
+        // `epoch` invocations commits as one round, one agent-lock
+        // acquisition per subsystem per chunk. Sound because a release
+        // unconditionally commits a prepared invocation, and invisible to
+        // history/metrics because nothing below reads agent state between
+        // emit and release.
+        let mut group: Vec<(SubsystemId, InvocationId)> = Vec::new();
         for pj in ready {
             let Some(&(gid, a, sid, inv)) = self.pending_release.get(&pj) else {
                 continue;
@@ -739,7 +852,14 @@ impl<'a> ShardState<'a> {
                 self.tele
                     .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
             }
-            ctx.agents[&sid].lock().release(inv).expect("prepared");
+            if self.epoch == 0 {
+                ctx.agents[&sid].lock().release(inv).expect("prepared");
+            } else {
+                group.push((sid, inv));
+                if group.len() >= self.epoch {
+                    release_group(ctx, std::mem::take(&mut group));
+                }
+            }
             self.emit(ctx, Event::Execute(gid));
             self.policy.record_deferred_released(gid);
             self.metrics.activities += 1;
@@ -749,6 +869,26 @@ impl<'a> ShardState<'a> {
             }
             // The owner thread applies the state advance.
             self.released.insert(pj, a);
+        }
+        release_group(ctx, group);
+    }
+}
+
+/// Commits one group of prepared invocations, one agent-lock acquisition
+/// per subsystem (the releases are sorted into per-subsystem runs by the
+/// `BTreeMap` grouping). No-op on an empty group.
+fn release_group(ctx: &RunCtx<'_, '_>, group: Vec<(SubsystemId, InvocationId)>) {
+    if group.is_empty() {
+        return;
+    }
+    let mut by_subsystem: BTreeMap<SubsystemId, Vec<InvocationId>> = BTreeMap::new();
+    for (sid, inv) in group {
+        by_subsystem.entry(sid).or_default().push(inv);
+    }
+    for (sid, invs) in by_subsystem {
+        let mut agent = ctx.agents[&sid].lock();
+        for inv in invs {
+            agent.release(inv).expect("prepared");
         }
     }
 }
@@ -904,6 +1044,9 @@ pub fn run_concurrent_instrumented<'a>(
                     tele_events: tele.counter("events_total", &[("shard", i.to_string())]),
                     tele_committed: tele.counter("committed_total", &[("shard", i.to_string())]),
                     prepared_at: BTreeMap::new(),
+                    epoch: cfg.epoch,
+                    epoch_pending: 0,
+                    trace_buf: Vec::new(),
                 },
                 tele.clone(),
             )
@@ -995,7 +1138,11 @@ pub fn run_concurrent_instrumented<'a>(
     let mut tagged: Vec<(u64, Event)> = Vec::new();
     let mut metrics = Metrics::new();
     for shard in shards {
-        let st = shard.state.into_inner();
+        let mut st = shard.state.into_inner();
+        // Final epoch close: flush the partial epoch (trace records and
+        // fill accounting) each shard accumulated after its last boundary.
+        st.close_epoch(&ctx);
+        let st = st;
         let mut m = st.metrics;
         m.shards.push(ShardMetrics {
             shard: shard.id,

@@ -50,6 +50,16 @@ pub struct RunConfig {
     /// Which §3.5 certifier implementation answers the per-event
     /// certification (certified policies only).
     pub certifier: CertifierKind,
+    /// Epoch size for group certification and batch commit. `0` keeps the
+    /// per-event path bit-identical to earlier releases. With `N > 0` the
+    /// engine retains each certified plan for its matching `record` (one
+    /// closure computation per admitted event instead of two), groups up to
+    /// `N` deferred 2PC releases into one prepare→decide round, and flushes
+    /// the trace sink once per `N` emitted events (or earlier under
+    /// conflict pressure). `N = 1` closes an epoch per event and stays
+    /// bit-identical — history *and* metrics — to `N = 0`.
+    #[serde(default)]
+    pub epoch: usize,
 }
 
 impl Default for RunConfig {
@@ -61,6 +71,7 @@ impl Default for RunConfig {
             arrival_gap: 0,
             check_pred: false,
             certifier: CertifierKind::Incremental,
+            epoch: 0,
         }
     }
 }
@@ -170,6 +181,15 @@ pub struct Engine<'a> {
     sampling: Option<(u64, TimeSeries)>,
     /// Processed (non-stale) dispatch events, for the sampling cadence.
     events_processed: u64,
+    /// History events emitted since the last epoch close (`cfg.epoch > 0`
+    /// only). An epoch closes on fill (`>= cfg.epoch`), on certification
+    /// failure (conflict pressure — get the decision trace out while the
+    /// run stalls), and at run end.
+    epoch_pending: usize,
+    /// Deferred 2PC releases accumulated for the current group-commit
+    /// round (`cfg.epoch > 0` only); flushed as one
+    /// [`Coordinator::commit_group`] call per `cfg.epoch` participants.
+    epoch_group: Vec<Participant>,
 }
 
 /// One durable invocation-log entry: enough to find the subsystem
@@ -253,6 +273,8 @@ impl<'a> Engine<'a> {
             prepared_at: BTreeMap::new(),
             sampling: None,
             events_processed: 0,
+            epoch_pending: 0,
+            epoch_group: Vec::new(),
         };
         // Closed arrivals keep the config's `arrival_gap` staggering; open
         // models (Poisson / Burst) take their times from the workload.
@@ -448,6 +470,12 @@ impl<'a> Engine<'a> {
                 self.invocation_log.len(),
                 self.done.len(),
             );
+            if self.cfg.epoch > 0 {
+                self.epoch_pending += after.0 - before.0;
+                if self.epoch_pending >= self.cfg.epoch {
+                    self.close_epoch();
+                }
+            }
             if before != after {
                 // Real progress: effects, prepares, or terminations.
                 self.stall_guard = 0;
@@ -503,6 +531,9 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        if self.cfg.epoch > 0 {
+            self.close_epoch();
+        }
         self.metrics.makespan = self.now.0;
         let stalled = self.live_processes();
         let pred_ok = if self.cfg.check_pred {
@@ -539,11 +570,24 @@ impl<'a> Engine<'a> {
         if let Some(cell) = &self.incremental {
             let mut inc = cell.borrow_mut();
             // Absorb history events emitted since the last certification;
-            // amortized, every event is recorded exactly once per run.
+            // amortized, every event is recorded exactly once per run. The
+            // sync stays per-event `record` (not `record_epoch`): emitted
+            // history may contain forcibly recorded non-reducible events
+            // (aborts), which a batch verdict would refuse to apply.
             for e in &self.history.events()[inc.len()..] {
                 inc.record(e).expect("emitted history event is legal");
             }
-            return match inc.certify(&event) {
+            // Epoch mode retains the certified plan so the admitting
+            // `record` above (next sync) replays it instead of re-planning:
+            // one closure / `PairCounts` computation per admitted event.
+            // `certify` and `certify_keep` answer identically — the cache
+            // is a pure amortization, so histories stay bit-identical.
+            let verdict = if self.cfg.epoch > 0 {
+                inc.certify_keep(&event)
+            } else {
+                inc.certify(&event)
+            };
+            return match verdict {
                 Ok(verdict) => verdict.reducible,
                 Err(_) => false,
             };
@@ -578,6 +622,28 @@ impl<'a> Engine<'a> {
             });
         }
         ok
+    }
+
+    /// Closes the current epoch: flushes the trace sink (one write for the
+    /// whole batch), samples the epoch-fill and flush-latency histograms,
+    /// and counts the batch in the metrics. `epoch >= 2` only for the
+    /// counters — an epoch of one *is* the per-event path, and counting it
+    /// would break the `epoch=1 ≡ per-event` metrics identity the
+    /// differential oracle pins.
+    fn close_epoch(&mut self) {
+        if self.epoch_pending == 0 {
+            return;
+        }
+        let fill = self.epoch_pending as u64;
+        self.epoch_pending = 0;
+        if self.cfg.epoch >= 2 {
+            self.metrics.epoch_batches += 1;
+            self.metrics.epoch_events += fill;
+        }
+        self.tele.phase_ns(Phase::EpochFill, fill);
+        let t0 = self.tele.phase_start();
+        self.sink.flush();
+        self.tele.phase_end(Phase::EpochFlush, t0);
     }
 
     fn dispatch(&mut self, pid: ProcessId) {
@@ -1042,7 +1108,17 @@ impl<'a> Engine<'a> {
 
     /// Releases deferred commits atomically via 2PC. Releases whose history
     /// event does not certify yet are postponed and retried on progress.
+    ///
+    /// With `cfg.epoch > 0`, releases arriving in one call are
+    /// group-committed: up to `epoch` participants share a single
+    /// prepare→decide round ([`Coordinator::commit_group`] logs one
+    /// decision record for the whole group). The group decision runs after
+    /// its members' history events are emitted — sound, because phase 2
+    /// releases every prepared participant unconditionally, and invisible
+    /// to history/metrics, because nothing between emit and decision reads
+    /// agent state.
     fn release_deferred(&mut self, released: Vec<(ProcessId, Vec<GlobalActivityId>)>) {
+        debug_assert!(self.epoch_group.is_empty());
         for (pj, gids) in released {
             if !self.pending_release.contains_key(&pj) {
                 continue;
@@ -1059,13 +1135,20 @@ impl<'a> Engine<'a> {
                     .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
             }
             debug_assert!(gids.contains(&pending.gid));
-            let participants = vec![Participant {
+            let participant = Participant {
                 subsystem: pending.subsystem,
                 invocation: pending.invocation,
-            }];
-            self.coordinator
-                .commit_group(&mut self.agents, participants, false)
-                .expect("participants prepared");
+            };
+            if self.cfg.epoch == 0 {
+                self.coordinator
+                    .commit_group(&mut self.agents, vec![participant], false)
+                    .expect("participants prepared");
+            } else {
+                self.epoch_group.push(participant);
+                if self.epoch_group.len() >= self.cfg.epoch {
+                    self.flush_release_group();
+                }
+            }
             self.history.execute(pending.gid);
             self.policy.record_deferred_released(pending.gid);
             self.trace(TraceEvent::CommitReleased { gid: pending.gid });
@@ -1080,6 +1163,19 @@ impl<'a> Engine<'a> {
             let at = self.now;
             self.schedule_dispatch(pj, at);
         }
+        self.flush_release_group();
+    }
+
+    /// Commits the accumulated release group in one 2PC round (no-op while
+    /// empty, so per-event mode never reaches the coordinator from here).
+    fn flush_release_group(&mut self) {
+        if self.epoch_group.is_empty() {
+            return;
+        }
+        let participants = std::mem::take(&mut self.epoch_group);
+        self.coordinator
+            .commit_group(&mut self.agents, participants, false)
+            .expect("participants prepared");
     }
 
     /// Retries releases previously postponed by certification — but only
@@ -1107,6 +1203,13 @@ impl<'a> Engine<'a> {
     /// (§3.5's "new conflicts"): group-abort them — a full group abort
     /// always reduces, so their real completions unblock ours.
     fn cert_failure_backoff(&mut self, pid: ProcessId) {
+        // Conflict pressure: certification just refused an event, so the
+        // run is about to stall-and-retry. Close the epoch early — the
+        // decision trace of the refusal should reach the sink now, not
+        // after the backoff resolves.
+        if self.cfg.epoch > 0 {
+            self.close_epoch();
+        }
         let count = self.cert_failures.entry(pid).or_insert(0);
         *count += 1;
         if *count > 50 {
