@@ -6,14 +6,21 @@
 //!                  [--policy pred|pred-wait|pred-protocol|serial|conservative|unsafe-cc]
 //!                  [--arrival-gap N] [--check] [--epoch N]
 //!                  [--runtime events|threads] [--workers N] [--shards auto|single|N]
+//!                  [--wal PATH] [--durability none|buffered|fsync-N|fsync-epoch]
+//!                  [--snapshot-every N]
 //!                  # --runtime switches to the wall-clock concurrent driver
 //!                  # --epoch N batches certification/commit in N-event
 //!                  # epochs (0 = per-event path, the default)
+//!                  # --wal journals the run write-ahead to PATH; --durability
+//!                  # picks the fsync policy (default fsync-epoch)
 //! txproc generate  [--seed N] [--processes N] [--density F] [--json PATH]
 //! txproc check     --scenario PATH.json        # {"spec": …, "history": …}
 //! txproc demo      fig4a|fig4b|fig7|fig9       # PRED-check a paper schedule
 //! txproc dot       p1|p2|p3|cim-construction|cim-production
-//! txproc crash     [--seed N] [--at N]         # crash/recovery demo
+//! txproc crash     [--seed N] [--at N] [--epoch N]  # crash/recovery demo
+//!                  [--wal PATH] [--durability …] [--snapshot-every N]
+//!                  # with --wal the in-memory image is discarded and the
+//!                  # scheduler state is rebuilt from the log alone
 //! txproc bench     [--smoke] [--out PATH] [--seed N] [--processes CSV]
 //!                  [--density CSV] [--policy CSV] [--certifier batch|incremental]
 //!                  [--arrival-gap N]           # perf trajectory → BENCH_scheduler.json
@@ -22,6 +29,7 @@
 //!                  [--runtime events|threads] [--workers N]
 //!                  [--open-processes CSV] [--open-gap US]  # Poisson open-arrival sweep
 //!                  [--epoch N]                 # epoch size of the epoch sweep entries
+//!                  [--durability-processes N]  # E26 durability sweep size (0 = skip)
 //! txproc trace     [--seed N] [--processes N] [--density F] [--failures F]
 //!                  [--policy …] [--certifier …] [--arrival-gap N]
 //!                  [--pid N] [--kind SUBSTR]   # filter the printed journal
@@ -63,10 +71,12 @@ use txproc_core::ids::ProcessId;
 use txproc_core::pred::check_pred;
 use txproc_core::schedule::{render, Schedule};
 use txproc_core::spec::Spec;
-use txproc_engine::concurrent::{try_run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
-use txproc_engine::engine::{run, Engine, RunConfig};
+use txproc_core::wal::{DurabilityPolicy, FileWal, WalWriter};
+use txproc_engine::concurrent::{ConcurrentConfig, RuntimeKind, ShardMode};
+use txproc_engine::engine::{Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
-use txproc_engine::recovery::recover;
+use txproc_engine::recovery::{recover, Recovery, RecoverySource};
+use txproc_engine::RunBuilder;
 use txproc_sim::workload::{try_generate, WorkloadConfig};
 
 /// Simple `--key value` argument map.
@@ -166,6 +176,33 @@ fn workload_from(args: &Args) -> Result<txproc_sim::workload::Workload, String> 
 /// `simulate --runtime events|threads`: the wall-clock concurrent driver
 /// instead of the virtual-time engine. Config errors (e.g. a workload past
 /// the thread runtime's cap) surface as CLI errors naming the knob to turn.
+/// Parses the shared WAL options: `--wal PATH` turns journaling on,
+/// `--durability` picks the fsync policy (default `fsync-epoch`),
+/// `--snapshot-every N` the engine snapshot cadence (default 64).
+fn parse_wal(args: &Args) -> Result<Option<(std::path::PathBuf, DurabilityPolicy, usize)>, String> {
+    let Some(path) = args.values.get("wal") else {
+        return Ok(None);
+    };
+    let raw = args.get("durability", "fsync-epoch".to_string())?;
+    let policy = DurabilityPolicy::parse(&raw).ok_or_else(|| {
+        format!("unknown durability policy `{raw}` (none|buffered|fsync-N|fsync-epoch)")
+    })?;
+    Ok(Some((
+        path.into(),
+        policy,
+        args.get("snapshot-every", 64usize)?,
+    )))
+}
+
+fn open_wal(
+    path: &std::path::Path,
+    policy: DurabilityPolicy,
+    seed: u64,
+) -> Result<WalWriter, String> {
+    let file = FileWal::create(path).map_err(|e| format!("create WAL {}: {e}", path.display()))?;
+    Ok(WalWriter::new(Box::new(file), policy, seed))
+}
+
 fn simulate_concurrent(
     args: &Args,
     w: &txproc_sim::workload::Workload,
@@ -177,19 +214,22 @@ fn simulate_concurrent(
         Some(raw) => parse_shards(raw)?,
         None => ShardMode::Auto,
     };
-    let r = try_run_concurrent(
-        w,
-        ConcurrentConfig {
-            policy,
-            seed: args.get("seed", 42u64)?,
-            certifier,
-            shards,
-            runtime,
-            workers: parse_workers(args)?,
-            epoch: args.get("epoch", 0usize)?,
-            ..ConcurrentConfig::default()
-        },
-    )?;
+    let seed = args.get("seed", 42u64)?;
+    let wal = parse_wal(args)?;
+    let mut builder = RunBuilder::new(w).concurrent(ConcurrentConfig {
+        policy,
+        seed,
+        certifier,
+        shards,
+        runtime,
+        workers: parse_workers(args)?,
+        epoch: args.get("epoch", 0usize)?,
+        ..ConcurrentConfig::default()
+    });
+    if let Some((path, dpolicy, snapshot_every)) = &wal {
+        builder = builder.durability(open_wal(path, *dpolicy, seed)?, *snapshot_every);
+    }
+    let r = builder.try_run()?.into_concurrent();
     println!("policy:            {}", policy.label());
     println!("runtime:           {}", runtime.label());
     println!("shards:            {}", r.metrics.shards.len());
@@ -239,16 +279,22 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if let Some(raw) = args.values.get("runtime") {
         return simulate_concurrent(args, &w, policy, certifier, parse_runtime(raw)?);
     }
+    let seed = args.get("seed", 42u64)?;
     let cfg = RunConfig {
         policy,
-        seed: args.get("seed", 42u64)?,
+        seed,
         arrival_gap: args.get("arrival-gap", 0u64)?,
         check_pred: args.flag("check"),
         certifier,
         epoch: args.get("epoch", 0usize)?,
         ..RunConfig::default()
     };
-    let r = run(&w, cfg);
+    let wal = parse_wal(args)?;
+    let mut builder = RunBuilder::new(&w).config(cfg);
+    if let Some((path, dpolicy, snapshot_every)) = &wal {
+        builder = builder.durability(open_wal(path, *dpolicy, seed)?, *snapshot_every);
+    }
+    let r = builder.try_run()?.into_engine();
     println!("policy:            {}", policy.label());
     if policy.certified() {
         println!("certifier:         {}", certifier.label());
@@ -279,6 +325,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     );
     if let Some(ok) = r.pred_ok {
         println!("history PRED:      {ok}");
+    }
+    if let Some((path, dpolicy, _)) = &wal {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wal:               {} ({}, {bytes} bytes)",
+            path.display(),
+            dpolicy.label()
+        );
     }
     if !r.stalled.is_empty() {
         return Err(format!("stalled processes: {:?}", r.stalled));
@@ -433,6 +487,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     cfg.open_mean_gap_us = args.get("open-gap", cfg.open_mean_gap_us)?;
     cfg.sharding_clusters = args.get("clusters", cfg.sharding_clusters)?;
     cfg.epoch = args.get("epoch", cfg.epoch)?;
+    cfg.durability_processes = args.get("durability-processes", cfg.durability_processes)?;
     let report = run_scheduler_bench(&cfg);
     for e in &report.runs {
         let shard = match &e.shard_mode {
@@ -525,7 +580,11 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     } else {
         Box::new(journal.clone())
     };
-    let r = Engine::with_sink(&w, cfg, sink).run();
+    let r = txproc_engine::RunBuilder::new(&w)
+        .config(cfg)
+        .sink(sink)
+        .run()
+        .into_engine();
     let records = journal.snapshot();
     if sample_n > 1 {
         println!(
@@ -605,8 +664,6 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 /// wall-clock sampler thread ticking every `--sample-ms`.
 fn cmd_stats(args: &Args) -> Result<(), String> {
     use txproc_core::telemetry::{prometheus_text, Telemetry};
-    use txproc_core::trace::NoopSink;
-    use txproc_engine::concurrent::run_concurrent_instrumented;
     use txproc_sim::timeseries::{Sampler, TimeSeries};
 
     let w = workload_from(args)?;
@@ -630,7 +687,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         cfg.validate(w.spec.processes().count())?;
         let every = std::time::Duration::from_millis(args.get("sample-ms", 1u64)?.max(1));
         let sampler = Sampler::spawn(tele.clone(), every, series.clone());
-        let r = run_concurrent_instrumented(&w, cfg, Box::new(NoopSink), tele.clone());
+        let r = txproc_engine::RunBuilder::new(&w)
+            .concurrent(cfg)
+            .telemetry(tele.clone())
+            .run()
+            .into_concurrent();
         sampler.stop();
         (r.metrics.committed, r.metrics.aborted)
     } else {
@@ -641,10 +702,12 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             certifier,
             ..RunConfig::default()
         };
-        let r = Engine::new(&w, cfg)
-            .with_telemetry(tele.clone())
-            .with_sampling(args.get("sample-events", 64u64)?, series.clone())
-            .run();
+        let r = txproc_engine::RunBuilder::new(&w)
+            .config(cfg)
+            .telemetry(tele.clone())
+            .sampling(args.get("sample-events", 64u64)?, series.clone())
+            .run()
+            .into_engine();
         (r.metrics.committed, r.metrics.aborted)
     };
     let snap = tele
@@ -754,8 +817,6 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     use std::io::IsTerminal;
     use std::sync::atomic::{AtomicBool, Ordering};
     use txproc_core::telemetry::Telemetry;
-    use txproc_core::trace::NoopSink;
-    use txproc_engine::concurrent::run_concurrent_instrumented;
 
     let w = workload_from(args)?;
     let cfg = ConcurrentConfig {
@@ -781,7 +842,11 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     let result = std::sync::Mutex::new(None);
     std::thread::scope(|scope| {
         scope.spawn(|| {
-            let r = run_concurrent_instrumented(&w, cfg, Box::new(NoopSink), tele.clone());
+            let r = txproc_engine::RunBuilder::new(&w)
+                .concurrent(cfg)
+                .telemetry(tele.clone())
+                .run()
+                .into_concurrent();
             *result.lock().expect("result mutex") = Some(r);
             done.store(true, Ordering::Release);
         });
@@ -926,10 +991,31 @@ fn cmd_gauntlet(args: &Args) -> Result<(), String> {
 fn cmd_crash(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let at = args.get("at", 8usize)?;
-    let mut engine = Engine::new(&w, RunConfig::default());
+    let wal = parse_wal(args)?;
+    let seed = args.get("seed", 42u64)?;
+    let run_cfg = RunConfig {
+        seed,
+        epoch: args.get("epoch", 0usize)?,
+        ..RunConfig::default()
+    };
+    let mut engine = Engine::new(&w, run_cfg);
+    if let Some((path, dpolicy, snapshot_every)) = &wal {
+        engine = engine.with_wal(open_wal(path, *dpolicy, seed)?, *snapshot_every);
+    }
     engine.run_until_history(at);
     println!("history at crash: {}", render(engine.history()));
-    let report = recover(&w, engine.crash()).map_err(|e| e.to_string())?;
+    let report = match &wal {
+        // The honest crash path: discard the in-memory image and rebuild
+        // everything from the durable log alone.
+        Some((path, _, _)) => {
+            drop(engine.crash());
+            println!("replaying WAL:    {}", path.display());
+            Recovery::from(RecoverySource::Wal(path.clone()))
+                .run(&w)
+                .map_err(|e| e.to_string())?
+        }
+        None => recover(&w, engine.crash()).map_err(|e| e.to_string())?,
+    };
     println!(
         "recovered: {} aborted, {} compensations, {} forward steps, {} 2PC groups resolved",
         report.aborted.len(),
@@ -1011,6 +1097,50 @@ mod tests {
     }
 
     #[test]
+    fn crash_recovers_from_a_wal_file() {
+        let path =
+            std::env::temp_dir().join(format!("txproc-cli-crash-{}.wal", std::process::id()));
+        let a = args(&[
+            "--seed",
+            "5",
+            "--processes",
+            "6",
+            "--at",
+            "6",
+            "--epoch",
+            "4",
+            "--wal",
+            path.to_str().unwrap(),
+        ]);
+        cmd_crash(&a).unwrap();
+        assert!(path.exists(), "crash left no WAL behind");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_journals_through_the_wal_flag() {
+        let path =
+            std::env::temp_dir().join(format!("txproc-cli-simulate-{}.wal", std::process::id()));
+        let a = args(&[
+            "--seed",
+            "3",
+            "--processes",
+            "6",
+            "--epoch",
+            "4",
+            "--durability",
+            "buffered",
+            "--wal",
+            path.to_str().unwrap(),
+        ]);
+        cmd_simulate(&a).unwrap();
+        let (records, clean) = txproc_core::wal::read_records(&std::fs::read(&path).unwrap());
+        assert!(!records.is_empty());
+        assert_eq!(clean, std::fs::metadata(&path).unwrap().len() as usize);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn policy_parsing() {
         assert_eq!(parse_policy("pred").unwrap(), PolicyKind::Pred);
         assert_eq!(parse_policy("unsafe-cc").unwrap(), PolicyKind::UnsafeCc);
@@ -1032,7 +1162,7 @@ mod tests {
         ]);
         cmd_bench(&a).unwrap();
         let raw = std::fs::read_to_string(&out).unwrap();
-        assert!(raw.contains("txproc-bench-scheduler/v7"));
+        assert!(raw.contains("txproc-bench-scheduler/v8"));
         assert!(raw.contains("pred-scan"));
         assert!(raw.contains("zipf-hotspot"));
         assert!(raw.contains("runtime_ratio"));

@@ -28,11 +28,13 @@ use txproc_core::schedule::{Event, Schedule};
 use txproc_core::spec::Spec;
 use txproc_core::telemetry::Telemetry;
 use txproc_core::trace::{JsonlSink, NoopSink, RingSink, TraceSink};
-use txproc_engine::concurrent::{
-    run_concurrent, run_concurrent_instrumented, ConcurrentConfig, RuntimeKind, ShardMode,
-};
+use txproc_core::wal::{read_wal_file, DurabilityPolicy, FileWal, WalRecord, WalWriter};
+use txproc_engine::concurrent::{run_concurrent, ConcurrentConfig, RuntimeKind, ShardMode};
+use txproc_engine::durability::rebuild_image;
 use txproc_engine::engine::{run, Engine, RunConfig};
 use txproc_engine::policy::{CertifierKind, PolicyKind};
+use txproc_engine::recovery::recover;
+use txproc_engine::RunBuilder;
 use txproc_sim::metrics::AbortReasons;
 use txproc_sim::workload::{generate, ArrivalModel, Workload, WorkloadConfig};
 
@@ -90,6 +92,10 @@ pub struct SchedulerBenchConfig {
     /// the Pred policy on both drivers, next to per-event baselines. 0
     /// disables the sweep.
     pub epoch: usize,
+    /// Process count of the durability sweep (E26): the highest-density
+    /// engine point re-driven with a file-backed WAL under each fsync
+    /// policy, plus the recovery-time-vs-log-length rows. 0 disables it.
+    pub durability_processes: usize,
 }
 
 impl SchedulerBenchConfig {
@@ -120,6 +126,7 @@ impl SchedulerBenchConfig {
             sharding_processes: 128,
             gauntlet_seeds: 128,
             epoch: 16,
+            durability_processes: 256,
         }
     }
 
@@ -139,6 +146,7 @@ impl SchedulerBenchConfig {
             sharding_clusters: 4,
             sharding_processes: 16,
             gauntlet_seeds: 4,
+            durability_processes: 16,
             ..Self::full()
         }
     }
@@ -215,6 +223,10 @@ pub struct BenchEntry {
     pub abort_reasons: AbortReasons,
     /// Epoch size the run used (0 = per-event path).
     pub epoch: usize,
+    /// Durability-policy label of WAL-journaled runs (schema v8); `None`
+    /// when the run wrote no WAL, which keeps pre-v8 regression keys
+    /// unchanged.
+    pub durability: Option<String>,
 }
 
 /// One events-vs-threads throughput pair at a closed sweep point (Pred
@@ -370,6 +382,63 @@ pub struct EpochDecisionEntry {
     pub speedup_vs_single: f64,
 }
 
+/// One fsync-policy throughput point (E26, schema v8): the highest-density
+/// engine sweep point re-driven with a file-backed WAL under one
+/// [`DurabilityPolicy`], against the unlogged run as the baseline. The
+/// write-ahead appends sit on the run's critical path, so the ratio is the
+/// real price of each durability level.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilityBenchEntry {
+    /// Durability-policy label (`buffered`, `fsync-1`, `fsync-epoch`, …).
+    pub policy: String,
+    /// Processes of the workload.
+    pub processes: usize,
+    /// Conflict density of the workload.
+    pub density: f64,
+    /// Epoch size of the run (fsync-epoch groups its syncs on this).
+    pub epoch: usize,
+    /// Emitted history events.
+    pub events: usize,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Records the run appended to the WAL.
+    pub wal_records: usize,
+    /// Bytes the WAL occupies on disk after the run.
+    pub wal_bytes: u64,
+    /// `events_per_sec / unlogged events_per_sec` — the durability tax.
+    pub throughput_vs_unlogged: f64,
+    /// Milliseconds to stream the run's full record sequence through a
+    /// fresh file-backed writer under this policy — the durability layer
+    /// in isolation, with the engine's compute out of the denominator.
+    pub wal_only_ms: f64,
+    /// Records per second through the isolated writer.
+    pub wal_only_records_per_sec: f64,
+    /// Fsyncs the isolated writer issued (policy-determined).
+    pub wal_only_syncs: u64,
+}
+
+/// One recovery-time point (E26, schema v8): a crash image rebuilt from a
+/// WAL prefix of the given length, then recovered (group abort +
+/// completion replay). Snapshot rows show the log-tail shortcut: replay
+/// starts at the newest snapshot instead of the log head.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryBenchEntry {
+    /// Records in the replayed log prefix.
+    pub log_records: usize,
+    /// Bytes in the replayed log prefix.
+    pub log_bytes: usize,
+    /// Snapshot cadence the writing run used (0 = no snapshots).
+    pub snapshot_every: usize,
+    /// History events in the rebuilt image.
+    pub history_events: usize,
+    /// Milliseconds to rebuild the crash image from the log.
+    pub rebuild_ms: f64,
+    /// Milliseconds for PRED recovery (group abort + completions) on it.
+    pub recover_ms: f64,
+}
+
 /// One per-decision measurement point.
 #[derive(Debug, Clone, Serialize)]
 pub struct DecisionBenchEntry {
@@ -413,6 +482,10 @@ pub struct BenchReport {
     pub phases: Vec<PhaseBreakdownEntry>,
     /// Telemetry on-vs-off overhead per driver (E24; schema v6).
     pub telemetry_overhead: Vec<TelemetryOverheadEntry>,
+    /// Fsync-policy throughput sweep (E26; schema v8).
+    pub durability: Vec<DurabilityBenchEntry>,
+    /// Recovery-time-vs-log-length rows (E26; schema v8).
+    pub recovery: Vec<RecoveryBenchEntry>,
     /// Coverage notes (anything capped or skipped, never silent).
     pub notes: Vec<String>,
 }
@@ -439,18 +512,40 @@ fn engine_entry(
     policy: PolicyKind,
     epoch: usize,
 ) -> BenchEntry {
+    engine_entry_wal(cfg, w, policy, epoch, None)
+}
+
+/// Engine entry, optionally journaled through a file-backed WAL
+/// (`(policy, snapshot cadence, path)`). The WAL variant drives the run
+/// through [`RunBuilder`], so the bench measures the same path users take.
+fn engine_entry_wal(
+    cfg: &SchedulerBenchConfig,
+    w: &Workload,
+    policy: PolicyKind,
+    epoch: usize,
+    wal: Option<(DurabilityPolicy, usize, &std::path::Path)>,
+) -> BenchEntry {
+    let run_cfg = RunConfig {
+        policy,
+        seed: cfg.seed,
+        arrival_gap: cfg.arrival_gap,
+        certifier: cfg.certifier,
+        epoch,
+        ..RunConfig::default()
+    };
     let t = Instant::now();
-    let r = run(
-        w,
-        RunConfig {
-            policy,
-            seed: cfg.seed,
-            arrival_gap: cfg.arrival_gap,
-            certifier: cfg.certifier,
-            epoch,
-            ..RunConfig::default()
-        },
-    );
+    let r = match &wal {
+        None => run(w, run_cfg),
+        Some((dpolicy, snapshot_every, path)) => {
+            let file = FileWal::create(path).expect("create bench WAL file");
+            let writer = WalWriter::new(Box::new(file), *dpolicy, cfg.seed);
+            RunBuilder::new(w)
+                .config(run_cfg)
+                .durability(writer, *snapshot_every)
+                .run()
+                .into_engine()
+        }
+    };
     let wall = t.elapsed();
     let events = r.history.events().len();
     BenchEntry {
@@ -486,6 +581,7 @@ fn engine_entry(
         sched_delay_p50_ns: None,
         sched_delay_p95_ns: None,
         epoch,
+        durability: wal.map(|(dpolicy, _, _)| dpolicy.label()),
     }
 }
 
@@ -547,6 +643,7 @@ pub(crate) fn concurrent_entry(
         sched_delay_p50_ns: rt.and_then(|m| m.delay_percentile_ns(0.5)),
         sched_delay_p95_ns: rt.and_then(|m| m.delay_percentile_ns(0.95)),
         epoch,
+        durability: None,
     }
 }
 
@@ -692,7 +789,12 @@ pub fn trace_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TraceOverheadEntr
         (0..reps)
             .map(|_| {
                 let t = Instant::now();
-                let _ = std::hint::black_box(Engine::with_sink(&w, run_cfg.clone(), mk()).run());
+                let _ = std::hint::black_box(
+                    txproc_engine::RunBuilder::new(&w)
+                        .config(run_cfg.clone())
+                        .sink(mk())
+                        .run(),
+                );
                 t.elapsed().as_secs_f64() * 1e3
             })
             .fold(f64::INFINITY, f64::min)
@@ -759,23 +861,20 @@ pub fn phase_breakdown_bench(cfg: &SchedulerBenchConfig) -> Vec<PhaseBreakdownEn
         }
     };
     let tele = Telemetry::on();
-    let _ = Engine::new(
-        &w,
-        RunConfig {
+    let _ = txproc_engine::RunBuilder::new(&w)
+        .config(RunConfig {
             policy: PolicyKind::Pred,
             seed: cfg.seed,
             arrival_gap: cfg.arrival_gap,
             certifier: cfg.certifier,
             ..RunConfig::default()
-        },
-    )
-    .with_telemetry(tele.clone())
-    .run();
+        })
+        .telemetry(tele.clone())
+        .run();
     push("engine", &tele);
     let tele = Telemetry::on();
-    let _ = run_concurrent_instrumented(
-        &w,
-        ConcurrentConfig {
+    let _ = txproc_engine::RunBuilder::new(&w)
+        .concurrent(ConcurrentConfig {
             policy: PolicyKind::Pred,
             seed: cfg.seed,
             certifier: cfg.certifier,
@@ -783,10 +882,9 @@ pub fn phase_breakdown_bench(cfg: &SchedulerBenchConfig) -> Vec<PhaseBreakdownEn
             runtime: RuntimeKind::Events,
             workers: cfg.workers,
             ..ConcurrentConfig::default()
-        },
-        Box::new(NoopSink),
-        tele.clone(),
-    );
+        })
+        .telemetry(tele.clone())
+        .run();
     push("concurrent", &tele);
     out
 }
@@ -833,8 +931,9 @@ pub fn telemetry_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TelemetryOver
             }) as &dyn Fn(),
             &(|| {
                 let _ = std::hint::black_box(
-                    Engine::new(&w, run_cfg.clone())
-                        .with_telemetry(Telemetry::on())
+                    txproc_engine::RunBuilder::new(&w)
+                        .config(run_cfg.clone())
+                        .telemetry(Telemetry::on())
                         .run(),
                 );
             }) as &dyn Fn(),
@@ -845,12 +944,12 @@ pub fn telemetry_overhead_bench(cfg: &SchedulerBenchConfig) -> Vec<TelemetryOver
                 let _ = std::hint::black_box(run_concurrent(&w, conc_cfg.clone()));
             }) as &dyn Fn(),
             &(|| {
-                let _ = std::hint::black_box(run_concurrent_instrumented(
-                    &w,
-                    conc_cfg.clone(),
-                    Box::new(NoopSink),
-                    Telemetry::on(),
-                ));
+                let _ = std::hint::black_box(
+                    txproc_engine::RunBuilder::new(&w)
+                        .concurrent(conc_cfg.clone())
+                        .telemetry(Telemetry::on())
+                        .run(),
+                );
             }) as &dyn Fn(),
         ),
     ] {
@@ -1020,6 +1119,207 @@ pub fn epoch_decision_bench(cfg: &SchedulerBenchConfig) -> Vec<EpochDecisionEntr
         });
     }
     out
+}
+
+/// Streams an already-recorded WAL sequence through a fresh file-backed
+/// writer under `policy`, returning (wall ms, fsyncs issued). Epoch seals
+/// go through [`WalWriter::seal_epoch`] so `FsyncPerEpoch` groups its
+/// syncs exactly as it did during the original run.
+fn replay_records_through(
+    dir: &std::path::Path,
+    policy: DurabilityPolicy,
+    seed: u64,
+    records: &[WalRecord],
+) -> (f64, u64) {
+    let path = dir.join(format!("isolated-{}.wal", policy.label()));
+    let Ok(file) = FileWal::create(&path) else {
+        return (f64::NAN, 0);
+    };
+    let t = Instant::now();
+    let mut writer = WalWriter::new(Box::new(file), policy, seed);
+    for record in records {
+        match record {
+            // `new` already appended the header.
+            WalRecord::Begin { .. } => {}
+            // `seal_epoch` appends the seal record itself.
+            WalRecord::EpochSeal { epoch } => writer.seal_epoch(*epoch),
+            other => writer.append(other),
+        }
+    }
+    writer.finish();
+    let syncs = writer.syncs();
+    (t.elapsed().as_secs_f64() * 1e3, syncs)
+}
+
+/// E26: fsync-policy throughput sweep plus recovery-time-vs-log-length
+/// rows, at the highest-density point with `cfg.durability_processes`
+/// processes. WAL files live in (and are removed from) a per-process temp
+/// directory; the journaled [`BenchEntry`] rows are appended to `runs` so
+/// the regression gate tracks them under `/wal:`-suffixed keys.
+pub fn durability_bench(
+    cfg: &SchedulerBenchConfig,
+    runs: &mut Vec<BenchEntry>,
+    notes: &mut Vec<String>,
+) -> (Vec<DurabilityBenchEntry>, Vec<RecoveryBenchEntry>) {
+    let n = cfg.durability_processes;
+    if n == 0 {
+        notes.push("durability sweep skipped (durability_processes = 0)".to_string());
+        return (Vec::new(), Vec::new());
+    }
+    let density = cfg.densities.iter().copied().fold(0.3, f64::max);
+    let epoch = cfg.epoch.max(1);
+    let w = bench_workload(cfg.seed, n, density, cfg.failure_probability);
+    let dir = std::env::temp_dir().join(format!("txproc-bench-wal-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        notes.push(format!("durability sweep skipped: temp dir failed ({e})"));
+        return (Vec::new(), Vec::new());
+    }
+
+    // Unlogged baseline: same workload, policy, and epoch, no WAL.
+    let unlogged = engine_entry(cfg, &w, PolicyKind::Pred, epoch);
+    let baseline_eps = unlogged.events_per_sec.max(1e-9);
+
+    let policies = [
+        DurabilityPolicy::Buffered,
+        DurabilityPolicy::FsyncPerEpoch,
+        DurabilityPolicy::FsyncEveryN(8),
+        DurabilityPolicy::FsyncEveryN(1),
+    ];
+    // End-to-end pass: the engine run re-driven with the WAL on its
+    // critical path. The record *content* is policy-independent (same
+    // deterministic run), so the buffered file doubles as the replay
+    // stream for the isolated pass below.
+    let mut measured = Vec::new();
+    for dpolicy in policies {
+        let path = dir.join(format!("throughput-{}.wal", dpolicy.label()));
+        let entry = engine_entry_wal(cfg, &w, PolicyKind::Pred, epoch, Some((dpolicy, 64, &path)));
+        let wal_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let wal_records = read_wal_file(&path).map(|(r, _)| r.len()).unwrap_or(0);
+        measured.push((dpolicy, entry, wal_records, wal_bytes));
+    }
+    let stream = read_wal_file(&dir.join("throughput-buffered.wal"))
+        .map(|(r, _)| r)
+        .unwrap_or_default();
+
+    // Isolated pass: stream the same records through a fresh writer per
+    // policy. End-to-end numbers dilute the fsync cost with engine compute;
+    // this is the durability layer alone, where the policy *is* the cost.
+    let mut durability = Vec::new();
+    for (dpolicy, entry, wal_records, wal_bytes) in measured {
+        let (wal_only_ms, wal_only_syncs) =
+            replay_records_through(&dir, dpolicy, cfg.seed, &stream);
+        durability.push(DurabilityBenchEntry {
+            policy: dpolicy.label(),
+            processes: n,
+            density,
+            epoch,
+            events: entry.events,
+            wall_ms: entry.wall_ms,
+            events_per_sec: entry.events_per_sec,
+            wal_records,
+            wal_bytes,
+            throughput_vs_unlogged: entry.events_per_sec / baseline_eps,
+            wal_only_ms,
+            wal_only_records_per_sec: stream.len() as f64 / (wal_only_ms / 1e3).max(1e-9),
+            wal_only_syncs,
+        });
+        runs.push(entry);
+    }
+    let entry_of = |label: &str| durability.iter().find(|e| e.policy == label);
+    if let (Some(group), Some(per_record)) = (entry_of("fsync-epoch"), entry_of("fsync-1")) {
+        notes.push(format!(
+            "durability (E26): WAL-only, fsync-epoch appends at {:.1}x the rate of fsync-1 \
+             ({} vs {} fsyncs over {} records, n={n} d={density} epoch {epoch}; acceptance \
+             floor 2x); end-to-end engine throughput ratio {:.2}x; buffered runs at {:.2}x \
+             unlogged",
+            group.wal_only_records_per_sec / per_record.wal_only_records_per_sec.max(1e-9),
+            group.wal_only_syncs,
+            per_record.wal_only_syncs,
+            stream.len(),
+            group.events_per_sec / per_record.events_per_sec.max(1e-9),
+            entry_of("buffered").map_or(0.0, |e| e.events_per_sec) / baseline_eps,
+        ));
+    }
+
+    // Recovery rows: one journaled run per snapshot cadence, crashed at the
+    // durable end of its log, rebuilt from growing prefixes. Cutting the
+    // record list (not raw bytes) keeps every prefix frame-aligned; the
+    // crash-sweep tests own the torn-byte cases.
+    let mut recovery = Vec::new();
+    for snapshot_every in [0usize, 64] {
+        let path = dir.join(format!("recovery-snap{snapshot_every}.wal"));
+        let file = match FileWal::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                notes.push(format!("recovery rows skipped: WAL create failed ({e})"));
+                continue;
+            }
+        };
+        let writer = WalWriter::new(Box::new(file), DurabilityPolicy::Buffered, cfg.seed);
+        let engine = Engine::new(
+            &w,
+            RunConfig {
+                policy: PolicyKind::Pred,
+                seed: cfg.seed,
+                arrival_gap: cfg.arrival_gap,
+                certifier: cfg.certifier,
+                epoch,
+                ..RunConfig::default()
+            },
+        )
+        .with_wal(writer, snapshot_every);
+        let _ = engine.run();
+        let Ok((records, _)) = read_wal_file(&path) else {
+            continue;
+        };
+        let total_bytes = std::fs::metadata(&path)
+            .map(|m| m.len() as usize)
+            .unwrap_or(0);
+        for cut in [records.len() / 4, records.len() / 2, records.len()] {
+            if cut == 0 {
+                continue;
+            }
+            let prefix = &records[..cut];
+            let t = Instant::now();
+            let Ok(image) = rebuild_image(&w, prefix) else {
+                continue;
+            };
+            let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+            let history_events = image.history.len();
+            let t = Instant::now();
+            let Ok(_report) = recover(&w, image) else {
+                continue;
+            };
+            recovery.push(RecoveryBenchEntry {
+                log_records: cut,
+                log_bytes: total_bytes * cut / records.len().max(1),
+                snapshot_every,
+                history_events,
+                rebuild_ms,
+                recover_ms: t.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    if let Some(full) = recovery
+        .iter()
+        .filter(|r| r.snapshot_every == 0)
+        .max_by_key(|r| r.log_records)
+    {
+        notes.push(format!(
+            "recovery (E26): full-log rebuild+recover {:.2} ms over {} records; \
+             snapshots every 64 events: {:.2} ms",
+            full.rebuild_ms + full.recover_ms,
+            full.log_records,
+            recovery
+                .iter()
+                .filter(|r| r.snapshot_every == 64)
+                .max_by_key(|r| r.log_records)
+                .map(|r| r.rebuild_ms + r.recover_ms)
+                .unwrap_or(f64::NAN),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (durability, recovery)
 }
 
 /// Runs the full scheduler bench and assembles the report.
@@ -1213,6 +1513,7 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
             worst.overhead_pct, worst.mode, worst.processes, worst.density
         ));
     }
+    let (durability, recovery) = durability_bench(cfg, &mut runs, &mut notes);
     let scenarios = if cfg.gauntlet_seeds > 0 {
         run_gauntlet(&GauntletConfig {
             seeds: cfg.gauntlet_seeds,
@@ -1225,17 +1526,20 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         Vec::new()
     };
     BenchReport {
-        // v7 (additive over v6): the per-run `epoch` field, the epoch
-        // group-certification sweep entries at the highest density, and the
-        // `epoch_decision` amortization microbench (E25). v6 readers that
-        // pick fields by name still work. (v6 added the `phases` per-phase
-        // wall-time breakdown per driver and the `telemetry_overhead`
-        // on-vs-off rows; v5 added per-entry runtime/worker/run-queue/
-        // scheduling-delay fields, the `runtime_ratio` events-vs-threads
-        // pairs and the `open_runs` Poisson sweep; v4 added the `scenarios`
-        // gauntlet array; v3 added shard_mode/shards/clusters, lock
-        // contention and wakeup counters over v2.)
-        schema: "txproc-bench-scheduler/v7",
+        // v8 (additive over v7): the per-run `durability` field (null on
+        // unlogged runs, so pre-v8 regression keys are unchanged), the
+        // `durability` fsync-policy sweep, and the `recovery`
+        // time-vs-log-length rows (E26). (v7 added the per-run `epoch`
+        // field, the epoch group-certification sweep entries at the highest
+        // density, and the `epoch_decision` amortization microbench (E25);
+        // v6 added the `phases` per-phase wall-time breakdown per driver
+        // and the `telemetry_overhead` on-vs-off rows; v5 added per-entry
+        // runtime/worker/run-queue/scheduling-delay fields, the
+        // `runtime_ratio` events-vs-threads pairs and the `open_runs`
+        // Poisson sweep; v4 added the `scenarios` gauntlet array; v3 added
+        // shard_mode/shards/clusters, lock contention and wakeup counters
+        // over v2.)
+        schema: "txproc-bench-scheduler/v8",
         created_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -1250,6 +1554,8 @@ pub fn run_scheduler_bench(cfg: &SchedulerBenchConfig) -> BenchReport {
         trace_overhead,
         phases,
         telemetry_overhead,
+        durability,
+        recovery,
         notes,
     }
 }
@@ -1265,16 +1571,23 @@ mod tests {
         cfg.concurrent_max_processes = 6;
         cfg.gauntlet_seeds = 2;
         cfg.open_processes = vec![40];
+        cfg.durability_processes = 6;
         let report = run_scheduler_bench(&cfg);
         // Per (density, n) point: engine + events-concurrent per policy,
         // plus the threads ratio baseline; then the single/auto sharding
         // pair; then the epoch sweep (per-event Pred baseline pair — smoke
-        // policies don't include Pred — plus the epoch-16 pair).
-        assert_eq!(report.runs.len(), 11);
+        // policies don't include Pred — plus the epoch-16 pair); then the
+        // four WAL-journaled durability runs (v8).
+        assert_eq!(report.runs.len(), 15);
         assert!(report.runs.iter().all(|e| e.events > 0));
         // v7: the epoch sweep drove both drivers at epoch 16 under Pred,
-        // next to per-event baselines at the same point.
-        let epoch_runs: Vec<_> = report.runs.iter().filter(|e| e.epoch > 0).collect();
+        // next to per-event baselines at the same point. (The durability
+        // sweep adds four more epoch-16 engine runs.)
+        let epoch_runs: Vec<_> = report
+            .runs
+            .iter()
+            .filter(|e| e.epoch > 0 && e.durability.is_none())
+            .collect();
         assert_eq!(epoch_runs.len(), 2);
         let epoch_modes: Vec<_> = epoch_runs.iter().map(|e| e.mode).collect();
         assert_eq!(epoch_modes, vec!["engine", "concurrent"]);
@@ -1384,8 +1697,63 @@ mod tests {
             .telemetry_overhead
             .iter()
             .all(|t| t.wall_ms_off > 0.0 && t.wall_ms_on > 0.0));
+        // v8 (E26): one durability row per fsync policy, journaled runs in
+        // `runs` carrying their policy label, and recovery rows covering
+        // both snapshot cadences with growing log prefixes.
+        let dur: Vec<_> = report
+            .durability
+            .iter()
+            .map(|d| d.policy.as_str())
+            .collect();
+        assert_eq!(dur, vec!["buffered", "fsync-epoch", "fsync-8", "fsync-1"]);
+        assert!(report
+            .durability
+            .iter()
+            .all(|d| d.events > 0 && d.wal_records > 0 && d.wal_bytes > 0));
+        // The isolated pass replayed the same stream under every policy;
+        // fsync-1 syncs once per record, fsync-epoch once per seal (+finish).
+        assert!(report
+            .durability
+            .iter()
+            .all(|d| d.wal_only_ms > 0.0 && d.wal_only_records_per_sec > 0.0));
+        let syncs_of = |label: &str| {
+            report
+                .durability
+                .iter()
+                .find(|d| d.policy == label)
+                .map(|d| d.wal_only_syncs)
+                .unwrap()
+        };
+        assert_eq!(syncs_of("buffered"), 0);
+        assert!(syncs_of("fsync-1") > syncs_of("fsync-8"));
+        assert!(syncs_of("fsync-8") > syncs_of("fsync-epoch"));
+        assert_eq!(
+            report
+                .runs
+                .iter()
+                .filter(|e| e.durability.is_some())
+                .count(),
+            4
+        );
+        assert!(!report.recovery.is_empty());
+        assert!(report
+            .recovery
+            .iter()
+            .all(|r| r.log_records > 0 && r.rebuild_ms >= 0.0));
+        assert!(report.recovery.iter().any(|r| r.snapshot_every == 64));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.starts_with("durability (E26):")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.starts_with("recovery (E26):")));
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("txproc-bench-scheduler/v7"));
+        assert!(json.contains("txproc-bench-scheduler/v8"));
+        assert!(json.contains("throughput_vs_unlogged"));
+        assert!(json.contains("wal_only_records_per_sec"));
+        assert!(json.contains("snapshot_every"));
         assert!(json.contains("epoch_decision"));
         assert!(json.contains("speedup_vs_single"));
         assert!(json.contains("telemetry_overhead"));

@@ -172,6 +172,12 @@ fn index_runs(report: &Value) -> Result<BTreeMap<String, RunPoint>, RegressionEr
         if epoch > 0.0 {
             key.push_str(&format!("/e{epoch}"));
         }
+        // WAL-journaled runs (schema v8) get their own `/wal:`-suffixed
+        // keys, one per durability policy; unlogged runs — `durability`
+        // null or absent — keep their pre-v8 keys.
+        if let Some(durability) = field(run, "durability").and_then(Value::as_str) {
+            key.push_str(&format!("/wal:{durability}"));
+        }
         let point = RunPoint {
             events_per_sec: eps,
             latency_p95: field(run, "latency_p95").and_then(as_f64),
@@ -378,6 +384,33 @@ mod tests {
             r.points.iter().map(|p| &p.key).collect::<Vec<_>>()
         );
         assert!(r.points.iter().any(|p| !p.key.contains("/e")));
+    }
+
+    #[test]
+    fn wal_runs_get_distinct_keys() {
+        // The same epoch-16 sweep point unlogged and under two fsync
+        // policies (schema v8): three distinct keys, no collisions — so a
+        // durability regression is gated per policy, and v7 baselines
+        // still match the unlogged run.
+        let doc = "{\"runs\":[\
+            {\"mode\":\"engine\",\"policy\":\"pred\",\"processes\":16,\
+             \"density\":0.6,\"epoch\":16,\"durability\":null,\
+             \"events_per_sec\":1000.0,\"latency_p95\":500.0},\
+            {\"mode\":\"engine\",\"policy\":\"pred\",\"processes\":16,\
+             \"density\":0.6,\"epoch\":16,\"durability\":\"fsync-epoch\",\
+             \"events_per_sec\":900.0,\"latency_p95\":550.0},\
+            {\"mode\":\"engine\",\"policy\":\"pred\",\"processes\":16,\
+             \"density\":0.6,\"epoch\":16,\"durability\":\"fsync-1\",\
+             \"events_per_sec\":200.0,\"latency_p95\":900.0}]}";
+        let r = compare(doc, doc).expect("comparable");
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.points.len(), 3);
+        assert!(r.points.iter().any(|p| p.key.ends_with("/wal:fsync-epoch")));
+        assert!(r.points.iter().any(|p| p.key.ends_with("/wal:fsync-1")));
+        assert!(
+            r.points.iter().any(|p| !p.key.contains("/wal")),
+            "unlogged run must keep its pre-v8 key"
+        );
     }
 
     #[test]

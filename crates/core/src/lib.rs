@@ -33,6 +33,7 @@
 //! | [`recoverability`] | Proc-REC (Def 11), Theorem 1, SOT discussion |
 //! | [`protocol`] | the online scheduling protocol (Lemmas 1–3, §3.5) |
 //! | [`trace`] | structured decision tracing (event journal, sinks, explain) |
+//! | [`wal`] | durable write-ahead journal (framed records, fsync policies) |
 //! | [`telemetry`] | metrics registry, phase timers, Prometheus/JSON export |
 //! | [`weak`] | strong vs. weak orders (§3.6) |
 //! | [`fixtures`] | the paper's running examples, ready made |
@@ -86,6 +87,7 @@ pub mod spec;
 pub mod state;
 pub mod telemetry;
 pub mod trace;
+pub mod wal;
 pub mod weak;
 
 pub use activity::{Catalog, Termination};
@@ -100,3 +102,4 @@ pub use schedule::{Event, Schedule};
 pub use spec::Spec;
 pub use telemetry::{Phase, Registry, Snapshot, Telemetry};
 pub use trace::{Journal, JsonlSink, NoopSink, RingSink, TraceEvent, TraceRecord, TraceSink};
+pub use wal::{DurabilityPolicy, MemWal, WalRecord, WalWriter};

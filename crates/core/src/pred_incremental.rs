@@ -368,6 +368,20 @@ pub struct IncrementalPred<'a> {
     /// optimization: `apply(plan(e))` either way; invalidated by length or
     /// event mismatch).
     cache: Option<CachedPlan<'a>>,
+    /// Applied events in application order — the certifier's durable form
+    /// (see [`Self::snapshot`]).
+    events: Vec<Event>,
+}
+
+/// Serializable image of an [`IncrementalPred`]: the applied event prefix.
+///
+/// The certifier is a pure fold over its event sequence, so its durable
+/// form is the sequence itself and [`IncrementalPred::restore`] is a
+/// replay — the same discipline the WAL uses for agents and history.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CertifierSnapshot {
+    /// Events folded into the certifier, in application order.
+    pub events: Vec<Event>,
 }
 
 fn touch<'a, 'b>(
@@ -427,7 +441,26 @@ impl<'a> IncrementalPred<'a> {
             prefix_reducible: vec![true],
             first_violation: None,
             cache: None,
+            events: Vec::new(),
         }
+    }
+
+    /// Captures the certification state as a serializable snapshot.
+    pub fn snapshot(&self) -> CertifierSnapshot {
+        CertifierSnapshot {
+            events: self.events.clone(),
+        }
+    }
+
+    /// Rebuilds a certifier from a snapshot by replaying its prefix. The
+    /// result answers every query (`pred`, `report`, `certify`, …) exactly
+    /// as the snapshotted instance did.
+    pub fn restore(spec: &'a Spec, snapshot: &CertifierSnapshot) -> Result<Self, ScheduleError> {
+        let mut inc = Self::new(spec);
+        for event in &snapshot.events {
+            inc.record(event)?;
+        }
+        Ok(inc)
     }
 
     /// Events recorded so far.
@@ -518,6 +551,7 @@ impl<'a> IncrementalPred<'a> {
         };
         let reducible = delta.reducible;
         self.apply(delta);
+        self.events.push(event.clone());
         Ok(StepVerdict {
             prefix_len: self.len,
             reducible,
@@ -560,6 +594,7 @@ impl<'a> IncrementalPred<'a> {
             };
             if delta.reducible {
                 self.apply(delta);
+                self.events.push(event.clone());
                 accepted += 1;
                 steps.push(EpochStep::Accepted(verdict));
             } else {
@@ -1502,6 +1537,42 @@ mod tests {
         }
         assert_eq!(epoch.report(), seq.report());
         assert_eq!(epoch.len(), seq.len());
+    }
+
+    #[test]
+    fn snapshot_restore_matches_the_live_certifier() {
+        let fx = fixtures::paper_world();
+        for s in [st2(&fx), figure7(&fx)] {
+            let mut live = IncrementalPred::new(&fx.spec);
+            for e in s.events() {
+                live.record(e).unwrap();
+            }
+            // Restore must behave like a fresh replay of the same prefix —
+            // state, report, and every future certification answer.
+            let snap = live.snapshot();
+            let restored = IncrementalPred::restore(&fx.spec, &snap).unwrap();
+            assert_eq!(restored.len(), live.len());
+            assert_eq!(restored.report(), live.report());
+            assert_eq!(restored.first_violation(), live.first_violation());
+            for p in 1..=2u64 {
+                for a in 1..=5u64 {
+                    let probe = Event::Execute(fx.a(p as u32, a as u32));
+                    match (live.certify(&probe), restored.certify(&probe)) {
+                        (Ok(x), Ok(y)) => assert_eq!(x, y, "certify diverged on {probe:?}"),
+                        (Err(_), Err(_)) => {}
+                        other => panic!("certify diverged on {probe:?}: {other:?}"),
+                    }
+                }
+            }
+            // The snapshot is the durable form: it round-trips through JSON.
+            let json = serde_json::to_string(&snap).unwrap();
+            let back: CertifierSnapshot = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, snap);
+            assert_eq!(
+                IncrementalPred::restore(&fx.spec, &back).unwrap().report(),
+                live.report()
+            );
+        }
     }
 
     #[test]

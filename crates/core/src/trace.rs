@@ -451,19 +451,26 @@ impl Journal {
         Self::default()
     }
 
+    /// A panicking traced run must not poison the journal for the reader:
+    /// records are appended atomically (one `Vec::push` under the lock), so
+    /// the buffer is consistent at every panic point — recover the guard.
+    fn guard(&self) -> std::sync::MutexGuard<'_, Vec<TraceRecord>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Copy of all records so far.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.inner.lock().expect("journal poisoned").clone()
+        self.guard().clone()
     }
 
     /// Drain all records, leaving the journal empty.
     pub fn take(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut *self.inner.lock().expect("journal poisoned"))
+        std::mem::take(&mut *self.guard())
     }
 
     /// Number of records collected.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("journal poisoned").len()
+        self.guard().len()
     }
 
     /// Whether no records were collected.
@@ -474,7 +481,7 @@ impl Journal {
 
 impl TraceSink for Journal {
     fn record(&mut self, rec: TraceRecord) {
-        self.inner.lock().expect("journal poisoned").push(rec);
+        self.guard().push(rec);
     }
 }
 
@@ -504,21 +511,27 @@ impl RingSink {
         }
     }
 
+    /// Poison-tolerant lock: ring mutations keep the buffer consistent at
+    /// every panic point, so a crashed producer leaves a readable ring.
+    fn guard(&self) -> std::sync::MutexGuard<'_, RingInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Copy of the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        let g = self.inner.lock().expect("ring poisoned");
+        let g = self.guard();
         g.buf.iter().cloned().collect()
     }
 
     /// Number of records evicted so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("ring poisoned").dropped
+        self.guard().dropped
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&mut self, rec: TraceRecord) {
-        let mut g = self.inner.lock().expect("ring poisoned");
+        let mut g = self.guard();
         if g.buf.len() == g.cap {
             g.buf.pop_front();
             g.dropped += 1;
@@ -624,10 +637,17 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
 impl<W: Write + Send> Drop for JsonlSink<W> {
     fn drop(&mut self) {
         if self.w.is_some() {
-            self.flush_buf();
-            if let Some(w) = self.w.as_mut() {
-                let _ = w.flush();
-            }
+            // This drop also runs while unwinding a panicked run; the final
+            // flush must not double-panic (abort) if the writer is backed
+            // by a lock the panicking thread poisoned. Swallow a secondary
+            // panic — the primary keeps propagating, and everything the
+            // writer accepted before it stays on disk.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.flush_buf();
+                if let Some(w) = self.w.as_mut() {
+                    let _ = w.flush();
+                }
+            }));
         }
     }
 }
@@ -1174,6 +1194,75 @@ mod tests {
         }
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(from_jsonl(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn journal_and_ring_survive_a_poisoning_panic() {
+        // A worker that dies while holding the journal lock poisons the std
+        // mutex; the surviving handles must keep reading and writing — the
+        // push/pop mutations are atomic, so the buffer is always coherent.
+        let journal = Journal::new();
+        let ring = RingSink::new(8);
+        let (j, r) = (journal.clone(), ring.clone());
+        std::thread::spawn(move || {
+            let _jg = j.inner.lock().unwrap();
+            let _rg = r.inner.lock().unwrap();
+            panic!("simulated worker crash");
+        })
+        .join()
+        .unwrap_err();
+        let recs = fixture();
+        let mut j = journal.clone();
+        let mut r = ring.clone();
+        j.record(recs[0].clone());
+        r.record(recs[0].clone());
+        assert_eq!(journal.snapshot(), recs[..1]);
+        assert_eq!(ring.snapshot(), recs[..1]);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(journal.take(), recs[..1]);
+        assert!(journal.is_empty());
+    }
+
+    /// A writer backed by a lock a panicking run poisoned: every write
+    /// observes the poison the way `Arc<Mutex<W>>` writers do.
+    struct PoisonedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for PoisonedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_drop_through_poisoned_writer_leaves_prefix_complete_tail() {
+        let shared = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let recs = fixture();
+        // Two records land before the crash (batch 2 → one completed
+        // write); the rest sit in the sink's buffer when the writer's lock
+        // gets poisoned and the sink is dropped by the unwinding run.
+        let mut sink = JsonlSink::with_batch(PoisonedWriter(shared.clone()), 2);
+        for rec in &recs[..3] {
+            sink.record(rec.clone());
+        }
+        let s = shared.clone();
+        std::thread::spawn(move || {
+            let _g = s.lock().unwrap();
+            panic!("simulated crash mid-run");
+        })
+        .join()
+        .unwrap_err();
+        // Dropping the sink now hits the poisoned lock. The drop guard must
+        // swallow the secondary panic instead of aborting the process.
+        drop(sink);
+        let bytes = shared.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let text = String::from_utf8(bytes).unwrap();
+        // The tail is a parseable, prefix-complete journal: exactly the
+        // records whose batch completed before the crash, nothing torn.
+        assert_eq!(from_jsonl(&text).unwrap(), recs[..2]);
     }
 
     #[test]

@@ -81,6 +81,7 @@ use txproc_core::schedule::{Event, Schedule};
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
 use txproc_core::telemetry::{Counter, Gauge, Phase, Telemetry};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
+use txproc_core::wal::{WalRecord, WalWriter};
 use txproc_sim::metrics::{Metrics, RuntimeMetrics, ShardMetrics};
 use txproc_sim::workload::Workload;
 use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
@@ -417,6 +418,12 @@ struct RunCtx<'r, 'a> {
     /// peak observed — the open-system concurrency level actually reached.
     live_now: AtomicU64,
     live_peak: AtomicU64,
+    /// Durable journal of the merged history: every emitted shard event is
+    /// appended as a ticket-stamped [`WalRecord::ShardEvent`], so the
+    /// ticket-sorted log replays to the exact returned history. The shard
+    /// log carries no agent state — subsystem recovery stays an
+    /// engine-WAL capability.
+    wal: Option<&'r Mutex<WalWriter>>,
 }
 
 impl RunCtx<'_, '_> {
@@ -653,6 +660,13 @@ impl<'a> ShardState<'a> {
     /// merge ticket and bumping the generation.
     fn emit(&mut self, ctx: &RunCtx<'_, 'a>, event: Event) {
         let ticket = ctx.tickets.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = ctx.wal {
+            wal.lock().append(&WalRecord::ShardEvent {
+                shard: self.shard_id,
+                ticket,
+                event: event.clone(),
+            });
+        }
         self.history.push(event);
         self.event_tickets.push(ticket);
         self.generation += 1;
@@ -928,7 +942,7 @@ fn p_fail(workload: &Workload, subsystem: SubsystemId) -> f64 {
 /// processes than the thread runtime supports); use
 /// [`try_run_concurrent`] for a `Result`.
 pub fn run_concurrent(workload: &Workload, cfg: ConcurrentConfig) -> ConcurrentResult {
-    run_concurrent_traced(workload, cfg, Box::new(NoopSink))
+    run_concurrent_impl(workload, cfg, Box::new(NoopSink), Telemetry::off(), None)
 }
 
 /// Fallible variant of [`run_concurrent`]: returns the configuration
@@ -938,7 +952,13 @@ pub fn try_run_concurrent(
     cfg: ConcurrentConfig,
 ) -> Result<ConcurrentResult, String> {
     cfg.validate(workload.spec.processes().count())?;
-    Ok(run_concurrent_traced(workload, cfg, Box::new(NoopSink)))
+    Ok(run_concurrent_impl(
+        workload,
+        cfg,
+        Box::new(NoopSink),
+        Telemetry::off(),
+        None,
+    ))
 }
 
 /// Same as [`run_concurrent`], delivering structured [`TraceEvent`]s to
@@ -951,12 +971,21 @@ pub fn try_run_concurrent(
 /// wall-clock submit→terminal times in microseconds and
 /// [`Metrics::makespan`] the wall-clock run time in microseconds (the
 /// virtual-time engine reports virtual ticks in those fields instead).
+#[deprecated(
+    since = "0.10.0",
+    note = "compose the options on `RunBuilder` instead: \
+            `RunBuilder::new(w).concurrent(cfg).sink(sink).run()`"
+)]
 pub fn run_concurrent_traced<'a>(
     workload: &'a Workload,
     cfg: ConcurrentConfig,
     sink: Box<dyn TraceSink + 'a>,
 ) -> ConcurrentResult {
-    run_concurrent_instrumented(workload, cfg, sink, Telemetry::off())
+    crate::builder::RunBuilder::new(workload)
+        .concurrent(cfg)
+        .sink(sink)
+        .run()
+        .into_concurrent()
 }
 
 /// Same as [`run_concurrent_traced`], additionally feeding the telemetry
@@ -966,11 +995,36 @@ pub fn run_concurrent_traced<'a>(
 /// to `run_concurrent_traced` — no clock reads, no allocation, one branch
 /// per instrumented site (the `NoopSink` discipline), and bit-identical
 /// histories and metrics.
+#[deprecated(
+    since = "0.10.0",
+    note = "compose the options on `RunBuilder` instead: \
+            `RunBuilder::new(w).concurrent(cfg).sink(sink).telemetry(tele).run()`"
+)]
 pub fn run_concurrent_instrumented<'a>(
     workload: &'a Workload,
     cfg: ConcurrentConfig,
     sink: Box<dyn TraceSink + 'a>,
     tele: Telemetry,
+) -> ConcurrentResult {
+    crate::builder::RunBuilder::new(workload)
+        .concurrent(cfg)
+        .sink(sink)
+        .telemetry(tele)
+        .run()
+        .into_concurrent()
+}
+
+/// The one concurrent-driver implementation behind [`run_concurrent`], the
+/// deprecated traced/instrumented shims, and
+/// [`crate::builder::RunBuilder`]: runs the workload with the given trace
+/// sink, telemetry handle, and (optionally) a durable WAL journaling every
+/// emitted shard event.
+pub(crate) fn run_concurrent_impl<'a>(
+    workload: &'a Workload,
+    cfg: ConcurrentConfig,
+    sink: Box<dyn TraceSink + 'a>,
+    tele: Telemetry,
+    wal: Option<WalWriter>,
 ) -> ConcurrentResult {
     if let Err(msg) = cfg.validate(workload.spec.processes().count()) {
         panic!("invalid concurrent configuration: {msg}");
@@ -1069,6 +1123,7 @@ pub fn run_concurrent_instrumented<'a>(
         worker_of_shard: (cfg.runtime == RuntimeKind::Events).then(|| worker_of_shard.clone()),
     };
     let tickets = AtomicU64::new(0);
+    let wal_cell = wal.map(Mutex::new);
     let arrivals: BTreeMap<ProcessId, u64> = workload
         .spec
         .processes()
@@ -1086,6 +1141,7 @@ pub fn run_concurrent_instrumented<'a>(
         arrivals,
         live_now: AtomicU64::new(0),
         live_peak: AtomicU64::new(0),
+        wal: wal_cell.as_ref(),
     };
 
     let mut runtime_metrics = match cfg.runtime {
@@ -1176,6 +1232,10 @@ pub fn run_concurrent_instrumented<'a>(
         runtime_metrics.invariant_violations(Some(makespan_us.saturating_mul(1000)))
     );
     metrics.runtime = Some(runtime_metrics);
+    if let Some(cell) = wal_cell {
+        // Land the journal tail; syncing follows the writer's policy.
+        cell.into_inner().finish();
+    }
     ConcurrentResult { history, metrics }
 }
 

@@ -1,0 +1,373 @@
+//! Snapshot + log-replay recovery: rebuilding a crash image from the WAL.
+//!
+//! [`crate::engine::Engine::with_wal`] appends a typed
+//! [`WalRecord`](txproc_core::wal::WalRecord) at every durable state
+//! transition. This module is the read side: [`rebuild_image`] folds a
+//! (possibly torn-tail-truncated) record sequence back into the
+//! [`CrashImage`] the in-memory crash path produces, so the existing
+//! recovery procedure (`recover`) runs unchanged on top of either source.
+//!
+//! ## The crash model
+//!
+//! A crash truncates the durable log at an arbitrary byte offset;
+//! everything else — agents, coordinator, history, scheduler — is volatile
+//! and rebuilt by replaying the surviving record prefix against fresh
+//! state. Every prefix replays to a consistent state because each record is
+//! atomic: an [`Invocation`](txproc_core::wal::WalRecord::Invocation)
+//! record implies both the agent transaction *and* (when immediate) its
+//! history event, a `Compensate` event record implies the compensating
+//! transaction at the agent, and the `Decision`/`DecisionApplied` pair
+//! brackets 2PC phase 2 so a truncation between them leaves the group
+//! in doubt for [`Coordinator::resolve_in_doubt`].
+//!
+//! ## Determinism of agent replay
+//!
+//! Agents allocate invocation ids densely and only on success (`Busy` and
+//! injected transient aborts return before allocation), so replaying the
+//! logged invocations in order against fresh agents reproduces the logged
+//! ids exactly — [`rebuild_image`] asserts this and fails loudly on a
+//! workload/log mismatch. Transaction ids *inside* a rebuilt agent differ
+//! from the original run (unlogged busy/abort attempts advanced the
+//! original counter) but are self-consistent; nothing durable reads them.
+//!
+//! ## The epoch-release window
+//!
+//! In epoch mode the engine emits the `Execute` events of a release group
+//! before the group's single 2PC decision is logged. A log truncated inside
+//! that window shows an executed-but-undecided prepared invocation. The
+//! group was a pure batching artifact (per-event mode decides each release
+//! singly), so [`rebuild_image`] synthesizes an individual in-doubt commit
+//! decision for each such invocation; recovery then finishes it like any
+//! other in-doubt group.
+
+use crate::engine::InvocationLogEntry;
+use crate::recovery::CrashImage;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use txproc_core::ids::GlobalActivityId;
+use txproc_core::schedule::{Event, Schedule};
+use txproc_core::wal::{WalRecord, WAL_VERSION};
+use txproc_sim::workload::Workload;
+use txproc_subsystem::agent::{Agent, CommitMode, InvocationId, InvokeOutcome};
+use txproc_subsystem::subsystem::{Subsystem, SubsystemId};
+use txproc_subsystem::tpc::{Coordinator, Decision, Participant};
+
+/// The engine's full durable state at a snapshot point, serialized into a
+/// [`WalRecord::SnapshotMarker`] payload. Restoring it and replaying the
+/// records that follow is equivalent to replaying the whole log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurableSnapshot {
+    /// Emitted history prefix.
+    pub history: Schedule,
+    /// Durable invocation log.
+    pub invocation_log: Vec<InvocationLogEntry>,
+    /// 2PC decision log.
+    pub coordinator: Coordinator,
+    /// Subsystem agents with their full transactional state.
+    pub agents: BTreeMap<SubsystemId, Agent>,
+}
+
+/// Serializes a snapshot payload for a [`WalRecord::SnapshotMarker`].
+pub fn snapshot_payload(
+    history: &Schedule,
+    invocation_log: &[InvocationLogEntry],
+    coordinator: &Coordinator,
+    agents: &BTreeMap<SubsystemId, Agent>,
+) -> String {
+    let snap = DurableSnapshot {
+        history: history.clone(),
+        invocation_log: invocation_log.to_vec(),
+        coordinator: coordinator.clone(),
+        agents: agents.clone(),
+    };
+    serde_json::to_string(&snap).expect("snapshot serializes infallibly")
+}
+
+/// Why a WAL could not be folded back into a crash image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildError {
+    /// The `Begin` header names a different format version.
+    VersionMismatch {
+        /// Version found in the log.
+        found: u32,
+    },
+    /// The `Begin` header names a different workload seed.
+    SeedMismatch {
+        /// Seed found in the log.
+        found: u64,
+        /// Seed of the workload given to [`rebuild_image`].
+        expected: u64,
+    },
+    /// A snapshot payload did not deserialize.
+    BadSnapshot(String),
+    /// A record references state the workload or log prefix does not
+    /// contain, or replaying it diverged from what was logged.
+    Inconsistent(String),
+    /// The log contains concurrent-driver shard records; those carry
+    /// history only (see `wal_history`) and cannot rebuild agents.
+    ShardLog,
+}
+
+impl std::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildError::VersionMismatch { found } => {
+                write!(f, "WAL version {found} != supported {WAL_VERSION}")
+            }
+            RebuildError::SeedMismatch { found, expected } => {
+                write!(f, "WAL seed {found} != workload seed {expected}")
+            }
+            RebuildError::BadSnapshot(msg) => write!(f, "snapshot payload: {msg}"),
+            RebuildError::Inconsistent(msg) => write!(f, "log/workload mismatch: {msg}"),
+            RebuildError::ShardLog => write!(
+                f,
+                "log holds concurrent-driver shard events; rebuild history with wal_history"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
+
+/// Rebuilds the durable state a record sequence describes, returning the
+/// same [`CrashImage`] the in-memory crash path produces. `records` is
+/// whatever [`read_records`](txproc_core::wal::read_records) salvaged — any
+/// clean prefix of a run's log is valid input. Replay starts from the last
+/// complete snapshot marker when one survived, else from genesis.
+pub fn rebuild_image(
+    workload: &Workload,
+    records: &[WalRecord],
+) -> Result<CrashImage, RebuildError> {
+    // Restore the most recent snapshot; everything before it is absorbed.
+    let snap_at = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::SnapshotMarker { .. }));
+    let (mut history, mut invocation_log, mut coordinator, mut agents, tail) = match snap_at {
+        Some(i) => {
+            let WalRecord::SnapshotMarker { payload } = &records[i] else {
+                unreachable!("rposition matched a snapshot marker");
+            };
+            let snap: DurableSnapshot = serde_json::from_str(payload)
+                .map_err(|e| RebuildError::BadSnapshot(format!("{e:?}")))?;
+            (
+                snap.history,
+                snap.invocation_log,
+                snap.coordinator,
+                snap.agents,
+                &records[i + 1..],
+            )
+        }
+        None => {
+            let mut agents = BTreeMap::new();
+            for sid in workload.deployment.subsystems() {
+                agents.insert(
+                    sid,
+                    Agent::new(Subsystem::new(sid, format!("sub{}", sid.0))),
+                );
+            }
+            (
+                Schedule::new(),
+                Vec::new(),
+                Coordinator::new(),
+                agents,
+                records,
+            )
+        }
+    };
+    // gid → agent handle, for compensation replay and the post-pass.
+    let mut invocation_of: BTreeMap<GlobalActivityId, (SubsystemId, InvocationId)> = invocation_log
+        .iter()
+        .map(|e| (e.gid, (e.subsystem, e.invocation)))
+        .collect();
+
+    for record in tail {
+        match record {
+            WalRecord::Begin { version, seed } => {
+                if *version != WAL_VERSION {
+                    return Err(RebuildError::VersionMismatch { found: *version });
+                }
+                if *seed != workload.config.seed {
+                    return Err(RebuildError::SeedMismatch {
+                        found: *seed,
+                        expected: workload.config.seed,
+                    });
+                }
+            }
+            WalRecord::Invocation {
+                gid,
+                subsystem,
+                invocation,
+                prepared,
+            } => {
+                let sid = SubsystemId(*subsystem);
+                let process = workload
+                    .spec
+                    .process(gid.process)
+                    .map_err(|_| RebuildError::Inconsistent(format!("unknown process {gid}")))?;
+                let svc = process.service(gid.activity);
+                let site = workload.deployment.site(svc).ok_or_else(|| {
+                    RebuildError::Inconsistent(format!("service of {gid} not deployed"))
+                })?;
+                let agent = agents.get_mut(&sid).ok_or_else(|| {
+                    RebuildError::Inconsistent(format!("unknown subsystem {subsystem}"))
+                })?;
+                let mode = if *prepared {
+                    CommitMode::Deferred
+                } else {
+                    CommitMode::Immediate
+                };
+                let got = agent
+                    .invoke(svc, &site.program, mode, false)
+                    .map_err(|e| RebuildError::Inconsistent(format!("invoke {gid}: {e}")))?;
+                let got_id = match got {
+                    InvokeOutcome::Committed { invocation, .. } if !prepared => invocation,
+                    InvokeOutcome::Prepared { invocation, .. } if *prepared => invocation,
+                    other => {
+                        return Err(RebuildError::Inconsistent(format!(
+                            "replaying {gid} produced {other:?}, log says prepared={prepared}"
+                        )))
+                    }
+                };
+                if got_id.0 != *invocation {
+                    return Err(RebuildError::Inconsistent(format!(
+                        "replaying {gid} allocated invocation {}, log says {invocation}",
+                        got_id.0
+                    )));
+                }
+                invocation_log.push(InvocationLogEntry {
+                    gid: *gid,
+                    subsystem: sid,
+                    invocation: got_id,
+                    prepared: *prepared,
+                });
+                invocation_of.insert(*gid, (sid, got_id));
+                if !prepared {
+                    history.execute(*gid);
+                }
+            }
+            WalRecord::Event { event } => {
+                if let Event::Compensate(gid) = event {
+                    let &(sid, inv) = invocation_of.get(gid).ok_or_else(|| {
+                        RebuildError::Inconsistent(format!("compensating unlogged {gid}"))
+                    })?;
+                    let agent = agents.get_mut(&sid).expect("mapped agent exists");
+                    let out = agent.compensate(inv).map_err(|e| {
+                        RebuildError::Inconsistent(format!("compensate {gid}: {e}"))
+                    })?;
+                    if !matches!(out, InvokeOutcome::Committed { .. }) {
+                        return Err(RebuildError::Inconsistent(format!(
+                            "compensation of {gid} replayed to {out:?}"
+                        )));
+                    }
+                }
+                history.push(event.clone());
+            }
+            WalRecord::PreparedAborted {
+                subsystem,
+                invocation,
+            } => {
+                let agent = agents.get_mut(&SubsystemId(*subsystem)).ok_or_else(|| {
+                    RebuildError::Inconsistent(format!("unknown subsystem {subsystem}"))
+                })?;
+                agent
+                    .abort_prepared(InvocationId(*invocation))
+                    .map_err(|e| {
+                        RebuildError::Inconsistent(format!(
+                            "abort of prepared invocation {invocation}: {e}"
+                        ))
+                    })?;
+            }
+            WalRecord::Decision {
+                group,
+                commit,
+                participants,
+            } => {
+                let decision = if *commit {
+                    Decision::Commit
+                } else {
+                    Decision::Abort
+                };
+                let participants = participants
+                    .iter()
+                    .map(|&(s, i)| Participant {
+                        subsystem: SubsystemId(s),
+                        invocation: InvocationId(i),
+                    })
+                    .collect();
+                coordinator.restore_decision(*group, participants, decision);
+            }
+            WalRecord::DecisionApplied { group } => {
+                coordinator
+                    .complete_group(&mut agents, *group)
+                    .map_err(|e| {
+                        RebuildError::Inconsistent(format!("completing group {group}: {e}"))
+                    })?;
+            }
+            WalRecord::EpochSeal { .. } => {}
+            WalRecord::SnapshotMarker { .. } => {
+                unreachable!("replay starts after the last snapshot marker")
+            }
+            WalRecord::ShardEvent { .. } => return Err(RebuildError::ShardLog),
+        }
+    }
+
+    // Epoch-release window: an executed deferred invocation whose group
+    // decision never reached the log gets a synthesized individual in-doubt
+    // commit decision (sound — the group was only a batching artifact).
+    let executed: BTreeSet<GlobalActivityId> = history
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Execute(g) => Some(*g),
+            _ => None,
+        })
+        .collect();
+    // `holds_prepared` is the release precondition: it screens out stale
+    // log entries — an invocation that was later `PreparedAborted` while a
+    // re-run of the same activity produced the Execute event.
+    let synthesized: Vec<Participant> = invocation_log
+        .iter()
+        .filter(|e| e.prepared && executed.contains(&e.gid))
+        .filter(|e| {
+            agents
+                .get(&e.subsystem)
+                .is_some_and(|a| a.holds_prepared(e.invocation))
+        })
+        .map(|e| Participant {
+            subsystem: e.subsystem,
+            invocation: e.invocation,
+        })
+        .filter(|p| !coordinator.log().iter().any(|r| r.participants.contains(p)))
+        .collect();
+    for p in synthesized {
+        let group = coordinator.next_group_id();
+        coordinator.restore_decision(group, vec![p], Decision::Commit);
+    }
+
+    Ok(CrashImage {
+        history,
+        agents,
+        coordinator,
+        invocation_log,
+    })
+}
+
+/// Rebuilds the merged history of a *concurrent-driver* WAL: shard events
+/// sorted by their global merge ticket. Shard logs carry no agent state —
+/// subsystem recovery stays an engine-WAL capability — but the recovered
+/// history supports the same PRED/Proc-REC audits as a returned one.
+pub fn wal_history(records: &[WalRecord]) -> Schedule {
+    let mut stamped: Vec<(u64, Event)> = records
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::ShardEvent { ticket, event, .. } => Some((*ticket, event.clone())),
+            _ => None,
+        })
+        .collect();
+    stamped.sort_by_key(|&(t, _)| t);
+    let mut history = Schedule::new();
+    for (_, e) in stamped {
+        history.push(e);
+    }
+    history
+}

@@ -26,6 +26,7 @@ use txproc_core::schedule::Schedule;
 use txproc_core::state::{FailureOutcome, ProcessState, ProcessStatus};
 use txproc_core::telemetry::{Phase, Telemetry};
 use txproc_core::trace::{AbortReason, NoopSink, TraceEvent, TraceRecord, TraceSink};
+use txproc_core::wal::{WalRecord, WalWriter};
 use txproc_sim::clock::{EventQueue, SimTime};
 use txproc_sim::metrics::Metrics;
 use txproc_sim::timeseries::TimeSeries;
@@ -190,6 +191,20 @@ pub struct Engine<'a> {
     /// round (`cfg.epoch > 0` only); flushed as one
     /// [`Coordinator::commit_group`] call per `cfg.epoch` participants.
     epoch_group: Vec<Participant>,
+    /// Durable write-ahead journal (absent unless installed via
+    /// [`Engine::with_wal`]). Every durable state transition appends a
+    /// typed record; `engine::durability::rebuild_image` replays the log
+    /// back into a [`CrashImage`](crate::recovery::CrashImage). The WAL is
+    /// pure observation: installing it never changes scheduling decisions,
+    /// so WAL-on and WAL-off runs emit bit-identical histories.
+    wal: Option<WalWriter>,
+    /// Append a full-state snapshot marker every this many emitted history
+    /// events (`0`: never — recovery replays from the log head).
+    snapshot_every: usize,
+    /// History length at the last snapshot marker.
+    last_snapshot: usize,
+    /// Monotonic counter for WAL epoch-seal records.
+    wal_epoch: u64,
 }
 
 /// One durable invocation-log entry: enough to find the subsystem
@@ -212,14 +227,29 @@ const MAX_TRANSIENT_RETRIES: u32 = 3;
 impl<'a> Engine<'a> {
     /// Sets up a run over a workload with the default (no-op) trace sink.
     pub fn new(workload: &'a Workload, cfg: RunConfig) -> Self {
-        Self::with_sink(workload, cfg, Box::new(NoopSink))
+        Self::assemble(workload, cfg, Box::new(NoopSink))
     }
 
     /// Sets up a run that emits its decision trace into `sink`. Install a
     /// cloned [`txproc_core::trace::Journal`] or
     /// [`txproc_core::trace::RingSink`] handle to read the trace back after
     /// [`Engine::run`] consumes the engine.
+    #[deprecated(
+        since = "0.10.0",
+        note = "compose the options on `RunBuilder` instead: \
+                `RunBuilder::new(w).config(cfg).sink(sink).run()`"
+    )]
     pub fn with_sink(
+        workload: &'a Workload,
+        cfg: RunConfig,
+        sink: Box<dyn TraceSink + 'a>,
+    ) -> Self {
+        Self::assemble(workload, cfg, sink)
+    }
+
+    /// The one engine constructor behind [`Engine::new`], the deprecated
+    /// `with_sink` shim, and [`crate::builder::RunBuilder`].
+    pub(crate) fn assemble(
         workload: &'a Workload,
         cfg: RunConfig,
         sink: Box<dyn TraceSink + 'a>,
@@ -275,6 +305,10 @@ impl<'a> Engine<'a> {
             events_processed: 0,
             epoch_pending: 0,
             epoch_group: Vec::new(),
+            wal: None,
+            snapshot_every: 0,
+            last_snapshot: 0,
+            wal_epoch: 0,
         };
         // Closed arrivals keep the config's `arrival_gap` staggering; open
         // models (Poisson / Burst) take their times from the workload.
@@ -305,17 +339,75 @@ impl<'a> Engine<'a> {
     /// Installs a telemetry handle: phase timers (certify / policy /
     /// compensation / 2PC prepare→decide) feed its registry. With a
     /// disabled handle the hot paths cost one branch and read no clocks.
+    #[deprecated(
+        since = "0.10.0",
+        note = "compose the options on `RunBuilder` instead: \
+                `RunBuilder::new(w).config(cfg).telemetry(tele).run()`"
+    )]
     pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
-        self.tele = tele;
+        self.set_telemetry(tele);
         self
+    }
+
+    pub(crate) fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// Samples the telemetry registry into `series` every `every_events`
     /// processed dispatch events, stamped with the virtual clock. No-op
     /// while telemetry is disabled.
+    #[deprecated(
+        since = "0.10.0",
+        note = "compose the options on `RunBuilder` instead: \
+                `RunBuilder::new(w).config(cfg).sampling(n, series).run()`"
+    )]
     pub fn with_sampling(mut self, every_events: u64, series: TimeSeries) -> Self {
-        self.sampling = Some((every_events.max(1), series));
+        self.set_sampling(every_events, series);
         self
+    }
+
+    pub(crate) fn set_sampling(&mut self, every_events: u64, series: TimeSeries) {
+        self.sampling = Some((every_events.max(1), series));
+    }
+
+    /// Installs a durable write-ahead journal: every durable state
+    /// transition (invocation, release, decision, history event) appends a
+    /// typed record before the run proceeds past it. `snapshot_every > 0`
+    /// additionally appends a full-state snapshot marker each time that
+    /// many history events accumulated since the last one, so recovery
+    /// replays only the log tail. Journaling is pure observation — the
+    /// emitted history is bit-identical with and without it.
+    pub fn with_wal(mut self, writer: WalWriter, snapshot_every: usize) -> Self {
+        self.set_wal(writer, snapshot_every);
+        self
+    }
+
+    pub(crate) fn set_wal(&mut self, writer: WalWriter, snapshot_every: usize) {
+        self.wal = Some(writer);
+        self.snapshot_every = snapshot_every;
+    }
+
+    /// WAL writer counters `(records, bytes, syncs)`, when journaling.
+    pub fn wal_stats(&self) -> Option<(u64, u64, u64)> {
+        self.wal
+            .as_ref()
+            .map(|w| (w.records(), w.bytes(), w.syncs()))
+    }
+
+    /// Appends one record to the journal (no-op without one).
+    #[inline]
+    fn wal_append(&mut self, record: WalRecord) {
+        if let Some(w) = &mut self.wal {
+            w.append(&record);
+        }
+    }
+
+    /// Appends a history-event record to the journal (no-op without one).
+    #[inline]
+    fn wal_event(&mut self, event: txproc_core::schedule::Event) {
+        if self.wal.is_some() {
+            self.wal_append(WalRecord::Event { event });
+        }
     }
 
     /// The emitted history so far.
@@ -476,6 +568,15 @@ impl<'a> Engine<'a> {
                     self.close_epoch();
                 }
             }
+            // Snapshot at tick boundaries only: the release group is empty
+            // and no 2PC decision window is open, so the captured state is
+            // consistent by construction.
+            if self.wal.is_some()
+                && self.snapshot_every > 0
+                && self.history.len() - self.last_snapshot >= self.snapshot_every
+            {
+                self.append_snapshot();
+            }
             if before != after {
                 // Real progress: effects, prepares, or terminations.
                 self.stall_guard = 0;
@@ -533,6 +634,9 @@ impl<'a> Engine<'a> {
         }
         if self.cfg.epoch > 0 {
             self.close_epoch();
+        }
+        if let Some(w) = &mut self.wal {
+            w.finish();
         }
         self.metrics.makespan = self.now.0;
         let stalled = self.live_processes();
@@ -644,6 +748,25 @@ impl<'a> Engine<'a> {
         let t0 = self.tele.phase_start();
         self.sink.flush();
         self.tele.phase_end(Phase::EpochFlush, t0);
+        if let Some(w) = &mut self.wal {
+            let epoch = self.wal_epoch;
+            self.wal_epoch += 1;
+            w.seal_epoch(epoch);
+        }
+    }
+
+    /// Appends a full-state snapshot marker: history, invocation log, 2PC
+    /// decision log, and agents, serialized so recovery restores them and
+    /// replays only the records that follow.
+    fn append_snapshot(&mut self) {
+        self.last_snapshot = self.history.len();
+        let payload = crate::durability::snapshot_payload(
+            &self.history,
+            &self.invocation_log,
+            &self.coordinator,
+            &self.agents,
+        );
+        self.wal_append(WalRecord::SnapshotMarker { payload });
     }
 
     fn dispatch(&mut self, pid: ProcessId) {
@@ -722,6 +845,7 @@ impl<'a> Engine<'a> {
                     let service = self.workload.spec.process(pid).expect("known").service(a);
                     self.trace(TraceEvent::CompensationStarted { gid, service });
                 }
+                self.wal_event(txproc_core::schedule::Event::Compensate(gid));
                 self.history.compensate(gid);
                 self.policy.record_compensated(gid);
                 self.states
@@ -896,6 +1020,14 @@ impl<'a> Engine<'a> {
             .expect("subsystem up")
         {
             InvokeOutcome::Committed { invocation, .. } => {
+                // One atomic record covers both the agent commit and the
+                // history event — no log prefix separates them.
+                self.wal_append(WalRecord::Invocation {
+                    gid,
+                    subsystem: site.subsystem.0,
+                    invocation: invocation.0,
+                    prepared: false,
+                });
                 self.invocations.insert(gid, (site.subsystem, invocation));
                 self.invocation_log.push(InvocationLogEntry {
                     gid,
@@ -924,6 +1056,12 @@ impl<'a> Engine<'a> {
                 self.schedule_dispatch(pid, at);
             }
             InvokeOutcome::Prepared { invocation, .. } => {
+                self.wal_append(WalRecord::Invocation {
+                    gid,
+                    subsystem: site.subsystem.0,
+                    invocation: invocation.0,
+                    prepared: true,
+                });
                 self.invocations.insert(gid, (site.subsystem, invocation));
                 self.invocation_log.push(InvocationLogEntry {
                     gid,
@@ -1013,6 +1151,7 @@ impl<'a> Engine<'a> {
             let service = self.workload.spec.process(pid).expect("known").service(a);
             self.trace(TraceEvent::ActivityFailed { gid, service });
         }
+        self.wal_event(txproc_core::schedule::Event::Fail(gid));
         self.history.fail(gid);
         let outcome = self
             .states
@@ -1058,6 +1197,7 @@ impl<'a> Engine<'a> {
                     .expect("state")
                     .apply_process_commit()
                     .expect("path finished");
+                self.wal_event(txproc_core::schedule::Event::Commit(pid));
                 self.history.commit(pid);
                 self.finalize(pid);
             }
@@ -1140,15 +1280,30 @@ impl<'a> Engine<'a> {
                 invocation: pending.invocation,
             };
             if self.cfg.epoch == 0 {
-                self.coordinator
+                if self.wal.is_some() {
+                    // Decision before phase 2, DecisionApplied after: a log
+                    // truncated between the two leaves the group in doubt
+                    // and recovery finishes it from the decision record.
+                    self.wal_append(WalRecord::Decision {
+                        group: self.coordinator.next_group_id(),
+                        commit: true,
+                        participants: vec![(participant.subsystem.0, participant.invocation.0)],
+                    });
+                }
+                let group = self
+                    .coordinator
                     .commit_group(&mut self.agents, vec![participant], false)
                     .expect("participants prepared");
+                if self.wal.is_some() {
+                    self.wal_append(WalRecord::DecisionApplied { group });
+                }
             } else {
                 self.epoch_group.push(participant);
                 if self.epoch_group.len() >= self.cfg.epoch {
                     self.flush_release_group();
                 }
             }
+            self.wal_event(txproc_core::schedule::Event::Execute(pending.gid));
             self.history.execute(pending.gid);
             self.policy.record_deferred_released(pending.gid);
             self.trace(TraceEvent::CommitReleased { gid: pending.gid });
@@ -1173,9 +1328,23 @@ impl<'a> Engine<'a> {
             return;
         }
         let participants = std::mem::take(&mut self.epoch_group);
-        self.coordinator
+        if self.wal.is_some() {
+            self.wal_append(WalRecord::Decision {
+                group: self.coordinator.next_group_id(),
+                commit: true,
+                participants: participants
+                    .iter()
+                    .map(|p| (p.subsystem.0, p.invocation.0))
+                    .collect(),
+            });
+        }
+        let group = self
+            .coordinator
             .commit_group(&mut self.agents, participants, false)
             .expect("participants prepared");
+        if self.wal.is_some() {
+            self.wal_append(WalRecord::DecisionApplied { group });
+        }
     }
 
     /// Retries releases previously postponed by certification — but only
@@ -1313,6 +1482,10 @@ impl<'a> Engine<'a> {
                 self.tele
                     .phase_ns(Phase::TwoPc, t0.elapsed().as_nanos() as u64);
             }
+            self.wal_append(WalRecord::PreparedAborted {
+                subsystem: pending.subsystem.0,
+                invocation: pending.invocation.0,
+            });
             let agent = self.agents.get_mut(&pending.subsystem).expect("agent");
             agent
                 .abort_prepared(pending.invocation)
@@ -1329,6 +1502,7 @@ impl<'a> Engine<'a> {
         self.next_abort_seq += 1;
         self.abort_seq.insert(pid, seq);
         self.policy.on_abort_begin(pid);
+        self.wal_event(txproc_core::schedule::Event::Abort(pid));
         self.history.abort(pid);
         self.states
             .get_mut(&pid)

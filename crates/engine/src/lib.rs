@@ -22,15 +22,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod concurrent;
+pub mod durability;
 pub mod engine;
 pub mod policy;
 pub mod recovery;
 
+pub use builder::{RunBuilder, RunOutcome};
+#[allow(deprecated)]
+pub use concurrent::run_concurrent_traced;
 pub use concurrent::{
-    run_concurrent, run_concurrent_traced, try_run_concurrent, ConcurrentConfig, ConcurrentResult,
-    RuntimeKind, ShardMode,
+    run_concurrent, try_run_concurrent, ConcurrentConfig, ConcurrentResult, RuntimeKind, ShardMode,
 };
 pub use engine::{run, Engine, RunConfig, RunResult};
 pub use policy::{Policy, PolicyKind};
-pub use recovery::{recover, recover_traced, CrashImage, RecoveryReport};
+#[allow(deprecated)]
+pub use recovery::recover_traced;
+pub use recovery::{recover, CrashImage, Recovery, RecoveryError, RecoveryReport, RecoverySource};

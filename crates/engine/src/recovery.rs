@@ -99,17 +99,121 @@ impl Tracer<'_> {
     }
 }
 
-/// Runs crash recovery over a crash image.
-pub fn recover(workload: &Workload, image: CrashImage) -> Result<RecoveryReport, SubsystemError> {
-    recover_traced(workload, image, Box::new(NoopSink))
+/// Where [`Recovery`] reads its durable state from.
+#[derive(Debug)]
+pub enum RecoverySource {
+    /// A live crash image — the volatile-state path the tests and the
+    /// `crash` CLI command use.
+    Image(CrashImage),
+    /// A WAL file on disk: salvage the clean prefix (torn tails are
+    /// truncated), rebuild the crash image by replay, then recover.
+    Wal(std::path::PathBuf),
+    /// Raw WAL bytes (e.g. a [`txproc_core::wal::MemWal`] snapshot): the
+    /// same salvage and rebuild as [`RecoverySource::Wal`].
+    WalBytes(Vec<u8>),
 }
 
-/// Same as [`recover`], delivering structured [`TraceEvent`]s to `sink`:
-/// the recovery-initiated group abort (`initiator: None` — the scheduler
-/// itself is the initiator), each victim's `AbortStarted` (reason
-/// `External`), every completion operation, and the final `ProcessAborted`
-/// terminations.
+/// What can go wrong between a durable log and a recovered history.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The WAL file could not be read.
+    Io(std::io::Error),
+    /// The salvaged log does not replay into a consistent crash image.
+    Rebuild(crate::durability::RebuildError),
+    /// A subsystem rejected a recovery action.
+    Subsystem(SubsystemError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "reading WAL: {e}"),
+            RecoveryError::Rebuild(e) => write!(f, "rebuilding crash image: {e}"),
+            RecoveryError::Subsystem(e) => write!(f, "recovering: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// The unified recovery entry point: image-based and WAL-based recovery
+/// share this one call site and one traced path.
+///
+/// ```ignore
+/// let report = Recovery::from(RecoverySource::Wal(path)).run(&workload)?;
+/// let report = Recovery::from(RecoverySource::Image(image))
+///     .sink(Box::new(journal.clone()))
+///     .run(&workload)?;
+/// ```
+pub struct Recovery<'s> {
+    source: RecoverySource,
+    sink: Box<dyn TraceSink + 's>,
+}
+
+impl<'s> Recovery<'s> {
+    /// Recovery over a durable source, with the no-op trace sink.
+    #[allow(clippy::should_implement_trait)] // mirrors `RunBuilder::new`; not a `From` impl
+    pub fn from(source: RecoverySource) -> Self {
+        Self {
+            source,
+            sink: Box::new(NoopSink),
+        }
+    }
+
+    /// Delivers the recovery decision trace into `sink`: the
+    /// recovery-initiated group abort (`initiator: None` — the scheduler
+    /// itself is the initiator), each victim's `AbortStarted` (reason
+    /// `External`), every completion operation, and the final
+    /// `ProcessAborted` terminations.
+    pub fn sink(mut self, sink: Box<dyn TraceSink + 's>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Resolves the source to a crash image (salvaging and replaying the
+    /// WAL when needed) and runs recovery over it.
+    pub fn run(self, workload: &Workload) -> Result<RecoveryReport, RecoveryError> {
+        let image = match self.source {
+            RecoverySource::Image(image) => image,
+            RecoverySource::Wal(path) => {
+                let (records, _clean) =
+                    txproc_core::wal::read_wal_file(&path).map_err(RecoveryError::Io)?;
+                crate::durability::rebuild_image(workload, &records)
+                    .map_err(RecoveryError::Rebuild)?
+            }
+            RecoverySource::WalBytes(bytes) => {
+                let (records, _clean) = txproc_core::wal::read_records(&bytes);
+                crate::durability::rebuild_image(workload, &records)
+                    .map_err(RecoveryError::Rebuild)?
+            }
+        };
+        recover_impl(workload, image, self.sink).map_err(RecoveryError::Subsystem)
+    }
+}
+
+/// Runs crash recovery over a crash image. Shorthand for
+/// `Recovery::from(RecoverySource::Image(image)).run(workload)` with the
+/// original `SubsystemError` error type.
+pub fn recover(workload: &Workload, image: CrashImage) -> Result<RecoveryReport, SubsystemError> {
+    recover_impl(workload, image, Box::new(NoopSink))
+}
+
+/// Same as [`recover`], delivering structured [`TraceEvent`]s to `sink`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `Recovery::from(RecoverySource::Image(image)).sink(sink).run(workload)`"
+)]
 pub fn recover_traced<'s>(
+    workload: &Workload,
+    image: CrashImage,
+    sink: Box<dyn TraceSink + 's>,
+) -> Result<RecoveryReport, SubsystemError> {
+    recover_impl(workload, image, sink)
+}
+
+/// The one recovery implementation behind [`recover`], [`Recovery`], and
+/// the deprecated `recover_traced` shim.
+pub(crate) fn recover_impl<'s>(
     workload: &Workload,
     mut image: CrashImage,
     sink: Box<dyn TraceSink + 's>,
@@ -120,10 +224,13 @@ pub fn recover_traced<'s>(
     // 1. Finish in-doubt 2PC groups from the decision log.
     let resolved = image.coordinator.resolve_in_doubt(&mut image.agents)?;
     let resolved_groups = resolved.len();
-    // Committed-by-recovery releases become visible history events.
+    // Committed releases missing their history event become visible. This
+    // covers groups just resolved above *and* already-completed groups a
+    // WAL truncation caught between phase 2 and the `Execute` append — an
+    // applied decision whose history event never reached the log.
     let executed_gids: Vec<GlobalActivityId> = history_executed(&image.history);
     for record in image.coordinator.log() {
-        if record.decision != Decision::Commit || !resolved.contains(&record.group) {
+        if record.decision != Decision::Commit {
             continue;
         }
         for p in &record.participants {

@@ -1,0 +1,213 @@
+//! Shim-pinning differentials: every deprecated entry point must stay
+//! bit-identical to the [`RunBuilder`] composition that replaced it.
+//!
+//! The builder collapsed `Engine::with_sink` / `with_telemetry` /
+//! `with_sampling`, `run_concurrent_traced` / `run_concurrent_instrumented`,
+//! and `recover_traced` into one canonical API; those names survive as thin
+//! delegating shims. These 256-seed sweeps are the contract that delegating
+//! changed nothing: same histories, same metrics, same trace records, same
+//! recovery reports. The concurrent comparisons pin the driver to its
+//! deterministic envelope (events runtime, one worker, closed arrivals) so
+//! equality is exact rather than statistical.
+
+#![allow(deprecated)]
+
+use txproc_core::schedule::render;
+use txproc_core::telemetry::Telemetry;
+use txproc_core::trace::{Journal, NoopSink};
+use txproc_engine::concurrent::{
+    run_concurrent_instrumented, run_concurrent_traced, ConcurrentConfig, RuntimeKind,
+};
+use txproc_engine::engine::{Engine, RunConfig};
+use txproc_engine::recovery::{recover, recover_traced, Recovery, RecoverySource};
+use txproc_engine::RunBuilder;
+use txproc_sim::timeseries::TimeSeries;
+use txproc_sim::workload::{generate, Workload, WorkloadConfig};
+
+fn workload(seed: u64) -> Workload {
+    generate(&WorkloadConfig {
+        seed,
+        processes: 3 + (seed % 4) as usize,
+        clusters: 1 + (seed % 3) as usize,
+        conflict_density: (seed % 5) as f64 / 5.0,
+        failure_probability: if seed.is_multiple_of(2) { 0.2 } else { 0.0 },
+        ..WorkloadConfig::default()
+    })
+}
+
+fn engine_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        epoch: (seed % 5) as usize,
+        ..RunConfig::default()
+    }
+}
+
+/// `Engine::with_sink` delegates to `RunBuilder::sink`: identical history,
+/// metrics, and — decisively — identical trace record streams.
+#[test]
+fn with_sink_shim_matches_builder() {
+    for seed in 0..256u64 {
+        let w = workload(seed);
+        let cfg = engine_cfg(seed);
+
+        let shim_journal = Journal::default();
+        let shim = Engine::with_sink(&w, cfg.clone(), Box::new(shim_journal.clone())).run();
+
+        let builder_journal = Journal::default();
+        let built = RunBuilder::new(&w)
+            .config(cfg)
+            .sink(Box::new(builder_journal.clone()))
+            .run()
+            .into_engine();
+
+        assert_eq!(
+            render(&shim.history),
+            render(&built.history),
+            "seed {seed}: with_sink shim diverged from builder"
+        );
+        assert_eq!(shim.metrics, built.metrics, "seed {seed}: metrics");
+        assert_eq!(
+            shim_journal.take(),
+            builder_journal.take(),
+            "seed {seed}: trace records"
+        );
+    }
+}
+
+/// `with_telemetry` + `with_sampling` delegate to `RunBuilder::telemetry` /
+/// `sampling`: identical runs and identical sampled series lengths.
+#[test]
+fn telemetry_and_sampling_shims_match_builder() {
+    for seed in 0..256u64 {
+        let w = workload(seed);
+        let cfg = engine_cfg(seed);
+
+        let shim_series = TimeSeries::new(256);
+        let shim = Engine::new(&w, cfg.clone())
+            .with_telemetry(Telemetry::on())
+            .with_sampling(8, shim_series.clone())
+            .run();
+
+        let builder_series = TimeSeries::new(256);
+        let built = RunBuilder::new(&w)
+            .config(cfg)
+            .telemetry(Telemetry::on())
+            .sampling(8, builder_series.clone())
+            .run()
+            .into_engine();
+
+        assert_eq!(
+            render(&shim.history),
+            render(&built.history),
+            "seed {seed}: telemetry shim diverged from builder"
+        );
+        assert_eq!(shim.metrics, built.metrics, "seed {seed}: metrics");
+        assert_eq!(
+            shim_series.len(),
+            builder_series.len(),
+            "seed {seed}: sample count"
+        );
+    }
+}
+
+fn deterministic_concurrent_cfg(seed: u64) -> ConcurrentConfig {
+    ConcurrentConfig {
+        seed,
+        runtime: RuntimeKind::Events,
+        workers: Some(1),
+        epoch: (seed % 3) as usize * 4,
+        ..ConcurrentConfig::default()
+    }
+}
+
+/// `run_concurrent_traced` delegates to `RunBuilder::concurrent` + `sink`.
+/// Single-worker events runtime makes the comparison exact.
+#[test]
+fn concurrent_traced_shim_matches_builder() {
+    for seed in 0..256u64 {
+        let w = workload(seed);
+        let cfg = deterministic_concurrent_cfg(seed);
+
+        let shim_journal = Journal::default();
+        let shim = run_concurrent_traced(&w, cfg.clone(), Box::new(shim_journal.clone()));
+
+        let builder_journal = Journal::default();
+        let built = RunBuilder::new(&w)
+            .concurrent(cfg)
+            .sink(Box::new(builder_journal.clone()))
+            .run()
+            .into_concurrent();
+
+        assert_eq!(
+            shim.history.events(),
+            built.history.events(),
+            "seed {seed}: run_concurrent_traced shim diverged from builder"
+        );
+        assert_eq!(shim.metrics.committed, built.metrics.committed);
+        assert_eq!(shim.metrics.aborted, built.metrics.aborted);
+        assert_eq!(shim.metrics.activities, built.metrics.activities);
+        assert_eq!(
+            shim_journal.take(),
+            builder_journal.take(),
+            "seed {seed}: trace records"
+        );
+    }
+}
+
+/// `run_concurrent_instrumented` delegates to the builder with a sink and
+/// telemetry composed.
+#[test]
+fn concurrent_instrumented_shim_matches_builder() {
+    for seed in 0..256u64 {
+        let w = workload(seed);
+        let cfg = deterministic_concurrent_cfg(seed);
+
+        let shim =
+            run_concurrent_instrumented(&w, cfg.clone(), Box::new(NoopSink), Telemetry::on());
+        let built = RunBuilder::new(&w)
+            .concurrent(cfg)
+            .telemetry(Telemetry::on())
+            .run()
+            .into_concurrent();
+
+        assert_eq!(
+            shim.history.events(),
+            built.history.events(),
+            "seed {seed}: run_concurrent_instrumented shim diverged from builder"
+        );
+        assert_eq!(shim.metrics.committed, built.metrics.committed);
+        assert_eq!(shim.metrics.aborted, built.metrics.aborted);
+    }
+}
+
+/// `recover` / `recover_traced` and the unified `Recovery::from(source)`
+/// produce identical reports from the same crash image.
+#[test]
+fn recovery_entry_points_agree() {
+    for seed in 0..256u64 {
+        let w = workload(seed);
+        let mut engine = Engine::new(&w, engine_cfg(seed));
+        engine.run_until_history(3 + (seed % 7) as usize);
+        let image = engine.crash();
+
+        let plain = recover(&w, image.clone()).expect("recover");
+        let traced = recover_traced(&w, image.clone(), Box::new(NoopSink)).expect("recover_traced");
+        let unified = Recovery::from(RecoverySource::Image(image))
+            .run(&w)
+            .expect("Recovery::run");
+
+        for (name, report) in [("recover_traced", &traced), ("Recovery::from", &unified)] {
+            assert_eq!(
+                render(&plain.history),
+                render(&report.history),
+                "seed {seed}: {name} diverged from recover"
+            );
+            assert_eq!(plain.aborted, report.aborted, "seed {seed}: {name}");
+            assert_eq!(
+                plain.compensations, report.compensations,
+                "seed {seed}: {name}"
+            );
+        }
+    }
+}

@@ -6,8 +6,9 @@
 use txproc_core::schedule::render;
 use txproc_core::telemetry::{prometheus_text, Phase, Telemetry};
 use txproc_core::trace::NoopSink;
-use txproc_engine::concurrent::{run_concurrent_instrumented, ConcurrentConfig};
+use txproc_engine::concurrent::ConcurrentConfig;
 use txproc_engine::engine::{Engine, RunConfig};
+use txproc_engine::RunBuilder;
 use txproc_sim::timeseries::{from_json, TimeSeries};
 use txproc_sim::workload::{generate, Workload, WorkloadConfig};
 
@@ -30,7 +31,11 @@ fn disabled_telemetry_is_bit_identical_on_engine() {
             ..RunConfig::default()
         };
         let plain = Engine::new(&w, cfg.clone()).run();
-        let off = Engine::new(&w, cfg).with_telemetry(Telemetry::off()).run();
+        let off = RunBuilder::new(&w)
+            .config(cfg)
+            .telemetry(Telemetry::off())
+            .run()
+            .into_engine();
         assert_eq!(
             render(&plain.history),
             render(&off.history),
@@ -56,7 +61,11 @@ fn enabled_telemetry_does_not_perturb_engine_outcome() {
         };
         let plain = Engine::new(&w, cfg.clone()).run();
         let tele = Telemetry::on();
-        let on = Engine::new(&w, cfg).with_telemetry(tele.clone()).run();
+        let on = RunBuilder::new(&w)
+            .config(cfg)
+            .telemetry(tele.clone())
+            .run()
+            .into_engine();
         assert_eq!(render(&plain.history), render(&on.history), "seed {seed}");
         assert_eq!(plain.metrics, on.metrics, "seed {seed}");
         let snap = tele.snapshot().expect("enabled registry snapshots");
@@ -71,15 +80,15 @@ fn disabled_telemetry_is_bit_identical_on_single_process_concurrent() {
     // enough to pin the disabled path to zero observable effect.
     let w = workload(5, 1);
     let run = |tele: Telemetry| {
-        let r = run_concurrent_instrumented(
-            &w,
-            ConcurrentConfig {
+        let r = RunBuilder::new(&w)
+            .concurrent(ConcurrentConfig {
                 seed: 5,
                 ..ConcurrentConfig::default()
-            },
-            Box::new(NoopSink),
-            tele,
-        );
+            })
+            .sink(Box::new(NoopSink))
+            .telemetry(tele)
+            .run()
+            .into_concurrent();
         (render(&r.history), r.metrics.committed, r.metrics.aborted)
     };
     assert_eq!(
@@ -93,15 +102,15 @@ fn disabled_telemetry_is_bit_identical_on_single_process_concurrent() {
 fn enabled_telemetry_captures_concurrent_phases() {
     let w = workload(3, 8);
     let tele = Telemetry::on();
-    let r = run_concurrent_instrumented(
-        &w,
-        ConcurrentConfig {
+    let r = RunBuilder::new(&w)
+        .concurrent(ConcurrentConfig {
             seed: 3,
             ..ConcurrentConfig::default()
-        },
-        Box::new(NoopSink),
-        tele.clone(),
-    );
+        })
+        .sink(Box::new(NoopSink))
+        .telemetry(tele.clone())
+        .run()
+        .into_concurrent();
     assert!(r.metrics.committed + r.metrics.aborted > 0);
     let snap = tele.snapshot().expect("enabled registry snapshots");
     for phase in [
@@ -136,16 +145,14 @@ fn exports_round_trip_on_live_run() {
     let w = workload(4, 6);
     let tele = Telemetry::on();
     let series = TimeSeries::new(64);
-    let _ = Engine::new(
-        &w,
-        RunConfig {
+    let _ = RunBuilder::new(&w)
+        .config(RunConfig {
             seed: 4,
             ..RunConfig::default()
-        },
-    )
-    .with_telemetry(tele.clone())
-    .with_sampling(8, series.clone())
-    .run();
+        })
+        .telemetry(tele.clone())
+        .sampling(8, series.clone())
+        .run();
 
     let snap = tele.snapshot().expect("snapshot");
     let prom = prometheus_text(&snap);

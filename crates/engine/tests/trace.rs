@@ -3,8 +3,9 @@
 
 use txproc_core::schedule::{render, Event};
 use txproc_core::trace::{chrome_trace, from_jsonl, to_jsonl, Journal, TraceEvent};
-use txproc_engine::concurrent::{run_concurrent_traced, ConcurrentConfig};
+use txproc_engine::concurrent::ConcurrentConfig;
 use txproc_engine::engine::{Engine, RunConfig};
+use txproc_engine::RunBuilder;
 use txproc_sim::workload::{generate, Workload, WorkloadConfig};
 
 fn workload(seed: u64, processes: usize) -> Workload {
@@ -23,7 +24,10 @@ fn engine_journal(w: &Workload, seed: u64) -> String {
         seed,
         ..RunConfig::default()
     };
-    let _ = Engine::with_sink(w, cfg, Box::new(journal.clone())).run();
+    let _ = RunBuilder::new(w)
+        .config(cfg)
+        .sink(Box::new(journal.clone()))
+        .run();
     to_jsonl(&journal.snapshot())
 }
 
@@ -48,7 +52,11 @@ fn traced_run_matches_untraced_history_and_metrics() {
         };
         let untraced = Engine::new(&w, cfg.clone()).run();
         let journal = Journal::new();
-        let traced = Engine::with_sink(&w, cfg, Box::new(journal.clone())).run();
+        let traced = RunBuilder::new(&w)
+            .config(cfg)
+            .sink(Box::new(journal.clone()))
+            .run()
+            .into_engine();
         assert_eq!(
             render(&untraced.history),
             render(&traced.history),
@@ -66,7 +74,10 @@ fn traced_run_matches_untraced_history_and_metrics() {
 fn jsonl_and_chrome_exports_round_trip_on_fixture() {
     let w = workload(4, 4);
     let journal = Journal::new();
-    let _ = Engine::with_sink(&w, RunConfig::default(), Box::new(journal.clone())).run();
+    let _ = RunBuilder::new(&w)
+        .config(RunConfig::default())
+        .sink(Box::new(journal.clone()))
+        .run();
     let records = journal.snapshot();
     assert!(!records.is_empty());
 
@@ -91,14 +102,13 @@ fn concurrent_single_process_journal_is_deterministic() {
     let w = workload(5, 1);
     let run = || {
         let journal = Journal::new();
-        let _ = run_concurrent_traced(
-            &w,
-            ConcurrentConfig {
+        let _ = RunBuilder::new(&w)
+            .concurrent(ConcurrentConfig {
                 seed: 5,
                 ..ConcurrentConfig::default()
-            },
-            Box::new(journal.clone()),
-        );
+            })
+            .sink(Box::new(journal.clone()))
+            .run();
         to_jsonl(&journal.snapshot())
     };
     let a = run();
@@ -113,14 +123,14 @@ fn concurrent_journal_is_consistent_with_history_and_metrics() {
     // and the metrics of the same run.
     let w = workload(3, 5);
     let journal = Journal::new();
-    let result = run_concurrent_traced(
-        &w,
-        ConcurrentConfig {
+    let result = RunBuilder::new(&w)
+        .concurrent(ConcurrentConfig {
             seed: 3,
             ..ConcurrentConfig::default()
-        },
-        Box::new(journal.clone()),
-    );
+        })
+        .sink(Box::new(journal.clone()))
+        .run()
+        .into_concurrent();
     let records = journal.snapshot();
 
     let committed = records

@@ -60,7 +60,7 @@ pub enum InvokeOutcome {
     },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct InvocationRecord {
     service: ServiceId,
     tx: TxId,
@@ -70,7 +70,7 @@ struct InvocationRecord {
 }
 
 /// A transactional coordination agent wrapping one subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Agent {
     /// The wrapped subsystem.
     pub subsystem: Subsystem,
@@ -174,6 +174,16 @@ impl Agent {
         self.subsystem.abort(tx)?;
         self.invocations.remove(&invocation);
         Ok(())
+    }
+
+    /// True when `invocation` is known and its transaction is still in the
+    /// prepared state — i.e. `release` / `abort_prepared` would succeed.
+    /// Stays false for released, aborted, or superseded invocations, which
+    /// is what crash rebuild needs to avoid resurrecting stale 2PC votes.
+    pub fn holds_prepared(&self, invocation: InvocationId) -> bool {
+        self.invocations
+            .get(&invocation)
+            .is_some_and(|r| self.subsystem.tx_status(r.tx) == Some(TxStatus::Prepared))
     }
 
     fn tx_of(&self, invocation: InvocationId) -> Result<TxId, SubsystemError> {

@@ -65,7 +65,7 @@ pub enum UndoOp {
 }
 
 /// Lock state of one key.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum LockState {
     /// Held exclusively (a `Set` writer).
     Exclusive(TxId),
@@ -73,7 +73,7 @@ enum LockState {
     Additive(Vec<TxId>),
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct TxState {
     /// Undo log in write order.
     undo: Vec<UndoOp>,
@@ -100,7 +100,7 @@ impl TxState {
 pub struct ReturnValues(pub Vec<(Key, Value)>);
 
 /// A simulated transactional subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Subsystem {
     /// Subsystem identifier.
     pub id: SubsystemId,

@@ -49,7 +49,7 @@ pub struct DecisionRecord {
 }
 
 /// The 2PC coordinator with a durable decision log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Coordinator {
     log: Vec<DecisionRecord>,
     next_group: u64,
@@ -61,9 +61,54 @@ impl Coordinator {
         Self::default()
     }
 
+    /// Rebuilds a coordinator from a replayed decision log (WAL recovery).
+    /// The group counter resumes past the highest logged group id.
+    pub fn from_log(log: Vec<DecisionRecord>) -> Self {
+        let next_group = log.iter().map(|r| r.group + 1).max().unwrap_or(0);
+        Self { log, next_group }
+    }
+
     /// The decision log.
     pub fn log(&self) -> &[DecisionRecord] {
         &self.log
+    }
+
+    /// The group id the next logged decision will receive. Lets a
+    /// write-ahead journal record the decision *before* calling
+    /// [`Coordinator::commit_group`].
+    pub fn next_group_id(&self) -> u64 {
+        self.next_group
+    }
+
+    /// Restores an externally journaled decision without running phase 2
+    /// (WAL replay of a `Decision` record). The group stays in-doubt until
+    /// [`Coordinator::complete_group`] or [`Coordinator::resolve_in_doubt`]
+    /// finishes it.
+    pub fn restore_decision(
+        &mut self,
+        group: u64,
+        participants: Vec<Participant>,
+        decision: Decision,
+    ) {
+        self.log.push(DecisionRecord {
+            group,
+            participants,
+            decision,
+            completed: false,
+        });
+        self.next_group = self.next_group.max(group + 1);
+    }
+
+    /// Runs phase 2 of an already-logged group (WAL replay of a
+    /// `DecisionApplied` record). Idempotence caveat: the caller must know
+    /// phase 2 has not run yet — the decision log's `completed` flag is the
+    /// guard [`Coordinator::resolve_in_doubt`] uses.
+    pub fn complete_group(
+        &mut self,
+        agents: &mut BTreeMap<SubsystemId, Agent>,
+        group: u64,
+    ) -> Result<(), SubsystemError> {
+        self.run_phase2(agents, group)
     }
 
     /// Atomically commits a group of prepared invocations across agents.
